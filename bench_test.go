@@ -1,0 +1,356 @@
+// Package versaslot_test is the benchmark harness: one benchmark per
+// table/figure of the paper's evaluation (Section IV), plus ablation
+// benches for the design decisions DESIGN.md calls out and
+// micro-benchmarks of the simulation substrate.
+//
+// Figure benches report their headline quantities via b.ReportMetric:
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces every figure; EXPERIMENTS.md records paper-vs-measured.
+package versaslot_test
+
+import (
+	"testing"
+
+	"versaslot/internal/bitstream"
+	"versaslot/internal/core"
+	"versaslot/internal/experiments"
+	"versaslot/internal/fabric"
+	"versaslot/internal/hypervisor"
+	"versaslot/internal/pipeline"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// benchConfig keeps figure benches affordable per iteration while
+// preserving the paper's workload shape.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Sequences = 4
+	return cfg
+}
+
+// BenchmarkFig5ResponseTime regenerates Fig. 5: average relative
+// response-time reduction per system, normalized to the Baseline, under
+// each congestion condition. Reported metrics are the x-factors (e.g.
+// BL_Standard_x; paper: 13.66).
+func BenchmarkFig5ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(benchConfig())
+		for _, cond := range workload.Conditions() {
+			for _, kind := range sched.Kinds() {
+				if kind == sched.KindBaseline {
+					continue
+				}
+				cell := r.Lookup(cond, kind)
+				b.ReportMetric(cell.Reduction, metricName(kind)+"_"+condName(cond)+"_x")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6TailLatency regenerates Fig. 6: P95/P99 tail response
+// times normalized to the Baseline (lower is better).
+func BenchmarkFig6TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6(benchConfig())
+		for _, g := range experiments.Fig6Groups() {
+			bl := r.Lookup(g, sched.KindVersaSlotBL).Relative
+			nim := r.Lookup(g, sched.KindNimblock).Relative
+			b.ReportMetric(bl, "BL_"+g)
+			b.ReportMetric(nim, "Nimblock_"+g)
+		}
+	}
+}
+
+// BenchmarkFig7Utilization regenerates Fig. 7: the LUT/FF utilization
+// increase of 3-in-1 bundles (paper averages: +35% LUT, +29% FF; the
+// per-app bars reproduce exactly).
+func BenchmarkFig7Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7()
+		for _, g := range r.Gains {
+			b.ReportMetric(g.LUTPct, g.App+"_LUT_pct")
+			b.ReportMetric(g.FFPct, g.App+"_FF_pct")
+		}
+		b.ReportMetric(r.AvgLUTPct, "avg_LUT_pct")
+		b.ReportMetric(r.AvgFFPct, "avg_FF_pct")
+	}
+}
+
+// BenchmarkFig8Switching regenerates Fig. 8: cross-board switching with
+// live migration versus static Only.Little / Big.Little (paper: 2.98x
+// and 6.65x vs Only.Little; 1.13 ms mean switch overhead).
+func BenchmarkFig8Switching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig8()
+		cfg.Workloads = 2
+		r := experiments.Fig8(cfg)
+		b.ReportMetric(r.SwitchingReduction, "switching_x")
+		b.ReportMetric(r.BigLittleReduction, "bigLittle_x")
+		b.ReportMetric(float64(r.Switches), "switches")
+		b.ReportMetric(float64(r.MeanSwitchTime)/1e6, "switch_ms")
+	}
+}
+
+// --- Ablations -------------------------------------------------------
+
+// BenchmarkAblationDualCore isolates the dual-core PR server: the same
+// allocation policy (Nimblock's) on the same Only.Little board, single
+// core versus dedicated PR core.
+func BenchmarkAblationDualCore(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Stress)
+	seq := workload.Generate(p, 77)
+	for i := 0; i < b.N; i++ {
+		single := runCustom(b, seq, fabric.OnlyLittle, hypervisor.SingleCore, sched.KindNimblock)
+		dual := runCustom(b, seq, fabric.OnlyLittle, hypervisor.DualCore, sched.KindNimblock)
+		b.ReportMetric(single.Seconds(), "singleCore_meanRT_s")
+		b.ReportMetric(dual.Seconds(), "dualCore_meanRT_s")
+		b.ReportMetric(single.Seconds()/dual.Seconds(), "speedup_x")
+	}
+}
+
+// BenchmarkAblationBundling isolates the Big.Little architecture: both
+// systems run dual-core VersaSlot scheduling; only the board differs.
+func BenchmarkAblationBundling(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Stress)
+	seq := workload.Generate(p, 78)
+	for i := 0; i < b.N; i++ {
+		ol, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotOL, Seed: 1}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 1}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sim.Time(ol.Summary.MeanRT).Seconds(), "onlyLittle_meanRT_s")
+		b.ReportMetric(sim.Time(bl.Summary.MeanRT).Seconds(), "bigLittle_meanRT_s")
+		b.ReportMetric(float64(ol.Summary.PRLoads)/float64(bl.Summary.PRLoads), "PR_reduction_x")
+	}
+}
+
+// BenchmarkAblationBitstreamCache isolates the DDR bitstream cache:
+// Nimblock with and without cached partials.
+func BenchmarkAblationBitstreamCache(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Stress)
+	seq := workload.Generate(p, 79)
+	for i := 0; i < b.N; i++ {
+		cached := runCustom(b, seq, fabric.OnlyLittle, hypervisor.SingleCore, sched.KindNimblock)
+		uncached := runCustomNoCache(b, seq)
+		b.ReportMetric(cached.Seconds(), "cached_meanRT_s")
+		b.ReportMetric(uncached.Seconds(), "uncached_meanRT_s")
+	}
+}
+
+// BenchmarkAblationRedistribution isolates Algorithm 1's leftover-slot
+// redistribution: VersaSlot OL (redistributes) versus the identical
+// dual-core engine running Nimblock's allocator (does not).
+func BenchmarkAblationRedistribution(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Standard)
+	seq := workload.Generate(p, 80)
+	for i := 0; i < b.N; i++ {
+		with, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotOL, Seed: 1}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without := runCustom(b, seq, fabric.OnlyLittle, hypervisor.DualCore, sched.KindNimblock)
+		b.ReportMetric(sim.Time(with.Summary.MeanRT).Seconds(), "with_meanRT_s")
+		b.ReportMetric(without.Seconds(), "without_meanRT_s")
+	}
+}
+
+// BenchmarkAblationHostControl isolates the control-plane placement:
+// the embedded ARM hypervisor versus a host CPU driving the board over
+// PCIe (Section III-A's "For FPGA boards without a dedicated CPU").
+func BenchmarkAblationHostControl(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Stress)
+	seq := workload.Generate(p, 81)
+	for i := 0; i < b.N; i++ {
+		embedded, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 1}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := sched.DefaultParams()
+		params.HostControl = true
+		host, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 1, Params: &params}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sim.Time(embedded.Summary.MeanRT).Seconds(), "embedded_meanRT_s")
+		b.ReportMetric(sim.Time(host.Summary.MeanRT).Seconds(), "hostPCIe_meanRT_s")
+	}
+}
+
+// BenchmarkAblationPreemption isolates the aging preemption: VersaSlot
+// OL with the default 2s preemption age versus preemption disabled
+// (infinite age).
+func BenchmarkAblationPreemption(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Stress)
+	seq := workload.Generate(p, 82)
+	for i := 0; i < b.N; i++ {
+		on, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotOL, Seed: 1}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := sched.DefaultParams()
+		params.PreemptAge = 1 << 40 // effectively never
+		off, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotOL, Seed: 1, Params: &params}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sim.Time(on.Summary.MeanRT).Seconds(), "preempt_meanRT_s")
+		b.ReportMetric(sim.Time(off.Summary.MeanRT).Seconds(), "noPreempt_meanRT_s")
+		b.ReportMetric(float64(on.Summary.Preemptions), "preemptions")
+	}
+}
+
+// BenchmarkFailureInjection measures scheduling resilience to PCAP CRC
+// failures: 20%% of loads re-stream.
+func BenchmarkFailureInjection(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Stress)
+	seq := workload.Generate(p, 83)
+	for i := 0; i < b.N; i++ {
+		params := sched.DefaultParams()
+		params.PRFailureRate = 0.2
+		res, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 1, Params: &params}, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sim.Time(res.Summary.MeanRT).Seconds(), "meanRT_s")
+		b.ReportMetric(float64(res.Summary.PRRetries), "retries")
+	}
+}
+
+// --- Substrate micro-benchmarks --------------------------------------
+
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(sim.Microsecond, func() {})
+		k.Step()
+	}
+}
+
+func BenchmarkServerJobs(b *testing.B) {
+	k := sim.NewKernel(1)
+	s := sim.NewServer(k, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SubmitFunc("job", "bench", sim.Microsecond, nil)
+		for k.Step() {
+		}
+	}
+}
+
+func BenchmarkPipelineMakespan(b *testing.B) {
+	plan := pipeline.Plan{
+		StageTimes: []sim.Duration{31, 28, 36, 42, 36, 31, 42, 36, 48},
+		Batch:      30,
+		LoadTime:   21 * sim.Millisecond,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for s := 1; s <= 8; s++ {
+			_ = plan.Makespan(s)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Standard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = workload.Generate(p, uint64(i))
+	}
+}
+
+// BenchmarkEndToEndStress measures the simulator itself: one full
+// 20-app stress run per iteration.
+func BenchmarkEndToEndStress(b *testing.B) {
+	p := workload.DefaultGenParams(workload.Stress)
+	seq := workload.Generate(p, 99)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 1}, seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers ----------------------------------------------------------
+
+func runCustom(b *testing.B, seq *workload.Sequence, board fabric.BoardConfig, model hypervisor.CoreModel, kind sched.Kind) sim.Time {
+	b.Helper()
+	k := sim.NewKernel(1)
+	repo := bitstream.NewRepository()
+	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, board), model, repo)
+	e.SetPolicy(sched.New(kind))
+	apps, err := seq.Instantiate(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.InjectSequence(apps)
+	k.Run()
+	e.CheckQuiescent()
+	var sum float64
+	for _, r := range e.Col.Responses {
+		sum += float64(r.Response)
+	}
+	return sim.Time(sum / float64(len(e.Col.Responses)))
+}
+
+func runCustomNoCache(b *testing.B, seq *workload.Sequence) sim.Time {
+	b.Helper()
+	k := sim.NewKernel(1)
+	repo := bitstream.NewRepository()
+	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, fabric.OnlyLittle), hypervisor.SingleCore, repo)
+	e.SetPolicy(sched.New(sched.KindNimblock))
+	e.DisableBitstreamCache()
+	apps, err := seq.Instantiate(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.InjectSequence(apps)
+	k.Run()
+	e.CheckQuiescent()
+	var sum float64
+	for _, r := range e.Col.Responses {
+		sum += float64(r.Response)
+	}
+	return sim.Time(sum / float64(len(e.Col.Responses)))
+}
+
+func metricName(k sched.Kind) string {
+	switch k {
+	case sched.KindFCFS:
+		return "FCFS"
+	case sched.KindRR:
+		return "RR"
+	case sched.KindNimblock:
+		return "Nimblock"
+	case sched.KindVersaSlotOL:
+		return "OL"
+	case sched.KindVersaSlotBL:
+		return "BL"
+	default:
+		return "Baseline"
+	}
+}
+
+func condName(c workload.Condition) string {
+	switch c {
+	case workload.Loose:
+		return "Loose"
+	case workload.Standard:
+		return "Std"
+	case workload.Stress:
+		return "Stress"
+	default:
+		return "RT"
+	}
+}

@@ -1,0 +1,121 @@
+// Command versaslot runs one scheduling simulation: a policy, a
+// congestion condition (or a workload file), and a seed, printing the
+// run summary the paper's metrics are built from.
+//
+// Usage:
+//
+//	versaslot [-policy versaslot-bl] [-condition standard] [-apps 20]
+//	          [-seed 1] [-workload file.json] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"versaslot/internal/core"
+	"versaslot/internal/report"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+var policyNames = map[string]sched.Kind{
+	"baseline":     sched.KindBaseline,
+	"fcfs":         sched.KindFCFS,
+	"rr":           sched.KindRR,
+	"nimblock":     sched.KindNimblock,
+	"versaslot-ol": sched.KindVersaSlotOL,
+	"versaslot-bl": sched.KindVersaSlotBL,
+}
+
+var conditionNames = map[string]workload.Condition{
+	"loose":     workload.Loose,
+	"standard":  workload.Standard,
+	"stress":    workload.Stress,
+	"real-time": workload.Realtime,
+	"realtime":  workload.Realtime,
+}
+
+func main() {
+	policy := flag.String("policy", "versaslot-bl",
+		"scheduling system: baseline|fcfs|rr|nimblock|versaslot-ol|versaslot-bl")
+	condition := flag.String("condition", "standard",
+		"congestion condition: loose|standard|stress|real-time")
+	apps := flag.Int("apps", 20, "applications in the generated sequence")
+	seed := flag.Uint64("seed", 1, "workload and simulation seed")
+	file := flag.String("workload", "", "JSON workload file (overrides -condition/-apps)")
+	verbose := flag.Bool("v", false, "print per-application response times")
+	flag.Parse()
+
+	kind, ok := policyNames[strings.ToLower(*policy)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "versaslot: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	var seq *workload.Sequence
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot:", err)
+			os.Exit(1)
+		}
+		seq, err = workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot:", err)
+			os.Exit(1)
+		}
+	} else {
+		cond, ok := conditionNames[strings.ToLower(*condition)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "versaslot: unknown condition %q\n", *condition)
+			os.Exit(2)
+		}
+		p := workload.DefaultGenParams(cond)
+		p.Apps = *apps
+		seq = workload.Generate(p, *seed)
+	}
+
+	res, err := core.Run(core.SystemConfig{Policy: kind, Seed: *seed}, seq)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "versaslot:", err)
+		os.Exit(1)
+	}
+
+	s := res.Summary
+	t := report.NewTable(fmt.Sprintf("%s on %s (%d apps)", kind, seq.Condition, s.Apps),
+		"Metric", "Value")
+	t.AddRow("mean response", sim.Time(s.MeanRT).Seconds())
+	t.AddRow("p50", sim.Time(s.P50).Seconds())
+	t.AddRow("p95", sim.Time(s.P95).Seconds())
+	t.AddRow("p99", sim.Time(s.P99).Seconds())
+	t.AddRow("mean queue delay", sim.Time(s.MeanQueue).Seconds())
+	t.AddRow("max", sim.Time(s.MaxRT).Seconds())
+	t.AddRow("LUT utilization", s.UtilLUT)
+	t.AddRow("FF utilization", s.UtilFF)
+	t.AddRow("PR loads", s.PRLoads)
+	t.AddRow("PR blocked", s.PRBlocked)
+	t.AddRow("PR wait total", s.PRWait.String())
+	t.AddRow("preemptions", s.Preemptions)
+	t.AddRow("cache hit/miss", fmt.Sprintf("%d/%d", res.CacheHits, res.CacheMisses))
+	t.Render(os.Stdout)
+
+	if *verbose {
+		bt := report.NewTable("Per-application-type breakdown",
+			"Spec", "Count", "Mean RT (s)", "Max RT (s)")
+		for _, b := range res.BySpec {
+			bt.AddRow(b.Spec, b.Count, sim.Time(b.MeanRT).Seconds(), sim.Time(b.MaxRT).Seconds())
+		}
+		bt.Render(os.Stdout)
+
+		vt := report.NewTable("Per-application response times",
+			"App", "Spec", "Batch", "Arrival (s)", "Response (s)")
+		for _, r := range res.Samples {
+			vt.AddRow(r.AppID, r.Spec, r.Batch, r.Arrival.Seconds(), sim.Time(r.Response).Seconds())
+		}
+		vt.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,123 @@
+// Command vsbench regenerates every table and figure of the paper's
+// evaluation section and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	vsbench [-quick] [-fig 5|6|7|8|all] [-seqs N] [-apps N] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"versaslot/internal/experiments"
+	"versaslot/internal/report"
+	"versaslot/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced scale (3 sequences x 10 apps)")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 5, 6, 7, 8, sweep, util, or all")
+	seqs := flag.Int("seqs", 0, "override sequences per condition")
+	apps := flag.Int("apps", 0, "override apps per sequence")
+	csvDir := flag.String("csv", "", "also write tables as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seqs > 0 {
+		cfg.Sequences = *seqs
+	}
+	if *apps > 0 {
+		cfg.Apps = *apps
+	}
+
+	var tables []*report.Table
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if run("2") {
+		fmt.Println("Running Fig. 2 (PR contention mechanism)...")
+		r := experiments.Fig2()
+		r.Write(os.Stdout)
+		fmt.Println()
+		tables = append(tables, r.Table())
+	}
+	if run("5") {
+		fmt.Println("Running Fig. 5 (response time reduction)...")
+		r := experiments.Fig5(cfg)
+		r.Write(os.Stdout)
+		fmt.Println()
+		tables = append(tables, r.Table())
+	}
+	if run("6") {
+		fmt.Println("Running Fig. 6 (tail latency)...")
+		r := experiments.Fig6(cfg)
+		r.Write(os.Stdout)
+		fmt.Println()
+		tables = append(tables, r.Table())
+	}
+	if run("7") {
+		fmt.Println("Running Fig. 7 (3-in-1 utilization)...")
+		r := experiments.Fig7()
+		r.Write(os.Stdout)
+		fmt.Printf("  Average increase: LUT %.1f%%  FF %.1f%%  (paper: ~35%% / ~29%%)\n",
+			r.AvgLUTPct, r.AvgFFPct)
+		fmt.Printf("  Not bundleable (absent from Fig. 7): %v\n\n", r.NotBundleable)
+		tables = append(tables, r.Table(), r.DetailTable())
+	}
+	if run("8") {
+		fmt.Println("Running Fig. 8 (cross-board switching)...")
+		f8 := experiments.DefaultFig8()
+		if *quick {
+			f8 = experiments.QuickFig8()
+		}
+		r := experiments.Fig8(f8)
+		r.Write(os.Stdout)
+		fmt.Println()
+		tables = append(tables, r.Table(), r.TraceTable())
+	}
+
+	if run("util") {
+		fmt.Println("Running dynamic utilization measurement...")
+		r := experiments.MeasureUtilization(cfg)
+		r.Write(os.Stdout)
+		lut, ff := r.Gain()
+		fmt.Printf("  Big.Little vs Only.Little during execution: LUT %+.1f%%  FF %+.1f%%\n\n", lut, ff)
+		tables = append(tables, r.Table())
+	}
+	if run("sweep") {
+		fmt.Println("Running slot-configuration sweep (extension)...")
+		r := experiments.SlotSweep(cfg, workload.Stress)
+		experiments.WriteSweep(os.Stdout, r, workload.Stress)
+		fmt.Println()
+		tables = append(tables, experiments.SweepTable(r, workload.Stress))
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "vsbench:", err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			path := filepath.Join(*csvDir, fmt.Sprintf("table%02d.csv", i))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vsbench:", err)
+				os.Exit(1)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vsbench:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "vsbench:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("CSV tables written to %s\n", *csvDir)
+	}
+}

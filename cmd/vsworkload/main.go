@@ -1,0 +1,102 @@
+// Command vsworkload generates, inspects, and validates workload
+// sequence files for the simulator.
+//
+// Usage:
+//
+//	vsworkload gen  [-condition standard] [-apps 20] [-seed 1] [-o file.json]
+//	vsworkload show file.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"versaslot/internal/report"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "show":
+		show(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vsworkload gen  [-condition standard] [-apps 20] [-seed 1] [-o file.json]
+  vsworkload show file.json`)
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	condition := fs.String("condition", "standard", "loose|standard|stress|real-time")
+	apps := fs.Int("apps", 20, "applications in the sequence")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	conds := map[string]workload.Condition{
+		"loose": workload.Loose, "standard": workload.Standard,
+		"stress": workload.Stress, "real-time": workload.Realtime, "realtime": workload.Realtime,
+	}
+	cond, ok := conds[strings.ToLower(*condition)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vsworkload: unknown condition %q\n", *condition)
+		os.Exit(2)
+	}
+	p := workload.DefaultGenParams(cond)
+	p.Apps = *apps
+	seq := workload.Generate(p, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsworkload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := seq.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "vsworkload:", err)
+		os.Exit(1)
+	}
+}
+
+func show(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsworkload:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	seq, err := workload.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsworkload:", err)
+		os.Exit(1)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s (%s, seed %d, %d apps)", seq.Name, seq.Condition, seq.Seed, len(seq.Arrivals)),
+		"#", "Spec", "Tasks", "Batch", "Arrival (s)")
+	for i, a := range seq.Arrivals {
+		spec := workload.SpecByName(a.Spec)
+		t.AddRow(i, a.Spec, spec.TaskCount(), a.Batch, sim.Time(a.At).Seconds())
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,57 @@
+// Bundling: explore the 3-in-1 task machinery of Section III-B — which
+// applications can bundle, the serial-vs-parallel selection criterion
+// of Fig. 3, and the resource-utilization gains of Fig. 7.
+//
+//	go run ./examples/bundling
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bundle"
+	"versaslot/internal/report"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+func main() {
+	// Which benchmark apps can execute in Big slots?
+	t := report.NewTable("Bundling feasibility (Big slot = 2x Little capacity)",
+		"App", "Tasks", "Bundles", "Can bundle?")
+	for _, spec := range workload.Suite() {
+		t.AddRow(spec.Name, spec.TaskCount(), bundle.Count(spec),
+			fmt.Sprintf("%v", bundle.CanBundle(spec)))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("LeNet's partitions nearly fill Little slots, so no triple")
+	fmt.Println("fits a Big slot — exactly why LeNet is absent from Fig. 7.")
+
+	// Serial vs parallel: the criterion Tmax*(N+2) vs (T1+T2+T3)*N.
+	fmt.Println()
+	mt := report.NewTable("Mode selection for IC's first bundle (DCT+Quantize+BDQ)",
+		"Batch", "Parallel total", "Serial total", "Selected")
+	spec := workload.IC
+	for _, batch := range []int{1, 2, 3, 5, 10, 30} {
+		pF, pR := appmodel.BundleTiming(spec, bundle.Size, 0, appmodel.BundleParallel)
+		sF, sR := appmodel.BundleTiming(spec, bundle.Size, 0, appmodel.BundleSerial)
+		par := pF + sim.Duration(batch-1)*pR
+		ser := sF + sim.Duration(batch-1)*sR
+		mt.AddRow(batch, par.String(), ser.String(), bundle.SelectMode(spec, 0, batch).String())
+	}
+	mt.Render(os.Stdout)
+	fmt.Println("Small batches cannot amortize the parallel pipeline's fill,")
+	fmt.Println("so the serial 3-in-1 bitstream is selected (Fig. 3).")
+
+	// Utilization gains (Fig. 7).
+	fmt.Println()
+	ut := report.NewTable("3-in-1 utilization gains (Fig. 7)",
+		"App", "LUT +%", "FF +%")
+	for _, spec := range workload.Suite() {
+		if gain, ok := bundle.MeasureUtilGain(spec); ok {
+			ut.AddRow(gain.App, gain.LUTPct, gain.FFPct)
+		}
+	}
+	ut.Render(os.Stdout)
+}

@@ -1,0 +1,44 @@
+// Farm: scale the paper's two-board switching unit to a rack — three
+// Only.Little/Big.Little pairs behind a least-loaded dispatcher, each
+// running its own D_switch loop.
+//
+//	go run ./examples/farm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versaslot/internal/cluster"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+func main() {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 60
+	seq := workload.Generate(p, 23)
+
+	// One switching pair, saturated.
+	single := cluster.New(cluster.DefaultConfig())
+	if err := single.Inject(seq); err != nil {
+		log.Fatal(err)
+	}
+	singleSum := single.Run()
+
+	// Three pairs behind the dispatcher.
+	farm := cluster.NewFarm(cluster.DefaultConfig(), 3)
+	if err := farm.Inject(seq); err != nil {
+		log.Fatal(err)
+	}
+	farmSum := farm.Run()
+
+	fmt.Printf("60 stress-condition applications:\n\n")
+	fmt.Printf("  one switching pair : mean RT %6.2f s   P99 %6.2f s   switches %d\n",
+		sim.Time(singleSum.MeanRT).Seconds(), sim.Time(singleSum.P99).Seconds(), singleSum.Switches)
+	fmt.Printf("  3-pair farm        : mean RT %6.2f s   P99 %6.2f s   switches %d\n",
+		sim.Time(farmSum.MeanRT).Seconds(), sim.Time(farmSum.P99).Seconds(), farmSum.Switches)
+	fmt.Printf("\n  dispatcher routing : %v arrivals per pair\n", farm.Routed())
+	fmt.Printf("  speedup            : %.2fx\n",
+		float64(singleSum.MeanRT)/float64(farmSum.MeanRT))
+}

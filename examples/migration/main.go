@@ -1,0 +1,60 @@
+// Migration: drive a two-board cluster through the D_switch loop — the
+// workload first saturates the Only.Little board, the Schmitt trigger
+// crosses its upper threshold, and live migration moves the ready
+// applications to the pre-warmed Big.Little board (Section III-D).
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versaslot/internal/cluster"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+func main() {
+	// A dense 60-app workload that drives the Only.Little board into
+	// PR contention.
+	params := workload.DefaultGenParams(workload.Standard)
+	params.Apps = 60
+	params.IntervalLo = 400 * sim.Millisecond
+	params.IntervalHi = 600 * sim.Millisecond
+	seq := workload.Generate(params, 11)
+
+	cfg := cluster.DefaultConfig()
+	cl := cluster.New(cfg)
+	if err := cl.Inject(seq); err != nil {
+		log.Fatal(err)
+	}
+	sum := cl.Run()
+
+	fmt.Printf("Cluster run: %d apps, mean response %.3f s\n",
+		sum.Apps, sim.Time(sum.MeanRT).Seconds())
+	fmt.Printf("Cross-board switches: %d (mean overhead %v, %d apps migrated)\n",
+		sum.Switches, sum.MeanSwitchTime, sum.MigratedApps)
+
+	fmt.Println("\nD_switch trace (every evaluation; thresholds 0.1 / 0.0125):")
+	for _, p := range sum.Trace {
+		bar := ""
+		n := int(p.D * 200)
+		if n > 60 {
+			n = 60
+		}
+		for i := 0; i < n; i++ {
+			bar += "#"
+		}
+		marker := ""
+		if p.Decision.String() == "switch" {
+			target := "Big.Little"
+			if p.Mode.String() == "Big.Little" {
+				target = "Only.Little"
+			}
+			marker = "  <== SWITCH to " + target
+		}
+		fmt.Printf("  done=%3d  D=%.4f  %-12s %s%s\n",
+			p.Completed, p.D, "["+p.Mode.String()+"]", bar, marker)
+	}
+}

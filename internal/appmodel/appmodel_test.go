@@ -1,0 +1,256 @@
+package appmodel
+
+import (
+	"testing"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+func testSpec(times ...int) *AppSpec {
+	spec := &AppSpec{Name: "T", EtaLUT: 0.9, EtaFF: 0.9, MonoFactor: 0.8, ItemBytes: 1024}
+	for i, ms := range times {
+		spec.Tasks = append(spec.Tasks, TaskSpec{
+			Name: string(rune('a' + i)),
+			Time: sim.Duration(ms) * sim.Millisecond,
+			Impl: fabric.ResVec{LUT: 10000 * (i + 1), FF: 20000 * (i + 1)},
+		})
+	}
+	return spec
+}
+
+func TestSpecAggregates(t *testing.T) {
+	spec := testSpec(10, 30, 20)
+	if spec.TaskCount() != 3 {
+		t.Fatal("TaskCount")
+	}
+	if spec.TotalItemTime() != 60*sim.Millisecond {
+		t.Fatalf("TotalItemTime %v", spec.TotalItemTime())
+	}
+	if spec.BottleneckTime() != 30*sim.Millisecond {
+		t.Fatalf("BottleneckTime %v", spec.BottleneckTime())
+	}
+}
+
+func TestNewAppValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero batch did not panic")
+		}
+	}()
+	NewApp(1, testSpec(10), 0, 0)
+}
+
+func TestAppLifecycle(t *testing.T) {
+	a := NewApp(1, testSpec(10, 20), 5, sim.Time(100*sim.Millisecond))
+	if a.State != StatePending {
+		t.Fatal("new app not pending")
+	}
+	TaskStages(a, 1.0, func(i int) string { return "bits" })
+	if a.Done() {
+		t.Fatal("fresh app done")
+	}
+	if a.RemainingItems() != 10 {
+		t.Fatalf("remaining %d, want 10", a.RemainingItems())
+	}
+	if a.UnfinishedStages() != 2 {
+		t.Fatal("unfinished stages")
+	}
+	a.Stages[0].Done = 5
+	a.Stages[1].Done = 5
+	if !a.Done() {
+		t.Fatal("completed app not done")
+	}
+	a.State = StateFinished
+	a.Finish = sim.Time(600 * sim.Millisecond)
+	if a.ResponseTime() != 500*sim.Millisecond {
+		t.Fatalf("response %v", a.ResponseTime())
+	}
+}
+
+func TestResponseTimePanicsUnfinished(t *testing.T) {
+	a := NewApp(1, testSpec(10), 5, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("ResponseTime on unfinished app did not panic")
+		}
+	}()
+	a.ResponseTime()
+}
+
+func TestTaskStages(t *testing.T) {
+	a := NewApp(1, testSpec(10, 20, 30), 4, 0)
+	stages := TaskStages(a, 1.0, func(i int) string { return "b" })
+	if len(stages) != 3 {
+		t.Fatal("stage count")
+	}
+	for i, st := range stages {
+		if st.Index != i || st.FirstTask != i || st.TaskCount != 1 {
+			t.Fatalf("stage %d identity wrong", i)
+		}
+		if st.Kind != fabric.Little || st.Mode != NoBundle {
+			t.Fatalf("stage %d kind/mode wrong", i)
+		}
+		want := a.Spec.Tasks[i].Time
+		if st.ItemTime(0) != want || st.ItemTime(3) != want {
+			t.Fatalf("stage %d item time", i)
+		}
+	}
+}
+
+func TestTaskStagesTimeScale(t *testing.T) {
+	a := NewApp(1, testSpec(100), 1, 0)
+	stages := TaskStages(a, 0.8, func(i int) string { return "b" })
+	if stages[0].ItemTime(0) != 80*sim.Millisecond {
+		t.Fatalf("mono scaling: %v", stages[0].ItemTime(0))
+	}
+}
+
+func TestBundleStagesParallelTiming(t *testing.T) {
+	a := NewApp(1, testSpec(10, 30, 20), 8, 0)
+	stages := BundleStages(a, 3, []BundleMode{BundleParallel},
+		func(b int, m BundleMode) string { return "bundle" })
+	if len(stages) != 1 {
+		t.Fatal("bundle count")
+	}
+	st := stages[0]
+	ii := sim.Duration(float64(30*sim.Millisecond) * BundleParallelFactor)
+	if st.SteadyItemTime() != ii {
+		t.Fatalf("steady II %v, want %v", st.SteadyItemTime(), ii)
+	}
+	if st.ItemTime(0) != 3*ii {
+		t.Fatalf("first item %v, want fill %v", st.ItemTime(0), 3*ii)
+	}
+	// Total batch time: the paper's Tmax*(N+2) with the effective II.
+	want := st.ItemTime(0) + 7*ii
+	if st.BatchTime(8) != want {
+		t.Fatalf("batch time %v, want %v", st.BatchTime(8), want)
+	}
+}
+
+func TestBundleStagesSerialTiming(t *testing.T) {
+	a := NewApp(1, testSpec(10, 30, 20), 5, 0)
+	stages := BundleStages(a, 3, []BundleMode{BundleSerial},
+		func(b int, m BundleMode) string { return "bundle" })
+	st := stages[0]
+	want := sim.Duration(float64(60*sim.Millisecond) * BundleSerialFactor)
+	if st.ItemTime(0) != want || st.SteadyItemTime() != want {
+		t.Fatalf("serial per-item %v/%v, want %v", st.ItemTime(0), st.SteadyItemTime(), want)
+	}
+}
+
+func TestBundleStagesValidation(t *testing.T) {
+	a := NewApp(1, testSpec(10, 20), 5, 0) // 2 tasks: not divisible by 3
+	defer func() {
+		if recover() == nil {
+			t.Error("indivisible bundle did not panic")
+		}
+	}()
+	BundleStages(a, 3, []BundleMode{BundleParallel}, func(int, BundleMode) string { return "" })
+}
+
+func TestNextItemReadyDependencies(t *testing.T) {
+	a := NewApp(1, testSpec(10, 20), 3, 0)
+	TaskStages(a, 1.0, func(int) string { return "b" })
+	s0, s1 := a.Stages[0], a.Stages[1]
+	if !s0.NextItemReady() {
+		t.Fatal("first stage should be ready")
+	}
+	if s1.NextItemReady() {
+		t.Fatal("second stage ready without input")
+	}
+	s0.Done = 1
+	if !s1.NextItemReady() {
+		t.Fatal("second stage not ready after upstream item")
+	}
+	s1.Done = 1
+	if s1.NextItemReady() {
+		t.Fatal("stage ready without fresh input")
+	}
+	s1.InFlight = true
+	s0.Done = 2
+	if s1.NextItemReady() {
+		t.Fatal("in-flight stage reported ready")
+	}
+	s1.InFlight = false
+	s1.Done = 3
+	if s1.NextItemReady() {
+		t.Fatal("finished stage reported ready")
+	}
+}
+
+func TestStageImplRes(t *testing.T) {
+	a := NewApp(1, testSpec(10, 20, 30), 3, 0)
+	TaskStages(a, 1.0, func(int) string { return "b" })
+	if a.Stages[1].ImplRes() != a.Spec.Tasks[1].Impl {
+		t.Fatal("task stage resources")
+	}
+	BundleStages(a, 3, []BundleMode{BundleParallel}, func(int, BundleMode) string { return "b" })
+	res := a.Stages[0].ImplRes()
+	rawLUT := 10000 + 20000 + 30000
+	want := int(float64(rawLUT)*0.9 + 0.5)
+	if res.LUT != want {
+		t.Fatalf("bundle LUT %d, want %d", res.LUT, want)
+	}
+}
+
+func TestResetStagesPreservesProgress(t *testing.T) {
+	a := NewApp(1, testSpec(10, 20), 4, 0)
+	TaskStages(a, 1.0, func(int) string { return "b" })
+	slot := &fabric.Slot{ID: 0, Kind: fabric.Little}
+	a.Stages[0].Slot = slot
+	a.Stages[0].Done = 2
+	a.Stages[0].InFlight = true
+	a.Stages[0].Loading = true
+	ResetStages(a)
+	st := a.Stages[0]
+	if st.Slot != nil || st.InFlight || st.Loading {
+		t.Fatal("runtime state not cleared")
+	}
+	if st.Done != 2 {
+		t.Fatal("completed work lost — migration must not redo items")
+	}
+}
+
+func TestBundleTimingMatchesPaperFormula(t *testing.T) {
+	// Paper criterion quantities: parallel total = Tmax*(N+2) and
+	// serial total = (T1+T2+T3)*N, in effective (factored) time.
+	spec := testSpec(40, 22, 18)
+	n := 13
+	pF, pR := BundleTiming(spec, 3, 0, BundleParallel)
+	parTotal := pF + sim.Duration(n-1)*pR
+	wantPar := sim.Duration(float64(40*sim.Millisecond)*BundleParallelFactor) * sim.Duration(n+2)
+	if parTotal != wantPar {
+		t.Fatalf("parallel total %v, want %v", parTotal, wantPar)
+	}
+	sF, sR := BundleTiming(spec, 3, 0, BundleSerial)
+	serTotal := sF + sim.Duration(n-1)*sR
+	wantSer := sim.Duration(float64(80*sim.Millisecond)*BundleSerialFactor) * sim.Duration(n)
+	if serTotal != wantSer {
+		t.Fatalf("serial total %v, want %v", serTotal, wantSer)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	a := NewApp(1, testSpec(10), 2, 0)
+	TaskStages(a, 1.0, func(int) string { return "b" })
+	st := a.Stages[0]
+	st.Slot = &fabric.Slot{}
+	st.Loading = true
+	st.Evict()
+	if st.Slot != nil || st.Loading {
+		t.Fatal("evict incomplete")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	states := []State{StatePending, StateWaiting, StateReady, StateRunning, StateMigrating, StateFinished}
+	seen := map[string]bool{}
+	for _, s := range states {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Fatalf("bad state string %q", str)
+		}
+		seen[str] = true
+	}
+}

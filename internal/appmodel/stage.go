@@ -1,0 +1,246 @@
+package appmodel
+
+import (
+	"fmt"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+// BundleMode selects how a 3-in-1 bundle executes internally (Fig. 3).
+type BundleMode int
+
+const (
+	// NoBundle marks a plain single-task stage.
+	NoBundle BundleMode = iota
+	// BundleParallel pipelines the three member tasks inside the Big
+	// slot: initiation interval = Tmax, two-stage fill latency, total
+	// batch time Tmax*(N+2).
+	BundleParallel
+	// BundleSerial runs the three members back to back per item:
+	// per-item time T1+T2+T3, total (T1+T2+T3)*N.
+	BundleSerial
+)
+
+func (m BundleMode) String() string {
+	switch m {
+	case NoBundle:
+		return "task"
+	case BundleParallel:
+		return "par"
+	case BundleSerial:
+		return "ser"
+	default:
+		return fmt.Sprintf("BundleMode(%d)", int(m))
+	}
+}
+
+// Stage is one schedulable pipeline step of an app: either a single task
+// (Little slot) or a 3-in-1 bundle (Big slot). Schedulers place stages
+// into slots, launch their items, and track completion here.
+type Stage struct {
+	App *App
+	// Index is the stage's position in the app's pipeline.
+	Index int
+	// FirstTask and TaskCount identify the member tasks
+	// (Spec.Tasks[FirstTask : FirstTask+TaskCount]).
+	FirstTask, TaskCount int
+	// Kind is the slot kind the stage's bitstream targets.
+	Kind fabric.SlotKind
+	// Mode is the bundle execution mode (NoBundle for task stages).
+	Mode BundleMode
+	// BitstreamName keys the repository entry to load.
+	BitstreamName string
+
+	// Done counts completed items.
+	Done int
+	// InFlight reports whether an item is currently executing.
+	InFlight bool
+	// Slot is where the stage is resident (or being loaded); nil if not
+	// placed.
+	Slot *fabric.Slot
+	// Loading reports whether a PR for this stage is in flight.
+	Loading bool
+	// LoadedAt records when the stage last became resident (for LRU
+	// style decisions and traces).
+	LoadedAt sim.Time
+
+	// timeFirst and timeRest are the per-item service times: the first
+	// item of a parallel bundle pays the pipeline fill (3*Tmax), the
+	// rest the initiation interval (Tmax). Plain stages have
+	// timeFirst == timeRest.
+	timeFirst, timeRest sim.Duration
+}
+
+// ItemTime returns the service time of item idx (0-based).
+func (s *Stage) ItemTime(idx int) sim.Duration {
+	if idx == 0 {
+		return s.timeFirst
+	}
+	return s.timeRest
+}
+
+// SteadyItemTime returns the steady-state initiation interval.
+func (s *Stage) SteadyItemTime() sim.Duration { return s.timeRest }
+
+// BatchTime returns the total service time for n items back to back.
+func (s *Stage) BatchTime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return s.timeFirst + sim.Duration(n-1)*s.timeRest
+}
+
+// Tasks returns the member TaskSpecs.
+func (s *Stage) Tasks() []TaskSpec {
+	return s.App.Spec.Tasks[s.FirstTask : s.FirstTask+s.TaskCount]
+}
+
+// Finished reports whether the stage has completed the app's batch.
+func (s *Stage) Finished() bool { return s.Done >= s.App.Batch }
+
+// Resident reports whether the stage is loaded in a slot and not mid-PR.
+func (s *Stage) Resident() bool { return s.Slot != nil && !s.Loading }
+
+// NextItemReady reports whether the next item's input is available:
+// item Done of stage i needs item Done completed by stage i-1.
+func (s *Stage) NextItemReady() bool {
+	if s.Finished() || s.InFlight {
+		return false
+	}
+	if s.Index == 0 {
+		return true
+	}
+	prev := s.App.Stages[s.Index-1]
+	return prev.Done > s.Done
+}
+
+// Evict detaches the stage from its slot (after preemption or when the
+// stage finished and the slot is reused). The caller transitions the
+// slot itself.
+func (s *Stage) Evict() {
+	s.Slot = nil
+	s.Loading = false
+}
+
+// String identifies the stage in traces.
+func (s *Stage) String() string {
+	return fmt.Sprintf("%s/s%d(%s)", s.App, s.Index, s.Mode)
+}
+
+// ImplRes returns the stage's post-implementation resource usage: the
+// task's own footprint for plain stages, or eta-scaled member sum for
+// bundles (see AppSpec.EtaLUT/EtaFF).
+func (s *Stage) ImplRes() fabric.ResVec {
+	if s.Mode == NoBundle {
+		return s.App.Spec.Tasks[s.FirstTask].Impl
+	}
+	var sum fabric.ResVec
+	for _, t := range s.Tasks() {
+		sum = sum.Add(t.Impl)
+	}
+	sum.LUT = int(float64(sum.LUT)*s.App.Spec.EtaLUT + 0.5)
+	sum.FF = int(float64(sum.FF)*s.App.Spec.EtaFF + 0.5)
+	return sum
+}
+
+// TaskStages builds the per-task (Little slot) execution plan and
+// installs it on the app. timeScale scales item times (1.0 for slot
+// execution; the exclusive baseline passes Spec.MonoFactor).
+func TaskStages(a *App, timeScale float64, bitName func(task int) string) []*Stage {
+	stages := make([]*Stage, len(a.Spec.Tasks))
+	for i, t := range a.Spec.Tasks {
+		d := sim.Duration(float64(t.Time) * timeScale)
+		stages[i] = &Stage{
+			App:           a,
+			Index:         i,
+			FirstTask:     i,
+			TaskCount:     1,
+			Kind:          fabric.Little,
+			Mode:          NoBundle,
+			BitstreamName: bitName(i),
+			timeFirst:     d,
+			timeRest:      d,
+		}
+	}
+	a.Stages = stages
+	return stages
+}
+
+// Bundle timing factors: tasks fused into one 3-in-1 circuit stream
+// through on-chip FIFOs instead of the per-item DDR round-trips that
+// inter-slot pipelines pay, so the effective initiation interval of a
+// parallel bundle (and, more weakly, the member-to-member hand-off of
+// a serial bundle) undercuts the raw task latencies. Calibrated so the
+// Big.Little advantage matches Figs. 5 and 8.
+const (
+	BundleParallelFactor = 0.58
+	BundleSerialFactor   = 0.80
+)
+
+// BundleStages builds the 3-in-1 (Big slot) execution plan: tasks are
+// grouped in consecutive triples; modes selects serial or parallel per
+// bundle. The task count must be divisible by the bundle size (the
+// paper's benchmark apps all are).
+func BundleStages(a *App, size int, modes []BundleMode, bitName func(bundle int, m BundleMode) string) []*Stage {
+	k := len(a.Spec.Tasks)
+	if size <= 0 || k%size != 0 {
+		panic(fmt.Sprintf("appmodel: %d tasks not divisible by bundle size %d", k, size))
+	}
+	n := k / size
+	if len(modes) != n {
+		panic("appmodel: modes length mismatch")
+	}
+	stages := make([]*Stage, n)
+	for b := 0; b < n; b++ {
+		st := &Stage{
+			App:           a,
+			Index:         b,
+			FirstTask:     b * size,
+			TaskCount:     size,
+			Kind:          fabric.Big,
+			Mode:          modes[b],
+			BitstreamName: bitName(b, modes[b]),
+		}
+		st.timeFirst, st.timeRest = BundleTiming(a.Spec, size, b, modes[b])
+		stages[b] = st
+	}
+	a.Stages = stages
+	return stages
+}
+
+// BundleTiming returns the first-item and steady-state per-item service
+// times of bundle b (of the given size) of spec under mode.
+func BundleTiming(spec *AppSpec, size, b int, mode BundleMode) (first, rest sim.Duration) {
+	members := spec.Tasks[b*size : (b+1)*size]
+	var sum, max sim.Duration
+	for _, t := range members {
+		sum += t.Time
+		if t.Time > max {
+			max = t.Time
+		}
+	}
+	switch mode {
+	case BundleSerial:
+		eff := sim.Duration(float64(sum) * BundleSerialFactor)
+		return eff, eff
+	case BundleParallel:
+		// The first item pays the fill of the internal pipeline:
+		// (size-1) extra initiation intervals.
+		ii := sim.Duration(float64(max) * BundleParallelFactor)
+		return sim.Duration(size) * ii, ii
+	default:
+		panic("appmodel: bundle timing needs a bundle mode")
+	}
+}
+
+// ResetStages clears runtime execution state so the plan can be rebuilt
+// (rebinding) or resumed after migration. Completed item counts are
+// preserved — live migration does not redo work.
+func ResetStages(a *App) {
+	for _, st := range a.Stages {
+		st.Slot = nil
+		st.Loading = false
+		st.InFlight = false
+	}
+}

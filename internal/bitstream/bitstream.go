@@ -1,0 +1,99 @@
+// Package bitstream models the offline bitstream-preparation flow the
+// paper drives with a Vivado TCL script: application partitioning into
+// per-slot tasks, synthesis resource estimates, implementation results,
+// partial-bitstream generation for every (task, slot-kind) pair, and the
+// SD-card store the PR server loads from.
+//
+// No real bitstreams exist in this reproduction; what the scheduler
+// observes — sizes (hence PCAP load times) and resource footprints
+// (hence utilization) — is modelled at the fidelity the paper reports.
+package bitstream
+
+import (
+	"fmt"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+// Kind describes what a bitstream configures.
+type Kind int
+
+const (
+	// Partial reconfigures a single slot.
+	Partial Kind = iota
+	// Full reconfigures the entire fabric (used by the exclusive
+	// temporal-multiplexing baseline).
+	Full
+	// Static programs the static region at board start-up.
+	Static
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Partial:
+		return "partial"
+	case Full:
+		return "full"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Bitstream is the metadata of one generated bitstream file.
+type Bitstream struct {
+	// Name identifies the bitstream (e.g. "IC/DCT@Little", "IC/bundle0@Big").
+	Name string
+	Kind Kind
+	// Slot is the target slot kind for Partial bitstreams.
+	Slot fabric.SlotKind
+	// Bytes is the file size; PCAP load time is Bytes/bandwidth.
+	Bytes int64
+	// Impl is the post-implementation resource usage of the circuit.
+	Impl fabric.ResVec
+	// Synth is the synthesis-time resource estimate (the paper notes
+	// implementation typically uses considerably less; Fig. 7 right).
+	Synth fabric.ResVec
+}
+
+// SizeModel converts region capacity to bitstream bytes. On UltraScale+
+// the configuration size of a pblock is essentially proportional to the
+// frames it spans, which scales with its fabric share.
+type SizeModel struct {
+	// FullBytes is the size of a full-fabric bitstream.
+	FullBytes int64
+	// Total is the device resource total used to pro-rate partial sizes.
+	Total fabric.ResVec
+	// PartialOverhead multiplies partial sizes (frame-alignment padding
+	// and per-bitstream headers make partials slightly super-linear).
+	PartialOverhead float64
+}
+
+// DefaultSizeModel matches the ZCU216 scale: a full XCZU49DR bitstream
+// is about 43 MB.
+func DefaultSizeModel() SizeModel {
+	return SizeModel{
+		FullBytes:       43 << 20,
+		Total:           fabric.ZCU216Total,
+		PartialOverhead: 1.10,
+	}
+}
+
+// PartialBytes returns the size of a partial bitstream for a region of
+// the given capacity.
+func (m SizeModel) PartialBytes(capacity fabric.ResVec) int64 {
+	share := float64(capacity.LUT) / float64(m.Total.LUT)
+	return int64(float64(m.FullBytes) * share * m.PartialOverhead)
+}
+
+// LoadTime returns how long the PCAP needs to stream b at the given
+// bandwidth (bytes/second), plus the fixed DFX decouple/settle overhead.
+func LoadTime(b *Bitstream, bandwidthBytesPerSec int64, fixedOverhead sim.Duration) sim.Duration {
+	if bandwidthBytesPerSec <= 0 {
+		panic("bitstream: non-positive PCAP bandwidth")
+	}
+	ns := float64(b.Bytes) / float64(bandwidthBytesPerSec) * float64(sim.Second)
+	return sim.Duration(ns) + fixedOverhead
+}

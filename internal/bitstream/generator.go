@@ -1,0 +1,116 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/fabric"
+)
+
+// Generator models the paper's automated Vivado TCL flow: for every
+// application it emits one partial bitstream per (task, slot kind), the
+// serial and parallel 3-in-1 bundle bitstreams for every feasible task
+// triple, a monolithic full-fabric bitstream (for the exclusive
+// baseline), and static-region bitstreams for both board configurations.
+type Generator struct {
+	Size SizeModel
+	// BundleSize is the tasks-per-bundle count (the paper fixes 3).
+	BundleSize int
+}
+
+// NewGenerator returns a generator with the default size model.
+func NewGenerator() *Generator {
+	return &Generator{Size: DefaultSizeModel(), BundleSize: 3}
+}
+
+// GenerateAll populates repo for every spec plus the static bitstreams.
+func (g *Generator) GenerateAll(repo *Repository, specs []*appmodel.AppSpec) {
+	for _, s := range specs {
+		g.GenerateApp(repo, s)
+	}
+	for _, cfg := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle, fabric.Monolithic} {
+		repo.Put(&Bitstream{
+			Name:  StaticName(cfg),
+			Kind:  Static,
+			Bytes: g.Size.FullBytes,
+		})
+	}
+}
+
+// GenerateApp emits every bitstream for one application.
+func (g *Generator) GenerateApp(repo *Repository, spec *appmodel.AppSpec) {
+	// Per-task partials, one per slot kind. A task occupies the same
+	// circuit either way; the Big-slot variant just configures the
+	// larger region (and so costs a longer PCAP load).
+	for i, t := range spec.Tasks {
+		for _, kind := range []fabric.SlotKind{fabric.Little, fabric.Big} {
+			repo.Put(&Bitstream{
+				Name:  TaskName(spec.Name, t.Name, kind),
+				Kind:  Partial,
+				Slot:  kind,
+				Bytes: g.Size.PartialBytes(kind.Capacity()),
+				Impl:  t.Impl,
+				Synth: t.Synth,
+			})
+			_ = i
+		}
+	}
+	// Bundle bitstreams for each feasible consecutive triple.
+	if len(spec.Tasks)%g.BundleSize == 0 {
+		n := len(spec.Tasks) / g.BundleSize
+		for b := 0; b < n; b++ {
+			impl, synth := g.BundleRes(spec, b)
+			if !impl.FitsIn(fabric.BigSlotCap) {
+				continue // over-subscribed triple: no bundle bitstream
+			}
+			for _, mode := range []string{"par", "ser"} {
+				repo.Put(&Bitstream{
+					Name:  BundleName(spec.Name, b, mode),
+					Kind:  Partial,
+					Slot:  fabric.Big,
+					Bytes: g.Size.PartialBytes(fabric.BigSlotCap),
+					Impl:  impl,
+					Synth: synth,
+				})
+			}
+		}
+	}
+	// Monolithic full-fabric bitstream for the exclusive baseline.
+	var implSum fabric.ResVec
+	for _, t := range spec.Tasks {
+		implSum = implSum.Add(t.Impl)
+	}
+	repo.Put(&Bitstream{
+		Name:  FullName(spec.Name),
+		Kind:  Full,
+		Bytes: g.Size.FullBytes,
+		Impl:  implSum,
+		Synth: implSum.Scale(synthFactorGuess),
+	})
+}
+
+// synthFactorGuess mirrors workload's synthesis/implementation ratio for
+// derived bitstreams whose members already carry exact Synth values.
+const synthFactorGuess = 1.72
+
+// BundleRes returns the implementation and synthesis resource usage of
+// bundle b of spec: the eta-scaled sum of its members' usage (the
+// implementation consolidates shared interfaces and buffers; eta is
+// calibrated per application to the paper's Fig. 7 results).
+func (g *Generator) BundleRes(spec *appmodel.AppSpec, b int) (impl, synth fabric.ResVec) {
+	lo := b * g.BundleSize
+	hi := lo + g.BundleSize
+	if lo < 0 || hi > len(spec.Tasks) {
+		panic(fmt.Sprintf("bitstream: bundle %d out of range for %s", b, spec.Name))
+	}
+	for _, t := range spec.Tasks[lo:hi] {
+		impl = impl.Add(t.Impl)
+		synth = synth.Add(t.Synth)
+	}
+	scale := func(v fabric.ResVec) fabric.ResVec {
+		v.LUT = int(float64(v.LUT)*spec.EtaLUT + 0.5)
+		v.FF = int(float64(v.FF)*spec.EtaFF + 0.5)
+		return v
+	}
+	return scale(impl), scale(synth)
+}

@@ -1,0 +1,119 @@
+package bitstream
+
+import (
+	"strings"
+	"testing"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+// genTestSpec builds a small spec with controllable utilizations.
+func genTestSpec(name string, utils []float64, eta float64) *appmodel.AppSpec {
+	spec := &appmodel.AppSpec{Name: name, EtaLUT: eta, EtaFF: eta, MonoFactor: 0.8}
+	for i, u := range utils {
+		spec.Tasks = append(spec.Tasks, appmodel.TaskSpec{
+			Name: string(rune('a' + i)),
+			Time: 10 * sim.Millisecond,
+			Impl: fabric.ResVec{
+				LUT: int(u * float64(fabric.LittleSlotCap.LUT)),
+				FF:  int(u * float64(fabric.LittleSlotCap.FF)),
+			},
+		})
+	}
+	return spec
+}
+
+func TestGenerateAppEmitsAllBitstreams(t *testing.T) {
+	spec := genTestSpec("X", []float64{0.4, 0.3, 0.2, 0.5, 0.4, 0.3}, 0.9)
+	repo := NewRepository()
+	NewGenerator().GenerateApp(repo, spec)
+
+	// One partial per (task, kind).
+	for _, task := range spec.Tasks {
+		for _, kind := range []fabric.SlotKind{fabric.Little, fabric.Big} {
+			if _, err := repo.Get(TaskName("X", task.Name, kind)); err != nil {
+				t.Errorf("missing %s", TaskName("X", task.Name, kind))
+			}
+		}
+	}
+	// Two bundles, each with par and ser variants.
+	for b := 0; b < 2; b++ {
+		for _, mode := range []string{"par", "ser"} {
+			if _, err := repo.Get(BundleName("X", b, mode)); err != nil {
+				t.Errorf("missing %s", BundleName("X", b, mode))
+			}
+		}
+	}
+	// Monolithic full bitstream.
+	if _, err := repo.Get(FullName("X")); err != nil {
+		t.Error("missing full bitstream")
+	}
+}
+
+func TestGenerateSkipsOversubscribedBundles(t *testing.T) {
+	// Three tasks at 0.8 Little-utilization each: the triple sums to
+	// 2.4 Little units > 2.0 even before eta, so no bundle exists.
+	spec := genTestSpec("Fat", []float64{0.8, 0.8, 0.8}, 1.0)
+	repo := NewRepository()
+	NewGenerator().GenerateApp(repo, spec)
+	if _, err := repo.Get(BundleName("Fat", 0, "par")); err == nil {
+		t.Fatal("oversubscribed bundle generated")
+	}
+	// Task partials still exist.
+	if _, err := repo.Get(TaskName("Fat", "a", fabric.Little)); err != nil {
+		t.Fatal("task partial missing")
+	}
+}
+
+func TestGenerateAllEmitsStatics(t *testing.T) {
+	repo := NewRepository()
+	NewGenerator().GenerateAll(repo, []*appmodel.AppSpec{genTestSpec("Y", []float64{0.3, 0.3, 0.3}, 0.9)})
+	for _, cfg := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle, fabric.Monolithic} {
+		if _, err := repo.Get(StaticName(cfg)); err != nil {
+			t.Errorf("missing static bitstream for %v", cfg)
+		}
+	}
+}
+
+func TestBundleResEtaScaling(t *testing.T) {
+	spec := genTestSpec("Z", []float64{0.5, 0.4, 0.3}, 0.9)
+	g := NewGenerator()
+	impl, _ := g.BundleRes(spec, 0)
+	var rawSum fabric.ResVec
+	for _, task := range spec.Tasks {
+		rawSum = rawSum.Add(task.Impl)
+	}
+	wantLUT := int(float64(rawSum.LUT)*0.9 + 0.5)
+	if impl.LUT != wantLUT {
+		t.Fatalf("bundle LUT %d, want %d (eta-scaled)", impl.LUT, wantLUT)
+	}
+}
+
+func TestBundleResOutOfRangePanics(t *testing.T) {
+	spec := genTestSpec("W", []float64{0.3, 0.3, 0.3}, 0.9)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range bundle did not panic")
+		}
+	}()
+	NewGenerator().BundleRes(spec, 1)
+}
+
+func TestBigPartialLargerThanLittle(t *testing.T) {
+	spec := genTestSpec("V", []float64{0.3, 0.3, 0.3}, 0.9)
+	repo := NewRepository()
+	NewGenerator().GenerateApp(repo, spec)
+	little := repo.MustGet(TaskName("V", "a", fabric.Little))
+	big := repo.MustGet(TaskName("V", "a", fabric.Big))
+	if big.Bytes <= little.Bytes {
+		t.Fatal("Big-slot partial not larger than Little's")
+	}
+	for _, n := range repo.Names() {
+		b := repo.MustGet(n)
+		if b.Bytes <= 0 && !strings.HasPrefix(n, "static/") {
+			t.Errorf("bitstream %s has no size", n)
+		}
+	}
+}

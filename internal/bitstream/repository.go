@@ -1,0 +1,79 @@
+package bitstream
+
+import (
+	"fmt"
+	"sort"
+
+	"versaslot/internal/fabric"
+)
+
+// Repository is the SD-card store of pre-generated bitstreams: for every
+// task one Partial per slot kind, plus bundle bitstreams and per-app Full
+// bitstreams for the exclusive baseline. The paper generates these
+// offline with an automated TCL script; here Generator fills the store.
+type Repository struct {
+	byName map[string]*Bitstream
+}
+
+// NewRepository returns an empty store.
+func NewRepository() *Repository {
+	return &Repository{byName: make(map[string]*Bitstream)}
+}
+
+// Put registers b, replacing any previous bitstream of the same name.
+func (r *Repository) Put(b *Bitstream) {
+	r.byName[b.Name] = b
+}
+
+// Get returns the named bitstream.
+func (r *Repository) Get(name string) (*Bitstream, error) {
+	b, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("bitstream: %q not in repository", name)
+	}
+	return b, nil
+}
+
+// MustGet is Get for names the caller guarantees exist (generator output).
+func (r *Repository) MustGet(name string) *Bitstream {
+	b, err := r.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Len returns the number of stored bitstreams.
+func (r *Repository) Len() int { return len(r.byName) }
+
+// Names returns all stored names, sorted (for deterministic iteration).
+func (r *Repository) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TaskName builds the repository key for a task's partial bitstream.
+func TaskName(app, task string, kind fabric.SlotKind) string {
+	return fmt.Sprintf("%s/%s@%s", app, task, kind)
+}
+
+// BundleName builds the repository key for a 3-in-1 bundle bitstream.
+// Mode is "par" or "ser".
+func BundleName(app string, bundleIdx int, mode string) string {
+	return fmt.Sprintf("%s/bundle%d-%s@Big", app, bundleIdx, mode)
+}
+
+// FullName builds the repository key for an app's monolithic full-fabric
+// bitstream (exclusive baseline).
+func FullName(app string) string {
+	return fmt.Sprintf("%s/full", app)
+}
+
+// StaticName builds the repository key for a board config's static region.
+func StaticName(config fabric.BoardConfig) string {
+	return fmt.Sprintf("static/%s", config)
+}

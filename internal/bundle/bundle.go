@@ -1,0 +1,150 @@
+// Package bundle implements the 3-in-1 task bundling of the Big.Little
+// architecture (Section III-B): grouping three consecutive tasks of an
+// application into one Big-slot circuit, choosing between the serial
+// and parallel internal organizations (Fig. 3), and reporting the
+// resource-utilization effects the paper evaluates in Fig. 7.
+package bundle
+
+import (
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bitstream"
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+// Size is the paper's bundling factor: "We set the bundling size to be
+// 3 based on the Big slot's resource capacity to accommodate tasks and
+// its fewer idle task cycles in pipelines than a larger size."
+const Size = 3
+
+// CanBundle reports whether an application can execute in Big slots:
+// its task count must divide by the bundle size and every consecutive
+// triple must fit a Big slot after eta-scaled consolidation. This is
+// the canBundle(Ai) predicate of Algorithm 1.
+func CanBundle(spec *appmodel.AppSpec) bool {
+	if len(spec.Tasks) == 0 || len(spec.Tasks)%Size != 0 {
+		return false
+	}
+	g := bitstream.NewGenerator()
+	for b := 0; b < len(spec.Tasks)/Size; b++ {
+		impl, _ := g.BundleRes(spec, b)
+		if !impl.FitsIn(fabric.BigSlotCap) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of bundles of an app (0 if not bundleable).
+func Count(spec *appmodel.AppSpec) int {
+	if !CanBundle(spec) {
+		return 0
+	}
+	return len(spec.Tasks) / Size
+}
+
+// SelectMode picks the internal organization of one bundle for a given
+// batch size, per the paper's criterion: serial execution is preferable
+// when Tmax*(Nbatch+2) > (T1+T2+T3)*Nbatch; otherwise the parallel
+// (internally pipelined) bitstream is selected. The comparison uses the
+// implemented bundles' effective per-item times (BundleTiming), which
+// fold in the on-chip streaming factors.
+func SelectMode(spec *appmodel.AppSpec, b int, batch int) appmodel.BundleMode {
+	pFirst, pRest := appmodel.BundleTiming(spec, Size, b, appmodel.BundleParallel)
+	sFirst, sRest := appmodel.BundleTiming(spec, Size, b, appmodel.BundleSerial)
+	parallel := pFirst + sim.Duration(int64(pRest)*int64(batch-1))
+	serial := sFirst + sim.Duration(int64(sRest)*int64(batch-1))
+	if parallel > serial {
+		return appmodel.BundleSerial
+	}
+	return appmodel.BundleParallel
+}
+
+// Modes selects the execution mode of every bundle of spec for a batch.
+func Modes(spec *appmodel.AppSpec, batch int) []appmodel.BundleMode {
+	n := Count(spec)
+	modes := make([]appmodel.BundleMode, n)
+	for b := 0; b < n; b++ {
+		modes[b] = SelectMode(spec, b, batch)
+	}
+	return modes
+}
+
+// Build installs the bundled (Big-slot) execution plan on app.
+func Build(app *appmodel.App) []*appmodel.Stage {
+	modes := Modes(app.Spec, app.Batch)
+	return appmodel.BundleStages(app, Size, modes, func(b int, m appmodel.BundleMode) string {
+		tag := "par"
+		if m == appmodel.BundleSerial {
+			tag = "ser"
+		}
+		return bitstream.BundleName(app.Spec.Name, b, tag)
+	})
+}
+
+// BuildLittle installs the per-task (Little-slot) execution plan on app.
+func BuildLittle(app *appmodel.App) []*appmodel.Stage {
+	return appmodel.TaskStages(app, 1.0, func(task int) string {
+		return bitstream.TaskName(app.Spec.Name, app.Spec.Tasks[task].Name, fabric.Little)
+	})
+}
+
+// UtilGain is the Fig. 7 measurement for one application: the relative
+// LUT/FF utilization increase of running its bundles in Big slots
+// versus the same tasks spread over Little slots.
+type UtilGain struct {
+	App string
+	// LUTPct and FFPct are percentage increases (e.g. 42.2 for +42.2%).
+	LUTPct, FFPct float64
+	// Bundles details each bundle: member Little-slot utilizations and
+	// the bundled Big-slot utilization.
+	Bundles []BundleUtil
+}
+
+// BundleUtil is the per-bundle detail backing Fig. 7 (right).
+type BundleUtil struct {
+	Index int
+	// MemberLUT are the members' Little-slot LUT utilizations.
+	MemberLUT []float64
+	// AvgLUT is their average; BundleLUT the 3-in-1 implementation's
+	// Big-slot LUT utilization.
+	AvgLUT, BundleLUT float64
+	AvgFF, BundleFF   float64
+}
+
+// MeasureUtilGain computes the utilization change bundling yields for
+// spec. It returns ok=false for apps that cannot bundle (e.g. LeNet).
+func MeasureUtilGain(spec *appmodel.AppSpec) (UtilGain, bool) {
+	if !CanBundle(spec) {
+		return UtilGain{App: spec.Name}, false
+	}
+	g := bitstream.NewGenerator()
+	gain := UtilGain{App: spec.Name}
+	var lutSum, ffSum float64
+	n := Count(spec)
+	for b := 0; b < n; b++ {
+		impl, _ := g.BundleRes(spec, b)
+		bLUT, bFF := impl.Utilization(fabric.BigSlotCap)
+		var mLUT []float64
+		var avgLUT, avgFF float64
+		for _, t := range spec.Tasks[b*Size : (b+1)*Size] {
+			lu, fu := t.Impl.Utilization(fabric.LittleSlotCap)
+			mLUT = append(mLUT, lu)
+			avgLUT += lu / Size
+			avgFF += fu / Size
+		}
+		gain.Bundles = append(gain.Bundles, BundleUtil{
+			Index:     b,
+			MemberLUT: mLUT,
+			AvgLUT:    avgLUT,
+			BundleLUT: bLUT,
+			AvgFF:     avgFF,
+			BundleFF:  bFF,
+		})
+		lutSum += (bLUT/avgLUT - 1) * 100
+		ffSum += (bFF/avgFF - 1) * 100
+	}
+	gain.LUTPct = lutSum / float64(n)
+	gain.FFPct = ffSum / float64(n)
+	return gain, true
+}

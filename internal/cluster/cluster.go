@@ -1,0 +1,340 @@
+// Package cluster orchestrates multiple FPGA boards: it routes arriving
+// applications to the active board, evaluates D_switch on the paper's
+// cadence, drives the Schmitt-trigger switching loop, pre-warms the
+// spare board inside the buffer zone, and performs live migration over
+// the Aurora interlink (Section III-D, Figs. 4 and 8).
+package cluster
+
+import (
+	"fmt"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bitstream"
+	"versaslot/internal/fabric"
+	"versaslot/internal/hypervisor"
+	"versaslot/internal/interlink"
+	"versaslot/internal/metrics"
+	"versaslot/internal/migrate"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// Config parameterizes a two-board switching cluster.
+type Config struct {
+	Params sched.Params
+	// StartMode is the initially active configuration (paper: the
+	// Only.Little board).
+	StartMode fabric.BoardConfig
+	// ThresholdUp/ThresholdDown are the Schmitt-trigger levels.
+	ThresholdUp, ThresholdDown float64
+	// WindowUpdates is n: D_switch recomputes every n candidate-queue
+	// updates (Fig. 8 uses 4).
+	WindowUpdates int
+	// Smoothing is the EWMA factor applied to raw D_switch samples
+	// before the trigger sees them (1 = no smoothing). Damps window
+	// noise so the hysteresis loop reacts to sustained contention.
+	Smoothing float64
+	// Seed seeds the kernel RNG.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's switching setup.
+func DefaultConfig() Config {
+	return Config{
+		Params:        sched.DefaultParams(),
+		StartMode:     fabric.OnlyLittle,
+		ThresholdUp:   migrate.DefaultThresholdUp,
+		ThresholdDown: migrate.DefaultThresholdDown,
+		WindowUpdates: 4,
+		Smoothing:     0.3,
+		Seed:          1,
+	}
+}
+
+// TracePoint is one D_switch evaluation (Fig. 8 left).
+type TracePoint struct {
+	At        sim.Time
+	Completed int
+	D         float64
+	Mode      fabric.BoardConfig
+	Decision  migrate.Decision
+}
+
+// Cluster is a two-board system: one Only.Little board, one Big.Little
+// board, an Aurora link, and the switch controller.
+type Cluster struct {
+	K    *sim.Kernel
+	Cfg  Config
+	Link *interlink.Link
+
+	engines map[fabric.BoardConfig]*sched.Engine
+	active  fabric.BoardConfig
+	trigger *migrate.Trigger
+
+	updates    int
+	dSmoothed  float64
+	migrating  bool
+	finished   int
+	totalApps  int
+	Trace      []TracePoint
+	Migrations []migrate.Migration
+}
+
+// New builds the cluster with both boards pre-configured (the paper's
+// point: the static regions are fixed at start-up; switching between
+// them at runtime is what live migration buys).
+func New(cfg Config) *Cluster {
+	return buildCluster(sim.NewKernel(cfg.Seed), cfg, 0)
+}
+
+// buildCluster wires a switching pair onto an existing kernel; Farm
+// places several pairs on one kernel.
+func buildCluster(k *sim.Kernel, cfg Config, firstBoardID int) *Cluster {
+	repo := bitstream.NewRepository()
+	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+
+	c := &Cluster{
+		K:       k,
+		Cfg:     cfg,
+		Link:    interlink.NewDefault(k, fmt.Sprintf("aurora%d", firstBoardID/2)),
+		engines: make(map[fabric.BoardConfig]*sched.Engine),
+		active:  cfg.StartMode,
+		trigger: migrate.NewTrigger(cfg.StartMode, cfg.ThresholdUp, cfg.ThresholdDown),
+	}
+
+	boardID := firstBoardID
+	for _, mode := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle} {
+		board := fabric.NewBoard(boardID, mode)
+		boardID++
+		e := sched.NewEngine(k, cfg.Params, board, hypervisor.DualCore, repo)
+		var p sched.Policy
+		if mode == fabric.OnlyLittle {
+			p = sched.NewVersaSlotOL()
+		} else {
+			p = sched.NewVersaSlotBL()
+		}
+		e.SetPolicy(p)
+		e.OnQueueUpdate = c.onQueueUpdate
+		e.OnAppFinished = c.onAppFinished
+		c.engines[mode] = e
+	}
+	// The spare starts frozen: it only executes after a switch.
+	c.spareEngine().SetFrozen(true)
+	return c
+}
+
+// ActiveMode returns the currently active configuration.
+func (c *Cluster) ActiveMode() fabric.BoardConfig { return c.active }
+
+// Engine returns the engine of a configuration.
+func (c *Cluster) Engine(mode fabric.BoardConfig) *sched.Engine { return c.engines[mode] }
+
+func (c *Cluster) activeEngine() *sched.Engine { return c.engines[c.active] }
+
+func (c *Cluster) spareEngine() *sched.Engine {
+	if c.active == fabric.OnlyLittle {
+		return c.engines[fabric.BigLittle]
+	}
+	return c.engines[fabric.OnlyLittle]
+}
+
+// Inject schedules the workload sequence: each arrival routes to
+// whichever board is active at its arrival instant.
+func (c *Cluster) Inject(seq *workload.Sequence) error {
+	apps, err := seq.Instantiate(c.totalApps)
+	if err != nil {
+		return err
+	}
+	c.totalApps += len(apps)
+	for _, a := range apps {
+		a := a
+		c.K.At(a.Arrival, func() { c.activeEngine().InjectNow(a) })
+	}
+	return nil
+}
+
+// Run executes to completion and returns the merged summary.
+func (c *Cluster) Run() Summary {
+	c.K.Run()
+	for _, e := range c.engines {
+		e.FlushResidency()
+		e.CheckQuiescent()
+	}
+	return c.summarize()
+}
+
+func (c *Cluster) onAppFinished(*appmodel.App) {
+	c.finished++
+}
+
+// onQueueUpdate implements the paper's cadence: every WindowUpdates
+// changes of the candidate queue, re-evaluate D_switch and act.
+func (c *Cluster) onQueueUpdate() {
+	c.updates++
+	if c.updates%c.Cfg.WindowUpdates != 0 {
+		return
+	}
+	var blocked uint64
+	for _, e := range c.engines {
+		b, _ := e.ResetWindow()
+		blocked += b
+	}
+	// N_PR is the stock of PR tasks owned by completed and running
+	// applications (R_c and R_s in Eq. 1): it grows as the run
+	// progresses, which is what makes the Fig. 8 trace decay toward
+	// the lower threshold once contention subsides.
+	var prTasks uint64
+	var candidates []*appmodel.App
+	for _, e := range c.engines {
+		candidates = append(candidates, e.Active...)
+		for _, a := range e.Apps {
+			if a.State == appmodel.StateFinished || a.Started {
+				prTasks += uint64(len(a.Spec.Tasks))
+			}
+		}
+	}
+	nApps, nBatch := migrate.GatherCandidates(candidates)
+	raw := migrate.DSwitch(migrate.DSwitchInputs{
+		BlockedTasks: blocked,
+		PRTasks:      prTasks,
+		Apps:         nApps,
+		TotalBatch:   nBatch,
+	})
+	alpha := c.Cfg.Smoothing
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	c.dSmoothed = alpha*raw + (1-alpha)*c.dSmoothed
+	d := c.dSmoothed
+	decision := c.trigger.Observe(d)
+	c.Trace = append(c.Trace, TracePoint{
+		At:        c.K.Now(),
+		Completed: c.finished,
+		D:         d,
+		Mode:      c.active,
+		Decision:  decision,
+	})
+	switch decision {
+	case migrate.Prewarm:
+		c.prewarm()
+	case migrate.Switch:
+		c.doSwitch()
+	}
+}
+
+// prewarm stages the bitstreams current candidates would need on the
+// spare board's DDR cache (background SD reads on the idle board), so
+// a subsequent switch pays no storage misses.
+func (c *Cluster) prewarm() {
+	spare := c.spareEngine()
+	target := spare.Board.Config
+	for _, a := range c.activeEngine().Active {
+		warmNamesFor(spare, target, a)
+	}
+}
+
+func warmNamesFor(e *sched.Engine, target fabric.BoardConfig, a *appmodel.App) {
+	switch target {
+	case fabric.BigLittle:
+		if n := len(a.Spec.Tasks) / 3; n > 0 {
+			for b := 0; b < n; b++ {
+				for _, mode := range []string{"par", "ser"} {
+					name := bitstream.BundleName(a.Spec.Name, b, mode)
+					if _, err := e.Repo.Get(name); err == nil {
+						e.Cache.Warm(name)
+					}
+				}
+			}
+		}
+		fallthrough
+	case fabric.OnlyLittle:
+		for _, t := range a.Spec.Tasks {
+			name := bitstream.TaskName(a.Spec.Name, t.Name, fabric.Little)
+			if _, err := e.Repo.Get(name); err == nil {
+				e.Cache.Warm(name)
+			}
+		}
+	}
+}
+
+// doSwitch performs the cross-board switch: freeze the old board (its
+// executing apps drain to completion there), migrate every ready app
+// over the link, and point new arrivals at the new board.
+func (c *Cluster) doSwitch() {
+	if c.migrating {
+		// A transfer is already in flight; the trigger's hysteresis
+		// will re-fire if the condition persists.
+		return
+	}
+	old := c.activeEngine()
+	// Flip first: "the new FPGA resumes task execution and processes
+	// upcoming new workloads".
+	c.active = c.trigger.Mode()
+	next := c.activeEngine()
+	if old == next {
+		panic("cluster: switch to the already-active board")
+	}
+	old.SetFrozen(true)
+	next.SetFrozen(false)
+	moved := old.Policy().ExtractMigratable()
+	for _, a := range moved {
+		old.RemoveActive(a)
+	}
+	if len(moved) == 0 {
+		return
+	}
+	c.migrating = true
+	c.prewarm()
+	migrate.Execute(c.K, c.Link, moved, func(apps []*appmodel.App) {
+		c.migrating = false
+		for _, a := range apps {
+			next.InjectMigrated(a)
+		}
+	}, func(m migrate.Migration) {
+		c.Migrations = append(c.Migrations, m)
+	})
+}
+
+// Summary merges both boards' results.
+type Summary struct {
+	Apps           int
+	MeanRT         sim.Duration
+	P95, P99       sim.Duration
+	Switches       int
+	MeanSwitchTime sim.Duration
+	MigratedApps   int
+	Trace          []TracePoint
+}
+
+func (c *Cluster) summarize() Summary {
+	var samples []metrics.ResponseSample
+	for _, e := range c.engines {
+		samples = append(samples, e.Col.Responses...)
+	}
+	s := Summary{Apps: len(samples), Switches: len(c.Migrations), Trace: c.Trace}
+	if len(samples) > 0 {
+		s.MeanRT = metrics.MeanResponse(samples)
+		vals := make([]float64, len(samples))
+		for i, r := range samples {
+			vals[i] = float64(r.Response)
+		}
+		s.P95 = sim.Duration(metrics.PercentileOf(vals, 95))
+		s.P99 = sim.Duration(metrics.PercentileOf(vals, 99))
+	}
+	var total sim.Duration
+	for _, m := range c.Migrations {
+		total += m.Duration
+		s.MigratedApps += m.Apps
+	}
+	if len(c.Migrations) > 0 {
+		s.MeanSwitchTime = total / sim.Duration(len(c.Migrations))
+	}
+	return s
+}
+
+// String renders a one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("apps=%d meanRT=%v p95=%v p99=%v switches=%d meanSwitch=%v migrated=%d",
+		s.Apps, s.MeanRT, s.P95, s.P99, s.Switches, s.MeanSwitchTime, s.MigratedApps)
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/migrate"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+func denseSequence(apps int, seed uint64) *workload.Sequence {
+	p := workload.DefaultGenParams(workload.Standard)
+	p.Apps = apps
+	p.IntervalLo = 400 * sim.Millisecond
+	p.IntervalHi = 600 * sim.Millisecond
+	return workload.Generate(p, seed)
+}
+
+func TestClusterCompletesEverything(t *testing.T) {
+	cl := New(DefaultConfig())
+	seq := denseSequence(30, 5000)
+	if err := cl.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	sum := cl.Run()
+	if sum.Apps != 30 {
+		t.Fatalf("finished %d of 30", sum.Apps)
+	}
+	if sum.MeanRT <= 0 {
+		t.Fatal("non-positive mean RT")
+	}
+}
+
+func TestClusterSwitchesUnderContention(t *testing.T) {
+	cl := New(DefaultConfig())
+	seq := denseSequence(60, 5001)
+	if err := cl.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	sum := cl.Run()
+	if sum.Switches == 0 {
+		t.Fatal("dense workload triggered no cross-board switch")
+	}
+	// Every switch decision in the trace must coincide with a
+	// threshold crossing of the smoothed D value.
+	cfg := DefaultConfig()
+	for i, p := range sum.Trace {
+		if p.Decision == migrate.Switch {
+			fromOL := p.Mode == fabric.OnlyLittle
+			if fromOL && p.D < cfg.ThresholdUp {
+				t.Fatalf("trace %d: OL->BL switch below T1 (D=%v)", i, p.D)
+			}
+			if !fromOL && p.D > cfg.ThresholdDown {
+				t.Fatalf("trace %d: BL->OL switch above T2 (D=%v)", i, p.D)
+			}
+		}
+	}
+	if sum.MeanSwitchTime <= 0 {
+		t.Fatal("switch overhead not recorded")
+	}
+	// The paper reports ~1.13 ms; our payloads are the same order.
+	if sum.MeanSwitchTime > 100*sim.Millisecond {
+		t.Fatalf("switch overhead %v not remotely at the ms scale", sum.MeanSwitchTime)
+	}
+}
+
+func TestClusterMigratedAppsKeepArrival(t *testing.T) {
+	cl := New(DefaultConfig())
+	seq := denseSequence(60, 5002)
+	if err := cl.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	sum := cl.Run()
+	if sum.MigratedApps == 0 {
+		t.Skip("no apps migrated in this seed")
+	}
+	// Response times are measured against original arrivals, so every
+	// response must match finish-arrival for its app across boards.
+	for _, e := range cl.engines {
+		for _, a := range e.Apps {
+			if a.Migrated > 0 && a.ResponseTime() != a.Finish.Sub(a.Arrival) {
+				t.Fatal("migrated app response time inconsistent")
+			}
+		}
+	}
+}
+
+func TestClusterBothEnginesQuiesce(t *testing.T) {
+	cl := New(DefaultConfig())
+	seq := denseSequence(40, 5003)
+	if err := cl.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run()
+	for mode, e := range cl.engines {
+		for _, s := range e.Board.Slots {
+			if s.State() == fabric.SlotBusy || s.State() == fabric.SlotLoading {
+				t.Fatalf("%v board slot %d still %v after drain", mode, s.ID, s.State())
+			}
+		}
+	}
+}
+
+func TestClusterStartsOnConfiguredBoard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StartMode = fabric.BigLittle
+	cl := New(cfg)
+	if cl.ActiveMode() != fabric.BigLittle {
+		t.Fatal("start mode ignored")
+	}
+	if cl.Engine(fabric.OnlyLittle) == nil || cl.Engine(fabric.BigLittle) == nil {
+		t.Fatal("boards missing")
+	}
+}
+
+func TestClusterTraceMonotoneCompletions(t *testing.T) {
+	cl := New(DefaultConfig())
+	seq := denseSequence(40, 5004)
+	if err := cl.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	sum := cl.Run()
+	prev := -1
+	for _, p := range sum.Trace {
+		if p.Completed < prev {
+			t.Fatal("completed count went backwards in trace")
+		}
+		prev = p.Completed
+		if p.D < 0 || p.D > 1 {
+			t.Fatalf("D out of range: %v", p.D)
+		}
+	}
+}

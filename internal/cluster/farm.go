@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"versaslot/internal/metrics"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// Farm scales the paper's two-board switching unit to a rack: K
+// independent Only.Little/Big.Little pairs behind a least-loaded
+// dispatcher. Each pair runs its own D_switch loop; the dispatcher
+// only chooses which pair an arriving application joins. This is the
+// natural datacenter deployment of the paper's design ("a single
+// available FPGA can enable cross-board switching for the entire
+// system" — a farm amortizes the spare across pairs of tenants).
+type Farm struct {
+	K     *sim.Kernel
+	Pairs []*Cluster
+
+	totalApps int
+	routed    []int // arrivals dispatched per pair
+}
+
+// NewFarm builds a farm of n switching pairs sharing one kernel.
+func NewFarm(cfg Config, n int) *Farm {
+	if n <= 0 {
+		panic("cluster: farm needs at least one pair")
+	}
+	f := &Farm{K: sim.NewKernel(cfg.Seed), routed: make([]int, n)}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		pair := buildCluster(f.K, c, i*2)
+		f.Pairs = append(f.Pairs, pair)
+	}
+	return f
+}
+
+// Inject schedules the workload, dispatching each arrival to the
+// least-loaded pair (fewest unfinished applications) at its arrival
+// instant.
+func (f *Farm) Inject(seq *workload.Sequence) error {
+	apps, err := seq.Instantiate(f.totalApps)
+	if err != nil {
+		return err
+	}
+	f.totalApps += len(apps)
+	for _, a := range apps {
+		a := a
+		f.K.At(a.Arrival, func() {
+			idx := f.leastLoaded()
+			f.routed[idx]++
+			f.Pairs[idx].activeEngine().InjectNow(a)
+		})
+	}
+	return nil
+}
+
+func (f *Farm) leastLoaded() int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i, p := range f.Pairs {
+		load := 0
+		for _, e := range p.engines {
+			load += len(e.Active)
+		}
+		if load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// Routed returns how many arrivals each pair received.
+func (f *Farm) Routed() []int {
+	out := make([]int, len(f.routed))
+	copy(out, f.routed)
+	return out
+}
+
+// Run executes to completion and merges every pair's results.
+func (f *Farm) Run() Summary {
+	f.K.Run()
+	var samples []metrics.ResponseSample
+	s := Summary{}
+	for _, p := range f.Pairs {
+		for _, e := range p.engines {
+			e.FlushResidency()
+			e.CheckQuiescent()
+			samples = append(samples, e.Col.Responses...)
+		}
+		s.Switches += len(p.Migrations)
+		for _, m := range p.Migrations {
+			s.MigratedApps += m.Apps
+			s.MeanSwitchTime += m.Duration
+		}
+		s.Trace = append(s.Trace, p.Trace...)
+	}
+	s.Apps = len(samples)
+	if len(samples) > 0 {
+		s.MeanRT = metrics.MeanResponse(samples)
+		vals := make([]float64, len(samples))
+		for i, r := range samples {
+			vals[i] = float64(r.Response)
+		}
+		s.P95 = sim.Duration(metrics.PercentileOf(vals, 95))
+		s.P99 = sim.Duration(metrics.PercentileOf(vals, 99))
+	}
+	if s.Switches > 0 {
+		s.MeanSwitchTime /= sim.Duration(s.Switches)
+	}
+	return s
+}
+
+// UnfinishedCount sums unfinished apps across the farm (diagnostics).
+func (f *Farm) UnfinishedCount() int {
+	n := 0
+	for _, p := range f.Pairs {
+		for _, e := range p.engines {
+			n += e.UnfinishedCount()
+		}
+	}
+	return n
+}

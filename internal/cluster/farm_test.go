@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"testing"
+
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+func TestFarmCompletesAndBalances(t *testing.T) {
+	f := NewFarm(DefaultConfig(), 3)
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 30
+	seq := workload.Generate(p, 9000)
+	if err := f.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	sum := f.Run()
+	if sum.Apps != 30 {
+		t.Fatalf("finished %d of 30", sum.Apps)
+	}
+	if f.UnfinishedCount() != 0 {
+		t.Fatal("unfinished apps remain")
+	}
+	routed := f.Routed()
+	total := 0
+	for i, n := range routed {
+		total += n
+		if n == 0 {
+			t.Errorf("pair %d received no arrivals — dispatcher not balancing", i)
+		}
+	}
+	if total != 30 {
+		t.Fatalf("routed %d arrivals, want 30", total)
+	}
+}
+
+func TestFarmBeatsSinglePairUnderLoad(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 40
+	seq := workload.Generate(p, 9001)
+
+	one := New(DefaultConfig())
+	if err := one.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	soloSum := one.Run()
+
+	f := NewFarm(DefaultConfig(), 3)
+	if err := f.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	farmSum := f.Run()
+
+	if farmSum.MeanRT >= soloSum.MeanRT {
+		t.Fatalf("3-pair farm (%v) not faster than one pair (%v) under stress",
+			farmSum.MeanRT, soloSum.MeanRT)
+	}
+}
+
+func TestFarmValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-pair farm did not panic")
+		}
+	}()
+	NewFarm(DefaultConfig(), 0)
+}
+
+func TestFarmSwitchOverheadScale(t *testing.T) {
+	f := NewFarm(DefaultConfig(), 2)
+	p := workload.DefaultGenParams(workload.Standard)
+	p.Apps = 50
+	p.IntervalLo, p.IntervalHi = 300*sim.Millisecond, 400*sim.Millisecond
+	seq := workload.Generate(p, 9002)
+	if err := f.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	sum := f.Run()
+	if sum.Switches > 0 && sum.MeanSwitchTime > 100*sim.Millisecond {
+		t.Fatalf("farm switch overhead %v beyond the ms scale", sum.MeanSwitchTime)
+	}
+}

@@ -1,0 +1,199 @@
+// Package core is the public entry point of the VersaSlot library: it
+// wires a board, a scheduling policy, and a workload into a runnable
+// system, and provides the experiment presets behind every figure of
+// the paper.
+//
+// A minimal run:
+//
+//	seq := workload.Generate(workload.DefaultGenParams(workload.Standard), 42)
+//	res, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 42}, seq)
+//
+// Res carries the per-app response times, tail latencies, utilization
+// and PR-contention statistics the paper evaluates.
+package core
+
+import (
+	"fmt"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bitstream"
+	"versaslot/internal/fabric"
+	"versaslot/internal/hypervisor"
+	"versaslot/internal/metrics"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// SystemConfig selects a policy and its platform.
+type SystemConfig struct {
+	// Policy picks the scheduling system under test.
+	Policy sched.Kind
+	// Params overrides hardware/control-plane constants; zero value
+	// means sched.DefaultParams().
+	Params *sched.Params
+	// Seed seeds the simulation kernel.
+	Seed uint64
+}
+
+// PlatformFor returns the board configuration and core model each
+// policy runs on, mirroring the paper's evaluation setup.
+func PlatformFor(k sched.Kind) (fabric.BoardConfig, hypervisor.CoreModel) {
+	switch k {
+	case sched.KindBaseline:
+		return fabric.Monolithic, hypervisor.SingleCore
+	case sched.KindFCFS, sched.KindRR, sched.KindNimblock:
+		return fabric.OnlyLittle, hypervisor.SingleCore
+	case sched.KindVersaSlotOL:
+		return fabric.OnlyLittle, hypervisor.DualCore
+	case sched.KindVersaSlotBL:
+		return fabric.BigLittle, hypervisor.DualCore
+	default:
+		panic(fmt.Sprintf("core: unknown policy kind %v", k))
+	}
+}
+
+// System is one configured board ready to execute workloads.
+type System struct {
+	Kernel *sim.Kernel
+	Engine *sched.Engine
+	Policy sched.Policy
+	cfg    SystemConfig
+}
+
+// NewSystem builds a system for the config.
+func NewSystem(cfg SystemConfig) *System {
+	params := sched.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	boardCfg, coreModel := PlatformFor(cfg.Policy)
+	k := sim.NewKernel(cfg.Seed)
+	repo := bitstream.NewRepository()
+	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+	board := fabric.NewBoard(0, boardCfg)
+	engine := sched.NewEngine(k, params, board, coreModel, repo)
+	policy := sched.New(cfg.Policy)
+	engine.SetPolicy(policy)
+	return &System{Kernel: k, Engine: engine, Policy: policy, cfg: cfg}
+}
+
+// NewCustomSystem builds a VersaSlot system on an arbitrary Big/Little
+// slot mix (a Big slot occupies two Little slots' fabric area; the mix
+// must fit 8 Little-equivalents). With any Big slots present the
+// Big.Little policy drives the board; otherwise Only.Little. This is
+// the paper's "any Big/Little configuration" extension, used by the
+// slot-configuration sweep in the benchmark harness.
+func NewCustomSystem(big, little int, seed uint64, params *sched.Params) *System {
+	p := sched.DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	k := sim.NewKernel(seed)
+	repo := bitstream.NewRepository()
+	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+	board := fabric.NewCustomBoard(0, big, little)
+	engine := sched.NewEngine(k, p, board, hypervisor.DualCore, repo)
+	var policy sched.Policy
+	kind := sched.KindVersaSlotOL
+	if big > 0 {
+		kind = sched.KindVersaSlotBL
+	}
+	policy = sched.New(kind)
+	engine.SetPolicy(policy)
+	return &System{Kernel: k, Engine: engine, Policy: policy, cfg: SystemConfig{Policy: kind, Seed: seed}}
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Policy    sched.Kind
+	Condition string
+	Summary   metrics.Summary
+	Samples   []metrics.ResponseSample
+	// BySpec breaks response times down per application type.
+	BySpec []metrics.SpecBreakdown
+	// CacheHits/CacheMisses report bitstream cache behaviour.
+	CacheHits, CacheMisses uint64
+}
+
+// Run executes one workload sequence on a fresh system.
+func Run(cfg SystemConfig, seq *workload.Sequence) (*Result, error) {
+	sys := NewSystem(cfg)
+	apps, err := seq.Instantiate(0)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Execute(seq.Condition, apps)
+}
+
+// Execute injects apps and runs to completion.
+func (s *System) Execute(condition string, apps []*appmodel.App) (*Result, error) {
+	s.Engine.InjectSequence(apps)
+	s.Kernel.Run()
+	s.Engine.FlushResidency()
+	if n := s.Engine.UnfinishedCount(); n > 0 {
+		s.Engine.CheckQuiescent() // panics with diagnostics
+		return nil, fmt.Errorf("core: %d apps unfinished", n)
+	}
+	hits, misses := s.Engine.Cache.Stats()
+	return &Result{
+		Policy:      s.cfg.Policy,
+		Condition:   condition,
+		Summary:     s.Engine.Col.Summarize(),
+		Samples:     s.Engine.Col.Responses,
+		BySpec:      s.Engine.Col.BySpec(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}, nil
+}
+
+// RunSet executes a whole sequence set (e.g. the paper's 10 sequences)
+// and returns per-sequence results.
+func RunSet(cfg SystemConfig, seqs []*workload.Sequence) ([]*Result, error) {
+	out := make([]*Result, 0, len(seqs))
+	for i, seq := range seqs {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		r, err := Run(c, seq)
+		if err != nil {
+			return nil, fmt.Errorf("core: sequence %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MeanRT averages the mean response times across results.
+func MeanRT(results []*Result) sim.Duration {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += float64(r.Summary.MeanRT)
+	}
+	return sim.Duration(sum / float64(len(results)))
+}
+
+// PooledSamples concatenates all runs' response samples (the paper's
+// tail latencies pool the 10 sequences of a condition).
+func PooledSamples(results []*Result) []metrics.ResponseSample {
+	var out []metrics.ResponseSample
+	for _, r := range results {
+		out = append(out, r.Samples...)
+	}
+	return out
+}
+
+// PooledPercentile computes a percentile over all runs' samples.
+func PooledPercentile(results []*Result, p float64) sim.Duration {
+	samples := PooledSamples(results)
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = float64(s.Response)
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return sim.Duration(metrics.PercentileOf(vals, p))
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/hypervisor"
+	"versaslot/internal/sched"
+	"versaslot/internal/workload"
+)
+
+func TestPlatformMapping(t *testing.T) {
+	cases := []struct {
+		kind  sched.Kind
+		board fabric.BoardConfig
+		cores hypervisor.CoreModel
+	}{
+		{sched.KindBaseline, fabric.Monolithic, hypervisor.SingleCore},
+		{sched.KindFCFS, fabric.OnlyLittle, hypervisor.SingleCore},
+		{sched.KindRR, fabric.OnlyLittle, hypervisor.SingleCore},
+		{sched.KindNimblock, fabric.OnlyLittle, hypervisor.SingleCore},
+		{sched.KindVersaSlotOL, fabric.OnlyLittle, hypervisor.DualCore},
+		{sched.KindVersaSlotBL, fabric.BigLittle, hypervisor.DualCore},
+	}
+	for _, c := range cases {
+		b, m := PlatformFor(c.kind)
+		if b != c.board || m != c.cores {
+			t.Errorf("%v -> (%v,%v), want (%v,%v)", c.kind, b, m, c.board, c.cores)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 10
+	seq := workload.Generate(p, 5)
+	a, err := Run(SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 3}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 3}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.MeanRT != b.Summary.MeanRT || a.Summary.P99 != b.Summary.P99 {
+		t.Fatal("identical seeds produced different results")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Response != b.Samples[i].Response {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestRunSetUsesDistinctSeeds(t *testing.T) {
+	seqs := workload.GenerateSet(workload.Standard, 100, 3)
+	results, err := RunSet(SystemConfig{Policy: sched.KindNimblock, Seed: 1}, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatal("result count")
+	}
+	if results[0].Summary.MeanRT == results[1].Summary.MeanRT &&
+		results[1].Summary.MeanRT == results[2].Summary.MeanRT {
+		t.Fatal("all sequences produced identical means — seeds ignored?")
+	}
+}
+
+func TestPooledHelpers(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Loose)
+	p.Apps = 4
+	seqs := []*workload.Sequence{workload.Generate(p, 1), workload.Generate(p, 2)}
+	results, err := RunSet(SystemConfig{Policy: sched.KindVersaSlotOL, Seed: 9}, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := PooledSamples(results)
+	if len(samples) != 8 {
+		t.Fatalf("pooled %d samples, want 8", len(samples))
+	}
+	p95 := PooledPercentile(results, 95)
+	if p95 <= 0 {
+		t.Fatal("pooled percentile")
+	}
+	mean := MeanRT(results)
+	if mean <= 0 {
+		t.Fatal("mean")
+	}
+	if MeanRT(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestRunReportsCacheStats(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 8
+	seq := workload.Generate(p, 6)
+	res, err := Run(SystemConfig{Policy: sched.KindVersaSlotOL, Seed: 2}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits+res.CacheMisses == 0 {
+		t.Fatal("no cache activity recorded")
+	}
+	// FCFS has no cache: all misses.
+	res2, err := Run(SystemConfig{Policy: sched.KindFCFS, Seed: 2}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHits != 0 {
+		t.Fatalf("FCFS recorded %d cache hits; its cache is disabled", res2.CacheHits)
+	}
+}

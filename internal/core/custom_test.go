@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/sched"
+	"versaslot/internal/workload"
+)
+
+func TestNewCustomSystemPolicySelection(t *testing.T) {
+	sys := NewCustomSystem(2, 4, 1, nil)
+	if sys.Policy.Name() != sched.KindVersaSlotBL.String() {
+		t.Fatalf("2B+4L runs %q, want Big.Little policy", sys.Policy.Name())
+	}
+	if sys.Engine.Board.Count(fabric.Big) != 2 {
+		t.Fatal("board shape")
+	}
+	sys2 := NewCustomSystem(0, 8, 1, nil)
+	if sys2.Policy.Name() != sched.KindVersaSlotOL.String() {
+		t.Fatalf("0B+8L runs %q, want Only.Little policy", sys2.Policy.Name())
+	}
+}
+
+func TestCustomSystemExecutes(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 8
+	seq := workload.Generate(p, 17)
+	for _, mix := range [][2]int{{1, 6}, {3, 2}} {
+		sys := NewCustomSystem(mix[0], mix[1], 1, nil)
+		apps, err := seq.Instantiate(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Execute(seq.Condition, apps)
+		if err != nil {
+			t.Fatalf("%dB+%dL: %v", mix[0], mix[1], err)
+		}
+		if res.Summary.Apps != 8 {
+			t.Fatalf("%dB+%dL finished %d of 8", mix[0], mix[1], res.Summary.Apps)
+		}
+	}
+}
+
+func TestCustomSystemParamsOverride(t *testing.T) {
+	params := sched.DefaultParams()
+	params.CacheEntries = 1
+	sys := NewCustomSystem(2, 4, 1, &params)
+	if sys.Engine.Params.CacheEntries != 1 {
+		t.Fatal("params override ignored")
+	}
+}

@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section IV). Each Fig* function runs the same
+// workloads the paper describes, returns structured results, and
+// carries the paper's reported numbers alongside for comparison in
+// EXPERIMENTS.md and the benchmark harness.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"versaslot/internal/core"
+	"versaslot/internal/metrics"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// Config sizes the evaluation; the zero value is replaced by Default.
+type Config struct {
+	// Sequences per condition (paper: 10).
+	Sequences int
+	// Apps per sequence (paper: 20).
+	Apps int
+	// BaseSeed derives per-sequence seeds.
+	BaseSeed uint64
+	// Parallelism bounds concurrent simulations (0 = NumCPU).
+	Parallelism int
+}
+
+// Default returns the paper's evaluation scale.
+func Default() Config {
+	return Config{Sequences: 10, Apps: 20, BaseSeed: 1000}
+}
+
+// Quick returns a reduced scale for smoke tests and -short mode.
+func Quick() Config {
+	return Config{Sequences: 3, Apps: 10, BaseSeed: 1000}
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// runGrid executes every (condition, policy, sequence) cell and returns
+// results indexed [condition][policy][sequence].
+func runGrid(cfg Config, conditions []workload.Condition, kinds []sched.Kind) [][][]*core.Result {
+	grid := make([][][]*core.Result, len(conditions))
+	type job struct{ ci, ki, si int }
+	var jobs []job
+	for ci := range conditions {
+		grid[ci] = make([][]*core.Result, len(kinds))
+		for ki := range kinds {
+			grid[ci][ki] = make([]*core.Result, cfg.Sequences)
+			for si := 0; si < cfg.Sequences; si++ {
+				jobs = append(jobs, job{ci, ki, si})
+			}
+		}
+	}
+	// Workload sequences are shared across policies within a condition:
+	// every system sees the identical arrival stream (paper setup).
+	seqs := make([][]*workload.Sequence, len(conditions))
+	for ci, cond := range conditions {
+		p := workload.DefaultGenParams(cond)
+		p.Apps = cfg.Apps
+		seqs[ci] = make([]*workload.Sequence, cfg.Sequences)
+		for si := 0; si < cfg.Sequences; si++ {
+			seqs[ci][si] = workload.Generate(p, cfg.BaseSeed+uint64(100*ci+si))
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := core.Run(core.SystemConfig{
+				Policy: kinds[j.ki],
+				Seed:   cfg.BaseSeed + uint64(j.si),
+			}, seqs[j.ci][j.si])
+			if err != nil {
+				panic(err)
+			}
+			grid[j.ci][j.ki][j.si] = res
+		}()
+	}
+	wg.Wait()
+	return grid
+}
+
+// meanOver averages per-sequence mean response times.
+func meanOver(results []*core.Result) sim.Duration {
+	return core.MeanRT(results)
+}
+
+// pooledPct computes a percentile over all sequences' samples.
+func pooledPct(results []*core.Result, p float64) sim.Duration {
+	samples := core.PooledSamples(results)
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = float64(s.Response)
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return sim.Duration(metrics.PercentileOf(vals, p))
+}

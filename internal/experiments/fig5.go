@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"versaslot/internal/metrics"
+	"versaslot/internal/report"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// Fig5Paper holds the paper's reported relative response-time
+// reductions (normalized to Baseline = 1.0), Fig. 5.
+var Fig5Paper = map[workload.Condition]map[sched.Kind]float64{
+	workload.Loose: {
+		sched.KindFCFS: 0.81, sched.KindRR: 0.79, sched.KindNimblock: 1.06,
+		sched.KindVersaSlotOL: 1.08, sched.KindVersaSlotBL: 1.49,
+	},
+	workload.Standard: {
+		sched.KindFCFS: 1.57, sched.KindRR: 1.80, sched.KindNimblock: 6.23,
+		sched.KindVersaSlotOL: 8.39, sched.KindVersaSlotBL: 13.66,
+	},
+	workload.Stress: {
+		sched.KindFCFS: 1.47, sched.KindRR: 1.47, sched.KindNimblock: 3.04,
+		sched.KindVersaSlotOL: 4.13, sched.KindVersaSlotBL: 5.23,
+	},
+	workload.Realtime: {
+		sched.KindFCFS: 1.45, sched.KindRR: 1.46, sched.KindNimblock: 2.91,
+		sched.KindVersaSlotOL: 3.84, sched.KindVersaSlotBL: 4.76,
+	},
+}
+
+// Fig5Cell is one bar of Fig. 5.
+type Fig5Cell struct {
+	Condition workload.Condition
+	Policy    sched.Kind
+	// MeanRT is this system's average response time across sequences;
+	// RTStd is the cross-sequence standard deviation.
+	MeanRT sim.Duration
+	RTStd  sim.Duration
+	// Reduction is baselineMeanRT / MeanRT (higher is better).
+	Reduction float64
+	// Paper is the value reported in the paper (0 for Baseline).
+	Paper float64
+}
+
+// Fig5Result is the full grid.
+type Fig5Result struct {
+	Cells []Fig5Cell
+	// BaselineRT per condition, the normalization denominator.
+	BaselineRT map[workload.Condition]sim.Duration
+}
+
+// Fig5 reproduces "Relative response time reduction under different
+// congestion conditions, normalized to the baseline".
+func Fig5(cfg Config) *Fig5Result {
+	conditions := workload.Conditions()
+	kinds := sched.Kinds()
+	grid := runGrid(cfg, conditions, kinds)
+	out := &Fig5Result{BaselineRT: make(map[workload.Condition]sim.Duration)}
+	for ci, cond := range conditions {
+		var baseRT sim.Duration
+		for ki, kind := range kinds {
+			if kind == sched.KindBaseline {
+				baseRT = meanOver(grid[ci][ki])
+			}
+		}
+		out.BaselineRT[cond] = baseRT
+		for ki, kind := range kinds {
+			perSeq := make([]float64, 0, len(grid[ci][ki]))
+			for _, res := range grid[ci][ki] {
+				perSeq = append(perSeq, float64(res.Summary.MeanRT))
+			}
+			mean, std := metrics.MeanStd(perSeq)
+			red := 0.0
+			if mean > 0 {
+				red = float64(baseRT) / mean
+			}
+			out.Cells = append(out.Cells, Fig5Cell{
+				Condition: cond,
+				Policy:    kind,
+				MeanRT:    sim.Duration(mean),
+				RTStd:     sim.Duration(std),
+				Reduction: red,
+				Paper:     Fig5Paper[cond][kind],
+			})
+		}
+	}
+	return out
+}
+
+// Lookup returns the cell for (condition, policy).
+func (r *Fig5Result) Lookup(c workload.Condition, k sched.Kind) Fig5Cell {
+	for _, cell := range r.Cells {
+		if cell.Condition == c && cell.Policy == k {
+			return cell
+		}
+	}
+	return Fig5Cell{}
+}
+
+// Table renders the paper-style grid.
+func (r *Fig5Result) Table() *report.Table {
+	t := report.NewTable(
+		"Fig. 5 — Average relative response time reduction (normalized to Baseline; higher is better)",
+		"System", "Loose", "Standard", "Stress", "Real-time", "Paper(L/S/St/RT)")
+	for _, k := range sched.Kinds() {
+		var vals []any
+		vals = append(vals, k.String())
+		var paper string
+		for _, c := range workload.Conditions() {
+			cell := r.Lookup(c, k)
+			vals = append(vals, cell.Reduction)
+			if paper != "" {
+				paper += "/"
+			}
+			if k == sched.KindBaseline {
+				paper += "1.00"
+			} else {
+				paper += trim2(Fig5Paper[c][k])
+			}
+		}
+		vals = append(vals, paper)
+		t.AddRow(vals...)
+	}
+	return t
+}
+
+// RTTable renders the absolute mean response times behind the ratios.
+func (r *Fig5Result) RTTable() *report.Table {
+	t := report.NewTable(
+		"Mean response times, seconds (mean +/- cross-sequence std dev)",
+		"System", "Loose", "Standard", "Stress", "Real-time")
+	for _, k := range sched.Kinds() {
+		vals := []any{k.String()}
+		for _, c := range workload.Conditions() {
+			cell := r.Lookup(c, k)
+			vals = append(vals, fmt.Sprintf("%.2f +/- %.2f",
+				sim.Time(cell.MeanRT).Seconds(), sim.Time(cell.RTStd).Seconds()))
+		}
+		t.AddRow(vals...)
+	}
+	return t
+}
+
+// Write renders the tables to w.
+func (r *Fig5Result) Write(w io.Writer) {
+	r.Table().Render(w)
+	r.RTTable().Render(w)
+}
+
+func trim2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"io"
+	"sync"
+
+	"versaslot/internal/cluster"
+	"versaslot/internal/core"
+	"versaslot/internal/report"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// Fig8Paper holds the paper's switching results: relative response-time
+// reduction versus running solely on Only.Little, and the average
+// switching overhead.
+var Fig8Paper = struct {
+	SwitchingReduction float64
+	BigLittleReduction float64
+	SwitchOverhead     sim.Duration
+}{
+	SwitchingReduction: 2.98,
+	BigLittleReduction: 6.65,
+	SwitchOverhead:     1130 * sim.Microsecond,
+}
+
+// Fig8Config sizes the switching experiment (paper: 3 long workloads,
+// 80 apps each, standard arrivals). The paper's long workloads drive
+// its Only.Little board deep into PR contention (D_switch up to ~0.18,
+// Only.Little 6.65x slower than Big.Little); with this reproduction's
+// calibrated task set the plain standard interval leaves Only.Little
+// unsaturated, so the long workloads default to a proportionally
+// denser arrival that lands in the same D_switch regime. Documented in
+// EXPERIMENTS.md.
+type Fig8Config struct {
+	Workloads  int
+	Apps       int
+	BaseSeed   uint64
+	IntervalLo sim.Duration
+	IntervalHi sim.Duration
+}
+
+// DefaultFig8 returns the reproduction's setup for the paper's
+// three-workload experiment.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		Workloads:  3,
+		Apps:       80,
+		BaseSeed:   5000,
+		IntervalLo: 400 * sim.Millisecond,
+		IntervalHi: 600 * sim.Millisecond,
+	}
+}
+
+// QuickFig8 is a reduced variant for -short tests.
+func QuickFig8() Fig8Config {
+	cfg := DefaultFig8()
+	cfg.Workloads = 1
+	cfg.Apps = 30
+	return cfg
+}
+
+// Fig8Result carries the measured switching evaluation.
+type Fig8Result struct {
+	// Mean response times per mode, averaged over workloads.
+	OnlyLittleRT, BigLittleRT, SwitchingRT sim.Duration
+	// Reductions normalized to Only.Little (higher is better).
+	SwitchingReduction, BigLittleReduction float64
+	// Switches and mean overhead across all switching runs.
+	Switches       int
+	MeanSwitchTime sim.Duration
+	// Trace of the first workload's D_switch evaluations (Fig. 8 left).
+	Trace []cluster.TracePoint
+}
+
+// Fig8 reproduces the cross-board switching evaluation: three long
+// standard-arrival workloads executed (a) solely on Only.Little, (b)
+// solely on Big.Little, (c) with D_switch-triggered live migration
+// between the two boards.
+func Fig8(cfg Fig8Config) *Fig8Result {
+	p := workload.DefaultGenParams(workload.Standard)
+	p.Apps = cfg.Apps
+	p.IntervalLo, p.IntervalHi = cfg.IntervalLo, cfg.IntervalHi
+	seqs := make([]*workload.Sequence, cfg.Workloads)
+	for i := range seqs {
+		seqs[i] = workload.Generate(p, cfg.BaseSeed+uint64(i))
+	}
+
+	var olRT, blRT, swRT float64
+	var switches int
+	var switchTime float64
+	var trace []cluster.TracePoint
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	for i, seq := range seqs {
+		i, seq := i, seq
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ol, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotOL, Seed: cfg.BaseSeed + uint64(i)}, seq)
+			if err != nil {
+				panic(err)
+			}
+			bl, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: cfg.BaseSeed + uint64(i)}, seq)
+			if err != nil {
+				panic(err)
+			}
+			ccfg := cluster.DefaultConfig()
+			ccfg.Seed = cfg.BaseSeed + uint64(i)
+			cl := cluster.New(ccfg)
+			if err := cl.Inject(seq); err != nil {
+				panic(err)
+			}
+			sum := cl.Run()
+
+			mu.Lock()
+			defer mu.Unlock()
+			olRT += float64(ol.Summary.MeanRT)
+			blRT += float64(bl.Summary.MeanRT)
+			swRT += float64(sum.MeanRT)
+			switches += sum.Switches
+			switchTime += float64(sum.MeanSwitchTime) * float64(sum.Switches)
+			if i == 0 {
+				trace = sum.Trace
+			}
+		}()
+	}
+	wg.Wait()
+
+	n := float64(cfg.Workloads)
+	out := &Fig8Result{
+		OnlyLittleRT: sim.Duration(olRT / n),
+		BigLittleRT:  sim.Duration(blRT / n),
+		SwitchingRT:  sim.Duration(swRT / n),
+		Switches:     switches,
+		Trace:        trace,
+	}
+	if out.SwitchingRT > 0 {
+		out.SwitchingReduction = float64(out.OnlyLittleRT) / float64(out.SwitchingRT)
+	}
+	if out.BigLittleRT > 0 {
+		out.BigLittleReduction = float64(out.OnlyLittleRT) / float64(out.BigLittleRT)
+	}
+	if switches > 0 {
+		out.MeanSwitchTime = sim.Duration(switchTime / float64(switches))
+	}
+	return out
+}
+
+// Table renders Fig. 8 (right) plus the overhead line.
+func (r *Fig8Result) Table() *report.Table {
+	t := report.NewTable(
+		"Fig. 8 (right) — Relative response time reduction vs Only.Little (higher is better)",
+		"Running mode", "Measured", "Paper")
+	t.AddRow("Only.Little", 1.0, 1.0)
+	t.AddRow("Switching", r.SwitchingReduction, Fig8Paper.SwitchingReduction)
+	t.AddRow("Only Big.Little", r.BigLittleReduction, Fig8Paper.BigLittleReduction)
+	return t
+}
+
+// TraceTable renders the D_switch trace (Fig. 8 left).
+func (r *Fig8Result) TraceTable() *report.Table {
+	t := report.NewTable(
+		"Fig. 8 (left) — D_switch trace (first workload)",
+		"Completed", "D_switch", "Mode", "Decision")
+	for _, p := range r.Trace {
+		t.AddRow(p.Completed, p.D, p.Mode.String(), p.Decision.String())
+	}
+	return t
+}
+
+// Write renders both tables and the overhead line.
+func (r *Fig8Result) Write(w io.Writer) {
+	r.Table().Render(w)
+	t := report.NewTable("Switching overhead", "Switches", "Mean overhead", "Paper")
+	t.AddRow(r.Switches, r.MeanSwitchTime.String(), Fig8Paper.SwitchOverhead.String())
+	t.Render(w)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"versaslot/internal/core"
+	"versaslot/internal/report"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// SlotMix is one Big/Little configuration of the sweep.
+type SlotMix struct {
+	Big, Little int
+}
+
+func (m SlotMix) String() string {
+	return fmt.Sprintf("%dB+%dL", m.Big, m.Little)
+}
+
+// SweepResult is one configuration's measurement.
+type SweepResult struct {
+	Mix     SlotMix
+	MeanRT  sim.Duration
+	P95     sim.Duration
+	PRLoads uint64
+	UtilLUT float64
+}
+
+// SlotSweep ablates the paper's 2 Big + 4 Little design choice: it runs
+// the VersaSlot scheduler on every Big/Little mix that tiles the
+// 8-Little-equivalent fabric and reports response times. The paper
+// fixes 2B+4L; the sweep shows where that sits in the design space for
+// the benchmark workload mix.
+func SlotSweep(cfg Config, cond workload.Condition) []SweepResult {
+	mixes := []SlotMix{
+		{Big: 0, Little: 8},
+		{Big: 1, Little: 6},
+		{Big: 2, Little: 4},
+		{Big: 3, Little: 2},
+	}
+	p := workload.DefaultGenParams(cond)
+	p.Apps = cfg.Apps
+	seqs := make([]*workload.Sequence, cfg.Sequences)
+	for i := range seqs {
+		seqs[i] = workload.Generate(p, cfg.BaseSeed+uint64(i))
+	}
+
+	out := make([]SweepResult, len(mixes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for mi, mix := range mixes {
+		mi, mix := mi, mix
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var rtSum, p95Sum float64
+			var loads uint64
+			var util float64
+			for si, seq := range seqs {
+				sys := core.NewCustomSystem(mix.Big, mix.Little, cfg.BaseSeed+uint64(si), nil)
+				apps, err := seq.Instantiate(0)
+				if err != nil {
+					panic(err)
+				}
+				res, err := sys.Execute(seq.Condition, apps)
+				if err != nil {
+					panic(err)
+				}
+				rtSum += float64(res.Summary.MeanRT)
+				p95Sum += float64(res.Summary.P95)
+				loads += res.Summary.PRLoads
+				util += res.Summary.UtilLUT
+			}
+			n := float64(len(seqs))
+			out[mi] = SweepResult{
+				Mix:     mix,
+				MeanRT:  sim.Duration(rtSum / n),
+				P95:     sim.Duration(p95Sum / n),
+				PRLoads: loads / uint64(len(seqs)),
+				UtilLUT: util / n,
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SweepTable renders the sweep.
+func SweepTable(results []SweepResult, cond workload.Condition) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Slot-configuration sweep (%s arrivals) — the paper fixes 2B+4L", cond),
+		"Config", "Mean RT (s)", "P95 (s)", "PR loads/seq", "LUT util")
+	for _, r := range results {
+		t.AddRow(r.Mix.String(),
+			sim.Time(r.MeanRT).Seconds(),
+			sim.Time(r.P95).Seconds(),
+			r.PRLoads,
+			r.UtilLUT)
+	}
+	return t
+}
+
+// WriteSweep renders the sweep table to w.
+func WriteSweep(w io.Writer, results []SweepResult, cond workload.Condition) {
+	SweepTable(results, cond).Render(w)
+}

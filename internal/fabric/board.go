@@ -1,0 +1,186 @@
+package fabric
+
+import "fmt"
+
+// BoardConfig names the static-region floorplan of a board. The static
+// region fixes slot sizes and interfaces and can only be programmed at
+// system start-up; changing it at runtime is what cross-board switching
+// avoids.
+type BoardConfig int
+
+const (
+	// OnlyLittle is the uniform floorplan: 8 Little slots.
+	OnlyLittle BoardConfig = iota
+	// BigLittle is the heterogeneous floorplan: 2 Big + 4 Little slots.
+	BigLittle
+	// Monolithic means no DPR slots: the whole fabric is one region
+	// (the traditional exclusive temporal-multiplexing baseline).
+	Monolithic
+)
+
+func (c BoardConfig) String() string {
+	switch c {
+	case OnlyLittle:
+		return "Only.Little"
+	case BigLittle:
+		return "Big.Little"
+	case Monolithic:
+		return "Monolithic"
+	default:
+		return fmt.Sprintf("BoardConfig(%d)", int(c))
+	}
+}
+
+// MonolithicStageRegions is how many concurrently-resident pipeline
+// stages a Monolithic board models. These are not DPR slots: they stand
+// for the stages of the single resident full-fabric design (the longest
+// benchmark pipeline has 9 tasks).
+const MonolithicStageRegions = 9
+
+// SlotCounts returns the number of Big and Little slots for the config.
+// For Monolithic the "slots" are virtual stage regions (see
+// MonolithicStageRegions), not reconfigurable regions.
+func (c BoardConfig) SlotCounts() (big, little int) {
+	switch c {
+	case OnlyLittle:
+		return 0, 8
+	case BigLittle:
+		return 2, 4
+	case Monolithic:
+		return 0, MonolithicStageRegions
+	default:
+		return 0, 0
+	}
+}
+
+// Board is the PL side of one FPGA: its floorplan and slots.
+type Board struct {
+	ID     int
+	Config BoardConfig
+	Slots  []*Slot
+}
+
+// NewBoard builds a board with the slot set implied by config.
+func NewBoard(id int, config BoardConfig) *Board {
+	b := &Board{ID: id, Config: config}
+	big, little := config.SlotCounts()
+	slotID := 0
+	for i := 0; i < big; i++ {
+		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Big})
+		slotID++
+	}
+	for i := 0; i < little; i++ {
+		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Little})
+		slotID++
+	}
+	return b
+}
+
+// NewCustomBoard builds a board with an arbitrary Big/Little slot mix —
+// the extension the paper notes ("can be extended to any Big/Little
+// configuration"). A Big slot occupies the fabric area of two Little
+// slots; the mix must fit the 8-Little-equivalent reconfigurable area
+// of the ZCU216 floorplan. The Config is reported as BigLittle when any
+// Big slot exists, OnlyLittle otherwise, so policies behave uniformly.
+func NewCustomBoard(id, big, little int) *Board {
+	if big < 0 || little < 0 {
+		panic("fabric: negative slot count")
+	}
+	if area := 2*big + little; area > 8 {
+		panic(fmt.Sprintf("fabric: %dB+%dL needs %d Little-equivalents; the fabric holds 8", big, little, area))
+	}
+	cfg := OnlyLittle
+	if big > 0 {
+		cfg = BigLittle
+	}
+	b := &Board{ID: id, Config: cfg}
+	slotID := 0
+	for i := 0; i < big; i++ {
+		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Big})
+		slotID++
+	}
+	for i := 0; i < little; i++ {
+		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Little})
+		slotID++
+	}
+	return b
+}
+
+// SlotsOf returns the board's slots of the given kind, in ID order.
+func (b *Board) SlotsOf(kind SlotKind) []*Slot {
+	var out []*Slot
+	for _, s := range b.Slots {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FreeSlots returns the free slots of the given kind, in ID order.
+func (b *Board) FreeSlots(kind SlotKind) []*Slot {
+	var out []*Slot
+	for _, s := range b.Slots {
+		if s.Kind == kind && s.Free() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CountFree returns the number of free slots of the given kind.
+func (b *Board) CountFree(kind SlotKind) int {
+	n := 0
+	for _, s := range b.Slots {
+		if s.Kind == kind && s.Free() {
+			n++
+		}
+	}
+	return n
+}
+
+// EmptySlots returns the slots of the given kind with no resident or
+// loading circuit, in ID order. Allocation must draw from these: a
+// Loaded slot is free to *reconfigure* but still belongs to the app
+// whose stage is resident.
+func (b *Board) EmptySlots(kind SlotKind) []*Slot {
+	var out []*Slot
+	for _, s := range b.Slots {
+		if s.Kind == kind && s.State() == SlotEmpty {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CountEmpty returns the number of empty slots of the given kind.
+func (b *Board) CountEmpty(kind SlotKind) int {
+	n := 0
+	for _, s := range b.Slots {
+		if s.Kind == kind && s.State() == SlotEmpty {
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the total number of slots of the given kind.
+func (b *Board) Count(kind SlotKind) int {
+	n := 0
+	for _, s := range b.Slots {
+		if s.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// SlotCapacityTotal returns the summed capacity of all slots — the
+// denominator for board-level utilization metrics.
+func (b *Board) SlotCapacityTotal() ResVec {
+	var total ResVec
+	for _, s := range b.Slots {
+		total = total.Add(s.Kind.Capacity())
+	}
+	return total
+}

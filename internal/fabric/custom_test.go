@@ -1,0 +1,51 @@
+package fabric
+
+import "testing"
+
+func TestNewCustomBoard(t *testing.T) {
+	b := NewCustomBoard(0, 1, 6)
+	if b.Count(Big) != 1 || b.Count(Little) != 6 {
+		t.Fatalf("1B+6L board has %dB+%dL", b.Count(Big), b.Count(Little))
+	}
+	if b.Config != BigLittle {
+		t.Fatal("mixed board not reported as Big.Little")
+	}
+	if NewCustomBoard(0, 0, 8).Config != OnlyLittle {
+		t.Fatal("all-little board not reported as Only.Little")
+	}
+	// IDs remain unique and ordered.
+	for i, s := range b.Slots {
+		if s.ID != i {
+			t.Fatal("custom board slot IDs broken")
+		}
+	}
+}
+
+func TestNewCustomBoardRejectsOversizedMix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("3B+3L (9 Little-equivalents) did not panic")
+		}
+	}()
+	NewCustomBoard(0, 3, 3)
+}
+
+func TestNewCustomBoardRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count did not panic")
+		}
+	}()
+	NewCustomBoard(0, -1, 4)
+}
+
+func TestCustomBoardAreaEquivalence(t *testing.T) {
+	// Every legal mix tiles at most the same fabric area as 8 Little.
+	eight := NewBoard(0, OnlyLittle).SlotCapacityTotal()
+	for _, mix := range [][2]int{{0, 8}, {1, 6}, {2, 4}, {3, 2}, {4, 0}} {
+		b := NewCustomBoard(0, mix[0], mix[1])
+		if !b.SlotCapacityTotal().FitsIn(eight) {
+			t.Errorf("%dB+%dL exceeds the Only.Little area", mix[0], mix[1])
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResVecArithmetic(t *testing.T) {
+	a := ResVec{LUT: 100, FF: 200, DSP: 10, BRAM: 5}
+	b := ResVec{LUT: 50, FF: 100, DSP: 5, BRAM: 2}
+	sum := a.Add(b)
+	if sum != (ResVec{150, 300, 15, 7}) {
+		t.Fatalf("Add: %v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff != a {
+		t.Fatalf("Sub not inverse of Add: %v", diff)
+	}
+	if !diff.NonNegative() {
+		t.Fatal("NonNegative false for positive vec")
+	}
+	if !(ResVec{}).IsZero() {
+		t.Fatal("zero vec not zero")
+	}
+	neg := b.Sub(a)
+	if neg.NonNegative() {
+		t.Fatal("NonNegative true for negative vec")
+	}
+}
+
+// Property: Add is commutative and Sub undoes Add.
+func TestResVecAddProperties(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 int16) bool {
+		a := ResVec{int(a1), int(a2), int(a3), int(a4)}
+		b := ResVec{int(b1), int(b2), int(b3), int(b4)}
+		return a.Add(b) == b.Add(a) && a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResVecScale(t *testing.T) {
+	a := ResVec{LUT: 100, FF: 200, DSP: 10, BRAM: 4}
+	half := a.Scale(0.5)
+	if half != (ResVec{50, 100, 5, 2}) {
+		t.Fatalf("Scale(0.5): %v", half)
+	}
+	// Scale rounds to nearest.
+	odd := ResVec{LUT: 3}.Scale(0.5)
+	if odd.LUT != 2 {
+		t.Fatalf("rounding: got %d", odd.LUT)
+	}
+}
+
+func TestFitsIn(t *testing.T) {
+	cap := LittleSlotCap
+	if !(ResVec{LUT: cap.LUT, FF: cap.FF, DSP: cap.DSP, BRAM: cap.BRAM}).FitsIn(cap) {
+		t.Fatal("exact fit rejected")
+	}
+	over := cap
+	over.LUT++
+	if over.FitsIn(cap) {
+		t.Fatal("oversubscribed LUT accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	half := ResVec{LUT: LittleSlotCap.LUT / 2, FF: LittleSlotCap.FF / 4}
+	lut, ff := half.Utilization(LittleSlotCap)
+	if lut < 0.49 || lut > 0.51 {
+		t.Fatalf("LUT util %v", lut)
+	}
+	if ff < 0.24 || ff > 0.26 {
+		t.Fatalf("FF util %v", ff)
+	}
+	// Zero capacity yields zero, not a division panic.
+	l, f := half.Utilization(ResVec{})
+	if l != 0 || f != 0 {
+		t.Fatal("zero-capacity utilization not zero")
+	}
+}
+
+func TestMaxRatio(t *testing.T) {
+	use := ResVec{LUT: 10, FF: 80, DSP: 0, BRAM: 0}
+	cap := ResVec{LUT: 100, FF: 100, DSP: 10, BRAM: 10}
+	if r := use.MaxRatio(cap); r != 0.8 {
+		t.Fatalf("MaxRatio %v, want 0.8 (FF bound)", r)
+	}
+}
+
+func TestBigSlotIsTwiceLittle(t *testing.T) {
+	if BigSlotCap.LUT != 2*LittleSlotCap.LUT || BigSlotCap.FF != 2*LittleSlotCap.FF ||
+		BigSlotCap.DSP != 2*LittleSlotCap.DSP || BigSlotCap.BRAM != 2*LittleSlotCap.BRAM {
+		t.Fatal("Big slot capacity is not exactly twice Little (paper requirement)")
+	}
+}
+
+func TestSlotsFitDevice(t *testing.T) {
+	// 8 Little slots (or 2 Big + 4 Little) plus a static region must
+	// fit the ZCU216 fabric.
+	var eight ResVec
+	for i := 0; i < 8; i++ {
+		eight = eight.Add(LittleSlotCap)
+	}
+	if !eight.FitsIn(ZCU216Total) {
+		t.Fatal("Only.Little floorplan exceeds the device")
+	}
+	share := float64(eight.LUT) / float64(ZCU216Total.LUT)
+	if share > 0.85 {
+		t.Fatalf("no room left for the static region: slots use %.0f%%", share*100)
+	}
+}
+
+func TestSlotStateMachine(t *testing.T) {
+	s := &Slot{ID: 0, Kind: Little}
+	if s.State() != SlotEmpty || !s.Free() {
+		t.Fatal("new slot not empty/free")
+	}
+	if err := s.BeginLoad("bits"); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != SlotLoading || s.Free() {
+		t.Fatal("loading slot must not be free")
+	}
+	// Double-load and exec-while-loading are illegal.
+	if err := s.BeginLoad("other"); err == nil {
+		t.Fatal("double BeginLoad allowed")
+	}
+	if err := s.BeginExec(); err == nil {
+		t.Fatal("exec during load allowed")
+	}
+	if err := s.CompleteLoad(); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != SlotLoaded || s.Resident != "bits" {
+		t.Fatalf("after load: %v resident=%v", s.State(), s.Resident)
+	}
+	if err := s.BeginExec(); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != SlotBusy || s.Free() {
+		t.Fatal("busy slot must not be free")
+	}
+	// Reconfiguring a busy slot is illegal (DFX cannot interrupt).
+	if err := s.BeginLoad("x"); err == nil {
+		t.Fatal("BeginLoad on busy slot allowed")
+	}
+	if err := s.CompleteExec(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != SlotEmpty || s.Resident != nil {
+		t.Fatal("Clear did not empty slot")
+	}
+}
+
+func TestSlotIllegalTransitions(t *testing.T) {
+	s := &Slot{}
+	if err := s.CompleteLoad(); err == nil {
+		t.Fatal("CompleteLoad on empty slot allowed")
+	}
+	if err := s.BeginExec(); err == nil {
+		t.Fatal("BeginExec on empty slot allowed")
+	}
+	if err := s.CompleteExec(); err == nil {
+		t.Fatal("CompleteExec on empty slot allowed")
+	}
+}
+
+func TestBoardConfigs(t *testing.T) {
+	cases := []struct {
+		cfg    BoardConfig
+		big    int
+		little int
+	}{
+		{OnlyLittle, 0, 8},
+		{BigLittle, 2, 4},
+		{Monolithic, 0, MonolithicStageRegions},
+	}
+	for _, c := range cases {
+		b := NewBoard(0, c.cfg)
+		if got := b.Count(Big); got != c.big {
+			t.Errorf("%v: %d big slots, want %d", c.cfg, got, c.big)
+		}
+		if got := b.Count(Little); got != c.little {
+			t.Errorf("%v: %d little slots, want %d", c.cfg, got, c.little)
+		}
+		// Slot IDs are unique and ordered.
+		for i, s := range b.Slots {
+			if s.ID != i {
+				t.Errorf("%v: slot %d has ID %d", c.cfg, i, s.ID)
+			}
+		}
+	}
+}
+
+func TestBoardFreeVsEmpty(t *testing.T) {
+	b := NewBoard(0, OnlyLittle)
+	s := b.Slots[0]
+	if err := s.BeginLoad("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteLoad(); err != nil {
+		t.Fatal(err)
+	}
+	// Loaded slot: free to reconfigure, but NOT empty (it belongs to
+	// the app whose circuit is resident).
+	if b.CountFree(Little) != 8 {
+		t.Fatalf("CountFree %d, want 8", b.CountFree(Little))
+	}
+	if b.CountEmpty(Little) != 7 {
+		t.Fatalf("CountEmpty %d, want 7", b.CountEmpty(Little))
+	}
+	if len(b.EmptySlots(Little)) != 7 {
+		t.Fatal("EmptySlots mismatch")
+	}
+	if len(b.FreeSlots(Little)) != 8 {
+		t.Fatal("FreeSlots mismatch")
+	}
+}
+
+func TestBoardCapacityTotal(t *testing.T) {
+	b := NewBoard(0, BigLittle)
+	total := b.SlotCapacityTotal()
+	want := BigSlotCap.Scale(2).Add(LittleSlotCap.Scale(4))
+	if total != want {
+		t.Fatalf("capacity total %v, want %v", total, want)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Little.String() != "Little" || Big.String() != "Big" {
+		t.Fatal("SlotKind strings")
+	}
+	if OnlyLittle.String() != "Only.Little" || BigLittle.String() != "Big.Little" {
+		t.Fatal("BoardConfig strings")
+	}
+	for _, s := range []SlotState{SlotEmpty, SlotLoading, SlotLoaded, SlotBusy} {
+		if s.String() == "" {
+			t.Fatal("empty SlotState string")
+		}
+	}
+}

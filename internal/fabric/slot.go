@@ -1,0 +1,138 @@
+package fabric
+
+import "fmt"
+
+// SlotKind distinguishes the two reconfigurable region sizes.
+type SlotKind int
+
+const (
+	// Little is the standard-resource slot.
+	Little SlotKind = iota
+	// Big is the resource-intensive slot (2x Little capacity).
+	Big
+)
+
+func (k SlotKind) String() string {
+	switch k {
+	case Little:
+		return "Little"
+	case Big:
+		return "Big"
+	default:
+		return fmt.Sprintf("SlotKind(%d)", int(k))
+	}
+}
+
+// Capacity returns the resource capacity of a slot of this kind.
+func (k SlotKind) Capacity() ResVec {
+	if k == Big {
+		return BigSlotCap
+	}
+	return LittleSlotCap
+}
+
+// SlotState is the lifecycle of a reconfigurable slot.
+type SlotState int
+
+const (
+	// SlotEmpty means no bitstream is resident.
+	SlotEmpty SlotState = iota
+	// SlotLoading means a partial reconfiguration is in flight.
+	SlotLoading
+	// SlotLoaded means a bitstream is resident and the slot is idle.
+	SlotLoaded
+	// SlotBusy means the resident circuit is executing a batch item.
+	SlotBusy
+)
+
+func (s SlotState) String() string {
+	switch s {
+	case SlotEmpty:
+		return "empty"
+	case SlotLoading:
+		return "loading"
+	case SlotLoaded:
+		return "loaded"
+	case SlotBusy:
+		return "busy"
+	default:
+		return fmt.Sprintf("SlotState(%d)", int(s))
+	}
+}
+
+// Slot is one reconfigurable region on a board. The scheduler owns all
+// transitions; Slot only validates them.
+type Slot struct {
+	ID    int
+	Kind  SlotKind
+	state SlotState
+
+	// Resident identifies the loaded bitstream (opaque to fabric);
+	// nil when empty or loading.
+	Resident any
+	// Pending identifies the bitstream being loaded during SlotLoading.
+	Pending any
+}
+
+// State returns the current lifecycle state.
+func (s *Slot) State() SlotState { return s.state }
+
+// Free reports whether the slot is neither loading nor executing.
+func (s *Slot) Free() bool { return s.state == SlotEmpty || s.state == SlotLoaded }
+
+// BeginLoad transitions the slot into SlotLoading. The previous resident
+// circuit is evicted immediately (the DFX decoupler isolates the region
+// for the whole load).
+func (s *Slot) BeginLoad(pending any) error {
+	if s.state == SlotLoading {
+		return fmt.Errorf("fabric: slot %d already loading", s.ID)
+	}
+	if s.state == SlotBusy {
+		return fmt.Errorf("fabric: slot %d busy; cannot reconfigure mid-item", s.ID)
+	}
+	s.state = SlotLoading
+	s.Resident = nil
+	s.Pending = pending
+	return nil
+}
+
+// CompleteLoad transitions SlotLoading -> SlotLoaded.
+func (s *Slot) CompleteLoad() error {
+	if s.state != SlotLoading {
+		return fmt.Errorf("fabric: slot %d not loading (state %v)", s.ID, s.state)
+	}
+	s.state = SlotLoaded
+	s.Resident = s.Pending
+	s.Pending = nil
+	return nil
+}
+
+// BeginExec transitions SlotLoaded -> SlotBusy.
+func (s *Slot) BeginExec() error {
+	if s.state != SlotLoaded {
+		return fmt.Errorf("fabric: slot %d cannot execute (state %v)", s.ID, s.state)
+	}
+	s.state = SlotBusy
+	return nil
+}
+
+// CompleteExec transitions SlotBusy -> SlotLoaded.
+func (s *Slot) CompleteExec() error {
+	if s.state != SlotBusy {
+		return fmt.Errorf("fabric: slot %d not executing (state %v)", s.ID, s.state)
+	}
+	s.state = SlotLoaded
+	return nil
+}
+
+// Clear evicts any resident bitstream, returning the slot to SlotEmpty.
+// Only legal when the slot is free.
+func (s *Slot) Clear() error {
+	if !s.Free() {
+		return fmt.Errorf("fabric: slot %d cannot clear (state %v)", s.ID, s.state)
+	}
+	s.state = SlotEmpty
+	s.Resident = nil
+	s.Pending = nil
+	return nil
+}

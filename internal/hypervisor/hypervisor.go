@@ -1,0 +1,96 @@
+// Package hypervisor models the bare-metal control plane running on the
+// PS-side ARM cores: the scheduler core, the (optional) PR-server core,
+// and the OCM mailbox between them.
+//
+// The paper's key architectural point lives here: prior systems run
+// scheduling, task launching, and partial reconfiguration on ONE core,
+// so every PCAP load (which suspends the issuing CPU) blocks launches —
+// the "task execution blocking problem". VersaSlot dedicates a second
+// core to a PR server and posts asynchronous requests through on-chip
+// memory, so the scheduler core never stalls on configuration I/O.
+package hypervisor
+
+import (
+	"versaslot/internal/sim"
+)
+
+// CoreModel selects the control-plane topology.
+type CoreModel int
+
+const (
+	// SingleCore runs scheduling, launches and PR on one ARM core
+	// (Nimblock/DML-style; the PCAP load blocks everything).
+	SingleCore CoreModel = iota
+	// DualCore dedicates a second core to the PR server (VersaSlot).
+	DualCore
+)
+
+func (m CoreModel) String() string {
+	if m == DualCore {
+		return "dual-core"
+	}
+	return "single-core"
+}
+
+// Cores is the PS control plane of one board.
+type Cores struct {
+	Model CoreModel
+	// Sched executes scheduler passes and batch launches.
+	Sched *sim.Server
+	// PR executes bitstream loads. In SingleCore mode PR == Sched:
+	// loads compete with launches for the same core.
+	PR *sim.Server
+	// OCM counts mailbox traffic between the two cores (status
+	// messages and asynchronous PR requests).
+	OCM MailboxStats
+}
+
+// MailboxStats counts OCM mailbox messages.
+type MailboxStats struct {
+	PRRequests uint64 // scheduler -> PR server
+	PRStatus   uint64 // PR server -> scheduler
+}
+
+// NewCores builds the control plane for a board.
+func NewCores(k *sim.Kernel, model CoreModel, boardID int) *Cores {
+	c := &Cores{Model: model}
+	c.Sched = sim.NewServer(k, coreName(boardID, 0))
+	if model == DualCore {
+		c.PR = sim.NewServer(k, coreName(boardID, 1))
+	} else {
+		c.PR = c.Sched
+	}
+	return c
+}
+
+func coreName(board, core int) string {
+	return "board" + itoa(board) + "/core" + itoa(core)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// PostPRRequest accounts an async scheduler->PR-server message.
+func (c *Cores) PostPRRequest() { c.OCM.PRRequests++ }
+
+// PostPRStatus accounts a PR-server->scheduler completion message.
+func (c *Cores) PostPRStatus() { c.OCM.PRStatus++ }

@@ -1,0 +1,63 @@
+package interlink
+
+import (
+	"testing"
+
+	"versaslot/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	k := sim.NewKernel(1)
+	l := New(k, "test", 1<<30, 100*sim.Microsecond) // 1 GiB/s
+	got := l.TransferTime(1 << 30)
+	want := sim.Second + 100*sim.Microsecond
+	if got != want {
+		t.Fatalf("transfer time %v, want %v", got, want)
+	}
+}
+
+func TestTransfersSerialize(t *testing.T) {
+	k := sim.NewKernel(1)
+	l := New(k, "test", 1<<20, 0) // 1 MiB/s
+	var done []sim.Time
+	l.Transfer("a", 1<<20, func() { done = append(done, k.Now()) })
+	l.Transfer("b", 1<<20, func() { done = append(done, k.Now()) })
+	k.Run()
+	if len(done) != 2 {
+		t.Fatal("transfers lost")
+	}
+	if done[0] != sim.Time(sim.Second) || done[1] != sim.Time(2*sim.Second) {
+		t.Fatalf("transfers overlapped: %v", done)
+	}
+}
+
+func TestStats(t *testing.T) {
+	k := sim.NewKernel(1)
+	l := NewDefault(k, "aurora")
+	l.Transfer("x", 1<<20, nil)
+	k.Run()
+	s := l.Stats()
+	if s.Transfers != 1 || s.Bytes != 1<<20 || s.BusyTime <= 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDefaultBandwidthIsAuroraScale(t *testing.T) {
+	// One 64B66B lane: ~1.2 GB/s payload. A ~1 MB migration payload
+	// must land near the paper's ~1 ms switching overhead.
+	k := sim.NewKernel(1)
+	l := NewDefault(k, "aurora")
+	d := l.TransferTime(1 << 20)
+	if d < 500*sim.Microsecond || d > 2*sim.Millisecond {
+		t.Fatalf("1MB transfer takes %v; expected ~1ms", d)
+	}
+}
+
+func TestNewValidatesBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth did not panic")
+		}
+	}()
+	New(sim.NewKernel(1), "bad", 0, 0)
+}

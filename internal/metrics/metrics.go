@@ -1,0 +1,259 @@
+// Package metrics collects and summarizes the quantities the paper
+// evaluates: per-application response times (averages and P95/P99 tail
+// latencies, Figs. 5-6), LUT/FF utilization time-integrals (Fig. 7 and
+// the headline +35%/+29% claim), PR-contention counters feeding the
+// D_switch metric, and migration accounting (Fig. 8).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"versaslot/internal/sim"
+)
+
+// ResponseSample is one finished application.
+type ResponseSample struct {
+	AppID    int
+	Spec     string
+	Batch    int
+	Arrival  sim.Time
+	Finish   sim.Time
+	Response sim.Duration
+	// QueueDelay is the share of Response spent before the first item
+	// executed (allocation wait + initial configuration).
+	QueueDelay sim.Duration
+}
+
+// Collector accumulates one simulation run's measurements.
+type Collector struct {
+	Responses []ResponseSample
+
+	// PR accounting.
+	PRLoads   uint64
+	PRBytes   int64
+	PRWait    sim.Duration
+	PRBlocked uint64 // loads that queued behind another PR
+	PRRetries uint64 // loads re-streamed after CRC failure
+
+	// Utilization time-integrals: sum over intervals of
+	// (resource in use) * dt, and the busy-only variant.
+	lutResidentInt float64 // LUT-seconds resident
+	ffResidentInt  float64
+	lutBusyInt     float64 // LUT-seconds actively executing
+	ffBusyInt      float64
+	capLUT         float64 // board slot LUT capacity
+	capFF          float64
+	start, end     sim.Time
+
+	// Migration accounting.
+	Migrations     uint64
+	MigratedApps   uint64
+	MigrationBytes int64
+	MigrationTime  sim.Duration
+
+	// Preemptions counts stage evictions before batch completion.
+	Preemptions uint64
+}
+
+// NewCollector returns an empty collector; capacity is the board's
+// total slot LUT/FF capacity (utilization denominator).
+func NewCollector(capLUT, capFF int) *Collector {
+	return &Collector{capLUT: float64(capLUT), capFF: float64(capFF)}
+}
+
+// RecordResponse adds one finished application.
+func (c *Collector) RecordResponse(s ResponseSample) {
+	c.Responses = append(c.Responses, s)
+	if s.Finish > c.end {
+		c.end = s.Finish
+	}
+}
+
+// AccumulateResident adds a resident-circuit interval: res LUT/FF held
+// for dt.
+func (c *Collector) AccumulateResident(lut, ff int, dt sim.Duration) {
+	sec := dt.Seconds()
+	c.lutResidentInt += float64(lut) * sec
+	c.ffResidentInt += float64(ff) * sec
+}
+
+// AccumulateBusy adds an actively-executing interval.
+func (c *Collector) AccumulateBusy(lut, ff int, dt sim.Duration) {
+	sec := dt.Seconds()
+	c.lutBusyInt += float64(lut) * sec
+	c.ffBusyInt += float64(ff) * sec
+}
+
+// Utilization returns the time-averaged LUT and FF utilization of the
+// board's slot area over [start, end] for resident circuits.
+func (c *Collector) Utilization() (lut, ff float64) {
+	span := c.end.Sub(c.start).Seconds()
+	if span <= 0 || c.capLUT == 0 {
+		return 0, 0
+	}
+	return c.lutResidentInt / (c.capLUT * span), c.ffResidentInt / (c.capFF * span)
+}
+
+// BusyUtilization returns the busy-only time-averaged utilization.
+func (c *Collector) BusyUtilization() (lut, ff float64) {
+	span := c.end.Sub(c.start).Seconds()
+	if span <= 0 || c.capLUT == 0 {
+		return 0, 0
+	}
+	return c.lutBusyInt / (c.capLUT * span), c.ffBusyInt / (c.capFF * span)
+}
+
+// Summary condenses the run.
+type Summary struct {
+	Apps        int
+	MeanRT      sim.Duration
+	P50, P95    sim.Duration
+	P99, MaxRT  sim.Duration
+	MinRT       sim.Duration
+	UtilLUT     float64
+	UtilFF      float64
+	MeanQueue   sim.Duration
+	PRLoads     uint64
+	PRBlocked   uint64
+	PRRetries   uint64
+	PRWait      sim.Duration
+	Preemptions uint64
+	Migrations  uint64
+}
+
+// Summarize computes the run summary.
+func (c *Collector) Summarize() Summary {
+	s := Summary{Apps: len(c.Responses), PRLoads: c.PRLoads, PRBlocked: c.PRBlocked,
+		PRRetries: c.PRRetries, PRWait: c.PRWait,
+		Preemptions: c.Preemptions, Migrations: c.Migrations}
+	if len(c.Responses) == 0 {
+		return s
+	}
+	rts := make([]float64, len(c.Responses))
+	var sum, qsum float64
+	for i, r := range c.Responses {
+		rts[i] = float64(r.Response)
+		sum += rts[i]
+		qsum += float64(r.QueueDelay)
+	}
+	s.MeanQueue = sim.Duration(qsum / float64(len(rts)))
+	sort.Float64s(rts)
+	s.MeanRT = sim.Duration(sum / float64(len(rts)))
+	s.P50 = sim.Duration(Percentile(rts, 50))
+	s.P95 = sim.Duration(Percentile(rts, 95))
+	s.P99 = sim.Duration(Percentile(rts, 99))
+	s.MinRT = sim.Duration(rts[0])
+	s.MaxRT = sim.Duration(rts[len(rts)-1])
+	s.UtilLUT, s.UtilFF = c.Utilization()
+	return s
+}
+
+// SpecBreakdown summarizes response times per application type — e.g.
+// how LeNet (which cannot bundle) fares on a Big.Little board versus
+// the bundleable applications.
+type SpecBreakdown struct {
+	Spec   string
+	Count  int
+	MeanRT sim.Duration
+	MaxRT  sim.Duration
+}
+
+// BySpec groups the collector's responses by application spec, sorted
+// by spec name.
+func (c *Collector) BySpec() []SpecBreakdown {
+	agg := make(map[string]*SpecBreakdown)
+	for _, r := range c.Responses {
+		b, ok := agg[r.Spec]
+		if !ok {
+			b = &SpecBreakdown{Spec: r.Spec}
+			agg[r.Spec] = b
+		}
+		b.Count++
+		b.MeanRT += r.Response
+		if r.Response > b.MaxRT {
+			b.MaxRT = r.Response
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SpecBreakdown, 0, len(names))
+	for _, n := range names {
+		b := agg[n]
+		b.MeanRT /= sim.Duration(b.Count)
+		out = append(out, *b)
+	}
+	return out
+}
+
+// MeanResponse returns the average response time across samples.
+func MeanResponse(samples []ResponseSample) sim.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range samples {
+		sum += float64(r.Response)
+	}
+	return sim.Duration(sum / float64(len(samples)))
+}
+
+// Percentile returns the p-th percentile (0-100) of sorted values,
+// using linear interpolation between closest ranks (the common
+// "exclusive" definition degenerates on tiny samples; we use the
+// inclusive nearest-rank-with-interpolation variant).
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanStd returns the sample mean and (population) standard deviation
+// of values — the cross-sequence spread the evaluation reports.
+func MeanStd(values []float64) (mean, std float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	if len(values) == 1 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(values)))
+}
+
+// PercentileOf sorts a copy of values and returns the p-th percentile.
+func PercentileOf(values []float64, p float64) float64 {
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	sort.Float64s(cp)
+	return Percentile(cp, p)
+}

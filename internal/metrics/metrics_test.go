@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"versaslot/internal/sim"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Fatalf("P0=%v", got)
+	}
+	if got := Percentile(sorted, 100); got != 10 {
+		t.Fatalf("P100=%v", got)
+	}
+	if got := Percentile(sorted, 50); got != 5.5 {
+		t.Fatalf("P50=%v, want 5.5 (interpolated)", got)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile not NaN")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Fatal("single sample")
+	}
+	if Percentile([]float64{1, 2}, 50) != 1.5 {
+		t.Fatal("two-sample median")
+	}
+}
+
+// Properties: percentile lies within [min,max] and is monotone in p.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		sort.Float64s(vals)
+		a := float64(p1 % 101)
+		b := float64(p2 % 101)
+		if a > b {
+			a, b = b, a
+		}
+		va := Percentile(vals, a)
+		vb := Percentile(vals, b)
+		return va >= vals[0] && vb <= vals[len(vals)-1] && va <= vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileOfDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	PercentileOf(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	c := NewCollector(100_000, 200_000)
+	for i := 1; i <= 100; i++ {
+		c.RecordResponse(ResponseSample{
+			AppID:    i,
+			Response: sim.Duration(i) * sim.Millisecond,
+			Finish:   sim.Time(i) * sim.Time(sim.Millisecond),
+		})
+	}
+	s := c.Summarize()
+	if s.Apps != 100 {
+		t.Fatal("app count")
+	}
+	if s.MeanRT != sim.Duration(50500)*sim.Microsecond {
+		t.Fatalf("mean %v", s.MeanRT)
+	}
+	if s.MinRT != sim.Millisecond || s.MaxRT != 100*sim.Millisecond {
+		t.Fatalf("min/max %v/%v", s.MinRT, s.MaxRT)
+	}
+	if s.P95 < 90*sim.Millisecond || s.P95 > 100*sim.Millisecond {
+		t.Fatalf("P95 %v", s.P95)
+	}
+	if s.P99 <= s.P95 {
+		t.Fatal("P99 not above P95")
+	}
+}
+
+func TestCollectorEmptySummary(t *testing.T) {
+	c := NewCollector(1, 1)
+	s := c.Summarize()
+	if s.Apps != 0 || s.MeanRT != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestUtilizationIntegral(t *testing.T) {
+	c := NewCollector(100, 200)
+	// 50 LUT / 50 FF resident for 2s on a 100-LUT/200-FF board observed
+	// over 4s: LUT = (50*2)/(100*4) = 0.25, FF = (50*2)/(200*4) = 0.125.
+	c.AccumulateResident(50, 50, 2*sim.Second)
+	c.RecordResponse(ResponseSample{Finish: sim.Time(4 * sim.Second)})
+	lut, ff := c.Utilization()
+	if lut != 0.25 {
+		t.Fatalf("LUT util %v, want 0.25", lut)
+	}
+	if ff != 0.125 {
+		t.Fatalf("FF util %v, want 0.125", ff)
+	}
+}
+
+func TestBusyUtilizationSeparate(t *testing.T) {
+	c := NewCollector(100, 200)
+	c.AccumulateResident(50, 100, 4*sim.Second)
+	c.AccumulateBusy(50, 100, 1*sim.Second)
+	c.RecordResponse(ResponseSample{Finish: sim.Time(4 * sim.Second)})
+	rl, _ := c.Utilization()
+	bl, _ := c.BusyUtilization()
+	if bl >= rl {
+		t.Fatalf("busy %v not below resident %v", bl, rl)
+	}
+}
+
+func TestMeanResponse(t *testing.T) {
+	if MeanResponse(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	samples := []ResponseSample{
+		{Response: 10 * sim.Millisecond},
+		{Response: 30 * sim.Millisecond},
+	}
+	if MeanResponse(samples) != 20*sim.Millisecond {
+		t.Fatal("mean")
+	}
+}
+
+func TestBySpec(t *testing.T) {
+	c := NewCollector(1, 1)
+	c.RecordResponse(ResponseSample{Spec: "IC", Response: 10 * sim.Millisecond})
+	c.RecordResponse(ResponseSample{Spec: "IC", Response: 30 * sim.Millisecond})
+	c.RecordResponse(ResponseSample{Spec: "AN", Response: 50 * sim.Millisecond})
+	by := c.BySpec()
+	if len(by) != 2 {
+		t.Fatalf("specs %d", len(by))
+	}
+	// Sorted: AN before IC.
+	if by[0].Spec != "AN" || by[1].Spec != "IC" {
+		t.Fatalf("order %v", by)
+	}
+	if by[1].Count != 2 || by[1].MeanRT != 20*sim.Millisecond || by[1].MaxRT != 30*sim.Millisecond {
+		t.Fatalf("IC breakdown %+v", by[1])
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if s != 2 {
+		t.Fatalf("std %v, want 2", s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd")
+	}
+	if m, s := MeanStd([]float64{7}); m != 7 || s != 0 {
+		t.Fatal("single MeanStd")
+	}
+}

@@ -1,0 +1,58 @@
+// Package migrate implements the cluster-level machinery of Section
+// III-D: the performance-degradation metric D_switch (Eq. 1), the
+// Schmitt-trigger switching loop with its buffer zone and pre-warming
+// (Fig. 4), and the live migration engine that moves ready applications
+// between boards over the interlink.
+package migrate
+
+import (
+	"versaslot/internal/appmodel"
+)
+
+// DSwitchInputs are the quantities Eq. 1 consumes, gathered over one
+// evaluation window (n updates of the application candidate queue).
+type DSwitchInputs struct {
+	// BlockedTasks is N_blocked_tasks: tasks whose PR waited behind
+	// another load during the window.
+	BlockedTasks uint64
+	// PRTasks is N_PR: PR loads issued by completed and running apps.
+	PRTasks uint64
+	// Apps is N_apps: applications in the candidate queue.
+	Apps int
+	// TotalBatch is N_batch: summed batch sizes of those candidates.
+	TotalBatch int
+}
+
+// DSwitch evaluates Eq. 1:
+//
+//	D_switch = (N_blocked_tasks / N_PR) * (N_apps / N_batch)
+//
+// clamped to [0, 1]. Empty windows (no PRs or no candidates) yield 0 —
+// an idle system has nothing to switch for.
+func DSwitch(in DSwitchInputs) float64 {
+	if in.PRTasks == 0 || in.TotalBatch == 0 || in.Apps == 0 {
+		return 0
+	}
+	d := (float64(in.BlockedTasks) / float64(in.PRTasks)) *
+		(float64(in.Apps) / float64(in.TotalBatch))
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// GatherCandidates sums N_apps and N_batch over the candidate queue
+// (waiting + ready + running apps).
+func GatherCandidates(apps []*appmodel.App) (n, totalBatch int) {
+	for _, a := range apps {
+		if a.State == appmodel.StateFinished || a.State == appmodel.StatePending {
+			continue
+		}
+		n++
+		totalBatch += a.Batch
+	}
+	return n, totalBatch
+}

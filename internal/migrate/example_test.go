@@ -1,0 +1,39 @@
+package migrate_test
+
+import (
+	"fmt"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/migrate"
+)
+
+// The Schmitt-trigger loop of Fig. 4: rising contention flips to
+// Big.Little at T1; the system switches back at T2 only after the
+// congestion fully drains — the band in between never chatters.
+func ExampleTrigger() {
+	tr := migrate.NewTrigger(fabric.OnlyLittle,
+		migrate.DefaultThresholdUp, migrate.DefaultThresholdDown)
+	for _, d := range []float64{0.02, 0.06, 0.12, 0.05, 0.02, 0.01} {
+		fmt.Printf("D=%.2f -> %s (mode %s)\n", d, tr.Observe(d), tr.Mode())
+	}
+	// Output:
+	// D=0.02 -> prewarm (mode Only.Little)
+	// D=0.06 -> prewarm (mode Only.Little)
+	// D=0.12 -> switch (mode Big.Little)
+	// D=0.05 -> prewarm (mode Big.Little)
+	// D=0.02 -> prewarm (mode Big.Little)
+	// D=0.01 -> switch (mode Only.Little)
+}
+
+// Eq. 1 in isolation.
+func ExampleDSwitch() {
+	d := migrate.DSwitch(migrate.DSwitchInputs{
+		BlockedTasks: 30,
+		PRTasks:      60,
+		Apps:         8,
+		TotalBatch:   140,
+	})
+	fmt.Printf("%.4f\n", d)
+	// Output:
+	// 0.0286
+}

@@ -1,0 +1,109 @@
+package migrate
+
+import (
+	"fmt"
+
+	"versaslot/internal/fabric"
+)
+
+// Decision is what the switching loop asks for after an update.
+type Decision int
+
+const (
+	// Stay: no action.
+	Stay Decision = iota
+	// Prewarm: D_switch entered the buffer zone moving toward a
+	// threshold; pre-configure the anticipated target board.
+	Prewarm
+	// Switch: a threshold was crossed; migrate live workload.
+	Switch
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Stay:
+		return "stay"
+	case Prewarm:
+		return "prewarm"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Trigger is the Schmitt-trigger switching loop of Fig. 4: rising
+// D_switch past T1 (ThresholdUp) flips Only.Little -> Big.Little;
+// falling past T2 (ThresholdDown) flips back. The [T2, T1] band is the
+// buffer zone that prevents oscillation; entering it pre-warms the
+// anticipated configuration.
+type Trigger struct {
+	// ThresholdUp is T_{Only.Little -> Big.Little} (paper: 0.1).
+	ThresholdUp float64
+	// ThresholdDown is T_{Big.Little -> Only.Little} (paper: 0.0125).
+	ThresholdDown float64
+
+	mode fabric.BoardConfig
+	last float64
+}
+
+// NewTrigger returns a trigger starting in mode with the paper's
+// thresholds unless overridden.
+func NewTrigger(mode fabric.BoardConfig, up, down float64) *Trigger {
+	if up <= down {
+		panic("migrate: ThresholdUp must exceed ThresholdDown")
+	}
+	if mode != fabric.OnlyLittle && mode != fabric.BigLittle {
+		panic("migrate: trigger mode must be Only.Little or Big.Little")
+	}
+	return &Trigger{ThresholdUp: up, ThresholdDown: down, mode: mode}
+}
+
+// DefaultThresholdUp and DefaultThresholdDown are the values of Fig. 8.
+const (
+	DefaultThresholdUp   = 0.1
+	DefaultThresholdDown = 0.0125
+)
+
+// Mode returns the configuration the trigger currently calls for.
+func (t *Trigger) Mode() fabric.BoardConfig { return t.mode }
+
+// Last returns the most recent D_switch observation.
+func (t *Trigger) Last() float64 { return t.last }
+
+// Target returns the configuration a Switch (or Prewarm) decision aims
+// at: the opposite of the current mode.
+func (t *Trigger) Target() fabric.BoardConfig {
+	if t.mode == fabric.OnlyLittle {
+		return fabric.BigLittle
+	}
+	return fabric.OnlyLittle
+}
+
+// Observe feeds one D_switch sample and returns the decision. On
+// Switch, the trigger's mode flips to Target's value.
+func (t *Trigger) Observe(d float64) Decision {
+	prev := t.last
+	t.last = d
+	switch t.mode {
+	case fabric.OnlyLittle:
+		if d >= t.ThresholdUp {
+			t.mode = fabric.BigLittle
+			return Switch
+		}
+		// Buffer zone, rising toward T1: anticipate Big.Little.
+		if d > t.ThresholdDown && d > prev {
+			return Prewarm
+		}
+	case fabric.BigLittle:
+		if d <= t.ThresholdDown {
+			t.mode = fabric.OnlyLittle
+			return Switch
+		}
+		// Buffer zone, falling toward T2: anticipate Only.Little.
+		if d < t.ThresholdUp && d < prev {
+			return Prewarm
+		}
+	}
+	return Stay
+}

@@ -1,0 +1,69 @@
+// Package pcap models the Processor Configuration Access Port of the
+// Zynq UltraScale+ PS: the single serial channel through which every
+// partial (and full) bitstream reaches the fabric. Two properties drive
+// the paper's whole problem statement and are preserved exactly:
+//
+//  1. The PCAP loads one bitstream at a time; concurrent PR requests
+//     serialize (PR contention).
+//  2. A load suspends the CPU core that issued it until the bitstream
+//     is fully transferred (task execution blocking on single-core
+//     schedulers).
+//
+// The device itself does not own an event queue; the hypervisor core
+// executing the load provides the serialization (a core can only run
+// one job). Device tracks occupancy, bytes, and contention statistics
+// that feed the D_switch metric.
+package pcap
+
+import (
+	"versaslot/internal/bitstream"
+	"versaslot/internal/sim"
+)
+
+// Device is one board's PCAP.
+type Device struct {
+	// Bandwidth is the sustained configuration throughput in bytes/s.
+	// Zynq UltraScale+ PCAP sustains roughly 128 MB/s in practice.
+	Bandwidth int64
+	// Overhead is the fixed per-load cost: DFX decoupler assertion,
+	// PCAP init, and completion check.
+	Overhead sim.Duration
+
+	stats Stats
+}
+
+// Stats aggregates the device's activity.
+type Stats struct {
+	Loads        uint64       // completed bitstream loads
+	Bytes        int64        // total configuration bytes streamed
+	BusyTime     sim.Duration // cumulative transfer time
+	WaitTime     sim.Duration // cumulative time requests spent queued
+	BlockedLoads uint64       // loads that had to wait behind another PR
+}
+
+// New returns a device with the given bandwidth and per-load overhead.
+func New(bandwidth int64, overhead sim.Duration) *Device {
+	if bandwidth <= 0 {
+		panic("pcap: non-positive bandwidth")
+	}
+	return &Device{Bandwidth: bandwidth, Overhead: overhead}
+}
+
+// LoadDuration returns the time to stream b through the port.
+func (d *Device) LoadDuration(b *bitstream.Bitstream) sim.Duration {
+	return bitstream.LoadTime(b, d.Bandwidth, d.Overhead)
+}
+
+// RecordLoad accounts one completed load and the queueing delay it saw.
+func (d *Device) RecordLoad(b *bitstream.Bitstream, transfer, wait sim.Duration) {
+	d.stats.Loads++
+	d.stats.Bytes += b.Bytes
+	d.stats.BusyTime += transfer
+	d.stats.WaitTime += wait
+	if wait > 0 {
+		d.stats.BlockedLoads++
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() Stats { return d.stats }

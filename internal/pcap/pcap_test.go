@@ -1,0 +1,50 @@
+package pcap
+
+import (
+	"testing"
+
+	"versaslot/internal/bitstream"
+	"versaslot/internal/sim"
+)
+
+func TestLoadDuration(t *testing.T) {
+	d := New(200<<20, 80*sim.Microsecond)
+	b := &bitstream.Bitstream{Name: "x", Bytes: 200 << 20}
+	got := d.LoadDuration(b)
+	want := sim.Second + 80*sim.Microsecond
+	if got != want {
+		t.Fatalf("LoadDuration %v, want %v", got, want)
+	}
+}
+
+func TestNewPanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero bandwidth did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := New(128<<20, 0)
+	b := &bitstream.Bitstream{Name: "x", Bytes: 4 << 20}
+	d.RecordLoad(b, 30*sim.Millisecond, 0)
+	d.RecordLoad(b, 30*sim.Millisecond, 12*sim.Millisecond)
+	s := d.Stats()
+	if s.Loads != 2 {
+		t.Fatalf("loads %d", s.Loads)
+	}
+	if s.Bytes != 8<<20 {
+		t.Fatalf("bytes %d", s.Bytes)
+	}
+	if s.BusyTime != 60*sim.Millisecond {
+		t.Fatalf("busy %v", s.BusyTime)
+	}
+	if s.WaitTime != 12*sim.Millisecond {
+		t.Fatalf("wait %v", s.WaitTime)
+	}
+	if s.BlockedLoads != 1 {
+		t.Fatalf("blocked %d, want 1 (only the waiting load)", s.BlockedLoads)
+	}
+}

@@ -1,0 +1,39 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"versaslot/internal/pipeline"
+	"versaslot/internal/sim"
+)
+
+// A bottleneck-dominated pipeline needs far fewer slots than stages:
+// the ILP-equivalent optimum finds the knee.
+func ExamplePlan_OptimalSlots() {
+	plan := pipeline.Plan{
+		StageTimes: []sim.Duration{
+			100 * sim.Millisecond, // dominant stage
+			5 * sim.Millisecond,
+			5 * sim.Millisecond,
+			5 * sim.Millisecond,
+			5 * sim.Millisecond,
+			5 * sim.Millisecond,
+		},
+		Batch:    20,
+		LoadTime: 2 * sim.Millisecond,
+	}
+	fmt.Println("optimal slots:", plan.OptimalSlots(8))
+	// Output:
+	// optimal slots: 2
+}
+
+func ExamplePlan_Makespan() {
+	plan := pipeline.Plan{
+		StageTimes: []sim.Duration{10 * sim.Millisecond, 10 * sim.Millisecond},
+		Batch:      4,
+	}
+	// Fully parallel two-stage pipeline: (batch + stages - 1) * T.
+	fmt.Println(plan.Makespan(2))
+	// Output:
+	// 50ms
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Title", "Name", "Value")
+	tbl.AddRow("short", 1.5)
+	tbl.AddRow("a-much-longer-name", 22)
+	out := tbl.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines %d: %q", len(lines), out)
+	}
+	// All data lines align to the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatal("header and separator widths differ")
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Fatal("floats not rendered with 2 decimals")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "A")
+	tbl.AddRow("x")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Fatal("empty title rendered a blank line")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("plain", `quote"inside`)
+	tbl.AddRow("comma,here", "new\nline")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Fatalf("quote escaping: %q", out)
+	}
+	if !strings.Contains(out, `"comma,here"`) {
+		t.Fatal("comma quoting")
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatal("header row")
+	}
+}

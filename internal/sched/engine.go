@@ -1,0 +1,529 @@
+package sched
+
+import (
+	"fmt"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bitstream"
+	"versaslot/internal/fabric"
+	"versaslot/internal/hypervisor"
+	"versaslot/internal/metrics"
+	"versaslot/internal/pcap"
+	"versaslot/internal/sim"
+	"versaslot/internal/trace"
+)
+
+// Engine is the per-board execution machinery every policy drives: it
+// owns the fabric slots, the PCAP, the CPU cores, the bitstream store,
+// and the mechanics of partial reconfiguration and batch-item launches.
+// Policies make decisions; the engine charges their true costs.
+type Engine struct {
+	K      *sim.Kernel
+	Params Params
+	Board  *fabric.Board
+	Cores  *hypervisor.Cores
+	PCAP   *pcap.Device
+	Repo   *bitstream.Repository
+	Cache  *bitstream.Cache
+	Col    *metrics.Collector
+
+	policy Policy
+
+	// Apps are all injected applications in arrival order.
+	Apps []*appmodel.App
+	// Active are arrived, unfinished apps in arrival order.
+	Active []*appmodel.App
+
+	pendingSched bool
+	frozen       bool
+
+	// slotStage tracks which stage is resident (or loading) per slot.
+	slotStage map[*fabric.Slot]*appmodel.Stage
+	// residentSince tracks when the current resident interval started.
+	residentSince map[*fabric.Slot]sim.Time
+
+	// OnAppFinished fires after an app completes (cluster/migration hook).
+	OnAppFinished func(*appmodel.App)
+	// OnQueueUpdate fires on every candidate-queue change: an arrival
+	// or a completion. The D_switch controller recomputes on a cadence
+	// of these.
+	OnQueueUpdate func()
+
+	// WindowBlocked and WindowPR count, since the last external reset,
+	// tasks whose PR waited behind another load, and PR loads issued —
+	// the numerator and denominator history feeding D_switch.
+	WindowBlocked uint64
+	WindowPR      uint64
+
+	// Trace, when non-nil, receives one line per engine event (PR
+	// start/completion, item launch/completion, app lifecycle). Used by
+	// the vstrace tool; nil in normal runs.
+	Trace func(format string, args ...any)
+
+	// Recorder, when non-nil, receives typed events for timeline
+	// rendering and post-hoc analysis.
+	Recorder *trace.Recorder
+}
+
+func (e *Engine) record(ev trace.Event) {
+	if e.Recorder != nil {
+		ev.At = e.K.Now()
+		e.Recorder.Record(ev)
+	}
+}
+
+func (e *Engine) trace(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(format, args...)
+	}
+}
+
+// NewEngine wires a board's execution machinery together.
+func NewEngine(k *sim.Kernel, p Params, board *fabric.Board, model hypervisor.CoreModel, repo *bitstream.Repository) *Engine {
+	capTotal := board.SlotCapacityTotal()
+	return &Engine{
+		K:             k,
+		Params:        p,
+		Board:         board,
+		Cores:         hypervisor.NewCores(k, model, board.ID),
+		PCAP:          pcap.New(p.PCAPBandwidth, p.PCAPOverhead),
+		Repo:          repo,
+		Cache:         bitstream.NewCache(p.CacheEntries),
+		Col:           metrics.NewCollector(capTotal.LUT, capTotal.FF),
+		slotStage:     make(map[*fabric.Slot]*appmodel.Stage),
+		residentSince: make(map[*fabric.Slot]sim.Time),
+	}
+}
+
+// DisableBitstreamCache models control planes without a DDR bitstream
+// store (pre-Nimblock systems like the FCFS/RR comparators): every
+// partial reconfiguration re-streams its bitstream from the SD card.
+func (e *Engine) DisableBitstreamCache() {
+	e.Cache = bitstream.NewCache(0)
+}
+
+// SetPolicy installs the scheduling policy; must happen before any
+// arrivals.
+func (e *Engine) SetPolicy(p Policy) {
+	e.policy = p
+	p.Init(e)
+}
+
+// Policy returns the installed policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Now returns the kernel clock.
+func (e *Engine) Now() sim.Time { return e.K.Now() }
+
+// Frozen reports whether the engine is draining for migration.
+func (e *Engine) Frozen() bool { return e.frozen }
+
+// SetFrozen toggles migration-drain mode. Policies must not start new
+// applications while frozen (apps already executing run to completion).
+func (e *Engine) SetFrozen(v bool) {
+	e.frozen = v
+	e.Activate()
+}
+
+// InjectSequence schedules arrival events for apps (Arrival fields are
+// absolute virtual times).
+func (e *Engine) InjectSequence(apps []*appmodel.App) {
+	for _, a := range apps {
+		a := a
+		e.Apps = append(e.Apps, a)
+		e.K.At(a.Arrival, func() { e.arrive(a) })
+	}
+}
+
+// InjectNow delivers an app immediately (used by live migration and by
+// tests). The app keeps its original arrival time for response-time
+// accounting.
+func (e *Engine) InjectNow(a *appmodel.App) {
+	e.Apps = append(e.Apps, a)
+	e.arrive(a)
+}
+
+// InjectMigrated delivers an app transferred from another board: it
+// joins this engine's bookkeeping and the policy's waiting structures.
+// The app keeps its original arrival time, so migration latency counts
+// against its response time.
+func (e *Engine) InjectMigrated(a *appmodel.App) {
+	e.Apps = append(e.Apps, a)
+	e.Active = append(e.Active, a)
+	e.policy.AcceptMigrated([]*appmodel.App{a})
+	if e.OnQueueUpdate != nil {
+		e.OnQueueUpdate()
+	}
+	e.Activate()
+}
+
+func (e *Engine) arrive(a *appmodel.App) {
+	if a.State == appmodel.StatePending {
+		a.State = appmodel.StateWaiting
+	}
+	e.record(trace.Event{Kind: trace.AppArrive, Slot: -1, App: a.String(), Stage: -1, Item: -1})
+	e.Active = append(e.Active, a)
+	e.policy.AppArrived(a)
+	if e.OnQueueUpdate != nil {
+		e.OnQueueUpdate()
+	}
+	e.Activate()
+}
+
+// Activate coalesces scheduler invocations: the next pass runs as a job
+// on the scheduler core (charging SchedPassCost) unless one is already
+// queued.
+func (e *Engine) Activate() {
+	if e.pendingSched || e.policy == nil {
+		return
+	}
+	e.pendingSched = true
+	e.Cores.Sched.SubmitFunc("sched-pass", "sched", e.Params.EffectiveSchedPass(), func() {
+		e.pendingSched = false
+		e.policy.Schedule()
+	})
+}
+
+// RequestPR starts a partial reconfiguration of st into slot. The load
+// job runs on the PR core (the scheduler core itself in single-core
+// mode — which is exactly how PR blocks launches there). async tags
+// the OCM round-trip of the dual-core path.
+func (e *Engine) RequestPR(st *appmodel.Stage, slot *fabric.Slot) {
+	if st.Kind != slot.Kind {
+		panic(fmt.Sprintf("sched: stage %v kind %v into slot kind %v", st, st.Kind, slot.Kind))
+	}
+	bits := e.Repo.MustGet(st.BitstreamName)
+	e.evictResident(slot)
+	if err := slot.BeginLoad(st); err != nil {
+		panic(err)
+	}
+	st.Slot = slot
+	st.Loading = true
+	e.trace("%v PR request %v -> slot %d", e.K.Now(), st, slot.ID)
+	e.record(trace.Event{Kind: trace.PRRequest, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: -1})
+	cost := e.PCAP.LoadDuration(bits)
+	if !e.Cache.Lookup(bits.Name) {
+		cost += e.sdTime(bits.Bytes)
+	}
+	if e.Cores.Model == hypervisor.DualCore {
+		e.Cores.PostPRRequest()
+	}
+	e.WindowPR++
+	// Contention pressure for D_switch: this request is blocked by
+	// every load already pending on the serial PCAP path, so the
+	// blocked-task count grows by the current depth (a task stuck
+	// behind three loads is blocked three times over — matching the
+	// paper's N_blocked/N_PR ratios above 1 under heavy sharing).
+	e.WindowBlocked += uint64(e.Cores.PR.PendingByClass("pr"))
+	e.Col.PRLoads++
+	e.Col.PRBytes += bits.Bytes
+	e.submitPRJob(st, slot, bits, cost)
+}
+
+// submitPRJob queues one PCAP streaming attempt; a CRC failure (per
+// Params.PRFailureRate) re-streams the bitstream, keeping the slot in
+// its loading state — exactly the PR server's retry path on hardware.
+func (e *Engine) submitPRJob(st *appmodel.Stage, slot *fabric.Slot, bits *bitstream.Bitstream, cost sim.Duration) {
+	var waited sim.Duration
+	rate := e.Params.PRFailureRate
+	if rate > 0.95 {
+		rate = 0.95 // keep retries finite
+	}
+	e.Cores.PR.Submit(&sim.Job{
+		Name:  bits.Name,
+		Class: "pr",
+		Cost:  cost,
+		Start: func(wait sim.Duration) {
+			waited = wait
+			if wait > 0 {
+				e.Col.PRBlocked++
+			}
+			e.Col.PRWait += wait
+		},
+		Done: func() {
+			if rate > 0 && e.K.RNG().Float64() < rate {
+				// CRC verification failed: the partial is re-streamed.
+				e.Col.PRRetries++
+				e.trace("%v PR CRC retry %v -> slot %d", e.K.Now(), st, slot.ID)
+				e.submitPRJob(st, slot, bits, cost)
+				return
+			}
+			e.PCAP.RecordLoad(bits, cost, waited)
+			if err := slot.CompleteLoad(); err != nil {
+				panic(err)
+			}
+			st.Loading = false
+			st.LoadedAt = e.K.Now()
+			e.trace("%v PR done %v -> slot %d (wait %v)", e.K.Now(), st, slot.ID, waited)
+			e.record(trace.Event{Kind: trace.PRDone, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: -1, Wait: waited})
+			e.beginResident(slot, st)
+			if e.Cores.Model == hypervisor.DualCore {
+				e.Cores.PostPRStatus()
+			}
+			e.Activate()
+		},
+	})
+}
+
+// PlaceResident makes st resident in slot instantly, bypassing the
+// PCAP. The exclusive baseline uses it after its single full-fabric
+// reconfiguration placed all stages at once.
+func (e *Engine) PlaceResident(st *appmodel.Stage, slot *fabric.Slot) {
+	e.evictResident(slot)
+	if err := slot.BeginLoad(st); err != nil {
+		panic(err)
+	}
+	if err := slot.CompleteLoad(); err != nil {
+		panic(err)
+	}
+	st.Slot = slot
+	st.Loading = false
+	st.LoadedAt = e.K.Now()
+	e.beginResident(slot, st)
+}
+
+// EvictStage removes st from its (free) slot, e.g. on preemption or
+// slot reuse. Evicting an unfinished stage counts as a preemption.
+func (e *Engine) EvictStage(st *appmodel.Stage) {
+	slot := st.Slot
+	if slot == nil {
+		return
+	}
+	if !slot.Free() {
+		panic(fmt.Sprintf("sched: evicting stage %v from non-free slot %d", st, slot.ID))
+	}
+	if !st.Finished() && st.Done > 0 || !st.Finished() && st.App.Started {
+		e.Col.Preemptions++
+	}
+	e.closeResident(slot)
+	delete(e.slotStage, slot)
+	st.Evict()
+	if err := slot.Clear(); err != nil {
+		panic(err)
+	}
+}
+
+// LaunchItem reserves slot occupancy for st's next item and queues the
+// launch on the scheduler core. The slot turns Busy immediately (it is
+// committed), but execution begins only when the core gets to the
+// launch — queueing behind a PR on single-core systems is the paper's
+// task-execution-blocking effect.
+func (e *Engine) LaunchItem(st *appmodel.Stage) bool {
+	if st.InFlight || st.Finished() || !st.Resident() || !st.NextItemReady() {
+		return false
+	}
+	slot := st.Slot
+	if slot.State() != fabric.SlotLoaded {
+		return false
+	}
+	if err := slot.BeginExec(); err != nil {
+		panic(err)
+	}
+	st.InFlight = true
+	idx := st.Done
+	dur := st.ItemTime(idx)
+	res := st.ImplRes()
+	e.Cores.Sched.SubmitFunc(fmt.Sprintf("launch %v#%d", st, idx), "launch", e.Params.EffectiveLaunch(), func() {
+		start := e.K.Now()
+		if !st.App.Started {
+			st.App.FirstStart = start
+		}
+		e.trace("%v exec %v item %d on slot %d (%v)", start, st, idx, slot.ID, dur)
+		e.record(trace.Event{Kind: trace.ExecStart, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
+		e.K.Schedule(dur, func() {
+			if err := slot.CompleteExec(); err != nil {
+				panic(err)
+			}
+			e.Col.AccumulateBusy(res.LUT, res.FF, e.K.Now().Sub(start))
+			st.InFlight = false
+			st.Done++
+			e.record(trace.Event{Kind: trace.ExecDone, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
+			if !st.App.Started {
+				st.App.Started = true
+			}
+			if st.App.State == appmodel.StateReady || st.App.State == appmodel.StateWaiting {
+				st.App.State = appmodel.StateRunning
+			}
+			e.itemDone(st)
+		})
+	})
+	return true
+}
+
+// Pump launches every launchable item of the app. It returns the number
+// of launches issued.
+func (e *Engine) Pump(a *appmodel.App) int {
+	n := 0
+	for _, st := range a.Stages {
+		if e.LaunchItem(st) {
+			n++
+		}
+	}
+	return n
+}
+
+// PumpSequential is Pump for policies without inter-slot pipelining
+// (FCFS/RR): stage i+1 starts only after stage i finished the batch.
+func (e *Engine) PumpSequential(a *appmodel.App) int {
+	for _, st := range a.Stages {
+		if !st.Finished() {
+			if e.LaunchItem(st) {
+				return 1
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+func (e *Engine) itemDone(st *appmodel.Stage) {
+	a := st.App
+	if a.Done() && a.State != appmodel.StateFinished {
+		e.finishApp(a)
+	}
+	e.Activate()
+}
+
+func (e *Engine) finishApp(a *appmodel.App) {
+	a.State = appmodel.StateFinished
+	a.Finish = e.K.Now()
+	e.trace("%v app %v finished (response %v)", e.K.Now(), a, a.Finish.Sub(a.Arrival))
+	e.record(trace.Event{Kind: trace.AppFinish, Slot: -1, App: a.String(), Stage: -1, Item: -1})
+	// Release any slots still holding the app's stages.
+	for _, st := range a.Stages {
+		if st.Slot != nil && st.Slot.Free() {
+			e.closeResident(st.Slot)
+			delete(e.slotStage, st.Slot)
+			slot := st.Slot
+			st.Evict()
+			if err := slot.Clear(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i, x := range e.Active {
+		if x == a {
+			e.Active = append(e.Active[:i], e.Active[i+1:]...)
+			break
+		}
+	}
+	e.Col.RecordResponse(metrics.ResponseSample{
+		AppID:      a.ID,
+		Spec:       a.Spec.Name,
+		Batch:      a.Batch,
+		Arrival:    a.Arrival,
+		Finish:     a.Finish,
+		Response:   a.ResponseTime(),
+		QueueDelay: a.QueueDelay(),
+	})
+	e.policy.AppFinished(a)
+	if e.OnAppFinished != nil {
+		e.OnAppFinished(a)
+	}
+	if e.OnQueueUpdate != nil {
+		e.OnQueueUpdate()
+	}
+}
+
+// RemoveActive detaches an app from the engine without finishing it
+// (live migration). The caller must have ensured the app holds no slots.
+func (e *Engine) RemoveActive(a *appmodel.App) {
+	for _, st := range a.Stages {
+		if st.Slot != nil {
+			panic(fmt.Sprintf("sched: migrating app %v still holds slot %d", a, st.Slot.ID))
+		}
+	}
+	for i, x := range e.Active {
+		if x == a {
+			e.Active = append(e.Active[:i], e.Active[i+1:]...)
+			break
+		}
+	}
+}
+
+func (e *Engine) sdTime(bytes int64) sim.Duration {
+	return sim.Duration(float64(bytes) / float64(e.Params.SDBandwidth) * float64(sim.Second))
+}
+
+// FullReconfigCost prices the exclusive baseline's whole-fabric swap:
+// storage streaming (full bitstreams exceed the DDR staging cache),
+// the PCAP transfer, and PS-PL re-initialization.
+func (e *Engine) FullReconfigCost(bits *bitstream.Bitstream) sim.Duration {
+	cost := e.PCAP.LoadDuration(bits)
+	if !e.Params.FullBitstreamCached {
+		cost += e.sdTime(bits.Bytes)
+	}
+	return cost + e.Params.FullReconfigInit
+}
+
+func (e *Engine) beginResident(slot *fabric.Slot, st *appmodel.Stage) {
+	e.slotStage[slot] = st
+	e.residentSince[slot] = e.K.Now()
+}
+
+func (e *Engine) closeResident(slot *fabric.Slot) {
+	st, ok := e.slotStage[slot]
+	if !ok {
+		return
+	}
+	since := e.residentSince[slot]
+	res := st.ImplRes()
+	e.Col.AccumulateResident(res.LUT, res.FF, e.K.Now().Sub(since))
+	delete(e.residentSince, slot)
+}
+
+func (e *Engine) evictResident(slot *fabric.Slot) {
+	if prev, ok := e.slotStage[slot]; ok {
+		e.closeResident(slot)
+		delete(e.slotStage, slot)
+		prev.Evict()
+	}
+}
+
+// FlushResidency closes all open residency intervals (end of run) so
+// utilization integrals are complete.
+func (e *Engine) FlushResidency() {
+	for slot := range e.slotStage {
+		e.closeResident(slot)
+		e.residentSince[slot] = e.K.Now()
+	}
+}
+
+// ResetWindow clears the D_switch counting window and returns the
+// counts it held.
+func (e *Engine) ResetWindow() (blocked, prs uint64) {
+	blocked, prs = e.WindowBlocked, e.WindowPR
+	e.WindowBlocked, e.WindowPR = 0, 0
+	return blocked, prs
+}
+
+// UnfinishedCount returns the number of injected-but-unfinished apps.
+func (e *Engine) UnfinishedCount() int {
+	n := 0
+	for _, a := range e.Apps {
+		if a.State != appmodel.StateFinished {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckQuiescent panics with diagnostics if the kernel ran dry while
+// apps remain unfinished — a scheduling deadlock, always a bug.
+func (e *Engine) CheckQuiescent() {
+	if e.UnfinishedCount() == 0 {
+		return
+	}
+	msg := fmt.Sprintf("sched: %s deadlock at %v: %d apps unfinished:",
+		e.policy.Name(), e.K.Now(), e.UnfinishedCount())
+	for _, a := range e.Apps {
+		if a.State != appmodel.StateFinished {
+			msg += fmt.Sprintf("\n  %v state=%v started=%v remaining=%d", a, a.State, a.Started, a.RemainingItems())
+			for _, st := range a.Stages {
+				msg += fmt.Sprintf("\n    stage %d done=%d/%d inflight=%v loading=%v slot=%v",
+					st.Index, st.Done, a.Batch, st.InFlight, st.Loading, st.Slot != nil)
+			}
+		}
+	}
+	panic(msg)
+}

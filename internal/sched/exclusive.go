@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bitstream"
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+// Exclusive is the traditional temporal-multiplexing baseline ([7],
+// [16]: AWS-F1-style whole-FPGA allocation): one application owns the
+// entire fabric at a time and runs its native monolithic design (all
+// stages resident, internally pipelined, no partial reconfiguration).
+// Multiplexing is purely temporal: a time slice rotates among queued
+// applications, and every context switch performs a full fabric
+// reconfiguration — the "significant context switch overhead" the
+// paper's introduction calls out. A lone application runs to
+// completion unperturbed, which is why this baseline is competitive
+// under Loose arrivals and collapses under congestion.
+type Exclusive struct {
+	e        *Engine
+	queue    []*appmodel.App
+	current  *appmodel.App
+	loading  bool
+	draining bool
+	sliceEnd sim.Time
+}
+
+var _ Policy = (*Exclusive)(nil)
+
+// Name implements Policy.
+func (x *Exclusive) Name() string { return KindBaseline.String() }
+
+// Init implements Policy. The board must be Monolithic (virtual stage
+// regions, no DPR).
+func (x *Exclusive) Init(e *Engine) {
+	if e.Board.Config != fabric.Monolithic {
+		panic("sched: Exclusive requires a Monolithic board")
+	}
+	x.e = e
+}
+
+// AppArrived implements Policy.
+func (x *Exclusive) AppArrived(a *appmodel.App) {
+	x.queue = append(x.queue, a)
+	// Wake the scheduler when the running app's slice expires, now that
+	// someone is waiting for the fabric.
+	if x.current != nil && !x.loading {
+		t := x.sliceEnd
+		if t < x.e.Now() {
+			t = x.e.Now()
+		}
+		x.e.K.At(t, x.e.Activate)
+	}
+}
+
+// AppFinished implements Policy.
+func (x *Exclusive) AppFinished(a *appmodel.App) {
+	if x.current == a {
+		x.current = nil
+		x.draining = false
+	}
+}
+
+// Schedule implements Policy.
+func (x *Exclusive) Schedule() {
+	e := x.e
+	if x.loading {
+		return
+	}
+	if x.current == nil {
+		if len(x.queue) > 0 && !e.Frozen() {
+			a := x.queue[0]
+			x.queue = x.queue[1:]
+			x.swapIn(a)
+		}
+		return
+	}
+	// Time-slice expiry: drain in-flight items, then swap the whole
+	// fabric to the next queued app.
+	if !x.draining && len(x.queue) > 0 && e.Now() >= x.sliceEnd {
+		x.draining = true
+	}
+	if x.draining {
+		if x.anyInFlight() {
+			return // in-flight items complete, then we swap
+		}
+		x.swapOut()
+		return
+	}
+	e.Pump(x.current)
+}
+
+func (x *Exclusive) anyInFlight() bool {
+	for _, st := range x.current.Stages {
+		if st.InFlight {
+			return true
+		}
+	}
+	return false
+}
+
+// swapOut evicts the current app (its DDR state persists; batch
+// progress is kept) and re-queues it at the tail.
+func (x *Exclusive) swapOut() {
+	e := x.e
+	a := x.current
+	x.current = nil
+	x.draining = false
+	for _, st := range a.Stages {
+		if st.Slot != nil && st.Slot.Free() {
+			e.EvictStage(st)
+		}
+	}
+	a.State = appmodel.StateWaiting
+	// Rotate within the bounded run-set: the multiplexer round-robins
+	// a working set of applications, FCFS beyond it.
+	pos := e.Params.BaselineRunset - 1
+	if pos > len(x.queue) {
+		pos = len(x.queue)
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	x.queue = append(x.queue, nil)
+	copy(x.queue[pos+1:], x.queue[pos:])
+	x.queue[pos] = a
+	e.Activate()
+}
+
+// swapIn performs the full fabric reconfiguration and places every
+// stage of the app's monolithic design.
+func (x *Exclusive) swapIn(a *appmodel.App) {
+	e := x.e
+	x.current = a
+	x.loading = true
+	a.State = appmodel.StateReady
+	if len(a.Stages) == 0 {
+		// The monolithic design runs all tasks with the unpartitioned
+		// implementation's timing advantage.
+		appmodel.TaskStages(a, a.Spec.MonoFactor, func(int) string {
+			return bitstream.FullName(a.Spec.Name)
+		})
+	}
+	full := e.Repo.MustGet(bitstream.FullName(a.Spec.Name))
+	cost := e.FullReconfigCost(full)
+	e.Col.PRLoads++
+	e.Col.PRBytes += full.Bytes
+	e.Cores.PR.SubmitFunc("full-reconfig "+a.Spec.Name, "full-reconfig", cost, func() {
+		for i, st := range a.Stages {
+			e.PlaceResident(st, e.Board.Slots[i])
+		}
+		x.loading = false
+		x.sliceEnd = e.Now().Add(e.Params.BaselineQuantum)
+		if len(x.queue) > 0 {
+			e.K.At(x.sliceEnd, e.Activate)
+		}
+		e.Pump(a)
+		e.Activate()
+	})
+}
+
+// ExtractMigratable implements Policy: queued apps can move; the one
+// being executed (or reconfigured in) stays.
+func (x *Exclusive) ExtractMigratable() []*appmodel.App {
+	var out, kept []*appmodel.App
+	for _, a := range x.queue {
+		if a.Started {
+			kept = append(kept, a)
+		} else {
+			out = append(out, a)
+		}
+	}
+	x.queue = kept
+	return out
+}
+
+// AcceptMigrated implements Policy.
+func (x *Exclusive) AcceptMigrated(apps []*appmodel.App) {
+	x.queue = append(x.queue, apps...)
+	x.e.Activate()
+}

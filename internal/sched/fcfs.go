@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bundle"
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+// FCFS is first-come-first-served spatio-temporal sharing: applications
+// are admitted strictly in arrival order (head-of-line blocking), and
+// each gets one Little slot per task (gang allocation: the whole
+// pipeline must be resident before the app is admitted, so a big app
+// behind a busy fabric blocks everyone behind it). No ILP sizing, no
+// backfill, no preemption. Single-core control plane.
+type FCFS struct {
+	e            *Engine
+	queue        []*appmodel.App // waiting, strict arrival order
+	running      []*appmodel.App
+	cleanupUntil sim.Time
+}
+
+var _ Policy = (*FCFS)(nil)
+
+// Name implements Policy.
+func (f *FCFS) Name() string { return KindFCFS.String() }
+
+// Init implements Policy. FCFS predates DDR bitstream caching: every
+// PR re-streams from storage.
+func (f *FCFS) Init(e *Engine) {
+	f.e = e
+	e.DisableBitstreamCache()
+}
+
+// AppArrived implements Policy.
+func (f *FCFS) AppArrived(a *appmodel.App) {
+	bundle.BuildLittle(a)
+	f.queue = append(f.queue, a)
+}
+
+// AppFinished implements Policy: the tenant's slots scrub before reuse.
+func (f *FCFS) AppFinished(a *appmodel.App) {
+	for i, x := range f.running {
+		if x == a {
+			f.running = append(f.running[:i], f.running[i+1:]...)
+			break
+		}
+	}
+	f.cleanupUntil = f.e.Now().Add(f.e.Params.TenantTeardown)
+	f.e.K.At(f.cleanupUntil, f.e.Activate)
+}
+
+// Schedule implements Policy.
+func (f *FCFS) Schedule() {
+	e := f.e
+	// Admit from the head only: strict FCFS. No admission while a
+	// finished tenant's state is still being scrubbed.
+	for len(f.queue) > 0 && !e.Frozen() && e.Now() >= f.cleanupUntil {
+		head := f.queue[0]
+		need := gangNeed(head, e.Params.GangMaxSlots)
+		free := e.Board.EmptySlots(fabric.Little)
+		if len(free) < need {
+			break
+		}
+		f.queue = f.queue[1:]
+		f.running = append(f.running, head)
+		head.State = appmodel.StateReady
+		placeGang(e, head, free[:need])
+	}
+	// Reuse slots of finished stages for still-unplaced stages, then
+	// pump the resident pipelines. A gang-scheduled app starts only
+	// once its whole pipeline is configured (naive systems stream data
+	// after the fabric is set up, not stage by stage).
+	for _, a := range f.running {
+		reuseForUnplaced(e, a)
+		if gangStarted(a) {
+			e.Pump(a)
+		}
+	}
+}
+
+// ExtractMigratable implements Policy.
+func (f *FCFS) ExtractMigratable() []*appmodel.App {
+	out := f.queue
+	f.queue = nil
+	return out
+}
+
+// AcceptMigrated implements Policy.
+func (f *FCFS) AcceptMigrated(apps []*appmodel.App) {
+	f.queue = append(f.queue, apps...)
+	f.e.Activate()
+}
+
+// gangNeed returns how many slots a gang allocation wants: one per
+// unfinished stage, capped by the board.
+func gangNeed(a *appmodel.App, boardSlots int) int {
+	n := a.UnfinishedStages()
+	if n > boardSlots {
+		n = boardSlots
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// placeGang loads the app's first len(slots) unfinished stages.
+func placeGang(e *Engine, a *appmodel.App, slots []*fabric.Slot) {
+	i := 0
+	for _, st := range a.Stages {
+		if i >= len(slots) {
+			break
+		}
+		if st.Finished() || st.Slot != nil {
+			continue
+		}
+		e.RequestPR(st, slots[i])
+		i++
+	}
+}
+
+// gangStarted reports whether a gang-scheduled app may begin execution:
+// every configuration it is waiting on has completed (or it already ran,
+// in which case mid-run reloads do not re-gate it).
+func gangStarted(a *appmodel.App) bool {
+	if a.Started {
+		return true
+	}
+	for _, st := range a.Stages {
+		if st.Loading {
+			return false
+		}
+	}
+	return true
+}
+
+// reuseForUnplaced recycles slots of finished stages into the app's
+// not-yet-placed stages (needed when task count exceeds board slots).
+func reuseForUnplaced(e *Engine, a *appmodel.App) {
+	var unplaced []*appmodel.Stage
+	for _, st := range a.Stages {
+		if !st.Finished() && st.Slot == nil {
+			unplaced = append(unplaced, st)
+		}
+	}
+	if len(unplaced) == 0 {
+		return
+	}
+	for _, st := range a.Stages {
+		if len(unplaced) == 0 {
+			break
+		}
+		if st.Finished() && st.Slot != nil && st.Slot.Free() {
+			slot := st.Slot
+			e.EvictStage(st)
+			e.RequestPR(unplaced[0], slot)
+			unplaced = unplaced[1:]
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"testing"
+
+	"versaslot/internal/sim"
+)
+
+func TestEffectiveCostsEmbedded(t *testing.T) {
+	p := DefaultParams()
+	if p.EffectiveSchedPass() != p.SchedPassCost {
+		t.Fatal("embedded sched pass cost altered")
+	}
+	if p.EffectiveLaunch() != p.LaunchCost {
+		t.Fatal("embedded launch cost altered")
+	}
+}
+
+func TestEffectiveCostsHostControl(t *testing.T) {
+	p := DefaultParams()
+	p.HostControl = true
+	if p.EffectiveSchedPass() != p.SchedPassCost+p.PCIeRoundTrip {
+		t.Fatal("host sched pass missing PCIe round trip")
+	}
+	if p.EffectiveLaunch() != p.LaunchCost+p.PCIeRoundTrip {
+		t.Fatal("host launch missing PCIe round trip")
+	}
+}
+
+func TestHostControlSlowsControlPlane(t *testing.T) {
+	// Same workload, same policy; PCIe control must not speed things
+	// up, and the total launch time spent must grow by the round trip.
+	p1 := DefaultParams()
+	p2 := DefaultParams()
+	p2.HostControl = true
+	p2.PCIeRoundTrip = 500 * sim.Microsecond // exaggerate to make it visible
+	if p2.EffectiveLaunch() <= p1.EffectiveLaunch() {
+		t.Fatal("host launch not slower")
+	}
+}

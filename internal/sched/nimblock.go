@@ -1,0 +1,381 @@
+package sched
+
+import (
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bundle"
+	"versaslot/internal/fabric"
+	"versaslot/internal/pipeline"
+	"versaslot/internal/sim"
+)
+
+// littleSched is the shared machinery of the two uniform-slot pipeline
+// schedulers:
+//
+//   - Nimblock [15]: ILP-optimal slot counts, inter-slot item
+//     pipelining, aging-based preemption — but a single-core control
+//     plane, so every PCAP load blocks scheduling and launches, and
+//     leftover slots are not redistributed.
+//   - VersaSlot Only.Little: the same allocation discipline with the
+//     dual-core PR server (chosen by the runner's CoreModel) plus
+//     redistribution of leftover slots to running applications.
+type littleSched struct {
+	kind         Kind
+	redistribute bool
+
+	e           *Engine
+	waiting     []*appmodel.App
+	running     []*appmodel.App
+	alloc       map[*appmodel.App]int
+	opt         map[*appmodel.App]int // O_L: ILP-optimal slot count
+	maxUse      map[*appmodel.App]int // top-up ceiling for redistribution
+	lastPreempt sim.Time
+}
+
+// Nimblock is the state-of-the-art single-core comparator.
+type Nimblock struct{ littleSched }
+
+var _ Policy = (*Nimblock)(nil)
+
+// Init implements Policy.
+func (n *Nimblock) Init(e *Engine) { n.littleSched.init(KindNimblock, false, e) }
+
+// Name implements Policy.
+func (n *Nimblock) Name() string { return KindNimblock.String() }
+
+// NewVersaSlotOL returns VersaSlot on an Only.Little board. Pair it with
+// hypervisor.DualCore in the runner: the async PR server is the system's
+// point (Section III-B, Fig. 2 middle).
+func NewVersaSlotOL() Policy { return &versaSlotOL{} }
+
+type versaSlotOL struct{ littleSched }
+
+var _ Policy = (*versaSlotOL)(nil)
+
+// Init implements Policy.
+func (v *versaSlotOL) Init(e *Engine) { v.littleSched.init(KindVersaSlotOL, true, e) }
+
+// Name implements Policy.
+func (v *versaSlotOL) Name() string { return KindVersaSlotOL.String() }
+
+func (l *littleSched) init(kind Kind, redistribute bool, e *Engine) {
+	l.kind = kind
+	l.redistribute = redistribute
+	l.e = e
+	l.alloc = make(map[*appmodel.App]int)
+	l.opt = make(map[*appmodel.App]int)
+	l.maxUse = make(map[*appmodel.App]int)
+}
+
+// Name implements Policy.
+func (l *littleSched) Name() string { return l.kind.String() }
+
+// AppArrived implements Policy.
+func (l *littleSched) AppArrived(a *appmodel.App) {
+	bundle.BuildLittle(a)
+	plan := l.planFor(a)
+	max := l.e.Board.Count(fabric.Little)
+	if max > l.e.Params.MaxSlotsPerApp {
+		max = l.e.Params.MaxSlotsPerApp
+	}
+	l.opt[a] = plan.OptimalSlots(max)
+	l.maxUse[a] = plan.MaxUsefulSlots(max)
+	l.waiting = append(l.waiting, a)
+}
+
+func (l *littleSched) planFor(a *appmodel.App) pipeline.Plan {
+	times := make([]sim.Duration, len(a.Stages))
+	for i, st := range a.Stages {
+		times[i] = st.SteadyItemTime()
+	}
+	load := l.e.PCAP.LoadDuration(l.e.Repo.MustGet(a.Stages[0].BitstreamName))
+	return pipeline.Plan{StageTimes: times, Batch: a.Batch, LoadTime: load}
+}
+
+// AppFinished implements Policy.
+func (l *littleSched) AppFinished(a *appmodel.App) {
+	l.drop(a)
+}
+
+func (l *littleSched) drop(a *appmodel.App) {
+	for i, x := range l.running {
+		if x == a {
+			l.running = append(l.running[:i], l.running[i+1:]...)
+			break
+		}
+	}
+	delete(l.alloc, a)
+}
+
+// Schedule implements Policy.
+func (l *littleSched) Schedule() {
+	e := l.e
+	l.releaseAndReuse()
+	if !e.Frozen() {
+		l.admit()
+		if l.redistribute {
+			l.topUp()
+		}
+		l.preemptIfStarved()
+	}
+	l.place()
+	for _, a := range l.running {
+		ensureProgress(e, a)
+		e.Pump(a)
+	}
+	// Apps still waiting for slots are blocked tasks in the D_switch
+	// sense: their PR cannot even be issued.
+	e.WindowBlocked += uint64(len(l.waiting))
+}
+
+// releaseAndReuse recycles finished stages' slots: within the same app
+// when it still has unplaced work, otherwise back to the free pool.
+func (l *littleSched) releaseAndReuse() {
+	e := l.e
+	for _, a := range l.running {
+		reuseForUnplaced(e, a)
+		if unplacedCount(a) == 0 {
+			for _, st := range a.Stages {
+				if st.Finished() && st.Slot != nil && st.Slot.Free() {
+					e.EvictStage(st)
+				}
+			}
+		}
+		// Enforce shrunken allocations (preemption): evict idle stages
+		// until the app holds no more slots than allocated.
+		for heldSlots(a) > l.alloc[a] {
+			victim := shrinkVictim(a)
+			if victim == nil {
+				break // all busy; retry at next item boundary
+			}
+			e.EvictStage(victim)
+		}
+	}
+}
+
+// admit gives waiting apps their ILP-optimal count, greedily in arrival
+// order with backfill (no head-of-line blocking).
+func (l *littleSched) admit() {
+	e := l.e
+	kept := l.waiting[:0]
+	for _, a := range l.waiting {
+		free := e.Board.CountEmpty(fabric.Little) - l.reservedSlack()
+		if free <= 0 {
+			kept = append(kept, a)
+			continue
+		}
+		want := l.opt[a]
+		if want > free {
+			want = free
+		}
+		if want < 1 {
+			kept = append(kept, a)
+			continue
+		}
+		l.alloc[a] = want
+		a.State = appmodel.StateReady
+		l.running = append(l.running, a)
+	}
+	l.waiting = append([]*appmodel.App(nil), kept...)
+}
+
+// reservedSlack counts slots already promised to running apps but not
+// yet physically held (placement is asynchronous).
+func (l *littleSched) reservedSlack() int {
+	slack := 0
+	for _, a := range l.running {
+		short := l.alloc[a] - heldSlots(a)
+		rem := unplacedCount(a)
+		if short > rem {
+			short = rem
+		}
+		if short > 0 {
+			slack += short
+		}
+	}
+	return slack
+}
+
+// topUp is VersaSlot's redistribution: leftover slots go to running
+// apps (front of the runnable queue first) up to their maximum useful
+// count, avoiding slot idling.
+func (l *littleSched) topUp() {
+	e := l.e
+	for _, a := range l.running {
+		free := e.Board.CountEmpty(fabric.Little) - l.reservedSlack()
+		if free <= 0 {
+			return
+		}
+		ceil := l.maxUse[a]
+		if rem := unplacedCount(a) + heldSlots(a); ceil > rem {
+			ceil = rem
+		}
+		extra := ceil - l.alloc[a]
+		if extra <= 0 {
+			continue
+		}
+		if extra > free {
+			extra = free
+		}
+		l.alloc[a] += extra
+	}
+}
+
+// preemptIfStarved implements the aging preemption of [15]: when an app
+// has waited past PreemptAge with nothing free, the running app with
+// the most remaining work cedes one slot.
+func (l *littleSched) preemptIfStarved() {
+	e := l.e
+	if len(l.waiting) == 0 {
+		return
+	}
+	if e.Board.CountEmpty(fabric.Little)-l.reservedSlack() > 0 {
+		return
+	}
+	now := e.Now()
+	starved := false
+	for _, a := range l.waiting {
+		if now.Sub(a.Arrival) >= e.Params.PreemptAge {
+			starved = true
+			break
+		}
+	}
+	if !starved || now.Sub(l.lastPreempt) < e.Params.PreemptAge/4 {
+		return
+	}
+	var victim *appmodel.App
+	most := l.e.Params.PreemptMinRemaining
+	for _, a := range l.running {
+		if l.alloc[a] <= 1 {
+			continue
+		}
+		if rem := a.RemainingItems(); rem >= most {
+			most = rem
+			victim = a
+		}
+	}
+	if victim == nil {
+		return
+	}
+	l.alloc[victim]--
+	l.lastPreempt = now
+	// releaseAndReuse enforces the shrink at the next item boundary.
+}
+
+// place physically loads stages until each app holds its allocation.
+func (l *littleSched) place() {
+	e := l.e
+	for _, a := range l.running {
+		for heldSlots(a) < l.alloc[a] {
+			st := nextUnplaced(a)
+			if st == nil {
+				break
+			}
+			free := e.Board.EmptySlots(fabric.Little)
+			if len(free) == 0 {
+				break
+			}
+			e.RequestPR(st, free[0])
+		}
+	}
+}
+
+// ExtractMigratable implements Policy.
+func (l *littleSched) ExtractMigratable() []*appmodel.App {
+	out := l.waiting
+	l.waiting = nil
+	return out
+}
+
+// AcceptMigrated implements Policy.
+func (l *littleSched) AcceptMigrated(apps []*appmodel.App) {
+	for _, a := range apps {
+		// Rebuild plans against this board's parameters.
+		if len(a.Stages) == 0 || a.Stages[0].Kind != fabric.Little {
+			appmodel.ResetStages(a)
+		}
+		l.AppArrived(a)
+	}
+	l.e.Activate()
+}
+
+func heldSlots(a *appmodel.App) int {
+	n := 0
+	for _, st := range a.Stages {
+		if st.Slot != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func unplacedCount(a *appmodel.App) int {
+	n := 0
+	for _, st := range a.Stages {
+		if !st.Finished() && st.Slot == nil {
+			n++
+		}
+	}
+	return n
+}
+
+func nextUnplaced(a *appmodel.App) *appmodel.Stage {
+	for _, st := range a.Stages {
+		if !st.Finished() && st.Slot == nil {
+			return st
+		}
+	}
+	return nil
+}
+
+func earliestUnfinished(a *appmodel.App) *appmodel.Stage {
+	for _, st := range a.Stages {
+		if !st.Finished() {
+			return st
+		}
+	}
+	return nil
+}
+
+// shrinkVictim picks the stage to evict when an app must give a slot
+// back: the most downstream idle stage that is not the earliest
+// unfinished one — evicting that one would starve the whole pipeline.
+func shrinkVictim(a *appmodel.App) *appmodel.Stage {
+	first := earliestUnfinished(a)
+	for i := len(a.Stages) - 1; i >= 0; i-- {
+		st := a.Stages[i]
+		if st == first {
+			continue
+		}
+		if st.Slot != nil && !st.Loading && !st.InFlight && st.Slot.Free() && !st.Finished() {
+			return st
+		}
+	}
+	return nil
+}
+
+// ensureProgress is the liveness safety net for under-allocated apps:
+// if the earliest unfinished stage has no slot and nothing the app
+// holds can execute, the most downstream idle stage cedes its slot.
+func ensureProgress(e *Engine, a *appmodel.App) {
+	first := earliestUnfinished(a)
+	if first == nil || first.Slot != nil {
+		return
+	}
+	for _, st := range a.Stages {
+		if st.Slot == nil {
+			continue
+		}
+		if st.InFlight || st.Loading || (st.Resident() && st.NextItemReady()) {
+			return // something is (or can get) running
+		}
+	}
+	victim := shrinkVictim(a)
+	if victim == nil {
+		return
+	}
+	slot := victim.Slot
+	e.EvictStage(victim)
+	if slot.Kind == first.Kind {
+		e.RequestPR(first, slot)
+	}
+}

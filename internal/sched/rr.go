@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bundle"
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+// RR is Coyote-style round-robin spatio-temporal sharing [22]:
+// applications are admitted in queue order with gang allocation (like
+// FCFS), but a time quantum rotates oversubscribed applications — on
+// expiry a running app is drained off its slots, re-queued at the tail,
+// and its remaining stages reloaded on its next turn. Fairer than FCFS,
+// at the price of extra PR churn. Single-core control plane.
+type RR struct {
+	e            *Engine
+	queue        []*appmodel.App
+	running      []*appmodel.App
+	placedAt     map[*appmodel.App]sim.Time
+	draining     map[*appmodel.App]bool
+	cleanupUntil sim.Time
+}
+
+var _ Policy = (*RR)(nil)
+
+// Name implements Policy.
+func (r *RR) Name() string { return KindRR.String() }
+
+// Init implements Policy. Like FCFS, RR predates DDR bitstream caching.
+func (r *RR) Init(e *Engine) {
+	r.e = e
+	e.DisableBitstreamCache()
+	r.placedAt = make(map[*appmodel.App]sim.Time)
+	r.draining = make(map[*appmodel.App]bool)
+}
+
+// AppArrived implements Policy.
+func (r *RR) AppArrived(a *appmodel.App) {
+	bundle.BuildLittle(a)
+	r.queue = append(r.queue, a)
+}
+
+// AppFinished implements Policy: the tenant's slots scrub before reuse.
+func (r *RR) AppFinished(a *appmodel.App) {
+	r.remove(a)
+	r.cleanupUntil = r.e.Now().Add(r.e.Params.TenantTeardown)
+	r.e.K.At(r.cleanupUntil, r.e.Activate)
+}
+
+func (r *RR) remove(a *appmodel.App) {
+	for i, x := range r.running {
+		if x == a {
+			r.running = append(r.running[:i], r.running[i+1:]...)
+			break
+		}
+	}
+	delete(r.placedAt, a)
+	delete(r.draining, a)
+}
+
+// Schedule implements Policy.
+func (r *RR) Schedule() {
+	e := r.e
+	now := e.Now()
+	q := e.Params.RRQuantum
+
+	// Expire quanta: an app past its slice drains if anyone is waiting.
+	for _, a := range r.running {
+		if r.draining[a] {
+			continue
+		}
+		if len(r.queue) > 0 && now.Sub(r.placedAt[a]) >= q {
+			r.draining[a] = true
+		}
+	}
+	// Drain: evict free slots of draining apps; when fully off the
+	// fabric, rotate to the tail of the queue.
+	for _, a := range append([]*appmodel.App(nil), r.running...) {
+		if !r.draining[a] {
+			continue
+		}
+		for _, st := range a.Stages {
+			if st.Slot != nil && st.Slot.Free() && !st.Loading {
+				e.EvictStage(st)
+			}
+		}
+		if !holdsSlots(a) {
+			r.remove(a)
+			a.State = appmodel.StateWaiting
+			r.queue = append(r.queue, a)
+		}
+	}
+	// Admit in queue order (RR allows backfill past a too-big head —
+	// the rotation provides the fairness FCFS lacks). No admission
+	// while a finished tenant's state is still being scrubbed.
+	if !e.Frozen() && now >= r.cleanupUntil {
+		kept := r.queue[:0]
+		for _, a := range r.queue {
+			need := gangNeed(a, e.Params.GangMaxSlots)
+			free := e.Board.EmptySlots(fabric.Little)
+			if len(free) >= need {
+				r.running = append(r.running, a)
+				r.placedAt[a] = now
+				a.State = appmodel.StateReady
+				placeGang(e, a, free[:need])
+				// Re-activate when this app's quantum will expire.
+				e.K.Schedule(q, e.Activate)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		r.queue = append([]*appmodel.App(nil), kept...)
+	}
+	// Pump resident pipelines; draining apps finish in-flight items
+	// only. Like FCFS, a gang-scheduled app starts only once its whole
+	// pipeline is configured.
+	for _, a := range r.running {
+		if r.draining[a] {
+			continue
+		}
+		reuseForUnplaced(e, a)
+		if gangStarted(a) {
+			e.Pump(a)
+		}
+	}
+}
+
+// ExtractMigratable implements Policy.
+func (r *RR) ExtractMigratable() []*appmodel.App {
+	var out, kept []*appmodel.App
+	for _, a := range r.queue {
+		if !a.Started {
+			out = append(out, a)
+		} else {
+			kept = append(kept, a)
+		}
+	}
+	r.queue = kept
+	return out
+}
+
+// AcceptMigrated implements Policy.
+func (r *RR) AcceptMigrated(apps []*appmodel.App) {
+	r.queue = append(r.queue, apps...)
+	r.e.Activate()
+}
+
+func holdsSlots(a *appmodel.App) bool {
+	for _, st := range a.Stages {
+		if st.Slot != nil {
+			return true
+		}
+	}
+	return false
+}

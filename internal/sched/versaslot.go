@@ -1,0 +1,390 @@
+package sched
+
+import (
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bitstream"
+	"versaslot/internal/bundle"
+	"versaslot/internal/fabric"
+	"versaslot/internal/pipeline"
+	"versaslot/internal/sim"
+)
+
+// VersaSlotBL is the paper's headline system: the Big.Little slot
+// architecture driven by Algorithm 1 (slot allocation with primary
+// allocation, redistribution, binding and rebinding) and Algorithm 2
+// (dual-core scheduling with online 3-in-1 bundling and asynchronous
+// PR). Pair it with a fabric.BigLittle board and hypervisor.DualCore.
+type VersaSlotBL struct {
+	e *Engine
+
+	cwait   []*appmodel.App // C_wait: apps awaiting slot allocation
+	sBig    []*appmodel.App // S_Big: apps bound to Big slots
+	sLittle []*appmodel.App // S_Little: apps bound to Little slots
+
+	rBig    map[*appmodel.App]int // R^B_Ai
+	rLittle map[*appmodel.App]int // R^L_Ai
+	optB    map[*appmodel.App]int // O^B_Ai
+	optL    map[*appmodel.App]int // O^L_Ai
+	maxUseL map[*appmodel.App]int // redistribution ceiling
+
+	lastPreempt sim.Time
+}
+
+var _ Policy = (*VersaSlotBL)(nil)
+
+// NewVersaSlotBL returns the Big.Little policy.
+func NewVersaSlotBL() *VersaSlotBL { return &VersaSlotBL{} }
+
+// Name implements Policy.
+func (v *VersaSlotBL) Name() string { return KindVersaSlotBL.String() }
+
+// Init implements Policy.
+func (v *VersaSlotBL) Init(e *Engine) {
+	if e.Board.Config != fabric.BigLittle {
+		panic("sched: VersaSlotBL requires a Big.Little board")
+	}
+	v.e = e
+	v.rBig = make(map[*appmodel.App]int)
+	v.rLittle = make(map[*appmodel.App]int)
+	v.optB = make(map[*appmodel.App]int)
+	v.optL = make(map[*appmodel.App]int)
+	v.maxUseL = make(map[*appmodel.App]int)
+}
+
+// AppArrived implements Policy: compute both pipeline optima (O^B, O^L)
+// and join the waiting list.
+func (v *VersaSlotBL) AppArrived(a *appmodel.App) {
+	e := v.e
+	maxL := e.Board.Count(fabric.Little)
+	if maxL > e.Params.MaxSlotsPerApp {
+		maxL = e.Params.MaxSlotsPerApp
+	}
+	lp := v.littlePlan(a)
+	v.optL[a] = lp.OptimalSlots(maxL)
+	v.maxUseL[a] = lp.MaxUsefulSlots(maxL)
+	if bundle.CanBundle(a.Spec) {
+		// Big slots are scarce and already contention-optimal, so the
+		// bundle pipeline is sized for throughput: the smallest count
+		// reaching the best makespan the board allows.
+		bp := v.bigPlan(a)
+		v.optB[a] = bp.MaxUsefulSlots(e.Board.Count(fabric.Big))
+	}
+	v.cwait = append(v.cwait, a)
+}
+
+func (v *VersaSlotBL) littlePlan(a *appmodel.App) pipeline.Plan {
+	times := make([]sim.Duration, len(a.Spec.Tasks))
+	for i, t := range a.Spec.Tasks {
+		times[i] = t.Time
+	}
+	load := v.e.PCAP.LoadDuration(v.e.Repo.MustGet(
+		bitstream.TaskName(a.Spec.Name, a.Spec.Tasks[0].Name, fabric.Little)))
+	return pipeline.Plan{StageTimes: times, Batch: a.Batch, LoadTime: load}
+}
+
+func (v *VersaSlotBL) bigPlan(a *appmodel.App) pipeline.Plan {
+	modes := bundle.Modes(a.Spec, a.Batch)
+	n := len(modes)
+	times := make([]sim.Duration, n)
+	extra := make([]sim.Duration, n)
+	for b := 0; b < n; b++ {
+		first, rest := appmodel.BundleTiming(a.Spec, bundle.Size, b, modes[b])
+		times[b] = rest
+		extra[b] = first - rest
+	}
+	load := v.e.PCAP.LoadDuration(v.e.Repo.MustGet(bitstream.BundleName(a.Spec.Name, 0, "par")))
+	return pipeline.Plan{StageTimes: times, FirstItemExtra: extra, Batch: a.Batch, LoadTime: load}
+}
+
+// AppFinished implements Policy.
+func (v *VersaSlotBL) AppFinished(a *appmodel.App) {
+	v.unbind(a)
+}
+
+func (v *VersaSlotBL) unbind(a *appmodel.App) {
+	v.sBig = removeApp(v.sBig, a)
+	v.sLittle = removeApp(v.sLittle, a)
+	delete(v.rBig, a)
+	delete(v.rLittle, a)
+}
+
+// Schedule implements Policy — Algorithm 2, with Algorithm 1 embedded
+// as the allocation step.
+func (v *VersaSlotBL) Schedule() {
+	e := v.e
+	v.releaseAndReuse()
+	if !e.Frozen() {
+		v.allocate()
+		v.preemptLittle()
+	}
+	v.place()
+	for _, a := range v.sBig {
+		ensureProgress(e, a)
+		e.Pump(a)
+	}
+	for _, a := range v.sLittle {
+		ensureProgress(e, a)
+		e.Pump(a)
+	}
+	// Apps still waiting for slots are blocked tasks in the D_switch
+	// sense: their PR cannot even be issued.
+	e.WindowBlocked += uint64(len(v.cwait))
+}
+
+// allocate is Algorithm 1.
+func (v *VersaSlotBL) allocate() {
+	e := v.e
+	bAvail := e.Board.CountEmpty(fabric.Big) - v.slack(v.sBig, v.rBig)
+	lAvail := e.Board.CountEmpty(fabric.Little) - v.slack(v.sLittle, v.rLittle)
+	if bAvail <= 0 && lAvail <= 0 {
+		return
+	}
+	// Rebinding: free Big capacity pulls not-yet-started Little-bound
+	// apps back to the waiting list so they can bind to Big slots.
+	if bAvail > 0 {
+		for _, a := range append([]*appmodel.App(nil), v.sLittle...) {
+			if a.Started || v.optB[a] == 0 {
+				continue
+			}
+			if !v.canUnbind(a) {
+				continue
+			}
+			v.evictAll(a)
+			v.unbind(a)
+			a.State = appmodel.StateWaiting
+			v.cwait = append(v.cwait, a)
+		}
+		lAvail = e.Board.CountEmpty(fabric.Little) - v.slack(v.sLittle, v.rLittle)
+	}
+	// Primary allocation: Big first for bundleable apps, then Little.
+	lLeft := lAvail
+	kept := v.cwait[:0]
+	for _, a := range v.cwait {
+		if bAvail > 0 && v.optB[a] > 0 {
+			r := v.optB[a]
+			if r > bAvail {
+				r = bAvail
+			}
+			v.bindBig(a, r)
+			bAvail -= r
+			continue
+		}
+		if lLeft > 0 {
+			r := v.optL[a]
+			if r > lLeft {
+				r = lLeft
+			}
+			if r >= 1 {
+				v.bindLittle(a, r)
+				lLeft -= r
+				continue
+			}
+		}
+		kept = append(kept, a)
+	}
+	v.cwait = append([]*appmodel.App(nil), kept...)
+	// Redistribution: leftover Little slots top up bound apps (front of
+	// the runnable queue first) toward their maximum useful counts.
+	for _, a := range v.sLittle {
+		if lLeft <= 0 {
+			break
+		}
+		ceil := v.maxUseL[a]
+		if rem := unplacedCount(a) + heldSlots(a); ceil > rem {
+			ceil = rem
+		}
+		delta := ceil - v.rLittle[a]
+		if delta <= 0 {
+			continue
+		}
+		if delta > lLeft {
+			delta = lLeft
+		}
+		v.rLittle[a] += delta
+		lLeft -= delta
+	}
+}
+
+func (v *VersaSlotBL) bindBig(a *appmodel.App, r int) {
+	bundle.Build(a)
+	v.sBig = append(v.sBig, a)
+	v.rBig[a] = r
+	a.State = appmodel.StateReady
+}
+
+func (v *VersaSlotBL) bindLittle(a *appmodel.App, r int) {
+	bundle.BuildLittle(a)
+	v.sLittle = append(v.sLittle, a)
+	v.rLittle[a] = r
+	a.State = appmodel.StateReady
+}
+
+// canUnbind: rebinding is only legal before execution starts and while
+// no PR for the app is in flight (a PCAP load cannot be aborted).
+func (v *VersaSlotBL) canUnbind(a *appmodel.App) bool {
+	if a.Started {
+		return false
+	}
+	for _, st := range a.Stages {
+		if st.Loading || st.InFlight {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *VersaSlotBL) evictAll(a *appmodel.App) {
+	for _, st := range a.Stages {
+		if st.Slot != nil && st.Slot.Free() {
+			v.e.EvictStage(st)
+		}
+	}
+}
+
+// slack counts slots promised but not yet held (placement in flight).
+func (v *VersaSlotBL) slack(apps []*appmodel.App, r map[*appmodel.App]int) int {
+	total := 0
+	for _, a := range apps {
+		short := r[a] - heldSlots(a)
+		if rem := unplacedCount(a); short > rem {
+			short = rem
+		}
+		if short > 0 {
+			total += short
+		}
+	}
+	return total
+}
+
+// releaseAndReuse recycles finished stages' slots within each app, then
+// returns surplus to the pool; it also enforces shrunken allocations.
+func (v *VersaSlotBL) releaseAndReuse() {
+	e := v.e
+	for _, list := range [][]*appmodel.App{v.sBig, v.sLittle} {
+		for _, a := range list {
+			reuseForUnplaced(e, a)
+			if unplacedCount(a) == 0 {
+				for _, st := range a.Stages {
+					if st.Finished() && st.Slot != nil && st.Slot.Free() {
+						e.EvictStage(st)
+					}
+				}
+			}
+		}
+	}
+	for _, a := range v.sLittle {
+		for heldSlots(a) > v.rLittle[a] {
+			victim := shrinkVictim(a)
+			if victim == nil {
+				break
+			}
+			e.EvictStage(victim)
+		}
+	}
+}
+
+// preemptLittle is the aging preemption, restricted to Little slots:
+// Big-bound apps run to completion ("applications bound to the big
+// slots can only complete all their tasks in the Big slots").
+func (v *VersaSlotBL) preemptLittle() {
+	e := v.e
+	if len(v.cwait) == 0 {
+		return
+	}
+	if e.Board.CountEmpty(fabric.Little)-v.slack(v.sLittle, v.rLittle) > 0 {
+		return
+	}
+	now := e.Now()
+	starved := false
+	for _, a := range v.cwait {
+		if now.Sub(a.Arrival) >= e.Params.PreemptAge {
+			starved = true
+			break
+		}
+	}
+	if !starved || now.Sub(v.lastPreempt) < e.Params.PreemptAge/4 {
+		return
+	}
+	var victim *appmodel.App
+	most := e.Params.PreemptMinRemaining
+	for _, a := range v.sLittle {
+		if v.rLittle[a] <= 1 {
+			continue
+		}
+		if rem := a.RemainingItems(); rem >= most {
+			most = rem
+			victim = a
+		}
+	}
+	if victim == nil {
+		return
+	}
+	v.rLittle[victim]--
+	v.lastPreempt = now
+}
+
+// place loads stages into idle slots up to each app's allocation
+// (Algorithm 2 lines 13-19), asynchronously via the PR server.
+func (v *VersaSlotBL) place() {
+	e := v.e
+	for _, a := range v.sBig {
+		for heldSlots(a) < v.rBig[a] {
+			st := nextUnplaced(a)
+			if st == nil {
+				break
+			}
+			free := e.Board.EmptySlots(fabric.Big)
+			if len(free) == 0 {
+				break
+			}
+			e.RequestPR(st, free[0])
+		}
+	}
+	for _, a := range v.sLittle {
+		for heldSlots(a) < v.rLittle[a] {
+			st := nextUnplaced(a)
+			if st == nil {
+				break
+			}
+			free := e.Board.EmptySlots(fabric.Little)
+			if len(free) == 0 {
+				break
+			}
+			e.RequestPR(st, free[0])
+		}
+	}
+}
+
+// ExtractMigratable implements Policy: waiting apps plus bound-but-not-
+// started apps (their binding is dissolved; PR work already spent is
+// the rebinding cost live migration accepts).
+func (v *VersaSlotBL) ExtractMigratable() []*appmodel.App {
+	out := v.cwait
+	v.cwait = nil
+	for _, a := range append([]*appmodel.App(nil), v.sLittle...) {
+		if v.canUnbind(a) {
+			v.evictAll(a)
+			v.unbind(a)
+			a.State = appmodel.StateWaiting
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AcceptMigrated implements Policy.
+func (v *VersaSlotBL) AcceptMigrated(apps []*appmodel.App) {
+	for _, a := range apps {
+		v.AppArrived(a)
+	}
+	v.e.Activate()
+}
+
+func removeApp(list []*appmodel.App, a *appmodel.App) []*appmodel.App {
+	for i, x := range list {
+		if x == a {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback in virtual time. Events are ordered by
+// (time, priority, sequence); sequence preserves FIFO order among events
+// scheduled for the same instant, which keeps runs deterministic.
+type Event struct {
+	at       Time
+	priority int32
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// At returns the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event simulation core: a clock and an event queue.
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	rng      *RNG
+	executed uint64
+	tracer   Tracer
+	maxTime  Time
+}
+
+// NewKernel returns a kernel with its clock at zero and an RNG seeded
+// with seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed), maxTime: MaxTime}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Executed returns the number of events executed so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of events currently queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// SetTracer installs a tracer that observes every executed event.
+// A nil tracer disables tracing.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: it would violate causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	return k.at(t, 0, fn)
+}
+
+// Schedule schedules fn to run d after the current time. Negative d panics.
+func (k *Kernel) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.at(k.now.Add(d), 0, fn)
+}
+
+// ScheduleP schedules fn with an explicit priority: lower priorities run
+// first among events at the same instant. Use sparingly — the default
+// FIFO ordering is almost always right.
+func (k *Kernel) ScheduleP(d Duration, priority int32, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.at(k.now.Add(d), priority, fn)
+}
+
+func (k *Kernel) at(t Time, priority int32, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e := &Event{at: t, priority: priority, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&k.queue, e.index)
+}
+
+// Step executes the single next event, advancing the clock to it.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at > k.maxTime {
+			// Past the horizon: drop silently.
+			continue
+		}
+		k.now = e.at
+		k.executed++
+		if k.tracer != nil {
+			k.tracer.Event(k.now)
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the horizon is reached.
+// It returns the final clock value.
+func (k *Kernel) Run() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (if the clock is behind it).
+func (k *Kernel) RunUntil(t Time) Time {
+	for len(k.queue) > 0 {
+		next := k.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+func (k *Kernel) peek() *Event {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if e.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// Tracer observes kernel activity. Implementations must not mutate
+// simulation state.
+type Tracer interface {
+	Event(at Time)
+}

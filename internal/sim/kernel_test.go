@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelExecutesInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Schedule(30*Millisecond, func() { order = append(order, 3) })
+	k.Schedule(10*Millisecond, func() { order = append(order, 1) })
+	k.Schedule(20*Millisecond, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if k.Now() != Time(30*Millisecond) {
+		t.Fatalf("clock at %v, want 30ms", k.Now())
+	}
+}
+
+func TestKernelSameTimeFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5*Millisecond, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelPriorityOrdersSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.ScheduleP(time10ms(), 5, func() { order = append(order, "low") })
+	k.ScheduleP(time10ms(), -5, func() { order = append(order, "high") })
+	k.Run()
+	if order[0] != "high" || order[1] != "low" {
+		t.Fatalf("priority ignored: %v", order)
+	}
+}
+
+func time10ms() Duration { return 10 * Millisecond }
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.Schedule(10*Millisecond, func() { fired = true })
+	k.Cancel(e)
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	// Double-cancel and canceling fired events are no-ops.
+	k.Cancel(e)
+	k.Cancel(nil)
+}
+
+func TestKernelCancelDuringRun(t *testing.T) {
+	k := NewKernel(1)
+	var e2 *Event
+	fired := false
+	k.Schedule(5*Millisecond, func() { k.Cancel(e2) })
+	e2 = k.Schedule(10*Millisecond, func() { fired = true })
+	k.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestKernelSchedulePastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(Time(5*Millisecond), func() {})
+	})
+	k.Run()
+}
+
+func TestKernelNegativeDelayPanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	k.Schedule(-1, func() {})
+}
+
+func TestKernelNilCallbackPanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	k.Schedule(0, nil)
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []int
+	k.Schedule(10*Millisecond, func() { fired = append(fired, 1) })
+	k.Schedule(30*Millisecond, func() { fired = append(fired, 2) })
+	k.RunUntil(Time(20 * Millisecond))
+	if len(fired) != 1 {
+		t.Fatalf("RunUntil executed %d events, want 1", len(fired))
+	}
+	if k.Now() != Time(20*Millisecond) {
+		t.Fatalf("clock %v, want 20ms", k.Now())
+	}
+	k.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event not run")
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(Millisecond, rec)
+		}
+	}
+	k.Schedule(Millisecond, rec)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth %d, want 100", depth)
+	}
+	if k.Executed() != 100 {
+		t.Fatalf("executed %d, want 100", k.Executed())
+	}
+}
+
+func TestKernelStep(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	k.Schedule(Millisecond, func() { n++ })
+	k.Schedule(2*Millisecond, func() { n++ })
+	if !k.Step() {
+		t.Fatal("Step returned false with events pending")
+	}
+	if n != 1 {
+		t.Fatalf("n=%d after one step", n)
+	}
+	if !k.Step() || k.Step() {
+		t.Fatal("Step miscounted events")
+	}
+}
+
+// TestKernelDeterminism: two kernels fed the same program execute the
+// same number of events and end at the same time.
+func TestKernelDeterminism(t *testing.T) {
+	run := func(seed uint64) (uint64, Time) {
+		k := NewKernel(seed)
+		for i := 0; i < 50; i++ {
+			d := Duration(k.RNG().IntRange(1, 1000)) * Microsecond
+			k.Schedule(d, func() {
+				if k.RNG().Float64() < 0.5 {
+					k.Schedule(Millisecond, func() {})
+				}
+			})
+		}
+		k.Run()
+		return k.Executed(), k.Now()
+	}
+	e1, t1 := run(99)
+	e2, t2 := run(99)
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", e1, t1, e2, t2)
+	}
+}
+
+// Property: the kernel clock never goes backwards across any schedule
+// of events.
+func TestKernelClockMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel(7)
+		last := Time(0)
+		ok := true
+		for _, d := range delays {
+			k.Schedule(Duration(d)*Microsecond, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	base := Time(1500 * Millisecond)
+	if base.Add(500*Millisecond) != Time(2*Second) {
+		t.Fatal("Add wrong")
+	}
+	if base.Sub(Time(Second)) != 500*Millisecond {
+		t.Fatal("Sub wrong")
+	}
+	if !base.Before(Time(2 * Second)) {
+		t.Fatal("Before wrong")
+	}
+	if !base.After(Time(Second)) {
+		t.Fatal("After wrong")
+	}
+	if base.Seconds() != 1.5 {
+		t.Fatalf("Seconds %v", base.Seconds())
+	}
+	if base.Milliseconds() != 1500 {
+		t.Fatalf("Milliseconds %v", base.Milliseconds())
+	}
+}

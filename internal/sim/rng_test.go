@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	zero := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Fatalf("seed 0 produced a degenerate stream (%d zeros)", zero)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(5)] = true
+	}
+	for v := 0; v < 5; v++ {
+		if !seen[v] {
+			t.Fatalf("value %d never drawn in 1000 samples", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	r := NewRNG(5)
+	sawLo, sawHi := false, false
+	for i := 0; i < 2000; i++ {
+		v := r.IntRange(5, 30)
+		if v < 5 || v > 30 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+		if v == 5 {
+			sawLo = true
+		}
+		if v == 30 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("IntRange endpoints never drawn")
+	}
+	if r.IntRange(7, 7) != 7 {
+		t.Fatal("degenerate range wrong")
+	}
+}
+
+func TestDurationRange(t *testing.T) {
+	r := NewRNG(6)
+	lo, hi := 150*Millisecond, 200*Millisecond
+	for i := 0; i < 500; i++ {
+		d := r.DurationRange(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("DurationRange out of bounds: %v", d)
+		}
+	}
+	if r.DurationRange(Second, Second) != Second {
+		t.Fatal("degenerate duration range wrong")
+	}
+}
+
+func TestExpMeanRoughlyCorrect(t *testing.T) {
+	r := NewRNG(7)
+	mean := 100 * Millisecond
+	var sum Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		d := r.Exp(mean)
+		if d < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += d
+	}
+	avg := float64(sum) / float64(n)
+	if avg < 0.9*float64(mean) || avg > 1.1*float64(mean) {
+		t.Fatalf("Exp mean %.2fms, want ~100ms", avg/1e6)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 50)
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(9)
+	child := r.Fork()
+	// The child stream must not be a suffix of the parent's.
+	a := make([]uint64, 10)
+	for i := range a {
+		a[i] = child.Uint64()
+	}
+	b := make([]uint64, 10)
+	for i := range b {
+		b[i] = r.Uint64()
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatal("fork correlates with parent")
+	}
+}

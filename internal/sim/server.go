@@ -1,0 +1,174 @@
+package sim
+
+// Job is a unit of work submitted to a Server: it occupies the server
+// for Cost, then Done runs (still inside the kernel, at completion time).
+type Job struct {
+	// Name identifies the job in traces and statistics.
+	Name string
+	// Cost is the service time the job occupies the server for.
+	Cost Duration
+	// Start runs when the job enters service (after any queueing delay),
+	// with the queueing wait as argument. May be nil.
+	Start func(wait Duration)
+	// Done runs at completion. May be nil.
+	Done func()
+	// Class tags the job for statistics (e.g. "pr", "launch", "sched").
+	Class string
+
+	enqueuedAt Time
+	canceled   bool
+}
+
+// Cancel marks a queued job so the server skips it. Canceling the job
+// currently in service has no effect (hardware can't abort a PCAP load).
+func (j *Job) Cancel() { j.canceled = true }
+
+// ServerStats aggregates what a Server has processed.
+type ServerStats struct {
+	Completed  uint64            // jobs finished
+	BusyTime   Duration          // total time in service
+	WaitTime   Duration          // total time jobs spent queued
+	Waited     uint64            // jobs that had to queue (wait > 0)
+	ByClass    map[string]uint64 // completions per class
+	WaitByName map[string]Duration
+}
+
+// Server is a non-preemptive FIFO single server in virtual time: CPU
+// cores, the PCAP port, and the cross-board link are all Servers.
+type Server struct {
+	k     *Kernel
+	name  string
+	busy  bool
+	cur   *Job
+	queue []*Job
+	stats ServerStats
+
+	// IdleHook, if set, runs whenever the server transitions to idle.
+	IdleHook func()
+}
+
+// NewServer returns an idle server attached to kernel k.
+func NewServer(k *Kernel, name string) *Server {
+	return &Server{
+		k:    k,
+		name: name,
+		stats: ServerStats{
+			ByClass:    make(map[string]uint64),
+			WaitByName: make(map[string]Duration),
+		},
+	}
+}
+
+// Name returns the server's identifier.
+func (s *Server) Name() string { return s.name }
+
+// Busy reports whether the server is currently in service.
+func (s *Server) Busy() bool { return s.busy }
+
+// QueueLen returns the number of jobs waiting (excluding the one in service).
+func (s *Server) QueueLen() int {
+	n := 0
+	for _, j := range s.queue {
+		if !j.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingByClass returns how many jobs of the class are pending: queued
+// plus the one in service if it matches.
+func (s *Server) PendingByClass(class string) int {
+	n := 0
+	if s.cur != nil && s.cur.Class == class {
+		n++
+	}
+	for _, j := range s.queue {
+		if !j.canceled && j.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// Current returns the job in service, or nil when idle.
+func (s *Server) Current() *Job { return s.cur }
+
+// Stats returns a copy of the server's accumulated statistics.
+func (s *Server) Stats() ServerStats {
+	out := s.stats
+	out.ByClass = make(map[string]uint64, len(s.stats.ByClass))
+	for k, v := range s.stats.ByClass {
+		out.ByClass[k] = v
+	}
+	out.WaitByName = make(map[string]Duration, len(s.stats.WaitByName))
+	for k, v := range s.stats.WaitByName {
+		out.WaitByName[k] = v
+	}
+	return out
+}
+
+// Submit enqueues the job; it starts immediately if the server is idle.
+func (s *Server) Submit(j *Job) {
+	if j.Cost < 0 {
+		panic("sim: negative job cost")
+	}
+	j.enqueuedAt = s.k.Now()
+	if s.busy {
+		s.queue = append(s.queue, j)
+		return
+	}
+	s.start(j)
+}
+
+// SubmitFunc is a convenience wrapper building a Job from its parts.
+func (s *Server) SubmitFunc(name, class string, cost Duration, done func()) *Job {
+	j := &Job{Name: name, Class: class, Cost: cost, Done: done}
+	s.Submit(j)
+	return j
+}
+
+func (s *Server) start(j *Job) {
+	s.busy = true
+	s.cur = j
+	wait := s.k.Now().Sub(j.enqueuedAt)
+	if wait > 0 {
+		s.stats.WaitTime += wait
+		s.stats.Waited++
+		s.stats.WaitByName[j.Class] += wait
+	}
+	if j.Start != nil {
+		j.Start(wait)
+	}
+	s.k.Schedule(j.Cost, func() { s.finish(j) })
+}
+
+func (s *Server) finish(j *Job) {
+	s.stats.Completed++
+	s.stats.BusyTime += j.Cost
+	s.stats.ByClass[j.Class]++
+	s.cur = nil
+	s.busy = false
+	if j.Done != nil {
+		j.Done()
+	}
+	// The Done callback may have submitted new work already.
+	if !s.busy {
+		s.dispatchNext()
+	}
+}
+
+func (s *Server) dispatchNext() {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.canceled {
+			continue
+		}
+		s.start(j)
+		return
+	}
+	if s.IdleHook != nil {
+		s.IdleHook()
+	}
+}

@@ -1,0 +1,50 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All VersaSlot hardware models (PCAP, CPU cores, slots, links) are built
+// on this kernel. A simulation is single-goroutine: every state change
+// happens inside an event callback, so a run is bit-for-bit reproducible
+// for a given seed and input.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time, in nanoseconds.
+type Duration = time.Duration
+
+// Common duration constructors, re-exported for brevity at call sites.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders t as a duration since simulation start.
+func (t Time) String() string { return fmt.Sprintf("t=%s", Duration(t)) }
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(1<<63 - 1)

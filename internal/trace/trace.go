@@ -1,0 +1,257 @@
+// Package trace provides structured event recording for simulations:
+// typed events (PR, execution, lifecycle) with a bounded in-memory
+// recorder, and renderers that turn a recording into a per-slot
+// timeline — the textual equivalent of the paper's Fig. 2 schematics.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"versaslot/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// PRRequest: a partial reconfiguration was issued.
+	PRRequest Kind = iota
+	// PRDone: the bitstream finished loading.
+	PRDone
+	// ExecStart: a batch item began executing in a slot.
+	ExecStart
+	// ExecDone: a batch item completed.
+	ExecDone
+	// AppArrive: an application entered the system.
+	AppArrive
+	// AppFinish: an application completed its batch.
+	AppFinish
+	// Migrate: an application moved between boards.
+	Migrate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PRRequest:
+		return "pr-req"
+	case PRDone:
+		return "pr-done"
+	case ExecStart:
+		return "exec"
+	case ExecDone:
+		return "done"
+	case AppArrive:
+		return "arrive"
+	case AppFinish:
+		return "finish"
+	case Migrate:
+		return "migrate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Slot is the slot ID, or -1 when not slot-related.
+	Slot int
+	// App and Stage identify the subject ("IC#3", stage 2).
+	App   string
+	Stage int
+	// Item is the batch item index for Exec* events, -1 otherwise.
+	Item int
+	// Wait is the queueing delay for PRDone events.
+	Wait sim.Duration
+}
+
+// Recorder collects events up to a bound (0 = unbounded). The zero
+// value records nothing; construct with NewRecorder.
+type Recorder struct {
+	events  []Event
+	max     int
+	dropped int
+}
+
+// NewRecorder returns a recorder holding up to max events (0 = no cap).
+func NewRecorder(max int) *Recorder {
+	return &Recorder{max: max}
+}
+
+// Record appends an event, dropping it if the recorder is full.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if r.max > 0 && len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recording in time order (stable for equal times).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Dropped reports how many events exceeded the cap.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// CountByKind tallies events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteLog renders the recording as one line per event.
+func (r *Recorder) WriteLog(w io.Writer) {
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case PRRequest:
+			fmt.Fprintf(w, "%12.3fms  %-7s slot=%d %s/s%d\n",
+				e.At.Milliseconds(), e.Kind, e.Slot, e.App, e.Stage)
+		case PRDone:
+			fmt.Fprintf(w, "%12.3fms  %-7s slot=%d %s/s%d wait=%v\n",
+				e.At.Milliseconds(), e.Kind, e.Slot, e.App, e.Stage, e.Wait)
+		case ExecStart, ExecDone:
+			fmt.Fprintf(w, "%12.3fms  %-7s slot=%d %s/s%d item=%d\n",
+				e.At.Milliseconds(), e.Kind, e.Slot, e.App, e.Stage, e.Item)
+		case Migrate:
+			fmt.Fprintf(w, "%12.3fms  %-7s %s\n", e.At.Milliseconds(), e.Kind, e.App)
+		default:
+			fmt.Fprintf(w, "%12.3fms  %-7s %s\n", e.At.Milliseconds(), e.Kind, e.App)
+		}
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(w, "... %d events dropped (recorder cap)\n", r.dropped)
+	}
+}
+
+// Timeline renders a Gantt-style per-slot view: one row per slot,
+// one column per time bucket; each cell shows the app occupying the
+// slot ('#' executing, '~' loading, '.' idle-resident, ' ' empty).
+type Timeline struct {
+	// Buckets is the number of time columns (default 100).
+	Buckets int
+	// Width truncates app labels in the legend.
+	Width int
+}
+
+// Render draws the timeline for the recording.
+func (tl Timeline) Render(w io.Writer, r *Recorder) {
+	events := r.Events()
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	buckets := tl.Buckets
+	if buckets <= 0 {
+		buckets = 100
+	}
+	end := events[len(events)-1].At
+	if end == 0 {
+		end = 1
+	}
+	// Collect slot IDs.
+	slotSet := map[int]bool{}
+	for _, e := range events {
+		if e.Slot >= 0 {
+			slotSet[e.Slot] = true
+		}
+	}
+	slots := make([]int, 0, len(slotSet))
+	for s := range slotSet {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+
+	bucketOf := func(at sim.Time) int {
+		b := int(int64(at) * int64(buckets) / int64(end))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		return b
+	}
+
+	// Paint per-slot state changes over buckets.
+	rows := make(map[int][]byte)
+	for _, s := range slots {
+		row := make([]byte, buckets)
+		for i := range row {
+			row[i] = ' '
+		}
+		rows[s] = row
+	}
+	type slotState struct {
+		ch    byte
+		since sim.Time
+	}
+	cur := map[int]slotState{}
+	paint := func(slot int, upto sim.Time) {
+		st, ok := cur[slot]
+		if !ok || st.ch == ' ' {
+			return
+		}
+		from, to := bucketOf(st.since), bucketOf(upto)
+		for i := from; i <= to && i < buckets; i++ {
+			rows[slot][i] = st.ch
+		}
+	}
+	for _, e := range events {
+		if e.Slot < 0 {
+			continue
+		}
+		switch e.Kind {
+		case PRRequest:
+			paint(e.Slot, e.At)
+			cur[e.Slot] = slotState{'~', e.At}
+		case PRDone:
+			paint(e.Slot, e.At)
+			cur[e.Slot] = slotState{'.', e.At}
+		case ExecStart:
+			paint(e.Slot, e.At)
+			cur[e.Slot] = slotState{'#', e.At}
+		case ExecDone:
+			paint(e.Slot, e.At)
+			cur[e.Slot] = slotState{'.', e.At}
+		}
+	}
+	for _, s := range slots {
+		paint(s, end)
+	}
+
+	fmt.Fprintf(w, "timeline: 0 .. %.1fms  (~ loading, # executing, . resident idle)\n",
+		end.Milliseconds())
+	for _, s := range slots {
+		fmt.Fprintf(w, "slot %2d |%s|\n", s, string(rows[s]))
+	}
+}
+
+// Summarize prints headline counts for a recording.
+func (r *Recorder) Summarize(w io.Writer) {
+	counts := r.CountByKind()
+	var keys []int
+	for k := range counts {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", Kind(k), counts[Kind(k)]))
+	}
+	fmt.Fprintf(w, "events: %s\n", strings.Join(parts, " "))
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"versaslot/internal/sim"
+)
+
+func TestRecorderOrder(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 30, Kind: ExecDone, Slot: 0, App: "a", Item: 0})
+	r.Record(Event{At: 10, Kind: PRRequest, Slot: 0, App: "a", Item: -1})
+	r.Record(Event{At: 20, Kind: ExecStart, Slot: 0, App: "a", Item: 0})
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatal("event count")
+	}
+	if events[0].Kind != PRRequest || events[2].Kind != ExecDone {
+		t.Fatal("events not time-ordered")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: ExecStart})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len %d, want 2", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3", r.Dropped())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{}) // must not panic
+}
+
+func TestCountByKind(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Kind: ExecStart})
+	r.Record(Event{Kind: ExecStart})
+	r.Record(Event{Kind: PRDone})
+	c := r.CountByKind()
+	if c[ExecStart] != 2 || c[PRDone] != 1 {
+		t.Fatalf("counts %v", c)
+	}
+}
+
+func TestWriteLog(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(Event{At: sim.Time(5 * sim.Millisecond), Kind: PRDone, Slot: 3, App: "IC#1", Stage: 2, Wait: sim.Millisecond})
+	r.Record(Event{At: 0, Kind: ExecStart}) // dropped
+	var b strings.Builder
+	r.WriteLog(&b)
+	out := b.String()
+	if !strings.Contains(out, "pr-done") || !strings.Contains(out, "slot=3") {
+		t.Fatalf("log content: %q", out)
+	}
+	if !strings.Contains(out, "1 events dropped") {
+		t.Fatal("drop notice missing")
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	r := NewRecorder(0)
+	ms := func(v int) sim.Time { return sim.Time(v) * sim.Time(sim.Millisecond) }
+	r.Record(Event{At: ms(0), Kind: PRRequest, Slot: 0, App: "a", Item: -1})
+	r.Record(Event{At: ms(10), Kind: PRDone, Slot: 0, App: "a", Item: -1})
+	r.Record(Event{At: ms(10), Kind: ExecStart, Slot: 0, App: "a", Item: 0})
+	r.Record(Event{At: ms(50), Kind: ExecDone, Slot: 0, App: "a", Item: 0})
+	r.Record(Event{At: ms(100), Kind: ExecStart, Slot: 1, App: "b", Item: 0})
+	r.Record(Event{At: ms(200), Kind: ExecDone, Slot: 1, App: "b", Item: 0})
+	var b strings.Builder
+	Timeline{Buckets: 40}.Render(&b, r)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 slots
+		t.Fatalf("timeline lines: %q", out)
+	}
+	if !strings.Contains(lines[1], "~") || !strings.Contains(lines[1], "#") {
+		t.Fatalf("slot 0 row missing load/exec marks: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#") {
+		t.Fatalf("slot 1 row missing exec marks: %q", lines[2])
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var b strings.Builder
+	Timeline{}.Render(&b, NewRecorder(0))
+	if !strings.Contains(b.String(), "no events") {
+		t.Fatal("empty timeline output")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Kind: AppArrive})
+	r.Record(Event{Kind: AppFinish})
+	var b strings.Builder
+	r.Summarize(&b)
+	if !strings.Contains(b.String(), "arrive=1") || !strings.Contains(b.String(), "finish=1") {
+		t.Fatalf("summary: %q", b.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{PRRequest, PRDone, ExecStart, ExecDone, AppArrive, AppFinish, Migrate}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind string %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"versaslot/internal/bundle"
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+)
+
+func TestSuiteShape(t *testing.T) {
+	// The paper's benchmark: 3DR (3 tasks), LeNet (6), IC (6), AN (6),
+	// OF (9).
+	want := map[string]int{"3DR": 3, "LeNet": 6, "IC": 6, "AN": 6, "OF": 9}
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d apps", len(suite))
+	}
+	for _, spec := range suite {
+		if want[spec.Name] != spec.TaskCount() {
+			t.Errorf("%s has %d tasks, want %d", spec.Name, spec.TaskCount(), want[spec.Name])
+		}
+	}
+}
+
+func TestEveryTaskFitsALittleSlot(t *testing.T) {
+	for _, spec := range Suite() {
+		for _, task := range spec.Tasks {
+			if !task.Impl.FitsIn(fabric.LittleSlotCap) {
+				t.Errorf("%s/%s does not fit a Little slot: %v", spec.Name, task.Name, task.Impl)
+			}
+			if task.Time <= 0 {
+				t.Errorf("%s/%s has non-positive time", spec.Name, task.Name)
+			}
+			if task.Synth.LUT <= task.Impl.LUT {
+				t.Errorf("%s/%s synthesis estimate not above implementation", spec.Name, task.Name)
+			}
+		}
+	}
+}
+
+func TestLeNetCannotBundle(t *testing.T) {
+	// LeNet's absence from Fig. 7 is a workload property: its triples
+	// exceed Big-slot capacity.
+	if bundle.CanBundle(LeNet) {
+		t.Fatal("LeNet bundles; the paper says it cannot")
+	}
+	for _, name := range []string{"3DR", "IC", "AN", "OF"} {
+		if !bundle.CanBundle(SpecByName(name)) {
+			t.Errorf("%s should bundle", name)
+		}
+	}
+}
+
+func TestICFig7RightValues(t *testing.T) {
+	// Fig. 7 (right): DCT 0.57, Quantize 0.38, BDQ 0.28 in Little slots.
+	want := []float64{0.57, 0.38, 0.28}
+	for i, task := range IC.Tasks[:3] {
+		lut, _ := task.Impl.Utilization(fabric.LittleSlotCap)
+		if diff := lut - want[i]; diff > 0.005 || diff < -0.005 {
+			t.Errorf("IC task %d LUT util %.3f, want %.2f", i, lut, want[i])
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if SpecByName("IC") != IC {
+		t.Fatal("SpecByName(IC)")
+	}
+	if SpecByName("nope") != nil {
+		t.Fatal("unknown name returned a spec")
+	}
+}
+
+func TestConditionIntervals(t *testing.T) {
+	cases := []struct {
+		c      Condition
+		lo, hi sim.Duration
+	}{
+		{Loose, 5000 * sim.Millisecond, 5000 * sim.Millisecond},
+		{Standard, 1500 * sim.Millisecond, 2000 * sim.Millisecond},
+		{Stress, 150 * sim.Millisecond, 200 * sim.Millisecond},
+		{Realtime, 50 * sim.Millisecond, 50 * sim.Millisecond},
+	}
+	for _, cs := range cases {
+		lo, hi := cs.c.Interval()
+		if lo != cs.lo || hi != cs.hi {
+			t.Errorf("%v interval [%v,%v], want [%v,%v]", cs.c, lo, hi, cs.lo, cs.hi)
+		}
+	}
+	if len(Conditions()) != 4 {
+		t.Fatal("conditions list")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultGenParams(Standard)
+	a := Generate(p, 42)
+	b := Generate(p, 42)
+	if len(a.Arrivals) != len(b.Arrivals) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+	c := Generate(p, 43)
+	same := 0
+	for i := range a.Arrivals {
+		if a.Arrivals[i] == c.Arrivals[i] {
+			same++
+		}
+	}
+	if same == len(a.Arrivals) {
+		t.Fatal("different seeds generated identical sequences")
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	p := DefaultGenParams(Stress)
+	p.Apps = 50
+	seq := Generate(p, 9)
+	if len(seq.Arrivals) != 50 {
+		t.Fatalf("apps %d", len(seq.Arrivals))
+	}
+	var prev sim.Duration
+	for i, a := range seq.Arrivals {
+		if a.Batch < 5 || a.Batch > 30 {
+			t.Fatalf("batch %d out of [5,30]", a.Batch)
+		}
+		if SpecByName(a.Spec) == nil {
+			t.Fatalf("unknown spec %q", a.Spec)
+		}
+		if i > 0 {
+			gap := a.At - prev
+			if gap < 150*sim.Millisecond || gap > 200*sim.Millisecond {
+				t.Fatalf("stress gap %v out of [150,200]ms", gap)
+			}
+		}
+		prev = a.At
+	}
+}
+
+func TestGenerateIntervalOverride(t *testing.T) {
+	p := DefaultGenParams(Standard)
+	p.Apps = 10
+	p.IntervalLo, p.IntervalHi = 400*sim.Millisecond, 600*sim.Millisecond
+	seq := Generate(p, 1)
+	var prev sim.Duration
+	for i, a := range seq.Arrivals {
+		if i > 0 {
+			gap := a.At - prev
+			if gap < 400*sim.Millisecond || gap > 600*sim.Millisecond {
+				t.Fatalf("override gap %v", gap)
+			}
+		}
+		prev = a.At
+	}
+}
+
+func TestGenerateSet(t *testing.T) {
+	seqs := GenerateSet(Loose, 100, 10)
+	if len(seqs) != 10 {
+		t.Fatal("set size")
+	}
+	if seqs[0].Seed == seqs[1].Seed {
+		t.Fatal("sequences share seeds")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := DefaultGenParams(Standard)
+	seq := Generate(p, 77)
+	var buf bytes.Buffer
+	if err := seq.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != seq.Name || back.Seed != seq.Seed || len(back.Arrivals) != len(seq.Arrivals) {
+		t.Fatal("round trip lost data")
+	}
+	for i := range seq.Arrivals {
+		if back.Arrivals[i] != seq.Arrivals[i] {
+			t.Fatalf("arrival %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	bad := `{"name":"x","arrivals":[{"spec":"NoSuchApp","batch":5,"at":0}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+	bad2 := `{"name":"x","arrivals":[{"spec":"IC","batch":0,"at":0}]}`
+	if _, err := ReadJSON(strings.NewReader(bad2)); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	p := DefaultGenParams(Standard)
+	p.Apps = 5
+	seq := Generate(p, 3)
+	apps, err := seq.Instantiate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 5 {
+		t.Fatal("app count")
+	}
+	for i, a := range apps {
+		if a.ID != 100+i {
+			t.Fatalf("app %d has ID %d", i, a.ID)
+		}
+		if a.Arrival != sim.Time(seq.Arrivals[i].At) {
+			t.Fatal("arrival time mismatch")
+		}
+	}
+}
+
+func TestEtaReproducesFig7(t *testing.T) {
+	// The utilization increase of a 3-in-1 bundle is (1.5*eta - 1);
+	// the workload's eta values are calibrated to Fig. 7.
+	cases := []struct {
+		name       string
+		wantLUTPct float64
+		wantFFPct  float64
+	}{
+		{"IC", 42.2, 48.0},
+		{"AN", 36.4, 41.4},
+		{"3DR", 9.9, 17.7},
+		{"OF", 9.6, 14.1},
+	}
+	for _, c := range cases {
+		spec := SpecByName(c.name)
+		lut := (1.5*spec.EtaLUT - 1) * 100
+		ff := (1.5*spec.EtaFF - 1) * 100
+		if d := lut - c.wantLUTPct; d > 0.3 || d < -0.3 {
+			t.Errorf("%s LUT increase %.1f%%, paper %.1f%%", c.name, lut, c.wantLUTPct)
+		}
+		if d := ff - c.wantFFPct; d > 0.3 || d < -0.3 {
+			t.Errorf("%s FF increase %.1f%%, paper %.1f%%", c.name, ff, c.wantFFPct)
+		}
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	p := DefaultGenParams(Standard)
+	p.Apps = 2000
+	p.Poisson = true
+	seq := Generate(p, 55)
+	var sum sim.Duration
+	var prev sim.Duration
+	for i, a := range seq.Arrivals {
+		if i > 0 {
+			sum += a.At - prev
+		}
+		prev = a.At
+	}
+	mean := float64(sum) / float64(len(seq.Arrivals)-1)
+	want := float64(1750 * sim.Millisecond)
+	if mean < 0.9*want || mean > 1.1*want {
+		t.Fatalf("Poisson mean interval %.0fms, want ~1750ms", mean/1e6)
+	}
+	// Exponential arrivals must include gaps well below the uniform
+	// lower bound (burstiness).
+	short := 0
+	prev = 0
+	for i, a := range seq.Arrivals {
+		if i > 0 && a.At-prev < 500*sim.Millisecond {
+			short++
+		}
+		prev = a.At
+	}
+	if short == 0 {
+		t.Fatal("no bursty gaps; arrivals do not look exponential")
+	}
+}
