@@ -1,92 +1,88 @@
-// Command versaslot runs one scheduling simulation: a policy, a
-// congestion condition (or a workload file), and a seed, printing the
-// run summary the paper's metrics are built from.
+// Command versaslot runs one scheduling scenario: a topology, a
+// policy, a congestion condition (or a workload file), and a seed,
+// printing the run summary the paper's metrics are built from. Any
+// run is reproducible from a JSON scenario artifact.
 //
 // Usage:
 //
-//	versaslot [-policy versaslot-bl] [-condition standard] [-apps 20]
-//	          [-seed 1] [-workload file.json] [-v]
+//	versaslot [-scenario file.json] [-topology single|cluster|farm]
+//	          [-policy versaslot-bl] [-condition standard] [-apps 20]
+//	          [-seed 1] [-workload file.json] [-pairs 2]
+//	          [-dump-scenario file.json] [-v]
+//	versaslot -policy list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"versaslot/internal/core"
+	"versaslot"
 	"versaslot/internal/report"
-	"versaslot/internal/sched"
 	"versaslot/internal/sim"
-	"versaslot/internal/workload"
 )
 
-var policyNames = map[string]sched.Kind{
-	"baseline":     sched.KindBaseline,
-	"fcfs":         sched.KindFCFS,
-	"rr":           sched.KindRR,
-	"nimblock":     sched.KindNimblock,
-	"versaslot-ol": sched.KindVersaSlotOL,
-	"versaslot-bl": sched.KindVersaSlotBL,
-}
-
-var conditionNames = map[string]workload.Condition{
-	"loose":     workload.Loose,
-	"standard":  workload.Standard,
-	"stress":    workload.Stress,
-	"real-time": workload.Realtime,
-	"realtime":  workload.Realtime,
-}
-
 func main() {
-	policy := flag.String("policy", "versaslot-bl",
-		"scheduling system: baseline|fcfs|rr|nimblock|versaslot-ol|versaslot-bl")
-	condition := flag.String("condition", "standard",
-		"congestion condition: loose|standard|stress|real-time")
+	scenarioFile := flag.String("scenario", "", "JSON scenario file (overrides all other flags)")
+	topology := flag.String("topology", "single", "system shape: single|cluster|farm")
+	policy := flag.String("policy", "versaslot-bl", "registered policy name, or 'list' to print the registry")
+	condition := flag.String("condition", "standard", "congestion condition: loose|standard|stress|real-time")
 	apps := flag.Int("apps", 20, "applications in the generated sequence")
 	seed := flag.Uint64("seed", 1, "workload and simulation seed")
 	file := flag.String("workload", "", "JSON workload file (overrides -condition/-apps)")
+	pairs := flag.Int("pairs", 2, "switching pairs (farm topology)")
+	dump := flag.String("dump-scenario", "", "also write the effective scenario JSON to this file")
 	verbose := flag.Bool("v", false, "print per-application response times")
 	flag.Parse()
 
-	kind, ok := policyNames[strings.ToLower(*policy)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "versaslot: unknown policy %q\n", *policy)
-		os.Exit(2)
+	if *policy == "list" {
+		fmt.Println("registered policies:")
+		for _, name := range versaslot.Policies() {
+			fmt.Printf("  %-14s %s\n", name, versaslot.PolicyTitle(name))
+		}
+		return
 	}
 
-	var seq *workload.Sequence
-	if *file != "" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "versaslot:", err)
-			os.Exit(1)
-		}
-		seq, err = workload.ReadJSON(f)
-		f.Close()
+	var sc versaslot.Scenario
+	if *scenarioFile != "" {
+		var err error
+		sc, err = versaslot.LoadScenario(*scenarioFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "versaslot:", err)
 			os.Exit(1)
 		}
 	} else {
-		cond, ok := conditionNames[strings.ToLower(*condition)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "versaslot: unknown condition %q\n", *condition)
+		sc = versaslot.Scenario{
+			Topology:     versaslot.Topology(*topology),
+			Policy:       *policy,
+			Condition:    *condition,
+			Apps:         *apps,
+			Seed:         *seed,
+			WorkloadFile: *file,
+			Pairs:        *pairs,
+		}
+		if err := sc.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot:", err)
 			os.Exit(2)
 		}
-		p := workload.DefaultGenParams(cond)
-		p.Apps = *apps
-		seq = workload.Generate(p, *seed)
 	}
 
-	res, err := core.Run(core.SystemConfig{Policy: kind, Seed: *seed}, seq)
+	if *dump != "" {
+		if err := versaslot.SaveScenario(*dump, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot:", err)
+			os.Exit(1)
+		}
+	}
+
+	res, err := versaslot.Run(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "versaslot:", err)
 		os.Exit(1)
 	}
 
 	s := res.Summary
-	t := report.NewTable(fmt.Sprintf("%s on %s (%d apps)", kind, seq.Condition, s.Apps),
+	t := report.NewTable(fmt.Sprintf("%s on %s (%s, %d apps)",
+		res.PolicyTitle, res.Condition, res.Topology, s.Apps),
 		"Metric", "Value")
 	t.AddRow("mean response", sim.Time(s.MeanRT).Seconds())
 	t.AddRow("p50", sim.Time(s.P50).Seconds())
@@ -101,6 +97,14 @@ func main() {
 	t.AddRow("PR wait total", s.PRWait.String())
 	t.AddRow("preemptions", s.Preemptions)
 	t.AddRow("cache hit/miss", fmt.Sprintf("%d/%d", res.CacheHits, res.CacheMisses))
+	if res.Topology != versaslot.TopologySingle {
+		t.AddRow("cross-board switches", res.Switches)
+		t.AddRow("mean switch overhead", res.MeanSwitchTime.String())
+		t.AddRow("migrated apps", res.MigratedApps)
+	}
+	if len(res.Routed) > 0 {
+		t.AddRow("arrivals per pair", fmt.Sprintf("%v", res.Routed))
+	}
 	t.Render(os.Stdout)
 
 	if *verbose {

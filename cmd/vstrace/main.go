@@ -6,6 +6,7 @@
 // Usage:
 //
 //	vstrace [-policy nimblock] [-condition stress] [-apps 4] [-seed 1] [-max 200]
+//	vstrace -policy list
 package main
 
 import (
@@ -14,15 +15,13 @@ import (
 	"os"
 	"strings"
 
-	"versaslot/internal/core"
-	"versaslot/internal/sched"
+	"versaslot"
 	"versaslot/internal/trace"
-	"versaslot/internal/workload"
 )
 
 func main() {
 	policy := flag.String("policy", "versaslot-bl",
-		"baseline|fcfs|rr|nimblock|versaslot-ol|versaslot-bl")
+		"registered policy name, or 'list' to print the registry")
 	condition := flag.String("condition", "stress", "loose|standard|stress|real-time")
 	apps := flag.Int("apps", 4, "applications in the generated sequence")
 	seed := flag.Uint64("seed", 1, "workload and simulation seed")
@@ -30,58 +29,48 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render a per-slot Gantt timeline instead of the event log")
 	flag.Parse()
 
-	kinds := map[string]sched.Kind{
-		"baseline": sched.KindBaseline, "fcfs": sched.KindFCFS, "rr": sched.KindRR,
-		"nimblock": sched.KindNimblock, "versaslot-ol": sched.KindVersaSlotOL,
-		"versaslot-bl": sched.KindVersaSlotBL,
+	if *policy == "list" {
+		fmt.Println("registered policies:", strings.Join(versaslot.Policies(), " "))
+		return
 	}
-	kind, ok := kinds[strings.ToLower(*policy)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "vstrace: unknown policy %q\n", *policy)
-		os.Exit(2)
+
+	sc := versaslot.Scenario{
+		Policy:    *policy,
+		Condition: *condition,
+		Apps:      *apps,
+		Seed:      *seed,
 	}
-	conds := map[string]workload.Condition{
-		"loose": workload.Loose, "standard": workload.Standard,
-		"stress": workload.Stress, "real-time": workload.Realtime, "realtime": workload.Realtime,
-	}
-	cond, ok := conds[strings.ToLower(*condition)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "vstrace: unknown condition %q\n", *condition)
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vstrace:", err)
 		os.Exit(2)
 	}
 
-	p := workload.DefaultGenParams(cond)
-	p.Apps = *apps
-	seq := workload.Generate(p, *seed)
-
-	sys := core.NewSystem(core.SystemConfig{Policy: kind, Seed: *seed})
+	var opts []versaslot.Option
+	var rec *trace.Recorder
 	if *timeline {
-		sys.Engine.Recorder = trace.NewRecorder(0)
+		rec = trace.NewRecorder(0)
+		opts = append(opts, versaslot.WithRecorder(rec))
 	} else {
 		lines := 0
-		sys.Engine.Trace = func(format string, args ...any) {
+		opts = append(opts, versaslot.WithTrace(func(format string, args ...any) {
 			if *max > 0 && lines >= *max {
 				return
 			}
 			lines++
 			fmt.Printf(format+"\n", args...)
-		}
+		}))
 	}
-	appsList, err := seq.Instantiate(0)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vstrace:", err)
-		os.Exit(1)
-	}
-	res, err := sys.Execute(seq.Condition, appsList)
+
+	res, err := versaslot.NewRunner(opts...).Run(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vstrace:", err)
 		os.Exit(1)
 	}
 	if *timeline {
-		trace.Timeline{Buckets: 110}.Render(os.Stdout, sys.Engine.Recorder)
-		sys.Engine.Recorder.Summarize(os.Stdout)
+		trace.Timeline{Buckets: 110}.Render(os.Stdout, rec)
+		rec.Summarize(os.Stdout)
 	}
 	fmt.Printf("--- %s on %s: %d apps, meanRT=%v, PR loads=%d, PR blocked=%d\n",
-		kind, seq.Condition, res.Summary.Apps, res.Summary.MeanRT,
+		res.PolicyTitle, res.Condition, res.Summary.Apps, res.Summary.MeanRT,
 		res.Summary.PRLoads, res.Summary.PRBlocked)
 }

@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"versaslot/internal/report"
 	"versaslot/internal/sim"
@@ -47,13 +46,9 @@ func gen(args []string) {
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
 
-	conds := map[string]workload.Condition{
-		"loose": workload.Loose, "standard": workload.Standard,
-		"stress": workload.Stress, "real-time": workload.Realtime, "realtime": workload.Realtime,
-	}
-	cond, ok := conds[strings.ToLower(*condition)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "vsworkload: unknown condition %q\n", *condition)
+	cond, err := workload.ParseCondition(*condition)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsworkload:", err)
 		os.Exit(2)
 	}
 	p := workload.DefaultGenParams(cond)

@@ -1,6 +1,7 @@
 // Comparison: run all six scheduling systems of the paper's evaluation
 // on the same stress-condition workload and print the Fig. 5-style
-// relative response-time reductions.
+// relative response-time reductions. The policy set comes from the
+// registry, so a third-party sched.Register shows up here unchanged.
 //
 //	go run ./examples/comparison
 package main
@@ -10,33 +11,33 @@ import (
 	"log"
 	"os"
 
-	"versaslot/internal/core"
+	"versaslot"
 	"versaslot/internal/report"
-	"versaslot/internal/sched"
 	"versaslot/internal/sim"
-	"versaslot/internal/workload"
 )
 
 func main() {
 	// Every system sees the identical arrival stream — the comparison
-	// is pure scheduling policy.
-	params := workload.DefaultGenParams(workload.Stress)
-	seq := workload.Generate(params, 7)
+	// is pure scheduling policy. A sweep over the registry's policy
+	// axis with a fixed seed pins the workload.
+	results, err := versaslot.RunSweep(versaslot.Sweep{
+		Base:     versaslot.Scenario{Condition: "stress", Apps: 20, Seed: 7},
+		Policies: versaslot.Policies(),
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var baseline sim.Duration
 	t := report.NewTable("Six systems on one stress workload (20 apps)",
 		"System", "Mean RT (s)", "P95 (s)", "vs Baseline", "PR loads")
-	for _, kind := range sched.Kinds() {
-		res, err := core.Run(core.SystemConfig{Policy: kind, Seed: 7}, seq)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, res := range results {
 		s := res.Summary
-		if kind == sched.KindBaseline {
+		if i == 0 { // registration order: baseline first
 			baseline = s.MeanRT
 		}
 		reduction := float64(baseline) / float64(s.MeanRT)
-		t.AddRow(kind.String(),
+		t.AddRow(res.PolicyTitle,
 			sim.Time(s.MeanRT).Seconds(),
 			sim.Time(s.P95).Seconds(),
 			fmt.Sprintf("%.2fx", reduction),

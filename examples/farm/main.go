@@ -1,6 +1,7 @@
 // Farm: scale the paper's two-board switching unit to a rack — three
 // Only.Little/Big.Little pairs behind a least-loaded dispatcher, each
-// running its own D_switch loop.
+// running its own D_switch loop — and compare against one saturated
+// pair via RunMany.
 //
 //	go run ./examples/farm
 package main
@@ -9,36 +10,35 @@ import (
 	"fmt"
 	"log"
 
-	"versaslot/internal/cluster"
+	"versaslot"
 	"versaslot/internal/sim"
-	"versaslot/internal/workload"
 )
 
 func main() {
-	p := workload.DefaultGenParams(workload.Stress)
-	p.Apps = 60
-	seq := workload.Generate(p, 23)
+	// The same 60-app stress workload on both topologies (the shared
+	// seed pins the arrival stream); RunMany executes them in
+	// parallel.
+	base := versaslot.Scenario{Condition: "stress", Apps: 60, Seed: 23}
+	single := base
+	single.Topology = versaslot.TopologyCluster
+	farm := base
+	farm.Topology = versaslot.TopologyFarm
+	farm.Pairs = 3
 
-	// One switching pair, saturated.
-	single := cluster.New(cluster.DefaultConfig())
-	if err := single.Inject(seq); err != nil {
+	results, err := versaslot.RunMany([]versaslot.Scenario{single, farm}, 0)
+	if err != nil {
 		log.Fatal(err)
 	}
-	singleSum := single.Run()
-
-	// Three pairs behind the dispatcher.
-	farm := cluster.NewFarm(cluster.DefaultConfig(), 3)
-	if err := farm.Inject(seq); err != nil {
-		log.Fatal(err)
-	}
-	farmSum := farm.Run()
+	singleRes, farmRes := results[0], results[1]
 
 	fmt.Printf("60 stress-condition applications:\n\n")
 	fmt.Printf("  one switching pair : mean RT %6.2f s   P99 %6.2f s   switches %d\n",
-		sim.Time(singleSum.MeanRT).Seconds(), sim.Time(singleSum.P99).Seconds(), singleSum.Switches)
+		sim.Time(singleRes.Summary.MeanRT).Seconds(),
+		sim.Time(singleRes.Summary.P99).Seconds(), singleRes.Switches)
 	fmt.Printf("  3-pair farm        : mean RT %6.2f s   P99 %6.2f s   switches %d\n",
-		sim.Time(farmSum.MeanRT).Seconds(), sim.Time(farmSum.P99).Seconds(), farmSum.Switches)
-	fmt.Printf("\n  dispatcher routing : %v arrivals per pair\n", farm.Routed())
+		sim.Time(farmRes.Summary.MeanRT).Seconds(),
+		sim.Time(farmRes.Summary.P99).Seconds(), farmRes.Switches)
+	fmt.Printf("\n  dispatcher routing : %v arrivals per pair\n", farmRes.Routed)
 	fmt.Printf("  speedup            : %.2fx\n",
-		float64(singleSum.MeanRT)/float64(farmSum.MeanRT))
+		float64(singleRes.Summary.MeanRT)/float64(farmRes.Summary.MeanRT))
 }

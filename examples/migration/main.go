@@ -2,6 +2,7 @@
 // workload first saturates the Only.Little board, the Schmitt trigger
 // crosses its upper threshold, and live migration moves the ready
 // applications to the pre-warmed Big.Little board (Section III-D).
+// A streaming Observer reports each switch as it happens.
 //
 //	go run ./examples/migration
 package main
@@ -10,34 +11,40 @@ import (
 	"fmt"
 	"log"
 
-	"versaslot/internal/cluster"
+	"versaslot"
 	"versaslot/internal/sim"
-	"versaslot/internal/workload"
 )
 
 func main() {
 	// A dense 60-app workload that drives the Only.Little board into
-	// PR contention.
-	params := workload.DefaultGenParams(workload.Standard)
-	params.Apps = 60
-	params.IntervalLo = 400 * sim.Millisecond
-	params.IntervalHi = 600 * sim.Millisecond
-	seq := workload.Generate(params, 11)
+	// PR contention, on the two-board switching topology.
+	sc := versaslot.Scenario{
+		Topology:   versaslot.TopologyCluster,
+		Condition:  "standard",
+		Apps:       60,
+		Seed:       11,
+		IntervalLo: 400 * sim.Millisecond,
+		IntervalHi: 600 * sim.Millisecond,
+	}
 
-	cfg := cluster.DefaultConfig()
-	cl := cluster.New(cfg)
-	if err := cl.Inject(seq); err != nil {
+	runner := versaslot.NewRunner(versaslot.WithObserver(func(ev versaslot.Event) {
+		if ev.Kind == "switch" {
+			fmt.Printf("[t=%.2fs] live switch: %s -> %s\n",
+				ev.At.Seconds(), ev.From, ev.To)
+		}
+	}))
+	res, err := runner.Run(sc)
+	if err != nil {
 		log.Fatal(err)
 	}
-	sum := cl.Run()
 
-	fmt.Printf("Cluster run: %d apps, mean response %.3f s\n",
-		sum.Apps, sim.Time(sum.MeanRT).Seconds())
+	fmt.Printf("\nCluster run: %d apps, mean response %.3f s\n",
+		res.Summary.Apps, sim.Time(res.Summary.MeanRT).Seconds())
 	fmt.Printf("Cross-board switches: %d (mean overhead %v, %d apps migrated)\n",
-		sum.Switches, sum.MeanSwitchTime, sum.MigratedApps)
+		res.Switches, res.MeanSwitchTime, res.MigratedApps)
 
 	fmt.Println("\nD_switch trace (every evaluation; thresholds 0.1 / 0.0125):")
-	for _, p := range sum.Trace {
+	for _, p := range res.SwitchTrace {
 		bar := ""
 		n := int(p.D * 200)
 		if n > 60 {

@@ -8,25 +8,25 @@ import (
 	"fmt"
 	"log"
 
-	"versaslot/internal/core"
-	"versaslot/internal/sched"
+	"versaslot"
 	"versaslot/internal/sim"
-	"versaslot/internal/workload"
 )
 
 func main() {
-	// 1. Generate the paper-style workload: 20 applications from the
-	//    benchmark suite (3DR, LeNet, IC, AN, OF), random batch sizes
-	//    5-30, standard arrival intervals (1.5-2 s).
-	params := workload.DefaultGenParams(workload.Standard)
-	seq := workload.Generate(params, 42)
+	// 1. Declare the scenario: a Big.Little board (2 Big + 4 Little
+	//    slots) driven by the VersaSlot scheduler on a dual-core
+	//    hypervisor, fed the paper-style workload — 20 applications
+	//    from the benchmark suite (3DR, LeNet, IC, AN, OF), random
+	//    batch sizes 5-30, standard arrival intervals (1.5-2 s).
+	sc := versaslot.Scenario{
+		Policy:    "versaslot-bl",
+		Condition: "standard",
+		Apps:      20,
+		Seed:      42,
+	}
 
-	// 2. Build the system: a Big.Little board (2 Big + 4 Little slots)
-	//    driven by the VersaSlot scheduler on a dual-core hypervisor.
-	res, err := core.Run(core.SystemConfig{
-		Policy: sched.KindVersaSlotBL,
-		Seed:   42,
-	}, seq)
+	// 2. Run it.
+	res, err := versaslot.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}

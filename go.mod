@@ -1,0 +1,3 @@
+module versaslot
+
+go 1.24

@@ -79,6 +79,10 @@ type Cluster struct {
 	totalApps  int
 	Trace      []TracePoint
 	Migrations []migrate.Migration
+
+	// OnSwitch fires when a cross-board switch is initiated (streaming
+	// observer hook).
+	OnSwitch func(from, to fabric.BoardConfig)
 }
 
 // New builds the cluster with both boards pre-configured (the paper's
@@ -270,10 +274,14 @@ func (c *Cluster) doSwitch() {
 	old := c.activeEngine()
 	// Flip first: "the new FPGA resumes task execution and processes
 	// upcoming new workloads".
+	from := c.active
 	c.active = c.trigger.Mode()
 	next := c.activeEngine()
 	if old == next {
 		panic("cluster: switch to the already-active board")
+	}
+	if c.OnSwitch != nil {
+		c.OnSwitch(from, c.active)
 	}
 	old.SetFrozen(true)
 	next.SetFrozen(false)

@@ -37,20 +37,14 @@ type SystemConfig struct {
 }
 
 // PlatformFor returns the board configuration and core model each
-// policy runs on, mirroring the paper's evaluation setup.
+// policy runs on; the declaration lives with the policy's registry
+// entry, mirroring the paper's evaluation setup.
 func PlatformFor(k sched.Kind) (fabric.BoardConfig, hypervisor.CoreModel) {
-	switch k {
-	case sched.KindBaseline:
-		return fabric.Monolithic, hypervisor.SingleCore
-	case sched.KindFCFS, sched.KindRR, sched.KindNimblock:
-		return fabric.OnlyLittle, hypervisor.SingleCore
-	case sched.KindVersaSlotOL:
-		return fabric.OnlyLittle, hypervisor.DualCore
-	case sched.KindVersaSlotBL:
-		return fabric.BigLittle, hypervisor.DualCore
-	default:
+	r, ok := sched.ByKind(k)
+	if !ok {
 		panic(fmt.Sprintf("core: unknown policy kind %v", k))
 	}
+	return r.Board, r.Core
 }
 
 // System is one configured board ready to execute workloads.
@@ -63,19 +57,38 @@ type System struct {
 
 // NewSystem builds a system for the config.
 func NewSystem(cfg SystemConfig) *System {
-	params := sched.DefaultParams()
-	if cfg.Params != nil {
-		params = *cfg.Params
+	r, ok := sched.ByKind(cfg.Policy)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown policy kind %v", cfg.Policy))
 	}
-	boardCfg, coreModel := PlatformFor(cfg.Policy)
-	k := sim.NewKernel(cfg.Seed)
+	return newSystemFor(r, cfg.Seed, cfg.Params)
+}
+
+// NewRegisteredSystem builds a system for a registry policy name; this
+// is the string-keyed path the versaslot facade and third-party
+// policies use.
+func NewRegisteredSystem(name string, seed uint64, params *sched.Params) (*System, error) {
+	r, ok := sched.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (registered: %v)", name, sched.Names())
+	}
+	return newSystemFor(r, seed, params), nil
+}
+
+func newSystemFor(r *sched.Registration, seed uint64, params *sched.Params) *System {
+	p := sched.DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	k := sim.NewKernel(seed)
 	repo := bitstream.NewRepository()
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	board := fabric.NewBoard(0, boardCfg)
-	engine := sched.NewEngine(k, params, board, coreModel, repo)
-	policy := sched.New(cfg.Policy)
+	board := fabric.NewBoard(0, r.Board)
+	engine := sched.NewEngine(k, p, board, r.Core, repo)
+	policy := r.Factory()
 	engine.SetPolicy(policy)
-	return &System{Kernel: k, Engine: engine, Policy: policy, cfg: cfg}
+	return &System{Kernel: k, Engine: engine, Policy: policy,
+		cfg: SystemConfig{Policy: r.Kind, Params: params, Seed: seed}}
 }
 
 // NewCustomSystem builds a VersaSlot system on an arbitrary Big/Little

@@ -1,16 +1,16 @@
 // Package experiments regenerates every table and figure of the
 // paper's evaluation (Section IV). Each Fig* function runs the same
-// workloads the paper describes, returns structured results, and
-// carries the paper's reported numbers alongside for comparison in
-// EXPERIMENTS.md and the benchmark harness.
+// workloads the paper describes through the public versaslot
+// Scenario/Runner API, returns structured results, and carries the
+// paper's reported numbers alongside for comparison in EXPERIMENTS.md
+// and the benchmark harness.
 package experiments
 
 import (
+	"fmt"
 	"runtime"
-	"sync"
 
-	"versaslot/internal/core"
-	"versaslot/internal/metrics"
+	"versaslot"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -45,23 +45,10 @@ func (c Config) workers() int {
 	return runtime.NumCPU()
 }
 
-// runGrid executes every (condition, policy, sequence) cell and returns
-// results indexed [condition][policy][sequence].
-func runGrid(cfg Config, conditions []workload.Condition, kinds []sched.Kind) [][][]*core.Result {
-	grid := make([][][]*core.Result, len(conditions))
-	type job struct{ ci, ki, si int }
-	var jobs []job
-	for ci := range conditions {
-		grid[ci] = make([][]*core.Result, len(kinds))
-		for ki := range kinds {
-			grid[ci][ki] = make([]*core.Result, cfg.Sequences)
-			for si := 0; si < cfg.Sequences; si++ {
-				jobs = append(jobs, job{ci, ki, si})
-			}
-		}
-	}
-	// Workload sequences are shared across policies within a condition:
-	// every system sees the identical arrival stream (paper setup).
+// conditionSequences pre-generates each condition's workload set:
+// sequences are shared across policies within a condition, so every
+// system sees the identical arrival stream (paper setup).
+func conditionSequences(cfg Config, conditions []workload.Condition) [][]*workload.Sequence {
 	seqs := make([][]*workload.Sequence, len(conditions))
 	for ci, cond := range conditions {
 		p := workload.DefaultGenParams(cond)
@@ -71,43 +58,49 @@ func runGrid(cfg Config, conditions []workload.Condition, kinds []sched.Kind) []
 			seqs[ci][si] = workload.Generate(p, cfg.BaseSeed+uint64(100*ci+si))
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for _, j := range jobs {
-		j := j
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := core.Run(core.SystemConfig{
-				Policy: kinds[j.ki],
-				Seed:   cfg.BaseSeed + uint64(j.si),
-			}, seqs[j.ci][j.si])
-			if err != nil {
-				panic(err)
+	return seqs
+}
+
+// runGrid executes every (condition, policy, sequence) cell through
+// versaslot.RunMany and returns results indexed
+// [condition][policy][sequence].
+func runGrid(cfg Config, conditions []workload.Condition, kinds []sched.Kind) [][][]*versaslot.Result {
+	seqs := conditionSequences(cfg, conditions)
+	grid := make([][][]*versaslot.Result, len(conditions))
+	type cell struct{ ci, ki, si int }
+	var cells []cell
+	var scenarios []versaslot.Scenario
+	for ci := range conditions {
+		grid[ci] = make([][]*versaslot.Result, len(kinds))
+		for ki, kind := range kinds {
+			grid[ci][ki] = make([]*versaslot.Result, cfg.Sequences)
+			for si := 0; si < cfg.Sequences; si++ {
+				cells = append(cells, cell{ci, ki, si})
+				scenarios = append(scenarios, versaslot.Scenario{
+					Name:     fmt.Sprintf("%s/%s/seq%d", sched.NameOf(kind), conditions[ci], si),
+					Policy:   sched.NameOf(kind),
+					Workload: seqs[ci][si],
+					Seed:     cfg.BaseSeed + uint64(si),
+				})
 			}
-			grid[j.ci][j.ki][j.si] = res
-		}()
+		}
 	}
-	wg.Wait()
+	results, err := versaslot.RunMany(scenarios, cfg.workers())
+	if err != nil {
+		panic(err)
+	}
+	for n, c := range cells {
+		grid[c.ci][c.ki][c.si] = results[n]
+	}
 	return grid
 }
 
 // meanOver averages per-sequence mean response times.
-func meanOver(results []*core.Result) sim.Duration {
-	return core.MeanRT(results)
+func meanOver(results []*versaslot.Result) sim.Duration {
+	return versaslot.MeanRT(results)
 }
 
 // pooledPct computes a percentile over all sequences' samples.
-func pooledPct(results []*core.Result, p float64) sim.Duration {
-	samples := core.PooledSamples(results)
-	vals := make([]float64, len(samples))
-	for i, s := range samples {
-		vals[i] = float64(s.Response)
-	}
-	if len(vals) == 0 {
-		return 0
-	}
-	return sim.Duration(metrics.PercentileOf(vals, p))
+func pooledPct(results []*versaslot.Result, p float64) sim.Duration {
+	return versaslot.PooledPercentile(results, p)
 }

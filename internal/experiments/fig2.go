@@ -3,8 +3,7 @@ package experiments
 import (
 	"io"
 
-	"versaslot/internal/appmodel"
-	"versaslot/internal/core"
+	"versaslot"
 	"versaslot/internal/report"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
@@ -43,37 +42,34 @@ type Fig2Row struct {
 // system shows PR contention and launch blocking; the dual-core one
 // eliminates launch blocking; Big.Little also collapses the PR count.
 func Fig2() *Fig2Result {
+	// The paper's Fig. 2 apps: two 3-task applications with batch
+	// sizes 3 and 2. 3DR is the suite's 3-task app.
+	seq := &workload.Sequence{
+		Name:      "fig2",
+		Condition: "Fig2",
+		Arrivals: []workload.Arrival{
+			{Spec: workload.ThreeDR.Name, Batch: 3, At: 0},
+			{Spec: workload.ThreeDR.Name, Batch: 2, At: 5 * sim.Millisecond},
+		},
+	}
 	out := &Fig2Result{Recorders: make(map[string]*trace.Recorder)}
 	for _, kind := range []sched.Kind{sched.KindNimblock, sched.KindVersaSlotOL, sched.KindVersaSlotBL} {
-		sys := core.NewSystem(core.SystemConfig{Policy: kind, Seed: 1})
 		rec := trace.NewRecorder(0)
-		sys.Engine.Recorder = rec
-
-		// The paper's Fig. 2 apps: two 3-task applications with batch
-		// sizes 3 and 2. 3DR is the suite's 3-task app.
-		apps := []*appmodel.App{
-			appmodel.NewApp(0, workload.ThreeDR, 3, 0),
-			appmodel.NewApp(1, workload.ThreeDR, 2, sim.Time(5*sim.Millisecond)),
+		res, err := versaslot.NewRunner(versaslot.WithRecorder(rec)).Run(versaslot.Scenario{
+			Policy:   sched.NameOf(kind),
+			Workload: seq,
+			Seed:     1,
+		})
+		if err != nil {
+			panic(err)
 		}
-		sys.Engine.InjectSequence(apps)
-		sys.Kernel.Run()
-		sys.Engine.FlushResidency()
-		sys.Engine.CheckQuiescent()
-
-		var makespan sim.Time
-		for _, a := range apps {
-			if a.Finish > makespan {
-				makespan = a.Finish
-			}
-		}
-		stats := sys.Engine.Cores.Sched.Stats()
 		out.Rows = append(out.Rows, Fig2Row{
 			System:       kind.String(),
-			MakespanMS:   makespan.Milliseconds(),
-			PRLoads:      sys.Engine.Col.PRLoads,
-			PRBlocked:    sys.Engine.Col.PRBlocked,
-			PRWaitMS:     sys.Engine.Col.PRWait.Seconds() * 1000,
-			LaunchWaitMS: stats.WaitByName["launch"].Seconds() * 1000,
+			MakespanMS:   res.Makespan.Milliseconds(),
+			PRLoads:      res.Summary.PRLoads,
+			PRBlocked:    res.Summary.PRBlocked,
+			PRWaitMS:     res.Summary.PRWait.Seconds() * 1000,
+			LaunchWaitMS: res.LaunchWait.Seconds() * 1000,
 		})
 		out.Recorders[kind.String()] = rec
 	}

@@ -2,12 +2,10 @@ package experiments
 
 import (
 	"io"
-	"sync"
 
+	"versaslot"
 	"versaslot/internal/cluster"
-	"versaslot/internal/core"
 	"versaslot/internal/report"
-	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
 )
@@ -87,47 +85,38 @@ func Fig8(cfg Fig8Config) *Fig8Result {
 		seqs[i] = workload.Generate(p, cfg.BaseSeed+uint64(i))
 	}
 
+	// Three scenarios per workload: solely Only.Little, solely
+	// Big.Little, and the switching cluster — all parallelized on one
+	// worker pool.
+	var scenarios []versaslot.Scenario
+	for i, seq := range seqs {
+		seed := cfg.BaseSeed + uint64(i)
+		scenarios = append(scenarios,
+			versaslot.Scenario{Policy: "versaslot-ol", Workload: seq, Seed: seed},
+			versaslot.Scenario{Policy: "versaslot-bl", Workload: seq, Seed: seed},
+			versaslot.Scenario{Topology: versaslot.TopologyCluster, Workload: seq, Seed: seed},
+		)
+	}
+	results, err := versaslot.RunMany(scenarios, 0)
+	if err != nil {
+		panic(err)
+	}
+
 	var olRT, blRT, swRT float64
 	var switches int
 	var switchTime float64
 	var trace []cluster.TracePoint
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-
-	for i, seq := range seqs {
-		i, seq := i, seq
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ol, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotOL, Seed: cfg.BaseSeed + uint64(i)}, seq)
-			if err != nil {
-				panic(err)
-			}
-			bl, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: cfg.BaseSeed + uint64(i)}, seq)
-			if err != nil {
-				panic(err)
-			}
-			ccfg := cluster.DefaultConfig()
-			ccfg.Seed = cfg.BaseSeed + uint64(i)
-			cl := cluster.New(ccfg)
-			if err := cl.Inject(seq); err != nil {
-				panic(err)
-			}
-			sum := cl.Run()
-
-			mu.Lock()
-			defer mu.Unlock()
-			olRT += float64(ol.Summary.MeanRT)
-			blRT += float64(bl.Summary.MeanRT)
-			swRT += float64(sum.MeanRT)
-			switches += sum.Switches
-			switchTime += float64(sum.MeanSwitchTime) * float64(sum.Switches)
-			if i == 0 {
-				trace = sum.Trace
-			}
-		}()
+	for i := range seqs {
+		ol, bl, sw := results[3*i], results[3*i+1], results[3*i+2]
+		olRT += float64(ol.Summary.MeanRT)
+		blRT += float64(bl.Summary.MeanRT)
+		swRT += float64(sw.Summary.MeanRT)
+		switches += sw.Switches
+		switchTime += float64(sw.MeanSwitchTime) * float64(sw.Switches)
+		if i == 0 {
+			trace = sw.SwitchTrace
+		}
 	}
-	wg.Wait()
 
 	n := float64(cfg.Workloads)
 	out := &Fig8Result{

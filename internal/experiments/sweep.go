@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
-	"versaslot/internal/core"
+	"versaslot"
 	"versaslot/internal/report"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -48,45 +47,44 @@ func SlotSweep(cfg Config, cond workload.Condition) []SweepResult {
 		seqs[i] = workload.Generate(p, cfg.BaseSeed+uint64(i))
 	}
 
-	out := make([]SweepResult, len(mixes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for mi, mix := range mixes {
-		mi, mix := mi, mix
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var rtSum, p95Sum float64
-			var loads uint64
-			var util float64
-			for si, seq := range seqs {
-				sys := core.NewCustomSystem(mix.Big, mix.Little, cfg.BaseSeed+uint64(si), nil)
-				apps, err := seq.Instantiate(0)
-				if err != nil {
-					panic(err)
-				}
-				res, err := sys.Execute(seq.Condition, apps)
-				if err != nil {
-					panic(err)
-				}
-				rtSum += float64(res.Summary.MeanRT)
-				p95Sum += float64(res.Summary.P95)
-				loads += res.Summary.PRLoads
-				util += res.Summary.UtilLUT
-			}
-			n := float64(len(seqs))
-			out[mi] = SweepResult{
-				Mix:     mix,
-				MeanRT:  sim.Duration(rtSum / n),
-				P95:     sim.Duration(p95Sum / n),
-				PRLoads: loads / uint64(len(seqs)),
-				UtilLUT: util / n,
-			}
-		}()
+	var scenarios []versaslot.Scenario
+	for _, mix := range mixes {
+		for si := range seqs {
+			scenarios = append(scenarios, versaslot.Scenario{
+				Name:        mix.String(),
+				BigSlots:    mix.Big,
+				LittleSlots: mix.Little,
+				Workload:    seqs[si],
+				Seed:        cfg.BaseSeed + uint64(si),
+			})
+		}
 	}
-	wg.Wait()
+	results, err := versaslot.RunMany(scenarios, cfg.workers())
+	if err != nil {
+		panic(err)
+	}
+
+	out := make([]SweepResult, len(mixes))
+	for mi, mix := range mixes {
+		var rtSum, p95Sum float64
+		var loads uint64
+		var util float64
+		for si := range seqs {
+			res := results[mi*len(seqs)+si]
+			rtSum += float64(res.Summary.MeanRT)
+			p95Sum += float64(res.Summary.P95)
+			loads += res.Summary.PRLoads
+			util += res.Summary.UtilLUT
+		}
+		n := float64(len(seqs))
+		out[mi] = SweepResult{
+			Mix:     mix,
+			MeanRT:  sim.Duration(rtSum / n),
+			P95:     sim.Duration(p95Sum / n),
+			PRLoads: loads / uint64(len(seqs)),
+			UtilLUT: util / n,
+		}
+	}
 	return out
 }
 

@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"io"
-	"sync"
 
-	"versaslot/internal/core"
+	"versaslot"
 	"versaslot/internal/report"
 	"versaslot/internal/sched"
 	"versaslot/internal/workload"
@@ -44,34 +43,36 @@ func MeasureUtilization(cfg Config) *UtilizationResult {
 		seqs[i] = workload.Generate(p, cfg.BaseSeed+uint64(i))
 	}
 
-	rows := make([]UtilizationRow, len(kinds))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for ki, kind := range kinds {
-		ki, kind := ki, kind
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			row := UtilizationRow{Policy: kind}
-			for si, seq := range seqs {
-				res, err := core.Run(core.SystemConfig{Policy: kind, Seed: cfg.BaseSeed + uint64(si)}, seq)
-				if err != nil {
-					panic(err)
-				}
-				row.LUT += res.Summary.UtilLUT
-				row.FF += res.Summary.UtilFF
-				row.PRLoads += res.Summary.PRLoads
-			}
-			n := float64(len(seqs))
-			row.LUT /= n
-			row.FF /= n
-			row.PRLoads /= uint64(len(seqs))
-			rows[ki] = row
-		}()
+	var scenarios []versaslot.Scenario
+	for _, kind := range kinds {
+		for si := range seqs {
+			scenarios = append(scenarios, versaslot.Scenario{
+				Policy:   sched.NameOf(kind),
+				Workload: seqs[si],
+				Seed:     cfg.BaseSeed + uint64(si),
+			})
+		}
 	}
-	wg.Wait()
+	results, err := versaslot.RunMany(scenarios, cfg.workers())
+	if err != nil {
+		panic(err)
+	}
+
+	rows := make([]UtilizationRow, len(kinds))
+	for ki, kind := range kinds {
+		row := UtilizationRow{Policy: kind}
+		for si := range seqs {
+			res := results[ki*len(seqs)+si]
+			row.LUT += res.Summary.UtilLUT
+			row.FF += res.Summary.UtilFF
+			row.PRLoads += res.Summary.PRLoads
+		}
+		n := float64(len(seqs))
+		row.LUT /= n
+		row.FF /= n
+		row.PRLoads /= uint64(len(seqs))
+		rows[ki] = row
+	}
 	return &UtilizationResult{Rows: rows}
 }
 
@@ -94,10 +95,10 @@ func (r *UtilizationResult) Write(w io.Writer) { r.Table().Render(w) }
 func (r *UtilizationResult) Gain() (lutPct, ffPct float64) {
 	var ol, bl UtilizationRow
 	for _, row := range r.Rows {
-		switch row.Policy {
-		case sched.KindVersaSlotOL:
+		if row.Policy == sched.KindVersaSlotOL {
 			ol = row
-		case sched.KindVersaSlotBL:
+		}
+		if row.Policy == sched.KindVersaSlotBL {
 			bl = row
 		}
 	}

@@ -42,6 +42,9 @@ type Engine struct {
 	// residentSince tracks when the current resident interval started.
 	residentSince map[*fabric.Slot]sim.Time
 
+	// OnAppArrived fires when an app joins the candidate queue
+	// (streaming-observer hook; migrated apps do not re-fire it).
+	OnAppArrived func(*appmodel.App)
 	// OnAppFinished fires after an app completes (cluster/migration hook).
 	OnAppFinished func(*appmodel.App)
 	// OnQueueUpdate fires on every candidate-queue change: an arrival
@@ -163,6 +166,9 @@ func (e *Engine) arrive(a *appmodel.App) {
 	}
 	e.record(trace.Event{Kind: trace.AppArrive, Slot: -1, App: a.String(), Stage: -1, Item: -1})
 	e.Active = append(e.Active, a)
+	if e.OnAppArrived != nil {
+		e.OnAppArrived(a)
+	}
 	e.policy.AppArrived(a)
 	if e.OnQueueUpdate != nil {
 		e.OnQueueUpdate()

@@ -73,22 +73,12 @@ func (k Kind) String() string {
 	}
 }
 
-// New constructs a policy instance of the given kind.
+// New constructs a policy instance of the given built-in kind via the
+// registry.
 func New(k Kind) Policy {
-	switch k {
-	case KindBaseline:
-		return &Exclusive{}
-	case KindFCFS:
-		return &FCFS{}
-	case KindRR:
-		return &RR{}
-	case KindNimblock:
-		return &Nimblock{}
-	case KindVersaSlotOL:
-		return NewVersaSlotOL()
-	case KindVersaSlotBL:
-		return NewVersaSlotBL()
-	default:
+	r, ok := ByKind(k)
+	if !ok {
 		panic(fmt.Sprintf("sched: unknown policy kind %d", int(k)))
 	}
+	return r.Factory()
 }

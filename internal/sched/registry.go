@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/hypervisor"
+)
+
+// Registration declares one schedulable policy: its canonical
+// config/CLI name, display title, the platform it runs on (each policy
+// declares its own board floorplan and control-plane model, mirroring
+// the paper's evaluation setup), and a factory producing fresh policy
+// instances. Third-party policies register with Kind = KindExternal.
+type Registration struct {
+	// Name is the canonical lower-case lookup key ("versaslot-bl").
+	Name string
+	// Aliases are alternate lookup keys ("versaslot").
+	Aliases []string
+	// Title is the display name ("VersaSlot Big.Little").
+	Title string
+	// Board is the static-region floorplan the policy drives.
+	Board fabric.BoardConfig
+	// Core is the control-plane topology the policy assumes.
+	Core hypervisor.CoreModel
+	// Factory builds a fresh policy instance per run.
+	Factory func() Policy
+	// Kind is the built-in enum value used by the paper-figure tables;
+	// KindExternal for policies registered outside this package.
+	Kind Kind
+}
+
+// KindExternal marks registrations that are not one of the paper's six
+// built-in systems.
+const KindExternal Kind = -1
+
+var (
+	regMu     sync.RWMutex
+	regByName = make(map[string]*Registration)
+	regOrder  []string // canonical names in registration order
+)
+
+// Register adds a policy to the registry. The name (and every alias)
+// must be non-empty, lower-case-unique, and not already taken; the
+// factory must be non-nil.
+func Register(r Registration) error {
+	if r.Name == "" {
+		return fmt.Errorf("sched: register: empty policy name")
+	}
+	if r.Factory == nil {
+		return fmt.Errorf("sched: register %q: nil factory", r.Name)
+	}
+	if r.Title == "" {
+		r.Title = r.Name
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	keys := append([]string{r.Name}, r.Aliases...)
+	for _, key := range keys {
+		if _, dup := regByName[strings.ToLower(key)]; dup {
+			return fmt.Errorf("sched: register %q: name %q already registered", r.Name, key)
+		}
+	}
+	reg := r
+	for _, key := range keys {
+		regByName[strings.ToLower(key)] = &reg
+	}
+	regOrder = append(regOrder, strings.ToLower(r.Name))
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for init-time use.
+func MustRegister(r Registration) {
+	if err := Register(r); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a policy by name or alias (case-insensitive).
+func Lookup(name string) (*Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := regByName[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names lists canonical policy names in registration order (built-ins
+// first, in the paper's presentation order).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	copy(out, regOrder)
+	return out
+}
+
+// Registrations returns every registration in registration order.
+func Registrations() []*Registration {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Registration, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, regByName[name])
+	}
+	return out
+}
+
+// ByKind resolves a built-in registration from its enum value.
+func ByKind(k Kind) (*Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, name := range regOrder {
+		if r := regByName[name]; r.Kind == k && k != KindExternal {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// NameOf returns the canonical registry name of a built-in kind.
+func NameOf(k Kind) string {
+	if r, ok := ByKind(k); ok {
+		return r.Name
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+func init() {
+	MustRegister(Registration{
+		Name: "baseline", Title: KindBaseline.String(), Kind: KindBaseline,
+		Board: fabric.Monolithic, Core: hypervisor.SingleCore,
+		Factory: func() Policy { return &Exclusive{} },
+	})
+	MustRegister(Registration{
+		Name: "fcfs", Title: KindFCFS.String(), Kind: KindFCFS,
+		Board: fabric.OnlyLittle, Core: hypervisor.SingleCore,
+		Factory: func() Policy { return &FCFS{} },
+	})
+	MustRegister(Registration{
+		Name: "rr", Title: KindRR.String(), Kind: KindRR,
+		Board: fabric.OnlyLittle, Core: hypervisor.SingleCore,
+		Factory: func() Policy { return &RR{} },
+	})
+	MustRegister(Registration{
+		Name: "nimblock", Title: KindNimblock.String(), Kind: KindNimblock,
+		Board: fabric.OnlyLittle, Core: hypervisor.SingleCore,
+		Factory: func() Policy { return &Nimblock{} },
+	})
+	MustRegister(Registration{
+		Name: "versaslot-ol", Aliases: []string{"versaslot-only-little"},
+		Title: KindVersaSlotOL.String(), Kind: KindVersaSlotOL,
+		Board: fabric.OnlyLittle, Core: hypervisor.DualCore,
+		Factory: func() Policy { return NewVersaSlotOL() },
+	})
+	MustRegister(Registration{
+		Name: "versaslot-bl", Aliases: []string{"versaslot", "versaslot-big-little"},
+		Title: KindVersaSlotBL.String(), Kind: KindVersaSlotBL,
+		Board: fabric.BigLittle, Core: hypervisor.DualCore,
+		Factory: func() Policy { return NewVersaSlotBL() },
+	})
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/hypervisor"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	want := []string{"baseline", "fcfs", "rr", "nimblock", "versaslot-ol", "versaslot-bl"}
+	if len(names) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", names, want)
+	}
+	for i, name := range want {
+		if names[i] != name {
+			t.Errorf("Names()[%d] = %q, want %q (paper presentation order)", i, names[i], name)
+		}
+	}
+	for _, k := range Kinds() {
+		r, ok := ByKind(k)
+		if !ok {
+			t.Fatalf("ByKind(%v) not found", k)
+		}
+		if r.Title != k.String() {
+			t.Errorf("ByKind(%v).Title = %q, want %q", k, r.Title, k.String())
+		}
+		if r.Factory == nil {
+			t.Errorf("ByKind(%v) has nil factory", k)
+		}
+		if got := New(k); got.Name() != k.String() {
+			t.Errorf("New(%v).Name() = %q, want %q", k, got.Name(), k.String())
+		}
+	}
+}
+
+func TestRegistryLookupAliases(t *testing.T) {
+	for _, name := range []string{"versaslot", "VERSASLOT-BL", "versaslot-big-little"} {
+		r, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if r.Kind != KindVersaSlotBL {
+			t.Errorf("Lookup(%q).Kind = %v, want KindVersaSlotBL", name, r.Kind)
+		}
+	}
+	if _, ok := Lookup("no-such-policy"); ok {
+		t.Error("Lookup of unknown policy succeeded")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Registration{Name: "", Factory: func() Policy { return &FCFS{} }}); err == nil {
+		t.Error("Register with empty name succeeded")
+	}
+	if err := Register(Registration{Name: "nil-factory"}); err == nil {
+		t.Error("Register with nil factory succeeded")
+	}
+	// Duplicate canonical name.
+	err := Register(Registration{Name: "fcfs", Factory: func() Policy { return &FCFS{} }})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate Register error = %v, want 'already registered'", err)
+	}
+	// Duplicate via alias.
+	err = Register(Registration{Name: "fresh-name", Aliases: []string{"versaslot"},
+		Factory: func() Policy { return &FCFS{} }})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("alias-duplicate Register error = %v, want 'already registered'", err)
+	}
+	if _, ok := Lookup("fresh-name"); ok {
+		t.Error("failed registration leaked its canonical name into the registry")
+	}
+}
+
+func TestRegisterExternalPolicy(t *testing.T) {
+	err := Register(Registration{
+		Name:    "test-external",
+		Title:   "Test External",
+		Kind:    KindExternal,
+		Board:   fabric.OnlyLittle,
+		Core:    hypervisor.DualCore,
+		Factory: func() Policy { return NewVersaSlotOL() },
+	})
+	if err != nil {
+		t.Fatalf("Register external: %v", err)
+	}
+	r, ok := Lookup("test-external")
+	if !ok {
+		t.Fatal("Lookup of external policy failed")
+	}
+	if _, found := ByKind(KindExternal); found {
+		t.Error("ByKind(KindExternal) resolved; external policies must be name-addressed only")
+	}
+	if p := r.Factory(); p == nil {
+		t.Error("external factory returned nil policy")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"versaslot/internal/appmodel"
 	"versaslot/internal/sim"
@@ -38,6 +39,50 @@ func (c Condition) String() string {
 		return "Real-time"
 	default:
 		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// Key returns the canonical config/CLI key of the condition.
+func (c Condition) Key() string {
+	switch c {
+	case Loose:
+		return "loose"
+	case Standard:
+		return "standard"
+	case Stress:
+		return "stress"
+	case Realtime:
+		return "real-time"
+	default:
+		return fmt.Sprintf("condition-%d", int(c))
+	}
+}
+
+// ConditionKeys lists the canonical condition keys in the paper's
+// order.
+func ConditionKeys() []string {
+	keys := make([]string, 0, len(Conditions()))
+	for _, c := range Conditions() {
+		keys = append(keys, c.Key())
+	}
+	return keys
+}
+
+// ParseCondition resolves a condition from its config/CLI name; it is
+// the single source of truth for condition naming ("real-time" and
+// "realtime" are both accepted, as are the display names).
+func ParseCondition(name string) (Condition, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "loose":
+		return Loose, nil
+	case "standard":
+		return Standard, nil
+	case "stress":
+		return Stress, nil
+	case "real-time", "realtime":
+		return Realtime, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown condition %q (want one of %v)", name, ConditionKeys())
 	}
 }
 

@@ -1,0 +1,167 @@
+package versaslot
+
+import (
+	"sort"
+
+	"versaslot/internal/cluster"
+	"versaslot/internal/metrics"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+)
+
+// Result is the unified outcome of any scenario: the single-board
+// summary metrics and the cluster/farm switching metrics merged into
+// one type. Fields that do not apply to a topology are zero. Results
+// marshal to JSON deterministically: the same Scenario and seed always
+// produce byte-identical output.
+type Result struct {
+	// Scenario echoes the scenario name.
+	Scenario string `json:"scenario,omitempty"`
+	// Topology the run executed on.
+	Topology Topology `json:"topology"`
+	// Policy is the canonical registry name ("versaslot-bl"); for
+	// cluster/farm runs it reports "versaslot-switching".
+	Policy string `json:"policy"`
+	// PolicyTitle is the display name ("VersaSlot Big.Little").
+	PolicyTitle string `json:"policy_title"`
+	// Condition is the workload's congestion label.
+	Condition string `json:"condition"`
+	// Seed is the run's kernel seed.
+	Seed uint64 `json:"seed"`
+
+	// Summary carries the response-time, utilization and PR-contention
+	// statistics; for cluster/farm it is merged across all boards
+	// (counters summed, distributions pooled over every board's
+	// samples, utilizations weighted by per-board completed apps).
+	Summary metrics.Summary `json:"summary"`
+	// Samples are the per-application response samples (pooled and
+	// sorted by application ID for multi-board runs).
+	Samples []metrics.ResponseSample `json:"samples,omitempty"`
+	// BySpec breaks response times down per application type.
+	BySpec []metrics.SpecBreakdown `json:"by_spec,omitempty"`
+	// CacheHits/CacheMisses report bitstream cache behaviour.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// LaunchWait is the cumulative time item launches waited on the
+	// scheduler CPU (the execution-blocking effect of single-core
+	// control planes, Fig. 2).
+	LaunchWait sim.Duration `json:"launch_wait"`
+	// Makespan is when the last application finished.
+	Makespan sim.Time `json:"makespan"`
+
+	// Switches counts cross-board live migrations (cluster/farm).
+	Switches int `json:"switches,omitempty"`
+	// MeanSwitchTime is the average migration overhead.
+	MeanSwitchTime sim.Duration `json:"mean_switch_time,omitempty"`
+	// MigratedApps counts applications moved across boards.
+	MigratedApps int `json:"migrated_apps,omitempty"`
+	// SwitchTrace is the D_switch evaluation trace (Fig. 8 left).
+	SwitchTrace []cluster.TracePoint `json:"switch_trace,omitempty"`
+	// Routed reports arrivals dispatched per pair (farm only).
+	Routed []int `json:"routed,omitempty"`
+}
+
+// MeanRT is a convenience accessor for Summary.MeanRT.
+func (r *Result) MeanRT() sim.Duration { return r.Summary.MeanRT }
+
+// Percentile computes a response-time percentile over the result's
+// samples (the paper's tails pool each condition's sequences).
+func (r *Result) Percentile(p float64) sim.Duration {
+	return pooledPercentile(r.Samples, p)
+}
+
+// PooledSamples concatenates response samples across results.
+func PooledSamples(results []*Result) []metrics.ResponseSample {
+	var out []metrics.ResponseSample
+	for _, r := range results {
+		out = append(out, r.Samples...)
+	}
+	return out
+}
+
+// PooledPercentile computes a percentile over all results' samples.
+func PooledPercentile(results []*Result, p float64) sim.Duration {
+	return pooledPercentile(PooledSamples(results), p)
+}
+
+// MeanRT averages the per-result mean response times.
+func MeanRT(results []*Result) sim.Duration {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += float64(r.Summary.MeanRT)
+	}
+	return sim.Duration(sum / float64(len(results)))
+}
+
+func pooledPercentile(samples []metrics.ResponseSample, p float64) sim.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = float64(s.Response)
+	}
+	return sim.Duration(metrics.PercentileOf(vals, p))
+}
+
+// fillFromEngines merges the per-board collectors of a multi-board run
+// into the result: counters summed, distributions recomputed over the
+// pooled samples, utilizations weighted by per-board completed apps.
+// Engines must be passed in a fixed order so output is deterministic.
+func (r *Result) fillFromEngines(engines []*sched.Engine) {
+	var pooled []metrics.ResponseSample
+	var utilLUT, utilFF, weight float64
+	for _, e := range engines {
+		s := e.Col.Summarize()
+		r.Summary.PRLoads += s.PRLoads
+		r.Summary.PRBlocked += s.PRBlocked
+		r.Summary.PRRetries += s.PRRetries
+		r.Summary.PRWait += s.PRWait
+		r.Summary.Preemptions += s.Preemptions
+		r.Summary.Migrations += s.Migrations
+		utilLUT += s.UtilLUT * float64(s.Apps)
+		utilFF += s.UtilFF * float64(s.Apps)
+		weight += float64(s.Apps)
+		pooled = append(pooled, e.Col.Responses...)
+		hits, misses := e.Cache.Stats()
+		r.CacheHits += hits
+		r.CacheMisses += misses
+		r.LaunchWait += e.Cores.Sched.Stats().WaitByName["launch"]
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i].AppID < pooled[j].AppID })
+	r.Samples = pooled
+	r.Summary.Apps = len(pooled)
+	if weight > 0 {
+		r.Summary.UtilLUT = utilLUT / weight
+		r.Summary.UtilFF = utilFF / weight
+	}
+	if len(pooled) > 0 {
+		r.Summary.MeanRT = metrics.MeanResponse(pooled)
+		r.Summary.P50 = pooledPercentile(pooled, 50)
+		r.Summary.P95 = pooledPercentile(pooled, 95)
+		r.Summary.P99 = pooledPercentile(pooled, 99)
+		var queue float64
+		minRT, maxRT := pooled[0].Response, pooled[0].Response
+		for _, s := range pooled {
+			queue += float64(s.QueueDelay)
+			if s.Response < minRT {
+				minRT = s.Response
+			}
+			if s.Response > maxRT {
+				maxRT = s.Response
+			}
+			if s.Finish > r.Makespan {
+				r.Makespan = s.Finish
+			}
+		}
+		r.Summary.MeanQueue = sim.Duration(queue / float64(len(pooled)))
+		r.Summary.MinRT = minRT
+		r.Summary.MaxRT = maxRT
+	}
+	agg := metrics.NewCollector(0, 0)
+	agg.Responses = pooled
+	r.BySpec = agg.BySpec()
+}

@@ -1,0 +1,276 @@
+package versaslot
+
+import (
+	"fmt"
+	"sync"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/cluster"
+	"versaslot/internal/core"
+	"versaslot/internal/fabric"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/trace"
+	"versaslot/internal/workload"
+)
+
+// Event is one streamed simulation event delivered to an Observer.
+type Event struct {
+	// Scenario names the run the event belongs to — under RunMany,
+	// concurrent runs interleave and this is the attribution key.
+	Scenario string
+	// At is the virtual time of the event.
+	At sim.Time
+	// Kind is "arrival", "finish", or "switch".
+	Kind string
+	// AppID/Spec/Batch identify the application ("arrival"/"finish").
+	AppID int
+	Spec  string
+	Batch int
+	// Board is the board the event occurred on; for "switch" events,
+	// the switching pair's first board.
+	Board int
+	// From/To are the board modes of a "switch" event.
+	From, To string
+}
+
+// Observer receives per-event callbacks while a scenario runs. Under
+// RunMany, callbacks from concurrent runs are serialized but may
+// interleave across scenarios; Event.Scenario attributes each event
+// to its run.
+type Observer func(Event)
+
+// Runner executes scenarios. The zero value (NewRunner with no
+// options) is ready to use; options attach tracing, typed event
+// recording, and streaming observers.
+type Runner struct {
+	traceFn  func(format string, args ...any)
+	recorder *trace.Recorder
+	observer Observer
+	obsMu    sync.Mutex
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithTrace streams one formatted line per engine event (PR
+// start/completion, item launch/completion, app lifecycle) to fn.
+func WithTrace(fn func(format string, args ...any)) Option {
+	return func(r *Runner) { r.traceFn = fn }
+}
+
+// WithRecorder attaches a typed event recorder for timeline rendering
+// and post-hoc analysis. Recorders are not attached during RunMany
+// (concurrent runs would interleave their events).
+func WithRecorder(rec *trace.Recorder) Option {
+	return func(r *Runner) { r.recorder = rec }
+}
+
+// WithObserver streams per-event callbacks (arrivals, completions,
+// cross-board switches) while scenarios run.
+func WithObserver(fn Observer) Option {
+	return func(r *Runner) { r.observer = fn }
+}
+
+// NewRunner builds a runner with the given options.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Run executes one scenario with the default runner.
+func Run(s Scenario) (*Result, error) { return NewRunner().Run(s) }
+
+// Run executes one scenario to completion.
+func (r *Runner) Run(s Scenario) (*Result, error) { return r.run(s, false) }
+
+func (r *Runner) run(s Scenario, parallel bool) (*Result, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	seq, err := s.sequence()
+	if err != nil {
+		return nil, err
+	}
+	switch s.Topology {
+	case TopologySingle:
+		return r.runSingle(s, seq, parallel)
+	case TopologyCluster:
+		return r.runCluster(s, seq, parallel)
+	case TopologyFarm:
+		return r.runFarm(s, seq, parallel)
+	default:
+		return nil, fmt.Errorf("versaslot: unknown topology %q", s.Topology)
+	}
+}
+
+func (r *Runner) emit(ev Event) {
+	if r.observer == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.observer(ev)
+	r.obsMu.Unlock()
+}
+
+// observeEngine chains the runner's observer onto an engine's lifecycle
+// hooks, preserving any hooks the topology already installed.
+func (r *Runner) observeEngine(scenario string, e *sched.Engine) {
+	if r.observer == nil {
+		return
+	}
+	board := e.Board.ID
+	e.OnAppArrived = func(a *appmodel.App) {
+		r.emit(Event{Scenario: scenario, At: e.Now(), Kind: "arrival", AppID: a.ID, Spec: a.Spec.Name, Batch: a.Batch, Board: board})
+	}
+	prev := e.OnAppFinished
+	e.OnAppFinished = func(a *appmodel.App) {
+		if prev != nil {
+			prev(a)
+		}
+		r.emit(Event{Scenario: scenario, At: e.Now(), Kind: "finish", AppID: a.ID, Spec: a.Spec.Name, Batch: a.Batch, Board: board})
+	}
+}
+
+func (r *Runner) attachDiagnostics(scenario string, e *sched.Engine, parallel bool) {
+	if r.traceFn != nil && !parallel {
+		e.Trace = r.traceFn
+	}
+	if r.recorder != nil && !parallel {
+		e.Recorder = r.recorder
+	}
+	r.observeEngine(scenario, e)
+}
+
+func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*Result, error) {
+	var sys *core.System
+	policyName := s.Policy
+	if s.BigSlots > 0 || s.LittleSlots > 0 {
+		sys = core.NewCustomSystem(s.BigSlots, s.LittleSlots, s.Seed, s.Params)
+		policyName = "versaslot-ol"
+		if s.BigSlots > 0 {
+			policyName = "versaslot-bl"
+		}
+	} else {
+		var err error
+		sys, err = core.NewRegisteredSystem(s.Policy, s.Seed, s.Params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.attachDiagnostics(s.Name, sys.Engine, parallel)
+	apps, err := seq.Instantiate(0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Execute(seq.Condition, apps)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Scenario:    s.Name,
+		Topology:    TopologySingle,
+		Policy:      canonicalName(policyName),
+		PolicyTitle: PolicyTitle(policyName),
+		Condition:   seq.Condition,
+		Seed:        s.Seed,
+		Summary:     res.Summary,
+		Samples:     res.Samples,
+		BySpec:      res.BySpec,
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
+		LaunchWait:  sys.Engine.Cores.Sched.Stats().WaitByName["launch"],
+	}
+	for _, sample := range res.Samples {
+		if sample.Finish > out.Makespan {
+			out.Makespan = sample.Finish
+		}
+	}
+	return out, nil
+}
+
+// clusterModes is the fixed board-mode iteration order that keeps
+// multi-board metric merging deterministic.
+var clusterModes = []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle}
+
+func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (*Result, error) {
+	cl := cluster.New(s.clusterConfig())
+	for _, mode := range clusterModes {
+		r.attachDiagnostics(s.Name, cl.Engine(mode), parallel)
+	}
+	r.observeSwitches(s.Name, cl)
+	if err := cl.Inject(seq); err != nil {
+		return nil, err
+	}
+	sum := cl.Run()
+	out := &Result{
+		Scenario:       s.Name,
+		Topology:       TopologyCluster,
+		Policy:         "versaslot-switching",
+		PolicyTitle:    "VersaSlot Switching",
+		Condition:      seq.Condition,
+		Seed:           s.Seed,
+		Switches:       sum.Switches,
+		MeanSwitchTime: sum.MeanSwitchTime,
+		MigratedApps:   sum.MigratedApps,
+		SwitchTrace:    sum.Trace,
+	}
+	engines := make([]*sched.Engine, 0, len(clusterModes))
+	for _, mode := range clusterModes {
+		engines = append(engines, cl.Engine(mode))
+	}
+	out.fillFromEngines(engines)
+	return out, nil
+}
+
+func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Result, error) {
+	f := cluster.NewFarm(s.clusterConfig(), s.Pairs)
+	var engines []*sched.Engine
+	for _, pair := range f.Pairs {
+		for _, mode := range clusterModes {
+			r.attachDiagnostics(s.Name, pair.Engine(mode), parallel)
+			engines = append(engines, pair.Engine(mode))
+		}
+		r.observeSwitches(s.Name, pair)
+	}
+	if err := f.Inject(seq); err != nil {
+		return nil, err
+	}
+	sum := f.Run()
+	out := &Result{
+		Scenario:       s.Name,
+		Topology:       TopologyFarm,
+		Policy:         "versaslot-switching",
+		PolicyTitle:    "VersaSlot Switching Farm",
+		Condition:      seq.Condition,
+		Seed:           s.Seed,
+		Switches:       sum.Switches,
+		MeanSwitchTime: sum.MeanSwitchTime,
+		MigratedApps:   sum.MigratedApps,
+		SwitchTrace:    sum.Trace,
+		Routed:         f.Routed(),
+	}
+	out.fillFromEngines(engines)
+	return out, nil
+}
+
+func (r *Runner) observeSwitches(scenario string, cl *cluster.Cluster) {
+	if r.observer == nil {
+		return
+	}
+	board := cl.Engine(fabric.OnlyLittle).Board.ID
+	cl.OnSwitch = func(from, to fabric.BoardConfig) {
+		r.emit(Event{Scenario: scenario, At: cl.K.Now(), Kind: "switch", Board: board, From: from.String(), To: to.String()})
+	}
+}
+
+func canonicalName(name string) string {
+	if reg, ok := sched.Lookup(name); ok {
+		return reg.Name
+	}
+	return name
+}

@@ -1,0 +1,145 @@
+package versaslot_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"versaslot"
+	"versaslot/internal/trace"
+)
+
+func resultJSON(t *testing.T, r *versaslot.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+// TestDeterminism: the same Scenario plus seed must produce
+// byte-identical Results, on every topology.
+func TestDeterminism(t *testing.T) {
+	scenarios := []versaslot.Scenario{
+		{Name: "single", Policy: "versaslot-bl", Condition: "stress", Apps: 10, Seed: 5},
+		{Name: "cluster", Topology: versaslot.TopologyCluster, Condition: "stress", Apps: 16, Seed: 5},
+		{Name: "farm", Topology: versaslot.TopologyFarm, Pairs: 2, Condition: "stress", Apps: 16, Seed: 5},
+		{Name: "custom", BigSlots: 1, LittleSlots: 6, Condition: "stress", Apps: 10, Seed: 5},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.Name, func(t *testing.T) {
+			first, err := versaslot.Run(sc)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := versaslot.Run(sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			a, b := resultJSON(t, first), resultJSON(t, second)
+			if !bytes.Equal(a, b) {
+				t.Errorf("results differ between identical runs:\n%s\n%s", a, b)
+			}
+			if first.Summary.Apps == 0 {
+				t.Error("run completed zero apps")
+			}
+		})
+	}
+}
+
+func TestRunnerObserver(t *testing.T) {
+	var arrivals, finishes int
+	runner := versaslot.NewRunner(versaslot.WithObserver(func(ev versaslot.Event) {
+		switch ev.Kind {
+		case "arrival":
+			arrivals++
+		case "finish":
+			finishes++
+		}
+	}))
+	res, err := runner.Run(versaslot.Scenario{Policy: "fcfs", Condition: "loose", Apps: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrivals != 6 || finishes != 6 {
+		t.Errorf("observer saw %d arrivals / %d finishes, want 6/6", arrivals, finishes)
+	}
+	if res.Summary.Apps != 6 {
+		t.Errorf("Summary.Apps = %d, want 6", res.Summary.Apps)
+	}
+}
+
+func TestRunnerObserverCluster(t *testing.T) {
+	var finishes, switches int
+	runner := versaslot.NewRunner(versaslot.WithObserver(func(ev versaslot.Event) {
+		switch ev.Kind {
+		case "finish":
+			finishes++
+		case "switch":
+			switches++
+		}
+	}))
+	res, err := runner.Run(versaslot.Scenario{
+		Topology: versaslot.TopologyCluster, Condition: "stress", Apps: 20, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finishes != res.Summary.Apps {
+		t.Errorf("observer saw %d finishes, summary has %d apps", finishes, res.Summary.Apps)
+	}
+	if switches != res.Switches {
+		t.Errorf("observer saw %d switches, result has %d", switches, res.Switches)
+	}
+}
+
+func TestRunnerTraceAndRecorder(t *testing.T) {
+	var lines int
+	rec := trace.NewRecorder(0)
+	runner := versaslot.NewRunner(
+		versaslot.WithTrace(func(format string, args ...any) { lines++ }),
+		versaslot.WithRecorder(rec),
+	)
+	if _, err := runner.Run(versaslot.Scenario{Policy: "nimblock", Condition: "loose", Apps: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("WithTrace produced no lines")
+	}
+	if rec.Len() == 0 {
+		t.Error("WithRecorder recorded no events")
+	}
+}
+
+func TestWorkloadFileScenario(t *testing.T) {
+	dir := t.TempDir()
+	seqPath := dir + "/wl.json"
+	seqJSON := `{"name":"wl","condition":"Stress","seed":9,"arrivals":[
+		{"spec":"3DR","batch":3,"at":0},
+		{"spec":"IC","batch":2,"at":1000000000}]}`
+	if err := writeFile(seqPath, seqJSON); err != nil {
+		t.Fatal(err)
+	}
+	res, err := versaslot.Run(versaslot.Scenario{Policy: "versaslot-bl", WorkloadFile: seqPath, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Apps != 2 {
+		t.Errorf("Summary.Apps = %d, want 2", res.Summary.Apps)
+	}
+	if res.Condition != "Stress" {
+		t.Errorf("Condition = %q, want Stress (from workload file)", res.Condition)
+	}
+}
+
+func TestRunUnknownPolicyFails(t *testing.T) {
+	if _, err := versaslot.Run(versaslot.Scenario{Policy: "bogus"}); err == nil {
+		t.Error("Run with unknown policy succeeded")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,292 @@
+// Package versaslot is the public facade of the VersaSlot
+// reproduction: one declarative Scenario description, one Runner, one
+// unified Result, across every topology the paper evaluates — a single
+// board ("single"), the two-board Schmitt-trigger switching cluster
+// ("cluster"), and the multi-pair board farm ("farm").
+//
+// A minimal run:
+//
+//	res, err := versaslot.Run(versaslot.Scenario{
+//		Policy:    "versaslot-bl",
+//		Condition: "standard",
+//		Apps:      20,
+//		Seed:      42,
+//	})
+//
+// Scenarios round-trip through JSON, so any run is reproducible from a
+// config artifact:
+//
+//	sc, err := versaslot.LoadScenario("scenario.json")
+//	res, err := versaslot.Run(sc)
+//
+// Policies are resolved by registry name (see Policies()); third-party
+// schedulers plug in via sched.Register without touching any enum.
+package versaslot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"versaslot/internal/cluster"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// Topology selects the system shape a scenario runs on.
+type Topology string
+
+const (
+	// TopologySingle is one board driven by one policy.
+	TopologySingle Topology = "single"
+	// TopologyCluster is the paper's two-board switching pair with
+	// D_switch-triggered live migration.
+	TopologyCluster Topology = "cluster"
+	// TopologyFarm is K switching pairs behind a least-loaded
+	// dispatcher.
+	TopologyFarm Topology = "farm"
+)
+
+// Scenario declaratively describes one run: topology, policy (by
+// registered name), workload (by congestion condition, inline
+// sequence, or file), parameter overrides, and seed. The zero value
+// plus defaults reproduces the paper's standard-condition Big.Little
+// run. Scenarios marshal to/from JSON unchanged, so a run is fully
+// reproducible from the serialized artifact.
+type Scenario struct {
+	// Name labels the scenario in results and sweep output.
+	Name string `json:"name,omitempty"`
+	// Topology is single (default), cluster, or farm.
+	Topology Topology `json:"topology,omitempty"`
+	// Policy is a registered policy name (default "versaslot-bl");
+	// single topology only — cluster boards run the VersaSlot pair.
+	Policy string `json:"policy,omitempty"`
+	// Condition names the congestion regime used to generate the
+	// workload (default "standard"); ignored when Workload or
+	// WorkloadFile is set.
+	Condition string `json:"condition,omitempty"`
+	// Apps sizes the generated sequence (default 20).
+	Apps int `json:"apps,omitempty"`
+	// Seed seeds both workload generation and the simulation kernel
+	// (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workload inlines an explicit arrival sequence, overriding
+	// Condition/Apps generation.
+	Workload *workload.Sequence `json:"workload,omitempty"`
+	// WorkloadFile loads the sequence from a JSON file at run time.
+	WorkloadFile string `json:"workload_file,omitempty"`
+	// IntervalLo/IntervalHi (nanoseconds) override the condition's
+	// inter-arrival bounds (the Fig. 8 long workloads use this).
+	IntervalLo sim.Duration `json:"interval_lo,omitempty"`
+	IntervalHi sim.Duration `json:"interval_hi,omitempty"`
+	// Poisson draws exponential inter-arrival times instead of the
+	// paper's uniform intervals.
+	Poisson bool `json:"poisson,omitempty"`
+	// Params overrides hardware/control-plane constants; nil means
+	// sched.DefaultParams().
+	Params *sched.Params `json:"params,omitempty"`
+	// BigSlots/LittleSlots select a custom single-board slot mix (the
+	// paper's "any Big/Little configuration" extension); both zero
+	// means the policy's declared floorplan.
+	BigSlots    int `json:"big_slots,omitempty"`
+	LittleSlots int `json:"little_slots,omitempty"`
+	// Pairs is the farm size (default 2; farm topology only).
+	Pairs int `json:"pairs,omitempty"`
+	// ThresholdUp/ThresholdDown override the Schmitt-trigger levels
+	// (cluster/farm; zero means the paper's defaults).
+	ThresholdUp   float64 `json:"threshold_up,omitempty"`
+	ThresholdDown float64 `json:"threshold_down,omitempty"`
+	// WindowUpdates is the D_switch re-evaluation cadence (default 4).
+	WindowUpdates int `json:"window_updates,omitempty"`
+	// Smoothing is the EWMA factor on raw D_switch samples.
+	Smoothing float64 `json:"smoothing,omitempty"`
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.Topology == "" {
+		s.Topology = TopologySingle
+	}
+	if s.Policy == "" && s.BigSlots == 0 && s.LittleSlots == 0 {
+		s.Policy = "versaslot-bl"
+	}
+	if s.Condition == "" {
+		s.Condition = "standard"
+	}
+	if s.Apps == 0 {
+		s.Apps = 20
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Pairs == 0 {
+		s.Pairs = 2
+	}
+	return s
+}
+
+// Validate checks the scenario against the policy registry and the
+// condition table without running it.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	switch s.Topology {
+	case TopologySingle, TopologyCluster, TopologyFarm:
+	default:
+		return fmt.Errorf("versaslot: unknown topology %q (want single|cluster|farm)", s.Topology)
+	}
+	if s.BigSlots < 0 || s.LittleSlots < 0 {
+		return fmt.Errorf("versaslot: negative slot counts %d/%d", s.BigSlots, s.LittleSlots)
+	}
+	custom := s.BigSlots > 0 || s.LittleSlots > 0
+	if custom && s.Topology != TopologySingle {
+		return fmt.Errorf("versaslot: custom slot mix is single-topology only")
+	}
+	if custom && s.Policy != "" {
+		return fmt.Errorf("versaslot: policy %q conflicts with a custom slot mix (the mix implies the VersaSlot policy)", s.Policy)
+	}
+	if custom {
+		if area := 2*s.BigSlots + s.LittleSlots; area > 8 {
+			return fmt.Errorf("versaslot: slot mix %dB+%dL needs %d Little-equivalents; the fabric holds 8",
+				s.BigSlots, s.LittleSlots, area)
+		}
+		if s.LittleSlots == 0 {
+			return fmt.Errorf("versaslot: slot mix %dB+0L has no Little slots; non-bundleable applications (e.g. LeNet) could never execute",
+				s.BigSlots)
+		}
+	}
+	if !custom && s.Topology == TopologySingle {
+		if _, ok := sched.Lookup(s.Policy); !ok {
+			return fmt.Errorf("versaslot: unknown policy %q (registered: %v)", s.Policy, sched.Names())
+		}
+	}
+	if s.Workload == nil && s.WorkloadFile == "" {
+		if _, err := workload.ParseCondition(s.Condition); err != nil {
+			return fmt.Errorf("versaslot: %w", err)
+		}
+		if s.Apps < 0 {
+			return fmt.Errorf("versaslot: negative app count %d", s.Apps)
+		}
+	}
+	if (s.IntervalLo != 0 || s.IntervalHi != 0) &&
+		!(s.IntervalLo > 0 && s.IntervalHi >= s.IntervalLo) {
+		return fmt.Errorf("versaslot: invalid interval override [%v, %v] (need 0 < lo <= hi)",
+			s.IntervalLo, s.IntervalHi)
+	}
+	if s.Pairs < 0 {
+		return fmt.Errorf("versaslot: negative pair count %d", s.Pairs)
+	}
+	return nil
+}
+
+// sequence resolves the scenario's workload: inline sequence, file, or
+// condition-driven generation.
+func (s Scenario) sequence() (*workload.Sequence, error) {
+	if s.Workload != nil {
+		return s.Workload, nil
+	}
+	if s.WorkloadFile != "" {
+		f, err := os.Open(s.WorkloadFile)
+		if err != nil {
+			return nil, fmt.Errorf("versaslot: workload file: %w", err)
+		}
+		defer f.Close()
+		return workload.ReadJSON(f)
+	}
+	cond, err := workload.ParseCondition(s.Condition)
+	if err != nil {
+		return nil, fmt.Errorf("versaslot: %w", err)
+	}
+	p := workload.DefaultGenParams(cond)
+	p.Apps = s.Apps
+	if s.IntervalLo > 0 && s.IntervalHi >= s.IntervalLo {
+		p.IntervalLo, p.IntervalHi = s.IntervalLo, s.IntervalHi
+	}
+	p.Poisson = s.Poisson
+	return workload.Generate(p, s.Seed), nil
+}
+
+// clusterConfig maps the scenario's cluster knobs onto a cluster
+// configuration.
+func (s Scenario) clusterConfig() cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = s.Seed
+	if s.Params != nil {
+		cfg.Params = *s.Params
+	}
+	if s.ThresholdUp > 0 {
+		cfg.ThresholdUp = s.ThresholdUp
+	}
+	if s.ThresholdDown > 0 {
+		cfg.ThresholdDown = s.ThresholdDown
+	}
+	if s.WindowUpdates > 0 {
+		cfg.WindowUpdates = s.WindowUpdates
+	}
+	if s.Smoothing > 0 {
+		cfg.Smoothing = s.Smoothing
+	}
+	return cfg
+}
+
+// WriteJSON serializes the scenario as an indented config artifact.
+func (s Scenario) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadScenario deserializes a scenario, rejecting unknown fields so
+// config-artifact typos fail loudly.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("versaslot: decode scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("versaslot: %w", err)
+	}
+	defer f.Close()
+	return ReadScenario(f)
+}
+
+// SaveScenario writes the scenario to a JSON file.
+func SaveScenario(path string, s Scenario) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("versaslot: %w", err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Policies lists registered policy names in the paper's presentation
+// order (built-ins first, then third-party registrations).
+func Policies() []string { return sched.Names() }
+
+// PolicyTitle returns the display title of a registered policy name.
+func PolicyTitle(name string) string {
+	if r, ok := sched.Lookup(name); ok {
+		return r.Title
+	}
+	return name
+}
+
+// Conditions lists the congestion-condition names in the paper's
+// order.
+func Conditions() []string { return workload.ConditionKeys() }

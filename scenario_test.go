@@ -1,0 +1,99 @@
+package versaslot_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"versaslot"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 5
+	orig := versaslot.Scenario{
+		Name:          "round-trip",
+		Topology:      versaslot.TopologyCluster,
+		Condition:     "stress",
+		Apps:          30,
+		Seed:          99,
+		Workload:      workload.Generate(p, 4),
+		IntervalLo:    100 * sim.Millisecond,
+		IntervalHi:    200 * sim.Millisecond,
+		WindowUpdates: 8,
+		Smoothing:     0.5,
+		ThresholdUp:   0.2,
+		ThresholdDown: 0.02,
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := versaslot.ReadScenario(&buf)
+	if err != nil {
+		t.Fatalf("ReadScenario: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip mismatch:\n orig: %+v\n got:  %+v", orig, got)
+	}
+}
+
+func TestScenarioParamsRoundTrip(t *testing.T) {
+	params := sched.DefaultParams()
+	params.PRFailureRate = 0.01
+	params.HostControl = true
+	orig := versaslot.Scenario{Policy: "fcfs", Params: &params}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := versaslot.ReadScenario(&buf)
+	if err != nil {
+		t.Fatalf("ReadScenario: %v", err)
+	}
+	if got.Params == nil || !reflect.DeepEqual(*orig.Params, *got.Params) {
+		t.Errorf("params round trip mismatch: %+v vs %+v", orig.Params, got.Params)
+	}
+}
+
+func TestReadScenarioRejectsUnknownFields(t *testing.T) {
+	_, err := versaslot.ReadScenario(strings.NewReader(`{"polcy": "fcfs"}`))
+	if err == nil {
+		t.Error("ReadScenario accepted a misspelled field")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    versaslot.Scenario
+		want string // substring of the expected error; "" = valid
+	}{
+		{"zero value defaults", versaslot.Scenario{}, ""},
+		{"unknown policy", versaslot.Scenario{Policy: "nope"}, "unknown policy"},
+		{"unknown topology", versaslot.Scenario{Topology: "ring"}, "unknown topology"},
+		{"unknown condition", versaslot.Scenario{Condition: "chill"}, "unknown condition"},
+		{"custom mix ok", versaslot.Scenario{BigSlots: 1, LittleSlots: 6}, ""},
+		{"custom mix on cluster", versaslot.Scenario{Topology: versaslot.TopologyCluster, BigSlots: 1}, "single-topology"},
+		{"custom mix with explicit policy", versaslot.Scenario{Policy: "fcfs", BigSlots: 2, LittleSlots: 4}, "conflicts with a custom slot mix"},
+		{"custom mix big only", versaslot.Scenario{BigSlots: 2}, "no Little slots"},
+		{"custom mix oversized", versaslot.Scenario{BigSlots: 4, LittleSlots: 4}, "the fabric holds 8"},
+		{"interval hi only", versaslot.Scenario{IntervalHi: 2 * sim.Second}, "invalid interval override"},
+		{"interval hi below lo", versaslot.Scenario{IntervalLo: 2 * sim.Second, IntervalHi: sim.Second}, "invalid interval override"},
+		{"interval ok", versaslot.Scenario{IntervalLo: sim.Second, IntervalHi: 2 * sim.Second}, ""},
+		{"policy alias", versaslot.Scenario{Policy: "versaslot"}, ""},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if c.want == "" && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", c.name, err)
+		}
+		if c.want != "" && (err == nil || !strings.Contains(err.Error(), c.want)) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package versaslot
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunMany executes scenarios on a worker pool with the default runner
+// and returns results in input order. workers <= 0 uses NumCPU. Each
+// run owns its simulation kernel, so sweeps parallelize trivially;
+// results are identical to sequential execution for the same seeds.
+func RunMany(scenarios []Scenario, workers int) ([]*Result, error) {
+	return NewRunner().RunMany(scenarios, workers)
+}
+
+// RunMany executes scenarios on a worker pool. Observer callbacks are
+// serialized; trace and recorder options are skipped (concurrent runs
+// would interleave their output). The first scenario error does not
+// stop the remaining runs; all errors are joined.
+func (r *Runner) RunMany(scenarios []Scenario, workers int) ([]*Result, error) {
+	if len(scenarios) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]*Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := r.run(scenarios[i], true)
+				if err != nil {
+					errs[i] = fmt.Errorf("versaslot: scenario %d (%s): %w", i, scenarios[i].Name, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// Sweep enumerates the cross product seeds x conditions x policies
+// over a base scenario — the paper's evaluation grid (six systems,
+// four congestion conditions, ten sequences) is one Sweep.
+type Sweep struct {
+	// Base supplies every field the sweep axes do not override.
+	Base Scenario
+	// Policies are registered policy names; empty means Base.Policy.
+	Policies []string
+	// Conditions are congestion-condition names; empty means
+	// Base.Condition.
+	Conditions []string
+	// Seeds seed workload generation and the kernel; empty means
+	// Base.Seed.
+	Seeds []uint64
+}
+
+// Scenarios expands the sweep into concrete scenarios, ordered seed-
+// major, then condition, then policy, with names stamped
+// "policy/condition/seedN".
+func (sw Sweep) Scenarios() []Scenario {
+	policies := sw.Policies
+	if len(policies) == 0 {
+		policies = []string{sw.Base.Policy}
+	}
+	conditions := sw.Conditions
+	if len(conditions) == 0 {
+		conditions = []string{sw.Base.Condition}
+	}
+	seeds := sw.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{sw.Base.Seed}
+	}
+	out := make([]Scenario, 0, len(seeds)*len(conditions)*len(policies))
+	for _, seed := range seeds {
+		for _, cond := range conditions {
+			for _, pol := range policies {
+				s := sw.Base
+				s.Policy = pol
+				s.Condition = cond
+				s.Seed = seed
+				s.Name = fmt.Sprintf("%s/%s/seed%d", pol, cond, seed)
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// RunSweep expands and executes a sweep on a worker pool.
+func RunSweep(sw Sweep, workers int) ([]*Result, error) {
+	return RunMany(sw.Scenarios(), workers)
+}
