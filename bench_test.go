@@ -11,9 +11,11 @@
 package versaslot_test
 
 import (
+	"fmt"
 	"testing"
 
 	"versaslot/internal/bitstream"
+	"versaslot/internal/cluster"
 	"versaslot/internal/core"
 	"versaslot/internal/experiments"
 	"versaslot/internal/fabric"
@@ -221,6 +223,37 @@ func BenchmarkFailureInjection(b *testing.B) {
 		}
 		b.ReportMetric(sim.Time(res.Summary.MeanRT).Seconds(), "meanRT_s")
 		b.ReportMetric(float64(res.Summary.PRRetries), "retries")
+	}
+}
+
+// BenchmarkFarmDispatch compares the registered farm dispatchers at
+// 8/32/128 pairs on a stress workload scaled to the farm size. The
+// incremental load counters keep dispatch O(pairs) per arrival (the
+// former implementation re-scanned every engine's queue), so the gap
+// between dispatchers at 128 pairs is policy cost, not bookkeeping.
+func BenchmarkFarmDispatch(b *testing.B) {
+	for _, pairs := range []int{8, 32, 128} {
+		p := workload.DefaultGenParams(workload.Stress)
+		p.Apps = pairs * 3
+		seq := workload.Generate(p, 4242)
+		for _, name := range cluster.DispatcherNames() {
+			b.Run(fmt.Sprintf("%s/pairs=%d", name, pairs), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := cluster.DefaultFarmConfig(pairs)
+					cfg.Dispatcher = name
+					cfg.RebalanceEvery = 2 * sim.Second
+					f := cluster.MustNewFarm(cfg)
+					if err := f.Inject(seq); err != nil {
+						b.Fatal(err)
+					}
+					sum := f.Run()
+					if sum.Apps != p.Apps {
+						b.Fatalf("finished %d of %d apps", sum.Apps, p.Apps)
+					}
+					b.ReportMetric(float64(sum.CrossSwitches), "crossMigrations")
+				}
+			})
+		}
 	}
 }
 

@@ -8,8 +8,10 @@
 //	versaslot [-scenario file.json] [-topology single|cluster|farm]
 //	          [-policy versaslot-bl] [-condition standard] [-apps 20]
 //	          [-seed 1] [-workload file.json] [-pairs 2]
-//	          [-dump-scenario file.json] [-v]
+//	          [-dispatcher least-loaded] [-rebalance-every 2s]
+//	          [-rebalance-gap 2] [-dump-scenario file.json] [-v]
 //	versaslot -policy list
+//	versaslot -dispatcher list
 package main
 
 import (
@@ -31,6 +33,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload and simulation seed")
 	file := flag.String("workload", "", "JSON workload file (overrides -condition/-apps)")
 	pairs := flag.Int("pairs", 2, "switching pairs (farm topology)")
+	dispatcher := flag.String("dispatcher", "", "farm arrival dispatcher (default least-loaded), or 'list' to print the registry")
+	rebalanceEvery := flag.Duration("rebalance-every", 0, "farm rebalancer cadence in virtual time (0 disables)")
+	rebalanceGap := flag.Int("rebalance-gap", 0, "min unfinished-app gap between pairs that triggers a cross-pair migration (default 2)")
 	dump := flag.String("dump-scenario", "", "also write the effective scenario JSON to this file")
 	verbose := flag.Bool("v", false, "print per-application response times")
 	flag.Parse()
@@ -39,6 +44,13 @@ func main() {
 		fmt.Println("registered policies:")
 		for _, name := range versaslot.Policies() {
 			fmt.Printf("  %-14s %s\n", name, versaslot.PolicyTitle(name))
+		}
+		return
+	}
+	if *dispatcher == "list" {
+		fmt.Println("registered dispatchers:")
+		for _, name := range versaslot.Dispatchers() {
+			fmt.Printf("  %-14s %s\n", name, versaslot.DispatcherTitle(name))
 		}
 		return
 	}
@@ -53,13 +65,16 @@ func main() {
 		}
 	} else {
 		sc = versaslot.Scenario{
-			Topology:     versaslot.Topology(*topology),
-			Policy:       *policy,
-			Condition:    *condition,
-			Apps:         *apps,
-			Seed:         *seed,
-			WorkloadFile: *file,
-			Pairs:        *pairs,
+			Topology:       versaslot.Topology(*topology),
+			Policy:         *policy,
+			Condition:      *condition,
+			Apps:           *apps,
+			Seed:           *seed,
+			WorkloadFile:   *file,
+			Pairs:          *pairs,
+			Dispatcher:     *dispatcher,
+			RebalanceEvery: *rebalanceEvery,
+			RebalanceGap:   *rebalanceGap,
 		}
 		if err := sc.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "versaslot:", err)
@@ -102,10 +117,25 @@ func main() {
 		t.AddRow("mean switch overhead", res.MeanSwitchTime.String())
 		t.AddRow("migrated apps", res.MigratedApps)
 	}
-	if len(res.Routed) > 0 {
+	if res.Topology == versaslot.TopologyFarm {
+		t.AddRow("dispatcher", res.Dispatcher)
 		t.AddRow("arrivals per pair", fmt.Sprintf("%v", res.Routed))
+		t.AddRow("cross-pair migrations", res.CrossMigrations)
+		t.AddRow("cross-pair migrated apps", res.CrossMigratedApps)
+		t.AddRow("mean cross-pair overhead", res.MeanCrossTime.String())
 	}
 	t.Render(os.Stdout)
+
+	if len(res.PairStats) > 0 {
+		pt := report.NewTable("Per-pair breakdown",
+			"Pair", "Routed", "Apps", "Mean RT (s)", "P50 (s)", "LUT util", "Switches", "In", "Out")
+		for _, ps := range res.PairStats {
+			pt.AddRow(ps.Pair, ps.Routed, ps.Apps,
+				sim.Time(ps.MeanRT).Seconds(), sim.Time(ps.P50).Seconds(),
+				ps.UtilLUT, ps.Switches, ps.MigratedIn, ps.MigratedOut)
+		}
+		pt.Render(os.Stdout)
+	}
 
 	if *verbose {
 		bt := report.NewTable("Per-application-type breakdown",

@@ -1,0 +1,114 @@
+package versaslot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"versaslot"
+	"versaslot/internal/sim"
+)
+
+// dispatcherScenarios builds one rebalancing farm scenario per
+// registered dispatcher: the determinism and parallel-equivalence bars
+// below must hold for every dispatcher, including the RNG-driven
+// power-of-two.
+func dispatcherScenarios() []versaslot.Scenario {
+	var out []versaslot.Scenario
+	for _, name := range versaslot.Dispatchers() {
+		out = append(out, versaslot.Scenario{
+			Name:           name,
+			Topology:       versaslot.TopologyFarm,
+			Pairs:          3,
+			Condition:      "stress",
+			Apps:           24,
+			Seed:           23,
+			Dispatcher:     name,
+			RebalanceEvery: 2 * sim.Second,
+		})
+	}
+	return out
+}
+
+// TestDispatcherDeterminism: every registered dispatcher must be
+// byte-identical across repeated sequential runs.
+func TestDispatcherDeterminism(t *testing.T) {
+	for _, sc := range dispatcherScenarios() {
+		sc := sc
+		t.Run(sc.Dispatcher, func(t *testing.T) {
+			first, err := versaslot.Run(sc)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := versaslot.Run(sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			a, b := resultJSON(t, first), resultJSON(t, second)
+			if !bytes.Equal(a, b) {
+				t.Errorf("dispatcher %q results differ between identical runs:\n%s\n%s", sc.Dispatcher, a, b)
+			}
+			if first.Dispatcher != sc.Dispatcher {
+				t.Errorf("Result.Dispatcher = %q, want %q", first.Dispatcher, sc.Dispatcher)
+			}
+			if first.Summary.Apps != sc.Apps {
+				t.Errorf("completed %d apps, want %d", first.Summary.Apps, sc.Apps)
+			}
+		})
+	}
+}
+
+// TestDispatcherParallelMatchesSequential: RunMany on a worker pool
+// must reproduce sequential execution byte for byte for every
+// dispatcher (each run owns its kernel; nothing may leak through
+// shared state). CI runs this under -race.
+func TestDispatcherParallelMatchesSequential(t *testing.T) {
+	scenarios := dispatcherScenarios()
+	sequential := make([][]byte, len(scenarios))
+	for i, sc := range scenarios {
+		res, err := versaslot.Run(sc)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", sc.Name, err)
+		}
+		sequential[i] = resultJSON(t, res)
+	}
+	parallel, err := versaslot.RunMany(scenarios, 4)
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	for i, res := range parallel {
+		if got := resultJSON(t, res); !bytes.Equal(sequential[i], got) {
+			t.Errorf("dispatcher %q: parallel result differs from sequential:\n%s\n%s",
+				scenarios[i].Dispatcher, sequential[i], got)
+		}
+	}
+}
+
+// TestFarmRebalanceReportsCrossMigrations drives the facade end to
+// end on a skewed workload: round-robin dispatch plus the rebalancer
+// must report at least one cross-pair migration in the Result.
+func TestFarmRebalanceReportsCrossMigrations(t *testing.T) {
+	res, err := versaslot.Run(versaslot.Scenario{
+		Topology:       versaslot.TopologyFarm,
+		Pairs:          3,
+		Condition:      "stress",
+		Apps:           60,
+		Seed:           23,
+		Dispatcher:     "round-robin",
+		RebalanceEvery: 2 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossMigrations < 1 {
+		t.Fatalf("CrossMigrations = %d, want >= 1 on a skewed workload", res.CrossMigrations)
+	}
+	if res.CrossMigratedApps < res.CrossMigrations {
+		t.Errorf("CrossMigratedApps = %d < CrossMigrations = %d", res.CrossMigratedApps, res.CrossMigrations)
+	}
+	if len(res.PairStats) != 3 {
+		t.Fatalf("PairStats has %d entries, want 3", len(res.PairStats))
+	}
+	if res.Summary.Apps != 60 {
+		t.Errorf("completed %d apps, want 60", res.Summary.Apps)
+	}
+}

@@ -1,7 +1,9 @@
-// Farm: scale the paper's two-board switching unit to a rack — three
-// Only.Little/Big.Little pairs behind a least-loaded dispatcher, each
-// running its own D_switch loop — and compare against one saturated
-// pair via RunMany.
+// Farm: scale the paper's two-board switching unit to a rack — K
+// Only.Little/Big.Little pairs behind a pluggable dispatcher, each
+// running its own D_switch loop. This example compares every
+// registered dispatcher on one stress workload via RunMany, then
+// turns on the cross-pair rebalancer and shows queued applications
+// live-migrating between pairs over the rack link.
 //
 //	go run ./examples/farm
 package main
@@ -15,30 +17,52 @@ import (
 )
 
 func main() {
-	// The same 60-app stress workload on both topologies (the shared
-	// seed pins the arrival stream); RunMany executes them in
-	// parallel.
-	base := versaslot.Scenario{Condition: "stress", Apps: 60, Seed: 23}
-	single := base
-	single.Topology = versaslot.TopologyCluster
-	farm := base
-	farm.Topology = versaslot.TopologyFarm
-	farm.Pairs = 3
-
-	results, err := versaslot.RunMany([]versaslot.Scenario{single, farm}, 0)
+	// The same 60-app stress workload for every dispatcher (the shared
+	// seed pins the arrival stream); RunMany executes them in parallel.
+	base := versaslot.Scenario{
+		Topology:  versaslot.TopologyFarm,
+		Pairs:     3,
+		Condition: "stress",
+		Apps:      60,
+		Seed:      23,
+	}
+	var scenarios []versaslot.Scenario
+	for _, name := range versaslot.Dispatchers() {
+		sc := base
+		sc.Name = name
+		sc.Dispatcher = name
+		scenarios = append(scenarios, sc)
+	}
+	results, err := versaslot.RunMany(scenarios, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	singleRes, farmRes := results[0], results[1]
 
-	fmt.Printf("60 stress-condition applications:\n\n")
-	fmt.Printf("  one switching pair : mean RT %6.2f s   P99 %6.2f s   switches %d\n",
-		sim.Time(singleRes.Summary.MeanRT).Seconds(),
-		sim.Time(singleRes.Summary.P99).Seconds(), singleRes.Switches)
-	fmt.Printf("  3-pair farm        : mean RT %6.2f s   P99 %6.2f s   switches %d\n",
-		sim.Time(farmRes.Summary.MeanRT).Seconds(),
-		sim.Time(farmRes.Summary.P99).Seconds(), farmRes.Switches)
-	fmt.Printf("\n  dispatcher routing : %v arrivals per pair\n", farmRes.Routed)
-	fmt.Printf("  speedup            : %.2fx\n",
-		float64(singleRes.Summary.MeanRT)/float64(farmRes.Summary.MeanRT))
+	fmt.Printf("60 stress-condition applications on a 3-pair farm:\n\n")
+	for _, res := range results {
+		fmt.Printf("  %-13s mean RT %6.2f s   P99 %6.2f s   routing %v\n",
+			res.Dispatcher,
+			sim.Time(res.Summary.MeanRT).Seconds(),
+			sim.Time(res.Summary.P99).Seconds(), res.Routed)
+	}
+
+	// Round-robin ignores load, so pair queues drift apart as service
+	// times diverge — exactly the imbalance the rebalancer repairs by
+	// live-migrating queued apps across pairs over the rack link.
+	skew := base
+	skew.Name = "rebalanced"
+	skew.Dispatcher = "round-robin"
+	skew.RebalanceEvery = 2 * sim.Second
+	rebalanced, err := versaslot.Run(skew)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nround-robin + rebalancer (every 2s of virtual time):\n")
+	fmt.Printf("  mean RT %6.2f s   cross-pair migrations %d (apps %d, mean overhead %v)\n",
+		sim.Time(rebalanced.Summary.MeanRT).Seconds(),
+		rebalanced.CrossMigrations, rebalanced.CrossMigratedApps, rebalanced.MeanCrossTime)
+	for _, ps := range rebalanced.PairStats {
+		fmt.Printf("  pair %d: routed %2d  finished %2d  migrated in/out %d/%d  switches %d\n",
+			ps.Pair, ps.Routed, ps.Apps, ps.MigratedIn, ps.MigratedOut, ps.Switches)
+	}
 }

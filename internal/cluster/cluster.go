@@ -239,25 +239,9 @@ func (c *Cluster) prewarm() {
 }
 
 func warmNamesFor(e *sched.Engine, target fabric.BoardConfig, a *appmodel.App) {
-	switch target {
-	case fabric.BigLittle:
-		if n := len(a.Spec.Tasks) / 3; n > 0 {
-			for b := 0; b < n; b++ {
-				for _, mode := range []string{"par", "ser"} {
-					name := bitstream.BundleName(a.Spec.Name, b, mode)
-					if _, err := e.Repo.Get(name); err == nil {
-						e.Cache.Warm(name)
-					}
-				}
-			}
-		}
-		fallthrough
-	case fabric.OnlyLittle:
-		for _, t := range a.Spec.Tasks {
-			name := bitstream.TaskName(a.Spec.Name, t.Name, fabric.Little)
-			if _, err := e.Repo.Get(name); err == nil {
-				e.Cache.Warm(name)
-			}
+	for _, name := range stageBitstreams(target, a) {
+		if _, err := e.Repo.Get(name); err == nil {
+			e.Cache.Warm(name)
 		}
 	}
 }
@@ -304,15 +288,25 @@ func (c *Cluster) doSwitch() {
 	})
 }
 
-// Summary merges both boards' results.
+// Summary merges a switching system's results: both boards of a pair,
+// or every pair of a farm. Farm-only fields (cross-pair migration
+// counts, per-pair breakdowns) are zero for a single pair.
 type Summary struct {
 	Apps           int
 	MeanRT         sim.Duration
-	P95, P99       sim.Duration
+	P50, P95, P99  sim.Duration
 	Switches       int
 	MeanSwitchTime sim.Duration
 	MigratedApps   int
 	Trace          []TracePoint
+
+	// CrossSwitches counts rebalancer-driven pair-to-pair transfers
+	// (farm only); CrossMigratedApps and MeanCrossTime price them.
+	CrossSwitches     int
+	CrossMigratedApps int
+	MeanCrossTime     sim.Duration
+	// PairStats breaks the run down per switching pair (farm only).
+	PairStats []PairStat
 }
 
 func (c *Cluster) summarize() Summary {
@@ -323,12 +317,10 @@ func (c *Cluster) summarize() Summary {
 	s := Summary{Apps: len(samples), Switches: len(c.Migrations), Trace: c.Trace}
 	if len(samples) > 0 {
 		s.MeanRT = metrics.MeanResponse(samples)
-		vals := make([]float64, len(samples))
-		for i, r := range samples {
-			vals[i] = float64(r.Response)
-		}
-		s.P95 = sim.Duration(metrics.PercentileOf(vals, 95))
-		s.P99 = sim.Duration(metrics.PercentileOf(vals, 99))
+		vals := sortedResponses(samples)
+		s.P50 = sim.Duration(metrics.Percentile(vals, 50))
+		s.P95 = sim.Duration(metrics.Percentile(vals, 95))
+		s.P99 = sim.Duration(metrics.Percentile(vals, 99))
 	}
 	var total sim.Duration
 	for _, m := range c.Migrations {

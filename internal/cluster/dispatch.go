@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"fmt"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/bitstream"
+	"versaslot/internal/fabric"
+	"versaslot/internal/registry"
+	"versaslot/internal/sched"
+)
+
+// Dispatcher decides which switching pair an arriving application
+// joins. One instance is bound to one farm (Init runs before any
+// arrival); Pick runs at each arrival instant on the simulation
+// kernel. Implementations must be deterministic: any randomness must
+// come from the farm kernel's RNG, never from global state, so that
+// parallel sweeps reproduce sequential runs byte for byte.
+type Dispatcher interface {
+	// Name identifies the dispatcher in results ("least-loaded").
+	Name() string
+	// Init binds the dispatcher to its farm before any arrivals.
+	Init(f *Farm)
+	// Pick returns the index of the pair app a joins.
+	Pick(a *appmodel.App) int
+}
+
+// DispatcherReg declares one farm dispatcher: canonical config/CLI
+// name, display title, and a factory producing fresh instances (a
+// dispatcher may carry per-run state, e.g. a round-robin cursor).
+type DispatcherReg struct {
+	// Name is the canonical lower-case lookup key ("least-loaded").
+	Name string
+	// Aliases are alternate lookup keys ("p2c").
+	Aliases []string
+	// Title is the display name ("Least loaded").
+	Title string
+	// Factory builds a fresh dispatcher instance per farm.
+	Factory func() Dispatcher
+}
+
+// dispatchers mirrors the sched policy registry: the same generic
+// string-keyed helper, keyed by dispatcher name.
+var dispatchers = registry.New[*DispatcherReg]("dispatch")
+
+// RegisterDispatcher adds a dispatcher to the farm registry. The name
+// (and every alias) must be non-empty and not already taken; the
+// factory must be non-nil.
+func RegisterDispatcher(r DispatcherReg) error {
+	if r.Name == "" {
+		return fmt.Errorf("dispatch: register: empty dispatcher name")
+	}
+	if r.Factory == nil {
+		return fmt.Errorf("dispatch: register %q: nil factory", r.Name)
+	}
+	if r.Title == "" {
+		r.Title = r.Name
+	}
+	reg := r
+	return dispatchers.Register(r.Name, &reg, r.Aliases...)
+}
+
+// MustRegisterDispatcher is RegisterDispatcher, panicking on error.
+func MustRegisterDispatcher(r DispatcherReg) {
+	if err := RegisterDispatcher(r); err != nil {
+		panic(err)
+	}
+}
+
+// LookupDispatcher resolves a dispatcher by name or alias
+// (case-insensitive).
+func LookupDispatcher(name string) (*DispatcherReg, bool) {
+	return dispatchers.Lookup(name)
+}
+
+// DispatcherNames lists canonical dispatcher names in registration
+// order (built-ins first).
+func DispatcherNames() []string { return dispatchers.Names() }
+
+// NewDispatcher builds a fresh instance of a registered dispatcher.
+func NewDispatcher(name string) (Dispatcher, error) {
+	r, ok := dispatchers.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("dispatch: unknown dispatcher %q (registered: %v)", name, DispatcherNames())
+	}
+	return r.Factory(), nil
+}
+
+// Built-in dispatcher names.
+const (
+	// DispatchLeastLoaded routes each arrival to the pair with the
+	// fewest unfinished applications (the farm's default).
+	DispatchLeastLoaded = "least-loaded"
+	// DispatchRoundRobin cycles arrivals across pairs regardless of
+	// load.
+	DispatchRoundRobin = "round-robin"
+	// DispatchPowerOfTwo samples two pairs uniformly and routes to the
+	// less loaded of the two (the classic load-balancing result: most
+	// of least-loaded's benefit at O(1) cost).
+	DispatchPowerOfTwo = "power-of-two"
+	// DispatchAffinity prefers pairs whose active board's bitstream
+	// cache already holds the app's stages (skipping SD-card streaming
+	// on PR), breaking ties toward the less loaded pair.
+	DispatchAffinity = "affinity"
+)
+
+func init() {
+	MustRegisterDispatcher(DispatcherReg{
+		Name: DispatchLeastLoaded, Title: "Least loaded",
+		Factory: func() Dispatcher { return &leastLoadedDispatch{} },
+	})
+	MustRegisterDispatcher(DispatcherReg{
+		Name: DispatchRoundRobin, Aliases: []string{"rr"}, Title: "Round robin",
+		Factory: func() Dispatcher { return &roundRobinDispatch{} },
+	})
+	MustRegisterDispatcher(DispatcherReg{
+		Name: DispatchPowerOfTwo, Aliases: []string{"p2c", "power-of-two-choices"},
+		Title:   "Power of two choices",
+		Factory: func() Dispatcher { return &powerOfTwoDispatch{} },
+	})
+	MustRegisterDispatcher(DispatcherReg{
+		Name: DispatchAffinity, Aliases: []string{"bitstream-affinity"},
+		Title:   "Bitstream affinity",
+		Factory: func() Dispatcher { return &affinityDispatch{} },
+	})
+}
+
+// leastLoadedDispatch picks the pair with the fewest unfinished apps,
+// reading the farm's incrementally-maintained load counters (O(pairs)
+// per arrival instead of the former O(pairs x engines) queue scan).
+type leastLoadedDispatch struct{ f *Farm }
+
+func (d *leastLoadedDispatch) Name() string { return DispatchLeastLoaded }
+func (d *leastLoadedDispatch) Init(f *Farm) { d.f = f }
+func (d *leastLoadedDispatch) Pick(*appmodel.App) int {
+	best := 0
+	for i, load := range d.f.load {
+		if load < d.f.load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// roundRobinDispatch cycles arrivals across pairs.
+type roundRobinDispatch struct {
+	f    *Farm
+	next int
+}
+
+func (d *roundRobinDispatch) Name() string { return DispatchRoundRobin }
+func (d *roundRobinDispatch) Init(f *Farm) { d.f = f }
+func (d *roundRobinDispatch) Pick(*appmodel.App) int {
+	idx := d.next
+	d.next = (d.next + 1) % len(d.f.Pairs)
+	return idx
+}
+
+// powerOfTwoDispatch samples two distinct pairs from the farm kernel's
+// RNG and routes to the less loaded one (ties to the first sample).
+// With one pair it degenerates to that pair.
+type powerOfTwoDispatch struct{ f *Farm }
+
+func (d *powerOfTwoDispatch) Name() string { return DispatchPowerOfTwo }
+func (d *powerOfTwoDispatch) Init(f *Farm) { d.f = f }
+func (d *powerOfTwoDispatch) Pick(*appmodel.App) int {
+	n := len(d.f.Pairs)
+	if n == 1 {
+		return 0
+	}
+	rng := d.f.K.RNG()
+	i := rng.Intn(n)
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	if d.f.load[j] < d.f.load[i] {
+		return j
+	}
+	return i
+}
+
+// affinityDispatch scores each pair by how many of the app's stage
+// bitstreams its active board already caches (pre-warmed by earlier
+// runs of the same spec, so PR pays no SD-card streaming), and picks
+// the warmest pair; load breaks ties, then pair index.
+type affinityDispatch struct{ f *Farm }
+
+func (d *affinityDispatch) Name() string { return DispatchAffinity }
+func (d *affinityDispatch) Init(f *Farm) { d.f = f }
+func (d *affinityDispatch) Pick(a *appmodel.App) int {
+	// The name list depends only on (board config, app) and there are
+	// two configs, so build each at most once per arrival instead of
+	// once per pair — scoring stays O(pairs) on the dispatch hot path.
+	var names [2][]string
+	namesFor := func(cfg fabric.BoardConfig) []string {
+		idx := 0
+		if cfg == fabric.BigLittle {
+			idx = 1
+		}
+		if names[idx] == nil {
+			names[idx] = stageBitstreams(cfg, a)
+		}
+		return names[idx]
+	}
+	best, bestScore := 0, -1
+	for i, p := range d.f.Pairs {
+		score := cacheAffinity(p.activeEngine(), namesFor(p.ActiveMode()))
+		better := score > bestScore ||
+			(score == bestScore && d.f.load[i] < d.f.load[best])
+		if better {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// cacheAffinity counts how many of the named bitstreams are already
+// resident in e's DDR cache. Contains does not touch LRU order, so
+// scoring leaves the cache unperturbed.
+func cacheAffinity(e *sched.Engine, names []string) int {
+	score := 0
+	for _, name := range names {
+		if e.Cache.Contains(name) {
+			score++
+		}
+	}
+	return score
+}
+
+// stageBitstreams lists the bitstream names an app needs on a board
+// configuration — the same name set the pre-warm step stages ahead of
+// a switch.
+func stageBitstreams(target fabric.BoardConfig, a *appmodel.App) []string {
+	var names []string
+	switch target {
+	case fabric.BigLittle:
+		if n := len(a.Spec.Tasks) / 3; n > 0 {
+			for b := 0; b < n; b++ {
+				for _, mode := range []string{"par", "ser"} {
+					names = append(names, bitstream.BundleName(a.Spec.Name, b, mode))
+				}
+			}
+		}
+		fallthrough
+	case fabric.OnlyLittle:
+		for _, t := range a.Spec.Tasks {
+			names = append(names, bitstream.TaskName(a.Spec.Name, t.Name, fabric.Little))
+		}
+	}
+	return names
+}

@@ -1,44 +1,166 @@
 package cluster
 
 import (
+	"fmt"
+	"sort"
+
+	"versaslot/internal/appmodel"
+	"versaslot/internal/fabric"
+	"versaslot/internal/interlink"
 	"versaslot/internal/metrics"
+	"versaslot/internal/migrate"
+	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
 )
 
+// pairModes is the fixed board-mode iteration order that keeps farm
+// bookkeeping and metric merging deterministic (engines live in a map).
+var pairModes = []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle}
+
+// FarmConfig parameterizes a farm: the per-pair switching setup, the
+// farm size, the arrival dispatcher, and the cross-pair rebalancer.
+type FarmConfig struct {
+	// Pair is the configuration every switching pair runs.
+	Pair Config
+	// Pairs is the farm size (number of switching pairs).
+	Pairs int
+	// Dispatcher is a registered dispatcher name; empty means
+	// least-loaded (the farm's historical default).
+	Dispatcher string
+	// RebalanceEvery, when positive, runs the rebalancer on that
+	// virtual-time cadence: sustained load imbalance between the most-
+	// and least-loaded pairs live-migrates queued applications across
+	// pairs over the rack-level Aurora link. Zero disables rebalancing.
+	RebalanceEvery sim.Duration
+	// RebalanceGap is the minimum load gap (unfinished applications)
+	// that triggers a cross-pair migration. Zero (unset) means the
+	// default of 2; a configured gap of 1 is honored but can ping-pong
+	// a single queued app between two otherwise balanced pairs.
+	RebalanceGap int
+}
+
+// DefaultFarmConfig returns an n-pair farm of the paper's switching
+// setup with the default dispatcher and no rebalancing.
+func DefaultFarmConfig(n int) FarmConfig {
+	return FarmConfig{Pair: DefaultConfig(), Pairs: n}
+}
+
+func (c FarmConfig) gap() int {
+	if c.RebalanceGap <= 0 {
+		return 2
+	}
+	return c.RebalanceGap
+}
+
 // Farm scales the paper's two-board switching unit to a rack: K
-// independent Only.Little/Big.Little pairs behind a least-loaded
+// independent Only.Little/Big.Little pairs behind a pluggable
 // dispatcher. Each pair runs its own D_switch loop; the dispatcher
-// only chooses which pair an arriving application joins. This is the
-// natural datacenter deployment of the paper's design ("a single
-// available FPGA can enable cross-board switching for the entire
-// system" — a farm amortizes the spare across pairs of tenants).
+// chooses which pair an arriving application joins, and the optional
+// rebalancer live-migrates queued applications between pairs when
+// their loads diverge — generalizing the paper's board-to-board
+// migration ("a single available FPGA can enable cross-board switching
+// for the entire system") to pair-to-pair transfers over a rack link.
 type Farm struct {
 	K     *sim.Kernel
 	Pairs []*Cluster
+	Cfg   FarmConfig
 
-	totalApps int
-	routed    []int // arrivals dispatched per pair
+	// Rack is the rack-level Aurora link cross-pair migrations travel
+	// over; transfers serialize on it like any interlink channel.
+	Rack *interlink.Link
+
+	// CrossMigrations records every rebalancer-driven pair-to-pair
+	// transfer.
+	CrossMigrations []migrate.Migration
+
+	dispatcher Dispatcher
+	totalApps  int
+	finished   int
+	routed     []int // arrivals dispatched per pair
+	load       []int // unfinished apps per pair, maintained incrementally
+	crossIn    []int // apps received via rebalancing, per pair
+	crossOut   []int // apps sent away via rebalancing, per pair
+
+	rebalanceArmed bool // the periodic tick has been scheduled
+	rebalancing    bool // a cross-pair transfer is in flight
 }
 
-// NewFarm builds a farm of n switching pairs sharing one kernel.
-func NewFarm(cfg Config, n int) *Farm {
-	if n <= 0 {
+// NewFarm builds a farm from its configuration. It panics if the
+// configuration asks for no pairs (a structural impossibility, like
+// the two-board cluster without boards) and returns an error for an
+// unknown dispatcher name.
+func NewFarm(cfg FarmConfig) (*Farm, error) {
+	if cfg.Pairs <= 0 {
 		panic("cluster: farm needs at least one pair")
 	}
-	f := &Farm{K: sim.NewKernel(cfg.Seed), routed: make([]int, n)}
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i)
+	name := cfg.Dispatcher
+	if name == "" {
+		name = DispatchLeastLoaded
+	}
+	d, err := NewDispatcher(name)
+	if err != nil {
+		return nil, err
+	}
+	f := &Farm{
+		Cfg:        cfg,
+		K:          sim.NewKernel(cfg.Pair.Seed),
+		dispatcher: d,
+		routed:     make([]int, cfg.Pairs),
+		load:       make([]int, cfg.Pairs),
+		crossIn:    make([]int, cfg.Pairs),
+		crossOut:   make([]int, cfg.Pairs),
+	}
+	f.Rack = interlink.NewDefault(f.K, "rack")
+	for i := 0; i < cfg.Pairs; i++ {
+		c := cfg.Pair
+		c.Seed = cfg.Pair.Seed + uint64(i)
 		pair := buildCluster(f.K, c, i*2)
 		f.Pairs = append(f.Pairs, pair)
+		// Maintain the per-pair load counter incrementally: arrivals
+		// increment it at dispatch; completions on either board of the
+		// pair decrement it here. Chaining preserves the pair's own
+		// D_switch bookkeeping hook.
+		i := i
+		for _, mode := range pairModes {
+			e := pair.Engine(mode)
+			prev := e.OnAppFinished
+			e.OnAppFinished = func(a *appmodel.App) {
+				if prev != nil {
+					prev(a)
+				}
+				f.load[i]--
+				f.finished++
+			}
+		}
+	}
+	d.Init(f)
+	return f, nil
+}
+
+// MustNewFarm is NewFarm, panicking on error; for tests and examples
+// with known-good configurations.
+func MustNewFarm(cfg FarmConfig) *Farm {
+	f, err := NewFarm(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return f
 }
 
-// Inject schedules the workload, dispatching each arrival to the
-// least-loaded pair (fewest unfinished applications) at its arrival
-// instant.
+// Dispatcher returns the canonical name of the farm's dispatcher.
+func (f *Farm) Dispatcher() string { return f.dispatcher.Name() }
+
+// Load returns the current unfinished-app count per pair (the
+// dispatcher's view).
+func (f *Farm) Load() []int {
+	out := make([]int, len(f.load))
+	copy(out, f.load)
+	return out
+}
+
+// Inject schedules the workload, dispatching each arrival through the
+// farm's dispatcher at its arrival instant.
 func (f *Farm) Inject(seq *workload.Sequence) error {
 	apps, err := seq.Instantiate(f.totalApps)
 	if err != nil {
@@ -48,26 +170,18 @@ func (f *Farm) Inject(seq *workload.Sequence) error {
 	for _, a := range apps {
 		a := a
 		f.K.At(a.Arrival, func() {
-			idx := f.leastLoaded()
+			idx := f.dispatcher.Pick(a)
+			if idx < 0 || idx >= len(f.Pairs) {
+				panic(fmt.Sprintf("cluster: dispatcher %q picked pair %d of %d",
+					f.dispatcher.Name(), idx, len(f.Pairs)))
+			}
 			f.routed[idx]++
+			f.load[idx]++
 			f.Pairs[idx].activeEngine().InjectNow(a)
 		})
 	}
+	f.armRebalancer()
 	return nil
-}
-
-func (f *Farm) leastLoaded() int {
-	best, bestLoad := 0, int(^uint(0)>>1)
-	for i, p := range f.Pairs {
-		load := 0
-		for _, e := range p.engines {
-			load += len(e.Active)
-		}
-		if load < bestLoad {
-			best, bestLoad = i, load
-		}
-	}
-	return best
 }
 
 // Routed returns how many arrivals each pair received.
@@ -77,17 +191,173 @@ func (f *Farm) Routed() []int {
 	return out
 }
 
+// armRebalancer schedules the first rebalance tick; the tick
+// re-schedules itself while unfinished applications remain, so the
+// loop winds down with the workload instead of keeping the kernel
+// alive forever.
+func (f *Farm) armRebalancer() {
+	if f.Cfg.RebalanceEvery <= 0 || f.rebalanceArmed {
+		return
+	}
+	f.rebalanceArmed = true
+	f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
+}
+
+func (f *Farm) rebalanceTick() {
+	if f.finished >= f.totalApps {
+		f.rebalanceArmed = false
+		return
+	}
+	f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
+	if f.rebalancing || len(f.Pairs) < 2 {
+		// One transfer at a time on the rack link; the next tick
+		// re-evaluates.
+		return
+	}
+	src, dst := 0, 0
+	for i, l := range f.load {
+		if l > f.load[src] {
+			src = i
+		}
+		if l < f.load[dst] {
+			dst = i
+		}
+	}
+	gap := f.load[src] - f.load[dst]
+	if gap < f.Cfg.gap() {
+		return
+	}
+	move := gap / 2
+	if move == 0 {
+		move = 1 // a configured gap of 1 still moves one app
+	}
+	f.migrateCross(src, dst, move)
+}
+
+// migrateCross moves up to max queued applications from pair src to
+// pair dst over the rack link: the same extract/transfer/re-inject
+// mechanics as the pair-internal switch, generalized beyond a pair's
+// two boards. Only ready (not yet executing) applications move;
+// executing work stays on its board, exactly as in Section III-D.
+func (f *Farm) migrateCross(src, dst, max int) {
+	eng := f.Pairs[src].activeEngine()
+	var moved []*appmodel.App
+	if lim, ok := eng.Policy().(sched.MigrationLimiter); ok {
+		// The policy can extract a bounded set without dissolving
+		// scheduling state for apps that stay.
+		moved = lim.ExtractMigratableUpTo(max)
+	} else {
+		// Lossless-drain policies: extract everything, move the most
+		// recently arrived apps (furthest from being scheduled
+		// locally), and re-queue the remainder.
+		all := eng.Policy().ExtractMigratable()
+		n := max
+		if n > len(all) {
+			n = len(all)
+		}
+		moved = all[len(all)-n:]
+		if rest := all[:len(all)-n]; len(rest) > 0 {
+			eng.Policy().AcceptMigrated(rest)
+		}
+	}
+	if len(moved) == 0 {
+		return
+	}
+	n := len(moved)
+	for _, a := range moved {
+		// Forget on both of the source pair's boards, not just the
+		// active one: an earlier intra-pair switch may have listed the
+		// app on the spare board too, and the pair's D_switch
+		// accounting must stop counting apps another pair now hosts.
+		for _, mode := range pairModes {
+			f.Pairs[src].Engine(mode).Forget(a)
+		}
+	}
+	f.load[src] -= n
+	f.load[dst] += n
+	f.crossOut[src] += n
+	f.crossIn[dst] += n
+	target := f.Pairs[dst]
+	f.rebalancing = true
+	migrate.Execute(f.K, f.Rack, moved, func(apps []*appmodel.App) {
+		f.rebalancing = false
+		// Resolve the destination board at delivery (the pair may have
+		// switched mid-flight) and stage the migrated apps' bitstreams
+		// in its DDR cache — they travelled with the transfer — so the
+		// first PR pays no SD-card streaming.
+		next := target.activeEngine()
+		for _, a := range apps {
+			warmNamesFor(next, next.Board.Config, a)
+			next.InjectMigrated(a)
+		}
+	}, func(m migrate.Migration) {
+		f.CrossMigrations = append(f.CrossMigrations, m)
+	})
+}
+
+// PairStat is one pair's contribution to a farm run.
+type PairStat struct {
+	// Pair is the pair index.
+	Pair int `json:"pair"`
+	// Routed is how many arrivals the dispatcher sent to the pair.
+	Routed int `json:"routed"`
+	// Apps is how many applications finished on the pair.
+	Apps int `json:"apps"`
+	// MeanRT and P50 summarize the pair's response times.
+	MeanRT sim.Duration `json:"mean_rt"`
+	P50    sim.Duration `json:"p50"`
+	// UtilLUT/UtilFF are the pair's resource utilizations, weighted
+	// across its two boards by completed apps.
+	UtilLUT float64 `json:"util_lut"`
+	UtilFF  float64 `json:"util_ff"`
+	// Switches counts the pair's internal cross-board switches.
+	Switches int `json:"switches"`
+	// MigratedIn/MigratedOut count applications the rebalancer moved
+	// into and out of the pair.
+	MigratedIn  int `json:"migrated_in"`
+	MigratedOut int `json:"migrated_out"`
+}
+
 // Run executes to completion and merges every pair's results.
 func (f *Farm) Run() Summary {
 	f.K.Run()
 	var samples []metrics.ResponseSample
 	s := Summary{}
-	for _, p := range f.Pairs {
-		for _, e := range p.engines {
+	for i, p := range f.Pairs {
+		var pairSamples []metrics.ResponseSample
+		var utilLUT, utilFF, weight float64
+		for _, mode := range pairModes {
+			e := p.Engine(mode)
 			e.FlushResidency()
 			e.CheckQuiescent()
-			samples = append(samples, e.Col.Responses...)
+			pairSamples = append(pairSamples, e.Col.Responses...)
+			// Utilization() reads the residency integrals directly —
+			// no need for Summarize's full percentile pass here.
+			lut, ff := e.Col.Utilization()
+			apps := float64(len(e.Col.Responses))
+			utilLUT += lut * apps
+			utilFF += ff * apps
+			weight += apps
 		}
+		ps := PairStat{
+			Pair:        i,
+			Routed:      f.routed[i],
+			Apps:        len(pairSamples),
+			Switches:    len(p.Migrations),
+			MigratedIn:  f.crossIn[i],
+			MigratedOut: f.crossOut[i],
+		}
+		if len(pairSamples) > 0 {
+			ps.MeanRT = metrics.MeanResponse(pairSamples)
+			vals := sortedResponses(pairSamples)
+			ps.P50 = sim.Duration(metrics.Percentile(vals, 50))
+		}
+		if weight > 0 {
+			ps.UtilLUT = utilLUT / weight
+			ps.UtilFF = utilFF / weight
+		}
+		s.PairStats = append(s.PairStats, ps)
+		samples = append(samples, pairSamples...)
 		s.Switches += len(p.Migrations)
 		for _, m := range p.Migrations {
 			s.MigratedApps += m.Apps
@@ -98,25 +368,42 @@ func (f *Farm) Run() Summary {
 	s.Apps = len(samples)
 	if len(samples) > 0 {
 		s.MeanRT = metrics.MeanResponse(samples)
-		vals := make([]float64, len(samples))
-		for i, r := range samples {
-			vals[i] = float64(r.Response)
-		}
-		s.P95 = sim.Duration(metrics.PercentileOf(vals, 95))
-		s.P99 = sim.Duration(metrics.PercentileOf(vals, 99))
+		vals := sortedResponses(samples)
+		s.P50 = sim.Duration(metrics.Percentile(vals, 50))
+		s.P95 = sim.Duration(metrics.Percentile(vals, 95))
+		s.P99 = sim.Duration(metrics.Percentile(vals, 99))
 	}
 	if s.Switches > 0 {
 		s.MeanSwitchTime /= sim.Duration(s.Switches)
 	}
+	s.CrossSwitches = len(f.CrossMigrations)
+	for _, m := range f.CrossMigrations {
+		s.CrossMigratedApps += m.Apps
+		s.MeanCrossTime += m.Duration
+	}
+	if s.CrossSwitches > 0 {
+		s.MeanCrossTime /= sim.Duration(s.CrossSwitches)
+	}
 	return s
+}
+
+// sortedResponses extracts response times sorted ascending, ready for
+// repeated metrics.Percentile reads off one sort.
+func sortedResponses(samples []metrics.ResponseSample) []float64 {
+	vals := make([]float64, len(samples))
+	for i, r := range samples {
+		vals[i] = float64(r.Response)
+	}
+	sort.Float64s(vals)
+	return vals
 }
 
 // UnfinishedCount sums unfinished apps across the farm (diagnostics).
 func (f *Farm) UnfinishedCount() int {
 	n := 0
 	for _, p := range f.Pairs {
-		for _, e := range p.engines {
-			n += e.UnfinishedCount()
+		for _, mode := range pairModes {
+			n += p.Engine(mode).UnfinishedCount()
 		}
 	}
 	return n

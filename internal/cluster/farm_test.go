@@ -8,7 +8,7 @@ import (
 )
 
 func TestFarmCompletesAndBalances(t *testing.T) {
-	f := NewFarm(DefaultConfig(), 3)
+	f := MustNewFarm(DefaultFarmConfig(3))
 	p := workload.DefaultGenParams(workload.Stress)
 	p.Apps = 30
 	seq := workload.Generate(p, 9000)
@@ -46,7 +46,7 @@ func TestFarmBeatsSinglePairUnderLoad(t *testing.T) {
 	}
 	soloSum := one.Run()
 
-	f := NewFarm(DefaultConfig(), 3)
+	f := MustNewFarm(DefaultFarmConfig(3))
 	if err := f.Inject(seq); err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +64,11 @@ func TestFarmValidation(t *testing.T) {
 			t.Error("zero-pair farm did not panic")
 		}
 	}()
-	NewFarm(DefaultConfig(), 0)
+	MustNewFarm(DefaultFarmConfig(0))
 }
 
 func TestFarmSwitchOverheadScale(t *testing.T) {
-	f := NewFarm(DefaultConfig(), 2)
+	f := MustNewFarm(DefaultFarmConfig(2))
 	p := workload.DefaultGenParams(workload.Standard)
 	p.Apps = 50
 	p.IntervalLo, p.IntervalHi = 300*sim.Millisecond, 400*sim.Millisecond

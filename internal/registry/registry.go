@@ -1,0 +1,88 @@
+// Package registry provides the generic string-keyed, alias-aware
+// lookup table that backs the project's pluggable-component
+// registries: scheduling policies (internal/sched) and farm
+// dispatchers (internal/cluster). One implementation keeps the
+// registration semantics identical everywhere — case-insensitive
+// keys, first-registration-wins duplicate rejection, and stable
+// canonical ordering for presentation.
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Registry maps case-insensitive names (and aliases) to values of
+// type T. The zero value is not usable; construct with New. All
+// methods are safe for concurrent use.
+type Registry[T any] struct {
+	scope string
+
+	mu    sync.RWMutex
+	byKey map[string]T
+	order []string // canonical names, in registration order
+}
+
+// New returns an empty registry. scope prefixes error messages
+// ("sched", "dispatch").
+func New[T any](scope string) *Registry[T] {
+	return &Registry[T]{scope: scope, byKey: make(map[string]T)}
+}
+
+// Register binds v to name and every alias. Registration is
+// atomic: if any key (name or alias) is empty or already taken, no
+// key is bound and an error is returned.
+func (r *Registry[T]) Register(name string, v T, aliases ...string) error {
+	if name == "" {
+		return fmt.Errorf("%s: register: empty name", r.scope)
+	}
+	keys := make([]string, 0, 1+len(aliases))
+	for _, k := range append([]string{name}, aliases...) {
+		if k == "" {
+			return fmt.Errorf("%s: register %q: empty alias", r.scope, name)
+		}
+		keys = append(keys, strings.ToLower(k))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range keys {
+		if _, dup := r.byKey[k]; dup {
+			return fmt.Errorf("%s: register %q: name %q already registered", r.scope, name, k)
+		}
+	}
+	for _, k := range keys {
+		r.byKey[k] = v
+	}
+	r.order = append(r.order, strings.ToLower(name))
+	return nil
+}
+
+// Lookup resolves a value by name or alias (case-insensitive).
+func (r *Registry[T]) Lookup(name string) (T, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.byKey[strings.ToLower(name)]
+	return v, ok
+}
+
+// Names lists canonical names in registration order.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Values lists registered values in registration order (one per
+// canonical name; aliases do not repeat their value).
+func (r *Registry[T]) Values() []T {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]T, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byKey[name])
+	}
+	return out
+}

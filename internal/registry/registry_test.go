@@ -1,0 +1,83 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterLookupAliases(t *testing.T) {
+	r := New[int]("test")
+	if err := r.Register("alpha", 1, "a", "Alef"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register("beta", 2); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for _, key := range []string{"alpha", "ALPHA", "a", "alef"} {
+		v, ok := r.Lookup(key)
+		if !ok || v != 1 {
+			t.Errorf("Lookup(%q) = %d, %v; want 1, true", key, v, ok)
+		}
+	}
+	if _, ok := r.Lookup("gamma"); ok {
+		t.Error("Lookup of unregistered name succeeded")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	r := New[string]("test")
+	if err := r.Register("x", "first", "y"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	// Duplicate canonical name.
+	if err := r.Register("x", "second"); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate name error = %v, want 'already registered'", err)
+	}
+	// Duplicate via an existing alias.
+	err := r.Register("z", "third", "Y")
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("alias-duplicate error = %v, want 'already registered'", err)
+	}
+	// The failed registration must not leak its canonical name.
+	if _, ok := r.Lookup("z"); ok {
+		t.Error("failed registration leaked its canonical name")
+	}
+	if v, _ := r.Lookup("x"); v != "first" {
+		t.Errorf("original binding clobbered: %q", v)
+	}
+}
+
+func TestRegisterRejectsEmptyKeys(t *testing.T) {
+	r := New[int]("test")
+	if err := r.Register("", 1); err == nil {
+		t.Error("Register with empty name succeeded")
+	}
+	if err := r.Register("ok", 1, ""); err == nil {
+		t.Error("Register with empty alias succeeded")
+	}
+	if _, ok := r.Lookup("ok"); ok {
+		t.Error("registration with empty alias leaked its canonical name")
+	}
+}
+
+func TestNamesAndValuesOrder(t *testing.T) {
+	r := New[int]("test")
+	for i, name := range []string{"c", "a", "b"} {
+		if err := r.Register(name, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := r.Names()
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v (registration order)", names, want)
+		}
+	}
+	vals := r.Values()
+	for i, v := range vals {
+		if v != i {
+			t.Fatalf("Values() = %v, want [0 1 2]", vals)
+		}
+	}
+}

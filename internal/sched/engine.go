@@ -447,6 +447,25 @@ func (e *Engine) RemoveActive(a *appmodel.App) {
 	}
 }
 
+// Forget removes an app from the engine's bookkeeping entirely
+// (Active and every Apps occurrence — intra-pair switching can list
+// an app in a board's Apps more than once after a there-and-back
+// migration) — for migrations that hand the app to a different
+// system, whose metrics and D_switch accounting own it from then on.
+// Within a switching pair, migrated apps stay in the old board's Apps
+// (both boards belong to the same D_switch controller); across pairs
+// they must not.
+func (e *Engine) Forget(a *appmodel.App) {
+	e.RemoveActive(a)
+	kept := e.Apps[:0]
+	for _, x := range e.Apps {
+		if x != a {
+			kept = append(kept, x)
+		}
+	}
+	e.Apps = kept
+}
+
 func (e *Engine) sdTime(bytes int64) sim.Duration {
 	return sim.Duration(float64(bytes) / float64(e.Params.SDBandwidth) * float64(sim.Second))
 }

@@ -30,6 +30,16 @@ type Policy interface {
 	AcceptMigrated(apps []*appmodel.App)
 }
 
+// MigrationLimiter is an optional Policy extension for callers that
+// migrate only part of the queue (the farm rebalancer): it extracts at
+// most n migratable apps, preferring the cheapest to move, without
+// dissolving scheduling state for apps that stay. Policies whose
+// ExtractMigratable is a lossless queue drain don't need it — callers
+// can extract everything and re-accept the remainder.
+type MigrationLimiter interface {
+	ExtractMigratableUpTo(n int) []*appmodel.App
+}
+
 // Kind enumerates the built-in policies.
 type Kind int
 

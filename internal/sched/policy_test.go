@@ -70,6 +70,68 @@ func TestNewUnknownKindPanics(t *testing.T) {
 	New(Kind(99))
 }
 
+// TestVersaSlotBLExtractMigratableUpTo pins the bounded extraction the
+// farm rebalancer uses: most recently arrived waiting apps move first,
+// the request is never exceeded, and unextracted apps stay queued.
+func TestVersaSlotBLExtractMigratableUpTo(t *testing.T) {
+	k := sim.NewKernel(1)
+	repo := bitstream.NewRepository()
+	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.BigLittle), hypervisor.DualCore, repo)
+	p := NewVersaSlotBL()
+	e.SetPolicy(p)
+	apps := []*appmodel.App{
+		mkApp(0, workload.AN, 3, 0),
+		mkApp(1, workload.AN, 3, 0),
+		mkApp(2, workload.AN, 3, 0),
+	}
+	// Inject without running the kernel: the scheduling pass has not
+	// fired, so all three sit in the waiting list unbound.
+	for _, a := range apps {
+		e.InjectNow(a)
+	}
+	got := p.ExtractMigratableUpTo(2)
+	if len(got) != 2 {
+		t.Fatalf("extracted %d apps, want 2", len(got))
+	}
+	if got[0] != apps[2] || got[1] != apps[1] {
+		t.Errorf("extraction order = [%v %v], want most recent first [%v %v]",
+			got[0], got[1], apps[2], apps[1])
+	}
+	if len(p.cwait) != 1 || p.cwait[0] != apps[0] {
+		t.Errorf("waiting list after extraction = %v, want only %v", p.cwait, apps[0])
+	}
+	rest := p.ExtractMigratableUpTo(5)
+	if len(rest) != 1 || rest[0] != apps[0] {
+		t.Errorf("second extraction = %v, want the one remaining app", rest)
+	}
+}
+
+// TestEngineForget: a cross-pair migration must erase the app from
+// the source engine's bookkeeping entirely, or the source pair's
+// D_switch stock would keep counting an app another pair now hosts.
+func TestEngineForget(t *testing.T) {
+	k := sim.NewKernel(1)
+	repo := bitstream.NewRepository()
+	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.BigLittle), hypervisor.DualCore, repo)
+	p := NewVersaSlotBL()
+	e.SetPolicy(p)
+	a := mkApp(0, workload.AN, 3, 0)
+	e.InjectNow(a)
+	if len(e.Apps) != 1 || len(e.Active) != 1 {
+		t.Fatalf("after inject: %d apps, %d active", len(e.Apps), len(e.Active))
+	}
+	p.ExtractMigratableUpTo(1)
+	e.Forget(a)
+	if len(e.Apps) != 0 || len(e.Active) != 0 {
+		t.Errorf("after Forget: %d apps, %d active, want 0/0", len(e.Apps), len(e.Active))
+	}
+	if e.UnfinishedCount() != 0 {
+		t.Errorf("UnfinishedCount = %d after Forget, want 0", e.UnfinishedCount())
+	}
+}
+
 func TestExclusiveRunsToCompletionSolo(t *testing.T) {
 	apps := []*appmodel.App{mkApp(0, workload.AN, 10, 0)}
 	e := runPolicy(t, KindBaseline, apps)

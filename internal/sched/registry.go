@@ -2,11 +2,10 @@ package sched
 
 import (
 	"fmt"
-	"strings"
-	"sync"
 
 	"versaslot/internal/fabric"
 	"versaslot/internal/hypervisor"
+	"versaslot/internal/registry"
 )
 
 // Registration declares one schedulable policy: its canonical
@@ -36,11 +35,9 @@ type Registration struct {
 // built-in systems.
 const KindExternal Kind = -1
 
-var (
-	regMu     sync.RWMutex
-	regByName = make(map[string]*Registration)
-	regOrder  []string // canonical names in registration order
-)
+// policies is the shared string-keyed table; the farm's dispatcher
+// registry (internal/cluster) uses the same generic helper.
+var policies = registry.New[*Registration]("sched")
 
 // Register adds a policy to the registry. The name (and every alias)
 // must be non-empty, lower-case-unique, and not already taken; the
@@ -55,20 +52,8 @@ func Register(r Registration) error {
 	if r.Title == "" {
 		r.Title = r.Name
 	}
-	regMu.Lock()
-	defer regMu.Unlock()
-	keys := append([]string{r.Name}, r.Aliases...)
-	for _, key := range keys {
-		if _, dup := regByName[strings.ToLower(key)]; dup {
-			return fmt.Errorf("sched: register %q: name %q already registered", r.Name, key)
-		}
-	}
 	reg := r
-	for _, key := range keys {
-		regByName[strings.ToLower(key)] = &reg
-	}
-	regOrder = append(regOrder, strings.ToLower(r.Name))
-	return nil
+	return policies.Register(r.Name, &reg, r.Aliases...)
 }
 
 // MustRegister is Register, panicking on error; for init-time use.
@@ -80,39 +65,23 @@ func MustRegister(r Registration) {
 
 // Lookup resolves a policy by name or alias (case-insensitive).
 func Lookup(name string) (*Registration, bool) {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	r, ok := regByName[strings.ToLower(name)]
-	return r, ok
+	return policies.Lookup(name)
 }
 
 // Names lists canonical policy names in registration order (built-ins
 // first, in the paper's presentation order).
-func Names() []string {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	out := make([]string, len(regOrder))
-	copy(out, regOrder)
-	return out
-}
+func Names() []string { return policies.Names() }
 
 // Registrations returns every registration in registration order.
-func Registrations() []*Registration {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	out := make([]*Registration, 0, len(regOrder))
-	for _, name := range regOrder {
-		out = append(out, regByName[name])
-	}
-	return out
-}
+func Registrations() []*Registration { return policies.Values() }
 
 // ByKind resolves a built-in registration from its enum value.
 func ByKind(k Kind) (*Registration, bool) {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	for _, name := range regOrder {
-		if r := regByName[name]; r.Kind == k && k != KindExternal {
+	if k == KindExternal {
+		return nil, false
+	}
+	for _, r := range policies.Values() {
+		if r.Kind == k {
 			return r, true
 		}
 	}

@@ -372,6 +372,34 @@ func (v *VersaSlotBL) ExtractMigratable() []*appmodel.App {
 	return out
 }
 
+// ExtractMigratableUpTo implements MigrationLimiter: the most recently
+// arrived waiting apps move first (zero sunk PR work, furthest from
+// being scheduled locally); bound-but-not-started apps are unbound
+// only when the waiting list alone cannot fill the request, so a
+// partial extraction never churns the bindings of apps that stay.
+func (v *VersaSlotBL) ExtractMigratableUpTo(n int) []*appmodel.App {
+	var out []*appmodel.App
+	for n > len(out) && len(v.cwait) > 0 {
+		last := len(v.cwait) - 1
+		out = append(out, v.cwait[last])
+		v.cwait = v.cwait[:last]
+	}
+	for _, a := range append([]*appmodel.App(nil), v.sLittle...) {
+		if n <= len(out) {
+			break
+		}
+		if v.canUnbind(a) {
+			v.evictAll(a)
+			v.unbind(a)
+			a.State = appmodel.StateWaiting
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+var _ MigrationLimiter = (*VersaSlotBL)(nil)
+
 // AcceptMigrated implements Policy.
 func (v *VersaSlotBL) AcceptMigrated(apps []*appmodel.App) {
 	for _, a := range apps {

@@ -59,6 +59,17 @@ type Result struct {
 	SwitchTrace []cluster.TracePoint `json:"switch_trace,omitempty"`
 	// Routed reports arrivals dispatched per pair (farm only).
 	Routed []int `json:"routed,omitempty"`
+	// Dispatcher is the canonical name of the farm's arrival
+	// dispatcher (farm only).
+	Dispatcher string `json:"dispatcher,omitempty"`
+	// PairStats breaks the farm run down per switching pair: routing,
+	// response times, utilization, and rebalancer traffic.
+	PairStats []cluster.PairStat `json:"pair_stats,omitempty"`
+	// CrossMigrations counts rebalancer-driven pair-to-pair transfers;
+	// CrossMigratedApps and MeanCrossTime price them (farm only).
+	CrossMigrations   int          `json:"cross_migrations,omitempty"`
+	CrossMigratedApps int          `json:"cross_migrated_apps,omitempty"`
+	MeanCrossTime     sim.Duration `json:"mean_cross_time,omitempty"`
 }
 
 // MeanRT is a convenience accessor for Summary.MeanRT.

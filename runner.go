@@ -124,7 +124,11 @@ func (r *Runner) observeEngine(scenario string, e *sched.Engine) {
 		return
 	}
 	board := e.Board.ID
+	prevArrived := e.OnAppArrived
 	e.OnAppArrived = func(a *appmodel.App) {
+		if prevArrived != nil {
+			prevArrived(a)
+		}
 		r.emit(Event{Scenario: scenario, At: e.Now(), Kind: "arrival", AppID: a.ID, Spec: a.Spec.Name, Batch: a.Batch, Board: board})
 	}
 	prev := e.OnAppFinished
@@ -228,7 +232,10 @@ func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (
 }
 
 func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Result, error) {
-	f := cluster.NewFarm(s.clusterConfig(), s.Pairs)
+	f, err := cluster.NewFarm(s.farmConfig())
+	if err != nil {
+		return nil, fmt.Errorf("versaslot: %w", err)
+	}
 	var engines []*sched.Engine
 	for _, pair := range f.Pairs {
 		for _, mode := range clusterModes {
@@ -242,17 +249,22 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 	}
 	sum := f.Run()
 	out := &Result{
-		Scenario:       s.Name,
-		Topology:       TopologyFarm,
-		Policy:         "versaslot-switching",
-		PolicyTitle:    "VersaSlot Switching Farm",
-		Condition:      seq.Condition,
-		Seed:           s.Seed,
-		Switches:       sum.Switches,
-		MeanSwitchTime: sum.MeanSwitchTime,
-		MigratedApps:   sum.MigratedApps,
-		SwitchTrace:    sum.Trace,
-		Routed:         f.Routed(),
+		Scenario:          s.Name,
+		Topology:          TopologyFarm,
+		Policy:            "versaslot-switching",
+		PolicyTitle:       "VersaSlot Switching Farm",
+		Condition:         seq.Condition,
+		Seed:              s.Seed,
+		Dispatcher:        f.Dispatcher(),
+		Switches:          sum.Switches,
+		MeanSwitchTime:    sum.MeanSwitchTime,
+		MigratedApps:      sum.MigratedApps,
+		SwitchTrace:       sum.Trace,
+		Routed:            f.Routed(),
+		PairStats:         sum.PairStats,
+		CrossMigrations:   sum.CrossSwitches,
+		CrossMigratedApps: sum.CrossMigratedApps,
+		MeanCrossTime:     sum.MeanCrossTime,
 	}
 	out.fillFromEngines(engines)
 	return out, nil

@@ -94,6 +94,20 @@ type Scenario struct {
 	LittleSlots int `json:"little_slots,omitempty"`
 	// Pairs is the farm size (default 2; farm topology only).
 	Pairs int `json:"pairs,omitempty"`
+	// Dispatcher selects the farm's arrival dispatcher by registered
+	// name (default "least-loaded"; farm topology only). See
+	// Dispatchers() for the registry.
+	Dispatcher string `json:"dispatcher,omitempty"`
+	// RebalanceEvery (nanoseconds), when positive, runs the farm's
+	// cross-pair rebalancer on that virtual-time cadence: sustained
+	// load imbalance live-migrates queued applications between pairs
+	// over the rack link. Zero disables rebalancing (farm only).
+	RebalanceEvery sim.Duration `json:"rebalance_every,omitempty"`
+	// RebalanceGap is the minimum unfinished-app gap between the most-
+	// and least-loaded pairs that triggers a cross-pair migration.
+	// Zero means the default of 2; a gap of 1 is honored but can
+	// ping-pong a single queued app (farm only).
+	RebalanceGap int `json:"rebalance_gap,omitempty"`
 	// ThresholdUp/ThresholdDown override the Schmitt-trigger levels
 	// (cluster/farm; zero means the paper's defaults).
 	ThresholdUp   float64 `json:"threshold_up,omitempty"`
@@ -177,6 +191,22 @@ func (s Scenario) Validate() error {
 	if s.Pairs < 0 {
 		return fmt.Errorf("versaslot: negative pair count %d", s.Pairs)
 	}
+	farmOnly := s.Dispatcher != "" || s.RebalanceEvery != 0 || s.RebalanceGap != 0
+	if farmOnly && s.Topology != TopologyFarm {
+		return fmt.Errorf("versaslot: dispatcher/rebalance knobs are farm-topology only (topology %q)", s.Topology)
+	}
+	if s.Dispatcher != "" {
+		if _, ok := cluster.LookupDispatcher(s.Dispatcher); !ok {
+			return fmt.Errorf("versaslot: unknown dispatcher %q (registered: %v)",
+				s.Dispatcher, cluster.DispatcherNames())
+		}
+	}
+	if s.RebalanceEvery < 0 {
+		return fmt.Errorf("versaslot: negative rebalance interval %v", s.RebalanceEvery)
+	}
+	if s.RebalanceGap < 0 {
+		return fmt.Errorf("versaslot: negative rebalance gap %d", s.RebalanceGap)
+	}
 	return nil
 }
 
@@ -228,6 +258,17 @@ func (s Scenario) clusterConfig() cluster.Config {
 		cfg.Smoothing = s.Smoothing
 	}
 	return cfg
+}
+
+// farmConfig maps the scenario's farm knobs onto a farm configuration.
+func (s Scenario) farmConfig() cluster.FarmConfig {
+	return cluster.FarmConfig{
+		Pair:           s.clusterConfig(),
+		Pairs:          s.Pairs,
+		Dispatcher:     s.Dispatcher,
+		RebalanceEvery: s.RebalanceEvery,
+		RebalanceGap:   s.RebalanceGap,
+	}
 }
 
 // WriteJSON serializes the scenario as an indented config artifact.
@@ -290,3 +331,17 @@ func PolicyTitle(name string) string {
 // Conditions lists the congestion-condition names in the paper's
 // order.
 func Conditions() []string { return workload.ConditionKeys() }
+
+// Dispatchers lists registered farm-dispatcher names (built-ins
+// first, then third-party registrations via
+// cluster.RegisterDispatcher).
+func Dispatchers() []string { return cluster.DispatcherNames() }
+
+// DispatcherTitle returns the display title of a registered
+// dispatcher name.
+func DispatcherTitle(name string) string {
+	if r, ok := cluster.LookupDispatcher(name); ok {
+		return r.Title
+	}
+	return name
+}

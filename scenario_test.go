@@ -42,6 +42,31 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestScenarioFarmFieldsRoundTrip(t *testing.T) {
+	orig := versaslot.Scenario{
+		Name:           "farm-round-trip",
+		Topology:       versaslot.TopologyFarm,
+		Condition:      "stress",
+		Apps:           12,
+		Seed:           7,
+		Pairs:          4,
+		Dispatcher:     "power-of-two",
+		RebalanceEvery: 2 * sim.Second,
+		RebalanceGap:   3,
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := versaslot.ReadScenario(&buf)
+	if err != nil {
+		t.Fatalf("ReadScenario: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("farm fields round trip mismatch:\n orig: %+v\n got:  %+v", orig, got)
+	}
+}
+
 func TestScenarioParamsRoundTrip(t *testing.T) {
 	params := sched.DefaultParams()
 	params.PRFailureRate = 0.01
@@ -86,6 +111,13 @@ func TestScenarioValidate(t *testing.T) {
 		{"interval hi below lo", versaslot.Scenario{IntervalLo: 2 * sim.Second, IntervalHi: sim.Second}, "invalid interval override"},
 		{"interval ok", versaslot.Scenario{IntervalLo: sim.Second, IntervalHi: 2 * sim.Second}, ""},
 		{"policy alias", versaslot.Scenario{Policy: "versaslot"}, ""},
+		{"farm dispatcher ok", versaslot.Scenario{Topology: versaslot.TopologyFarm, Dispatcher: "affinity"}, ""},
+		{"dispatcher alias ok", versaslot.Scenario{Topology: versaslot.TopologyFarm, Dispatcher: "p2c"}, ""},
+		{"unknown dispatcher", versaslot.Scenario{Topology: versaslot.TopologyFarm, Dispatcher: "random"}, "unknown dispatcher"},
+		{"dispatcher on single", versaslot.Scenario{Dispatcher: "least-loaded"}, "farm-topology only"},
+		{"rebalance on cluster", versaslot.Scenario{Topology: versaslot.TopologyCluster, RebalanceEvery: sim.Second}, "farm-topology only"},
+		{"rebalance ok", versaslot.Scenario{Topology: versaslot.TopologyFarm, RebalanceEvery: sim.Second, RebalanceGap: 4}, ""},
+		{"negative rebalance gap", versaslot.Scenario{Topology: versaslot.TopologyFarm, RebalanceGap: -1}, "negative rebalance gap"},
 	}
 	for _, c := range cases {
 		err := c.s.Validate()
