@@ -318,9 +318,7 @@ func BenchmarkEndToEndStress(b *testing.B) {
 func runCustom(b *testing.B, seq *workload.Sequence, board fabric.BoardConfig, model hypervisor.CoreModel, kind sched.Kind) sim.Time {
 	b.Helper()
 	k := sim.NewKernel(1)
-	repo := bitstream.NewRepository()
-	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, board), model, repo)
+	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, board), model, bitstream.SuiteRepo())
 	e.SetPolicy(sched.New(kind))
 	apps, err := seq.Instantiate(0)
 	if err != nil {
@@ -339,9 +337,7 @@ func runCustom(b *testing.B, seq *workload.Sequence, board fabric.BoardConfig, m
 func runCustomNoCache(b *testing.B, seq *workload.Sequence) sim.Time {
 	b.Helper()
 	k := sim.NewKernel(1)
-	repo := bitstream.NewRepository()
-	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, fabric.OnlyLittle), hypervisor.SingleCore, repo)
+	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, fabric.OnlyLittle), hypervisor.SingleCore, bitstream.SuiteRepo())
 	e.SetPolicy(sched.New(sched.KindNimblock))
 	e.DisableBitstreamCache()
 	apps, err := seq.Instantiate(0)

@@ -1,0 +1,230 @@
+// Command benchgate is the bench-regression gate: it runs the
+// simulation-substrate micro-benchmarks plus the end-to-end stress and
+// farm-dispatch benchmarks, writes the measured ns/op, B/op and
+// allocs/op to a JSON report, and (given a committed baseline) fails
+// when a benchmark regresses past the tolerance.
+//
+// Write the committed baseline after an intentional performance change:
+//
+//	go run ./cmd/benchgate -write -out BENCH_3.json
+//
+// Gate a change against it (what CI runs):
+//
+//	go run ./cmd/benchgate -baseline BENCH_3.json -out /tmp/bench.json
+//
+// Allocation counts are machine-independent and gated tightly (25% +
+// rounding slack — a zero-alloc baseline admits zero allocs). Raw ns/op
+// varies across hosts, so its default tolerance is deliberately loose
+// (4x) — the gate catches order-of-magnitude regressions like an
+// accidental return to per-event heap allocation, not 10% jitter.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's measured result.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the JSON artifact benchgate reads and writes.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+const schema = "versaslot-bench/v1"
+
+// suites are the gated benchmark runs: the substrate micro-benches and
+// end-to-end stress get real benchtime for stable numbers; the farm
+// dispatch bench pins the 32-pair least-loaded configuration.
+var suites = []struct {
+	bench     string
+	benchtime string
+}{
+	{`^(BenchmarkKernelEvents|BenchmarkServerJobs|BenchmarkPipelineMakespan|BenchmarkWorkloadGeneration)$`, "0.5s"},
+	{`^BenchmarkEndToEndStress$`, "2x"},
+	{`BenchmarkFarmDispatch/least-loaded/pairs=32$`, "2x"},
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_3.json", "path to write the measured report")
+		baseline = flag.String("baseline", "", "committed baseline to gate against (empty: no gate)")
+		write    = flag.Bool("write", false, "only write the report (alias for -baseline '')")
+		nsTol    = flag.Float64("ns-tolerance", 4.0, "fail when ns/op exceeds baseline by this factor")
+		allocTol = flag.Float64("allocs-tolerance", 1.25, "fail when allocs/op exceeds baseline by this factor (plus rounding slack)")
+		pkg      = flag.String("pkg", ".", "package holding the benchmarks")
+	)
+	flag.Parse()
+
+	var results []Bench
+	for _, s := range suites {
+		bs, err := runSuite(*pkg, s.bench, s.benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, bs...)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results parsed")
+		os.Exit(1)
+	}
+	report := Report{Schema: schema, GoVersion: runtime.Version(), Benchmarks: results}
+	if err := writeReport(*out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: wrote %d benchmark results to %s\n", len(results), *out)
+
+	if *write || *baseline == "" {
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if failures := gate(base, report, *nsTol, *allocTol); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within tolerance of %s\n", len(results), *baseline)
+}
+
+// runSuite executes one `go test -bench` invocation and parses its
+// output.
+func runSuite(pkg, bench, benchtime string) ([]Bench, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-benchtime", benchtime, pkg}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, buf.String())
+	}
+	return parseBenchOutput(&buf)
+}
+
+// parseBenchOutput extracts Bench entries from `go test -bench` text.
+func parseBenchOutput(r *bytes.Buffer) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the trailing -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Bench{Name: strings.TrimPrefix(name, "Benchmark")}
+		// Remaining fields come in (value, unit) pairs after the
+		// iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if b.NsPerOp > 0 {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate compares measured results against the baseline and returns one
+// message per regression. Benchmarks missing from either side fail the
+// gate: a silently dropped benchmark must not pass.
+func gate(base, got Report, nsTol, allocTol float64) []string {
+	var failures []string
+	baseBy := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	seen := make(map[string]bool)
+	for _, g := range got.Benchmarks {
+		b, ok := baseBy[g.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in baseline (add it with -write)", g.Name))
+			continue
+		}
+		seen[g.Name] = true
+		if limit := b.NsPerOp * nsTol; g.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op exceeds baseline %.1f ns/op x%.1f tolerance",
+				g.Name, g.NsPerOp, b.NsPerOp, nsTol))
+		}
+		// Rounding slack of 0.5 makes a zero-alloc baseline admit
+		// exactly zero allocs while integer baselines tolerate the
+		// percentage headroom.
+		if limit := b.AllocsPerOp*allocTol + 0.5; g.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op exceeds baseline %.1f allocs/op x%.2f tolerance",
+				g.Name, g.AllocsPerOp, b.AllocsPerOp, allocTol))
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured", b.Name))
+		}
+	}
+	return failures
+}
+
+func writeReport(path string, r Report) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != schema {
+		return Report{}, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, schema)
+	}
+	return r, nil
+}

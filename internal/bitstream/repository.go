@@ -13,6 +13,7 @@ import (
 // offline with an automated TCL script; here Generator fills the store.
 type Repository struct {
 	byName map[string]*Bitstream
+	frozen bool
 }
 
 // NewRepository returns an empty store.
@@ -21,9 +22,25 @@ func NewRepository() *Repository {
 }
 
 // Put registers b, replacing any previous bitstream of the same name.
+// Putting into a frozen repository panics: published repositories are
+// shared read-only across boards and goroutines.
 func (r *Repository) Put(b *Bitstream) {
+	if r.frozen {
+		panic(fmt.Sprintf("bitstream: Put(%q) into frozen repository", b.Name))
+	}
 	r.byName[b.Name] = b
 }
+
+// Freeze marks the repository immutable and returns it. After Freeze,
+// any Put panics; reads are safe from concurrent goroutines. This is
+// the publication barrier behind the process-wide suite repository.
+func (r *Repository) Freeze() *Repository {
+	r.frozen = true
+	return r
+}
+
+// Frozen reports whether the repository has been published read-only.
+func (r *Repository) Frozen() bool { return r.frozen }
 
 // Get returns the named bitstream.
 func (r *Repository) Get(name string) (*Bitstream, error) {

@@ -1,0 +1,35 @@
+package bitstream
+
+import (
+	"sync"
+
+	"versaslot/internal/appmodel"
+)
+
+// suiteOnce guards the one-time generation of the shared suite
+// repository. The bitstream set for the paper's application suite is a
+// pure function of the default size model, so every board in the
+// process can share a single immutable copy — a 128-pair farm
+// previously rebuilt 256 identical repositories.
+var (
+	suiteOnce sync.Once
+	suiteRepo *Repository
+)
+
+// SuiteRepo returns the process-wide immutable repository holding every
+// bitstream of the paper's application suite (per-task partials for
+// both slot kinds, 3-in-1 bundles, full-fabric exclusives, and static
+// regions), generated once with the default generator and frozen before
+// publication. Safe for concurrent use; callers must treat it as
+// read-only — Put on it panics.
+//
+// Systems with a non-default size model or spec set still build their
+// own repository via NewGenerator/GenerateAll.
+func SuiteRepo() *Repository {
+	suiteOnce.Do(func() {
+		repo := NewRepository()
+		NewGenerator().GenerateAll(repo, appmodel.Suite())
+		suiteRepo = repo.Freeze()
+	})
+	return suiteRepo
+}

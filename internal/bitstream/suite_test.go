@@ -1,0 +1,78 @@
+package bitstream
+
+import (
+	"sync"
+	"testing"
+
+	"versaslot/internal/fabric"
+)
+
+// TestSuiteRepoShared: every caller gets the same frozen instance.
+func TestSuiteRepoShared(t *testing.T) {
+	a := SuiteRepo()
+	b := SuiteRepo()
+	if a != b {
+		t.Fatal("SuiteRepo returned distinct repositories")
+	}
+	if !a.Frozen() {
+		t.Fatal("suite repository published unfrozen")
+	}
+	if a.Len() == 0 {
+		t.Fatal("suite repository is empty")
+	}
+	// The suite must cover what engines resolve at runtime: static
+	// regions for every board configuration.
+	for _, cfg := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle, fabric.Monolithic} {
+		if _, err := a.Get(StaticName(cfg)); err != nil {
+			t.Fatalf("suite repo missing %s: %v", StaticName(cfg), err)
+		}
+	}
+}
+
+// TestSuiteRepoImmutable: mutation after publication panics — the
+// repository is shared read-only by every board and goroutine.
+func TestSuiteRepoImmutable(t *testing.T) {
+	repo := SuiteRepo()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put into the frozen suite repository did not panic")
+		}
+	}()
+	repo.Put(&Bitstream{Name: "rogue/full"})
+}
+
+// TestFreezeStopsPut: the publication barrier on any repository.
+func TestFreezeStopsPut(t *testing.T) {
+	repo := NewRepository()
+	repo.Put(&Bitstream{Name: "ok"})
+	repo.Freeze()
+	if !repo.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put after Freeze did not panic")
+		}
+	}()
+	repo.Put(&Bitstream{Name: "late"})
+}
+
+// TestSuiteRepoConcurrentReads: concurrent first-touch and reads race
+// cleanly (run under -race).
+func TestSuiteRepoConcurrentReads(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			repo := SuiteRepo()
+			for _, name := range repo.Names() {
+				if repo.MustGet(name) == nil {
+					t.Error("nil bitstream in suite repo")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -95,8 +95,9 @@ func New(cfg Config) *Cluster {
 // buildCluster wires a switching pair onto an existing kernel; Farm
 // places several pairs on one kernel.
 func buildCluster(k *sim.Kernel, cfg Config, firstBoardID int) *Cluster {
-	repo := bitstream.NewRepository()
-	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
+	// All boards share the process-wide immutable suite repository: a
+	// farm of N pairs no longer rebuilds 2N identical bitstream stores.
+	repo := bitstream.SuiteRepo()
 
 	c := &Cluster{
 		K:       k,
@@ -317,10 +318,11 @@ func (c *Cluster) summarize() Summary {
 	s := Summary{Apps: len(samples), Switches: len(c.Migrations), Trace: c.Trace}
 	if len(samples) > 0 {
 		s.MeanRT = metrics.MeanResponse(samples)
-		vals := sortedResponses(samples)
-		s.P50 = sim.Duration(metrics.Percentile(vals, 50))
-		s.P95 = sim.Duration(metrics.Percentile(vals, 95))
-		s.P99 = sim.Duration(metrics.Percentile(vals, 99))
+		vals := metrics.SortedResponseValues(samples, nil)
+		p50, p95, p99 := metrics.TailPercentiles(vals)
+		s.P50 = sim.Duration(p50)
+		s.P95 = sim.Duration(p95)
+		s.P99 = sim.Duration(p99)
 	}
 	var total sim.Duration
 	for _, m := range c.Migrations {

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"versaslot/internal/appmodel"
 	"versaslot/internal/fabric"
@@ -82,8 +81,9 @@ type Farm struct {
 	crossIn    []int // apps received via rebalancing, per pair
 	crossOut   []int // apps sent away via rebalancing, per pair
 
-	rebalanceArmed bool // the periodic tick has been scheduled
-	rebalancing    bool // a cross-pair transfer is in flight
+	rebalanceArmed bool        // the periodic tick has been scheduled
+	rebalancing    bool        // a cross-pair transfer is in flight
+	nextTick       sim.EventID // handle of the pending rebalance tick
 }
 
 // NewFarm builds a farm from its configuration. It panics if the
@@ -200,15 +200,25 @@ func (f *Farm) armRebalancer() {
 		return
 	}
 	f.rebalanceArmed = true
-	f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
+	f.nextTick = f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
+}
+
+// DisarmRebalancer cancels the pending rebalance tick (via its event
+// handle), e.g. to freeze placement while draining a farm. Injecting
+// another sequence re-arms it.
+func (f *Farm) DisarmRebalancer() {
+	f.K.Cancel(f.nextTick)
+	f.nextTick = sim.NoEvent
+	f.rebalanceArmed = false
 }
 
 func (f *Farm) rebalanceTick() {
 	if f.finished >= f.totalApps {
 		f.rebalanceArmed = false
+		f.nextTick = sim.NoEvent
 		return
 	}
-	f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
+	f.nextTick = f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
 	if f.rebalancing || len(f.Pairs) < 2 {
 		// One transfer at a time on the rack link; the next tick
 		// re-evaluates.
@@ -322,6 +332,7 @@ type PairStat struct {
 func (f *Farm) Run() Summary {
 	f.K.Run()
 	var samples []metrics.ResponseSample
+	var scratch []float64 // one percentile buffer reused across pairs
 	s := Summary{}
 	for i, p := range f.Pairs {
 		var pairSamples []metrics.ResponseSample
@@ -349,8 +360,8 @@ func (f *Farm) Run() Summary {
 		}
 		if len(pairSamples) > 0 {
 			ps.MeanRT = metrics.MeanResponse(pairSamples)
-			vals := sortedResponses(pairSamples)
-			ps.P50 = sim.Duration(metrics.Percentile(vals, 50))
+			scratch = metrics.SortedResponseValues(pairSamples, scratch)
+			ps.P50 = sim.Duration(metrics.Percentile(scratch, 50))
 		}
 		if weight > 0 {
 			ps.UtilLUT = utilLUT / weight
@@ -368,10 +379,11 @@ func (f *Farm) Run() Summary {
 	s.Apps = len(samples)
 	if len(samples) > 0 {
 		s.MeanRT = metrics.MeanResponse(samples)
-		vals := sortedResponses(samples)
-		s.P50 = sim.Duration(metrics.Percentile(vals, 50))
-		s.P95 = sim.Duration(metrics.Percentile(vals, 95))
-		s.P99 = sim.Duration(metrics.Percentile(vals, 99))
+		vals := metrics.SortedResponseValues(samples, scratch)
+		p50, p95, p99 := metrics.TailPercentiles(vals)
+		s.P50 = sim.Duration(p50)
+		s.P95 = sim.Duration(p95)
+		s.P99 = sim.Duration(p99)
 	}
 	if s.Switches > 0 {
 		s.MeanSwitchTime /= sim.Duration(s.Switches)
@@ -385,17 +397,6 @@ func (f *Farm) Run() Summary {
 		s.MeanCrossTime /= sim.Duration(s.CrossSwitches)
 	}
 	return s
-}
-
-// sortedResponses extracts response times sorted ascending, ready for
-// repeated metrics.Percentile reads off one sort.
-func sortedResponses(samples []metrics.ResponseSample) []float64 {
-	vals := make([]float64, len(samples))
-	for i, r := range samples {
-		vals[i] = float64(r.Response)
-	}
-	sort.Float64s(vals)
-	return vals
 }
 
 // UnfinishedCount sums unfinished apps across the farm (diagnostics).

@@ -81,3 +81,45 @@ func TestFarmSwitchOverheadScale(t *testing.T) {
 		t.Fatalf("farm switch overhead %v beyond the ms scale", sum.MeanSwitchTime)
 	}
 }
+
+// TestFarmDisarmRebalancer: canceling the pending tick through its
+// event handle stops cross-pair migration entirely; a skewed workload
+// that otherwise rebalances (see TestFarmRebalance*) stays put.
+func TestFarmDisarmRebalancer(t *testing.T) {
+	build := func() *Farm {
+		// Round-robin dispatch on a skewed stress workload diverges
+		// the pair queues, so the armed rebalancer provably migrates
+		// (same shape as TestRebalancerMigratesAcrossPairs).
+		cfg := DefaultFarmConfig(3)
+		cfg.Dispatcher = DispatchRoundRobin
+		cfg.RebalanceEvery = 2 * sim.Second
+		return MustNewFarm(cfg)
+	}
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 60
+	seq := workload.Generate(p, 23)
+
+	armed := build()
+	if err := armed.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	armedSum := armed.Run()
+	if armedSum.CrossSwitches < 1 {
+		t.Fatalf("armed control did not migrate (%d cross switches); the disarm assertion would be vacuous",
+			armedSum.CrossSwitches)
+	}
+
+	disarmed := build()
+	if err := disarmed.Inject(seq); err != nil {
+		t.Fatal(err)
+	}
+	disarmed.DisarmRebalancer()
+	disarmedSum := disarmed.Run()
+
+	if disarmedSum.CrossSwitches != 0 {
+		t.Fatalf("disarmed farm still migrated %d times across pairs", disarmedSum.CrossSwitches)
+	}
+	if disarmedSum.Apps != p.Apps || armedSum.Apps != p.Apps {
+		t.Fatalf("apps finished: armed=%d disarmed=%d want %d", armedSum.Apps, disarmedSum.Apps, p.Apps)
+	}
+}

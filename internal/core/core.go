@@ -81,10 +81,8 @@ func newSystemFor(r *sched.Registration, seed uint64, params *sched.Params) *Sys
 		p = *params
 	}
 	k := sim.NewKernel(seed)
-	repo := bitstream.NewRepository()
-	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
 	board := fabric.NewBoard(0, r.Board)
-	engine := sched.NewEngine(k, p, board, r.Core, repo)
+	engine := sched.NewEngine(k, p, board, r.Core, bitstream.SuiteRepo())
 	policy := r.Factory()
 	engine.SetPolicy(policy)
 	return &System{Kernel: k, Engine: engine, Policy: policy,
@@ -103,10 +101,8 @@ func NewCustomSystem(big, little int, seed uint64, params *sched.Params) *System
 		p = *params
 	}
 	k := sim.NewKernel(seed)
-	repo := bitstream.NewRepository()
-	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
 	board := fabric.NewCustomBoard(0, big, little)
-	engine := sched.NewEngine(k, p, board, hypervisor.DualCore, repo)
+	engine := sched.NewEngine(k, p, board, hypervisor.DualCore, bitstream.SuiteRepo())
 	var policy sched.Policy
 	kind := sched.KindVersaSlotOL
 	if big > 0 {

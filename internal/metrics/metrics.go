@@ -54,6 +54,11 @@ type Collector struct {
 
 	// Preemptions counts stage evictions before batch completion.
 	Preemptions uint64
+
+	// scratch is the reusable percentile buffer: Summarize sorts
+	// response times into it instead of allocating a copy per call
+	// (farm summaries recompute per pair and per board).
+	scratch []float64
 }
 
 // NewCollector returns an empty collector; capacity is the board's
@@ -122,7 +127,9 @@ type Summary struct {
 	Migrations  uint64
 }
 
-// Summarize computes the run summary.
+// Summarize computes the run summary. It reuses the collector's
+// scratch buffer, so after the first call a summary allocates nothing;
+// P50/P95/P99 all come from the one sorted pass.
 func (c *Collector) Summarize() Summary {
 	s := Summary{Apps: len(c.Responses), PRLoads: c.PRLoads, PRBlocked: c.PRBlocked,
 		PRRetries: c.PRRetries, PRWait: c.PRWait,
@@ -130,23 +137,45 @@ func (c *Collector) Summarize() Summary {
 	if len(c.Responses) == 0 {
 		return s
 	}
-	rts := make([]float64, len(c.Responses))
+	rts := c.scratch[:0]
 	var sum, qsum float64
-	for i, r := range c.Responses {
-		rts[i] = float64(r.Response)
-		sum += rts[i]
+	for _, r := range c.Responses {
+		rts = append(rts, float64(r.Response))
+		sum += float64(r.Response)
 		qsum += float64(r.QueueDelay)
 	}
+	c.scratch = rts
 	s.MeanQueue = sim.Duration(qsum / float64(len(rts)))
 	sort.Float64s(rts)
+	p50, p95, p99 := TailPercentiles(rts)
 	s.MeanRT = sim.Duration(sum / float64(len(rts)))
-	s.P50 = sim.Duration(Percentile(rts, 50))
-	s.P95 = sim.Duration(Percentile(rts, 95))
-	s.P99 = sim.Duration(Percentile(rts, 99))
+	s.P50 = sim.Duration(p50)
+	s.P95 = sim.Duration(p95)
+	s.P99 = sim.Duration(p99)
 	s.MinRT = sim.Duration(rts[0])
 	s.MaxRT = sim.Duration(rts[len(rts)-1])
 	s.UtilLUT, s.UtilFF = c.Utilization()
 	return s
+}
+
+// TailPercentiles returns the P50/P95/P99 of already-sorted values in
+// one call — the three tail statistics every summary reports, off a
+// single sorted pass.
+func TailPercentiles(sorted []float64) (p50, p95, p99 float64) {
+	return Percentile(sorted, 50), Percentile(sorted, 95), Percentile(sorted, 99)
+}
+
+// SortedResponseValues appends the samples' response times into
+// buf[:0], sorts them ascending, and returns the slice — callers
+// summarizing many sample sets (per-pair farm breakdowns) reuse one
+// buffer across calls instead of allocating per set.
+func SortedResponseValues(samples []ResponseSample, buf []float64) []float64 {
+	vals := buf[:0]
+	for _, r := range samples {
+		vals = append(vals, float64(r.Response))
+	}
+	sort.Float64s(vals)
+	return vals
 }
 
 // SpecBreakdown summarizes response times per application type — e.g.

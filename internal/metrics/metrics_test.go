@@ -175,3 +175,55 @@ func TestMeanStd(t *testing.T) {
 		t.Fatal("single MeanStd")
 	}
 }
+
+// TestSummarizeRepeatable: repeated summaries are identical (sorting
+// into the scratch buffer must not disturb the recorded samples) and,
+// after the first call warms the buffer, allocation-free.
+func TestSummarizeRepeatable(t *testing.T) {
+	c := NewCollector(100, 100)
+	for i := 0; i < 500; i++ {
+		c.RecordResponse(ResponseSample{
+			Spec:     "IC",
+			Response: sim.Duration(500-i) * sim.Millisecond,
+			Finish:   sim.Time(i+1) * sim.Time(sim.Millisecond),
+		})
+	}
+	first := c.Summarize()
+	second := c.Summarize()
+	if first != second {
+		t.Fatalf("summaries diverge:\n%+v\n%+v", first, second)
+	}
+	if first.P50 > first.P95 || first.P95 > first.P99 || first.P99 > first.MaxRT {
+		t.Fatalf("tail percentiles out of order: %+v", first)
+	}
+	allocs := testing.AllocsPerRun(100, func() { _ = c.Summarize() })
+	if allocs > 0 {
+		t.Fatalf("warm Summarize allocates %.2f allocs/op, want 0", allocs)
+	}
+	// The recorded samples must be untouched by the in-place sort.
+	if c.Responses[0].Response != 500*sim.Millisecond {
+		t.Fatal("Summarize disturbed the response samples")
+	}
+}
+
+// TestSortedResponseValues: the shared buffer variant sorts into the
+// caller's buffer and reuses its capacity.
+func TestSortedResponseValues(t *testing.T) {
+	samples := []ResponseSample{
+		{Response: 30 * sim.Millisecond},
+		{Response: 10 * sim.Millisecond},
+		{Response: 20 * sim.Millisecond},
+	}
+	buf := make([]float64, 0, 8)
+	vals := SortedResponseValues(samples, buf)
+	if len(vals) != 3 || vals[0] != float64(10*sim.Millisecond) || vals[2] != float64(30*sim.Millisecond) {
+		t.Fatalf("sorted values %v", vals)
+	}
+	if &vals[0] != &buf[:1][0] {
+		t.Fatal("buffer not reused")
+	}
+	p50, p95, p99 := TailPercentiles(vals)
+	if p50 != float64(20*sim.Millisecond) || p95 > p99 {
+		t.Fatalf("percentiles %v %v %v", p50, p95, p99)
+	}
+}

@@ -1,69 +1,63 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
-// Event is a scheduled callback in virtual time. Events are ordered by
-// (time, priority, sequence); sequence preserves FIFO order among events
-// scheduled for the same instant, which keeps runs deterministic.
-type Event struct {
+// EventID is a stable handle to a scheduled event: an index into the
+// kernel's event arena plus a generation counter. Handles stay valid
+// (as no-ops) after the event fires or is canceled — the generation
+// check makes a stale handle harmless even after its arena slot has
+// been recycled for a newer event. The zero EventID refers to no event.
+type EventID uint64
+
+// NoEvent is the zero EventID; it never refers to a live event.
+const NoEvent EventID = 0
+
+// Valid reports whether the handle could refer to an event (it may
+// still be stale; ask the kernel's Scheduled for liveness).
+func (id EventID) Valid() bool { return id != 0 }
+
+func makeEventID(idx int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | uint64(uint32(idx+1)))
+}
+
+// split returns the arena index and generation; idx is -1 for NoEvent.
+func (id EventID) split() (idx int32, gen uint32) {
+	return int32(uint32(id)) - 1, uint32(id >> 32)
+}
+
+// Slot lifecycle states of an arena entry.
+const (
+	slotFree     uint8 = iota // on the free list, gen already bumped
+	slotQueued                // live in the heap
+	slotCanceled              // canceled but still in the heap (lazy deletion)
+)
+
+// eventSlot is one arena entry. Events are plain structs addressed by
+// index — no per-event heap allocation, no interface boxing.
+type eventSlot struct {
 	at       Time
-	priority int32
 	seq      uint64
 	fn       func()
-	index    int // heap index; -1 when not queued
-	canceled bool
+	priority int32
+	gen      uint32
+	state    uint8
 }
 
-// At returns the virtual time the event fires at.
-func (e *Event) At() Time { return e.at }
-
-// Canceled reports whether the event has been canceled.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].priority != h[j].priority {
-		return h[i].priority < h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Kernel is the discrete-event simulation core: a clock and an event queue.
+// Kernel is the discrete-event simulation core: a clock and an event
+// queue. The queue is an inline 4-ary min-heap of arena indices ordered
+// by (time, priority, sequence); sequence preserves FIFO order among
+// events scheduled for the same instant, which keeps runs deterministic.
+// The arena plus a free list give zero steady-state allocation: a fired
+// or canceled event's slot is recycled for the next Schedule.
 // The zero value is not usable; construct with NewKernel.
 type Kernel struct {
 	now      Time
-	queue    eventHeap
+	arena    []eventSlot
+	heap     []int32 // arena indices, 4-ary min-heap order
+	free     []int32 // recycled arena indices
+	live     int     // queued, not-canceled events
 	seq      uint64
 	rng      *RNG
 	executed uint64
@@ -86,21 +80,27 @@ func (k *Kernel) RNG() *RNG { return k.rng }
 // Executed returns the number of events executed so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
-// Pending returns the number of events currently queued.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of events currently queued (canceled
+// events awaiting lazy removal are not counted).
+func (k *Kernel) Pending() int { return k.live }
 
 // SetTracer installs a tracer that observes every executed event.
 // A nil tracer disables tracing.
 func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 
+// SetHorizon sets the simulation horizon: events scheduled past t are
+// silently dropped when they reach the head of the queue. The default
+// horizon is MaxTime (no dropping).
+func (k *Kernel) SetHorizon(t Time) { k.maxTime = t }
+
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: it would violate causality.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) EventID {
 	return k.at(t, 0, fn)
 }
 
 // Schedule schedules fn to run d after the current time. Negative d panics.
-func (k *Kernel) Schedule(d Duration, fn func()) *Event {
+func (k *Kernel) Schedule(d Duration, fn func()) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -110,57 +110,117 @@ func (k *Kernel) Schedule(d Duration, fn func()) *Event {
 // ScheduleP schedules fn with an explicit priority: lower priorities run
 // first among events at the same instant. Use sparingly — the default
 // FIFO ordering is almost always right.
-func (k *Kernel) ScheduleP(d Duration, priority int32, fn func()) *Event {
+func (k *Kernel) ScheduleP(d Duration, priority int32, fn func()) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return k.at(k.now.Add(d), priority, fn)
 }
 
-func (k *Kernel) at(t Time, priority int32, fn func()) *Event {
+func (k *Kernel) at(t Time, priority int32, fn func()) EventID {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 	}
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	e := &Event{at: t, priority: priority, seq: k.seq, fn: fn, index: -1}
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.arena = append(k.arena, eventSlot{})
+		idx = int32(len(k.arena) - 1)
+	}
+	s := &k.arena[idx]
+	s.at = t
+	s.priority = priority
+	s.seq = k.seq
+	s.fn = fn
+	s.state = slotQueued
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.live++
+	k.push(idx)
+	return makeEventID(idx, s.gen)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+// Cancel removes a pending event by handle. Canceling an already-fired,
+// already-canceled, or zero handle is a no-op, as is a stale handle
+// whose slot now hosts a newer event. Cancels are lazy: the entry stays
+// in the heap and is discarded when it reaches the head.
+func (k *Kernel) Cancel(id EventID) {
+	idx, gen := id.split()
+	if idx < 0 || int(idx) >= len(k.arena) {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&k.queue, e.index)
+	s := &k.arena[idx]
+	if s.gen != gen || s.state != slotQueued {
+		return
+	}
+	s.state = slotCanceled
+	s.fn = nil
+	k.live--
+}
+
+// Scheduled reports whether the handle refers to an event that is still
+// queued (not fired, not canceled, not stale).
+func (k *Kernel) Scheduled(id EventID) bool {
+	idx, gen := id.split()
+	if idx < 0 || int(idx) >= len(k.arena) {
+		return false
+	}
+	s := &k.arena[idx]
+	return s.gen == gen && s.state == slotQueued
+}
+
+// EventTime returns the firing time of a still-queued event.
+func (k *Kernel) EventTime(id EventID) (Time, bool) {
+	idx, gen := id.split()
+	if idx < 0 || int(idx) >= len(k.arena) {
+		return 0, false
+	}
+	s := &k.arena[idx]
+	if s.gen != gen || s.state != slotQueued {
+		return 0, false
+	}
+	return s.at, true
+}
+
+// release recycles an arena slot: the generation bump invalidates every
+// outstanding handle to the old occupant.
+func (k *Kernel) release(idx int32) {
+	s := &k.arena[idx]
+	s.fn = nil
+	s.gen++
+	s.state = slotFree
+	k.free = append(k.free, idx)
 }
 
 // Step executes the single next event, advancing the clock to it.
 // It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.canceled {
+	for len(k.heap) > 0 {
+		idx := k.popRoot()
+		s := &k.arena[idx]
+		if s.state == slotCanceled {
+			k.release(idx)
 			continue
 		}
-		if e.at > k.maxTime {
+		if s.at > k.maxTime {
 			// Past the horizon: drop silently.
+			k.live--
+			k.release(idx)
 			continue
 		}
-		k.now = e.at
+		k.now = s.at
 		k.executed++
+		k.live--
+		fn := s.fn
+		k.release(idx)
 		if k.tracer != nil {
 			k.tracer.Event(k.now)
 		}
-		e.fn()
+		fn()
 		return true
 	}
 	return false
@@ -177,12 +237,9 @@ func (k *Kernel) Run() Time {
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t (if the clock is behind it).
 func (k *Kernel) RunUntil(t Time) Time {
-	for len(k.queue) > 0 {
-		next := k.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
+	for {
+		at, ok := k.peek()
+		if !ok || at > t {
 			break
 		}
 		k.Step()
@@ -193,16 +250,88 @@ func (k *Kernel) RunUntil(t Time) Time {
 	return k.now
 }
 
-func (k *Kernel) peek() *Event {
-	for len(k.queue) > 0 {
-		e := k.queue[0]
-		if e.canceled {
-			heap.Pop(&k.queue)
+// peek returns the firing time of the next live event, discarding
+// canceled entries off the heap head.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.heap) > 0 {
+		idx := k.heap[0]
+		s := &k.arena[idx]
+		if s.state == slotCanceled {
+			k.popRoot()
+			k.release(idx)
 			continue
 		}
-		return e
+		return s.at, true
 	}
-	return nil
+	return 0, false
+}
+
+// less orders arena entries by (time, priority, sequence) — a strict
+// total order (sequence numbers are unique), so the pop order is
+// independent of the heap's internal arrangement and byte-identical
+// to the previous container/heap implementation.
+func (k *Kernel) less(a, b int32) bool {
+	x, y := &k.arena[a], &k.arena[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.priority != y.priority {
+		return x.priority < y.priority
+	}
+	return x.seq < y.seq
+}
+
+// push appends an arena index and sifts it up the 4-ary heap.
+func (k *Kernel) push(idx int32) {
+	k.heap = append(k.heap, idx)
+	i := len(k.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !k.less(idx, k.heap[p]) {
+			break
+		}
+		k.heap[i] = k.heap[p]
+		i = p
+	}
+	k.heap[i] = idx
+}
+
+// popRoot removes and returns the minimum arena index.
+func (k *Kernel) popRoot() int32 {
+	root := k.heap[0]
+	n := len(k.heap) - 1
+	last := k.heap[n]
+	k.heap = k.heap[:n]
+	if n == 0 {
+		return root
+	}
+	// Sift last down from the root. A 4-ary layout halves the tree
+	// height versus binary and keeps the four children of a node in one
+	// or two cache lines of the index slice.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if k.less(k.heap[j], k.heap[best]) {
+				best = j
+			}
+		}
+		if !k.less(k.heap[best], last) {
+			break
+		}
+		k.heap[i] = k.heap[best]
+		i = best
+	}
+	k.heap[i] = last
+	return root
 }
 
 // Tracer observes kernel activity. Implementations must not mutate

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refEvent / refHeap reimplement the kernel's previous event queue — a
+// container/heap binary heap of per-event pointers — as the reference
+// the indexed 4-ary kernel is differentially tested against.
+type refEvent struct {
+	at       Time
+	priority int32
+	seq      uint64
+	label    int
+	canceled bool
+	index    int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// refKernel replays the same trace through the reference binary heap.
+type refKernel struct {
+	now   Time
+	queue refHeap
+	seq   uint64
+}
+
+func (r *refKernel) schedule(d Duration, priority int32, label int) *refEvent {
+	e := &refEvent{at: r.now.Add(d), priority: priority, seq: r.seq, label: label, index: -1}
+	r.seq++
+	heap.Push(&r.queue, e)
+	return e
+}
+
+func (r *refKernel) cancel(e *refEvent) {
+	if e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	heap.Remove(&r.queue, e.index)
+}
+
+func (r *refKernel) run(onFire func(label int)) {
+	for len(r.queue) > 0 {
+		e := heap.Pop(&r.queue).(*refEvent)
+		if e.canceled {
+			continue
+		}
+		r.now = e.at
+		onFire(e.label)
+	}
+}
+
+// traceOp is one operation of a generated event trace.
+type traceOp struct {
+	delay    Duration
+	priority int32
+	// cancelOf, when >= 0, cancels the event scheduled by op cancelOf
+	// at this op's own schedule time (modelled as an immediate cancel
+	// during trace construction — both kernels see the identical
+	// sequence of schedule/cancel calls).
+	cancelOf int
+}
+
+// genTrace builds a deterministic pseudo-random trace: bursts of
+// same-instant events, priority ties, wide delay spread, and cancels of
+// live, fired, and already-canceled events.
+func genTrace(seed uint64, n int) []traceOp {
+	rng := NewRNG(seed)
+	ops := make([]traceOp, 0, n)
+	for i := 0; i < n; i++ {
+		op := traceOp{cancelOf: -1}
+		switch rng.Intn(10) {
+		case 0: // same-instant burst member
+			op.delay = 5 * Millisecond
+		case 1: // priority tie at a shared instant
+			op.delay = 7 * Millisecond
+			op.priority = int32(rng.Intn(5)) - 2
+		case 2: // cancel a previously scheduled event
+			if i > 0 {
+				op.cancelOf = rng.Intn(i)
+			}
+			op.delay = Duration(rng.IntRange(1, 1000)) * Microsecond
+		default:
+			op.delay = Duration(rng.IntRange(1, 20000)) * Microsecond
+			if rng.Intn(4) == 0 {
+				op.priority = int32(rng.Intn(7)) - 3
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// TestKernelDifferentialOrder replays random event traces through the
+// indexed 4-ary kernel and the reference binary heap and asserts both
+// fire the surviving events in the identical order.
+func TestKernelDifferentialOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		ops := genTrace(seed, 400)
+
+		// Reference replay.
+		ref := &refKernel{}
+		refEvents := make([]*refEvent, len(ops))
+		for i, op := range ops {
+			refEvents[i] = ref.schedule(op.delay, op.priority, i)
+			if op.cancelOf >= 0 {
+				ref.cancel(refEvents[op.cancelOf])
+			}
+		}
+		var want []int
+		ref.run(func(label int) { want = append(want, label) })
+
+		// Indexed-kernel replay: identical schedule/cancel sequence.
+		k := NewKernel(seed)
+		var got []int
+		ids := make([]EventID, len(ops))
+		for i, op := range ops {
+			i := i
+			ids[i] = k.ScheduleP(op.delay, op.priority, func() { got = append(got, i) })
+			if op.cancelOf >= 0 {
+				k.Cancel(ids[op.cancelOf])
+			}
+		}
+		k.Run()
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: divergence at position %d: got event %d, reference %d",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialNested extends the differential check to
+// run-time behaviour: callbacks schedule follow-up events and cancel
+// pending ones mid-run, driven by the same RNG stream on both sides.
+func TestKernelDifferentialNested(t *testing.T) {
+	type plan struct {
+		d        Duration
+		chain    int // follow-ups each event schedules
+		chainGap Duration
+	}
+	for seed := uint64(100); seed < 110; seed++ {
+		rng := NewRNG(seed)
+		plans := make([]plan, 120)
+		for i := range plans {
+			plans[i] = plan{
+				d:        Duration(rng.IntRange(1, 5000)) * Microsecond,
+				chain:    rng.Intn(3),
+				chainGap: Duration(rng.IntRange(1, 300)) * Microsecond,
+			}
+		}
+
+		// Reference replay: each fire schedules its chain followers,
+		// with follower labels allocated in fire order.
+		ref := &refKernel{}
+		var want []int
+		byLabel := map[int]plan{}
+		for i, p := range plans {
+			ref.schedule(p.d, 0, i)
+			byLabel[i] = p
+		}
+		nextLabel := len(plans)
+		for len(ref.queue) > 0 {
+			e := heap.Pop(&ref.queue).(*refEvent)
+			if e.canceled {
+				continue
+			}
+			ref.now = e.at
+			want = append(want, e.label)
+			p := byLabel[e.label]
+			for c := 0; c < p.chain; c++ {
+				child := plan{d: p.chainGap, chain: 0}
+				ce := ref.schedule(child.d, 0, nextLabel)
+				byLabel[ce.label] = child
+				nextLabel++
+			}
+		}
+
+		// Indexed kernel with real nested callbacks.
+		k := NewKernel(seed)
+		var got []int
+		next := len(plans)
+		var fire func(label int, p plan) func()
+		fire = func(label int, p plan) func() {
+			return func() {
+				got = append(got, label)
+				for c := 0; c < p.chain; c++ {
+					child := plan{d: p.chainGap}
+					k.Schedule(child.d, fire(next, child))
+					next++
+				}
+			}
+		}
+		for i, p := range plans {
+			k.Schedule(p.d, fire(i, p))
+		}
+		k.Run()
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d, reference %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: nested divergence at %d: got %d want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -52,28 +52,170 @@ func TestKernelCancel(t *testing.T) {
 	k := NewKernel(1)
 	fired := false
 	e := k.Schedule(10*Millisecond, func() { fired = true })
+	if !k.Scheduled(e) {
+		t.Fatal("fresh event not scheduled")
+	}
 	k.Cancel(e)
 	k.Run()
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	if !e.Canceled() {
-		t.Fatal("event not marked canceled")
+	if k.Scheduled(e) {
+		t.Fatal("event still scheduled after cancel")
 	}
-	// Double-cancel and canceling fired events are no-ops.
+	// Double-cancel and canceling the zero handle are no-ops.
 	k.Cancel(e)
-	k.Cancel(nil)
+	k.Cancel(NoEvent)
 }
 
 func TestKernelCancelDuringRun(t *testing.T) {
 	k := NewKernel(1)
-	var e2 *Event
+	var e2 EventID
 	fired := false
 	k.Schedule(5*Millisecond, func() { k.Cancel(e2) })
 	e2 = k.Schedule(10*Millisecond, func() { fired = true })
 	k.Run()
 	if fired {
 		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestKernelCancelAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	e := k.Schedule(Millisecond, func() { n++ })
+	k.Run()
+	if n != 1 {
+		t.Fatalf("event fired %d times", n)
+	}
+	// Canceling after the fire is a no-op...
+	k.Cancel(e)
+	if k.Scheduled(e) {
+		t.Fatal("fired event reports scheduled")
+	}
+	// ...and the stale handle must not touch the recycled slot: the
+	// next Schedule reuses the arena entry the fired event vacated.
+	fired := false
+	e2 := k.Schedule(Millisecond, func() { fired = true })
+	k.Cancel(e) // stale: generation mismatch, must not cancel e2
+	if !k.Scheduled(e2) {
+		t.Fatal("stale cancel hit the recycled slot")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+func TestKernelCancelTwice(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.Schedule(Millisecond, func() { fired = true })
+	other := k.Schedule(2*Millisecond, func() {})
+	k.Cancel(e)
+	if k.Pending() != 1 {
+		t.Fatalf("pending %d after cancel, want 1", k.Pending())
+	}
+	k.Cancel(e) // second cancel must not double-decrement live count
+	if k.Pending() != 1 {
+		t.Fatalf("pending %d after double cancel, want 1", k.Pending())
+	}
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	_ = other
+}
+
+func TestKernelEventTime(t *testing.T) {
+	k := NewKernel(1)
+	e := k.Schedule(7*Millisecond, func() {})
+	at, ok := k.EventTime(e)
+	if !ok || at != Time(7*Millisecond) {
+		t.Fatalf("EventTime = %v,%v", at, ok)
+	}
+	k.Run()
+	if _, ok := k.EventTime(e); ok {
+		t.Fatal("EventTime true for fired event")
+	}
+	if _, ok := k.EventTime(NoEvent); ok {
+		t.Fatal("EventTime true for zero handle")
+	}
+}
+
+// TestKernelSameInstantFIFOAcrossRebalancing forces many heap
+// rebalance operations (interleaved earlier/later events, cancels, and
+// free-list recycling) and asserts same-instant events still fire in
+// submission order.
+func TestKernelSameInstantFIFOAcrossRebalancing(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	// A batch of same-instant events, interleaved with earlier fillers
+	// that force sift operations, some of which are canceled.
+	var fillers []EventID
+	for i := 0; i < 64; i++ {
+		i := i
+		k.Schedule(50*Millisecond, func() { order = append(order, i) })
+		d := Duration(i%7+1) * Millisecond
+		fillers = append(fillers, k.Schedule(d, func() {}))
+	}
+	for i, e := range fillers {
+		if i%3 == 0 {
+			k.Cancel(e)
+		}
+	}
+	// Drain the fillers so their slots recycle, then add more
+	// same-instant events into recycled slots.
+	k.RunUntil(Time(10 * Millisecond))
+	for i := 64; i < 96; i++ {
+		i := i
+		k.At(Time(50*Millisecond), func() { order = append(order, i) })
+	}
+	k.Run()
+	if len(order) != 96 {
+		t.Fatalf("fired %d of 96 same-instant events", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+// TestKernelHorizonDrop: events past the horizon are dropped silently —
+// never executed, never advancing the clock.
+func TestKernelHorizonDrop(t *testing.T) {
+	k := NewKernel(1)
+	k.SetHorizon(Time(10 * Millisecond))
+	var fired []int
+	k.Schedule(5*Millisecond, func() { fired = append(fired, 1) })
+	k.Schedule(20*Millisecond, func() { fired = append(fired, 2) })
+	k.Schedule(10*Millisecond, func() { fired = append(fired, 3) })
+	k.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired %v, want [1 3]", fired)
+	}
+	if k.Now() != Time(10*Millisecond) {
+		t.Fatalf("clock advanced to %v past horizon", k.Now())
+	}
+	if k.Executed() != 2 {
+		t.Fatalf("executed %d, want 2", k.Executed())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending %d after drop, want 0", k.Pending())
+	}
+}
+
+// TestKernelFreeListRecycling: steady-state schedule/fire cycles must
+// not grow the arena past the peak concurrency.
+func TestKernelFreeListRecycling(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 10000; i++ {
+		k.Schedule(Microsecond, func() {})
+		k.Step()
+	}
+	if n := len(k.arena); n != 1 {
+		t.Fatalf("arena grew to %d slots for 1 concurrent event", n)
 	}
 }
 

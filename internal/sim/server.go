@@ -41,7 +41,14 @@ type Server struct {
 	busy  bool
 	cur   *Job
 	queue []*Job
+	head  int // index of the next queued job; queue[:head] is spent
 	stats ServerStats
+
+	// finishFn is the completion callback scheduled for the job in
+	// service. It is bound once at construction: the server is
+	// non-preemptive, so the job finishing is always s.cur — which
+	// makes every completion event closure-allocation free.
+	finishFn func()
 
 	// IdleHook, if set, runs whenever the server transitions to idle.
 	IdleHook func()
@@ -49,7 +56,7 @@ type Server struct {
 
 // NewServer returns an idle server attached to kernel k.
 func NewServer(k *Kernel, name string) *Server {
-	return &Server{
+	s := &Server{
 		k:    k,
 		name: name,
 		stats: ServerStats{
@@ -57,6 +64,8 @@ func NewServer(k *Kernel, name string) *Server {
 			WaitByName: make(map[string]Duration),
 		},
 	}
+	s.finishFn = func() { s.finish(s.cur) }
+	return s
 }
 
 // Name returns the server's identifier.
@@ -68,7 +77,7 @@ func (s *Server) Busy() bool { return s.busy }
 // QueueLen returns the number of jobs waiting (excluding the one in service).
 func (s *Server) QueueLen() int {
 	n := 0
-	for _, j := range s.queue {
+	for _, j := range s.queue[s.head:] {
 		if !j.canceled {
 			n++
 		}
@@ -83,7 +92,7 @@ func (s *Server) PendingByClass(class string) int {
 	if s.cur != nil && s.cur.Class == class {
 		n++
 	}
-	for _, j := range s.queue {
+	for _, j := range s.queue[s.head:] {
 		if !j.canceled && j.Class == class {
 			n++
 		}
@@ -140,7 +149,7 @@ func (s *Server) start(j *Job) {
 	if j.Start != nil {
 		j.Start(wait)
 	}
-	s.k.Schedule(j.Cost, func() { s.finish(j) })
+	s.k.Schedule(j.Cost, s.finishFn)
 }
 
 func (s *Server) finish(j *Job) {
@@ -159,9 +168,16 @@ func (s *Server) finish(j *Job) {
 }
 
 func (s *Server) dispatchNext() {
-	for len(s.queue) > 0 {
-		j := s.queue[0]
-		s.queue = s.queue[1:]
+	for s.head < len(s.queue) {
+		j := s.queue[s.head]
+		s.queue[s.head] = nil // release the reference
+		s.head++
+		if s.head == len(s.queue) {
+			// Queue drained: rewind so the backing array is reused
+			// instead of growing forever.
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
 		if j.canceled {
 			continue
 		}

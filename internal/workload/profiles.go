@@ -2,157 +2,33 @@
 // random workload generator used throughout the evaluation (Section IV:
 // 10 sequences x 20 apps, batch sizes 5-30, four arrival regimes).
 //
-// The five applications follow the Rosetta-style suite the paper (and
-// Nimblock before it) uses: 3D Rendering (3 tasks), LeNet (6), Image
-// Compression (6), AlexNet (6), Optical Flow (9). Per-task latencies and
-// resource footprints are synthetic but calibrated: LUT/FF utilizations
-// reproduce the implementation results of Fig. 7 (e.g. IC's DCT at 0.57
-// LUT utilization in a Little slot, 0.98 at synthesis), and latencies
-// put PCAP partial-reconfiguration time in the same ratio to task
-// execution the paper's contention analysis requires.
+// The application specs themselves are defined in the model layer
+// (appmodel), where both workload generation and the shared bitstream
+// repository can reach them without depending on each other; this file
+// re-exports them under their historical workload names.
 package workload
 
 import (
 	"versaslot/internal/appmodel"
-	"versaslot/internal/fabric"
-	"versaslot/internal/sim"
 )
 
-// lutFF builds a ResVec from Little-slot LUT/FF utilizations.
-func lutFF(lutUtil, ffUtil float64, dsp, bram int) fabric.ResVec {
-	return fabric.ResVec{
-		LUT:  int(lutUtil*float64(fabric.LittleSlotCap.LUT) + 0.5),
-		FF:   int(ffUtil*float64(fabric.LittleSlotCap.FF) + 0.5),
-		DSP:  dsp,
-		BRAM: bram,
-	}
-}
-
-// synthFactor is the typical ratio of synthesis estimates to
-// implementation results; Fig. 7 (right) shows IC's DCT at 0.98 in
-// synthesis vs 0.57 after implementation.
-const synthFactor = 1.72
-
-func task(name string, ms int, lutUtil, ffUtil float64, dsp, bram int) appmodel.TaskSpec {
-	impl := lutFF(lutUtil, ffUtil, dsp, bram)
-	return appmodel.TaskSpec{
-		Name:  name,
-		Time:  sim.Duration(ms) * sim.Millisecond,
-		Impl:  impl,
-		Synth: impl.Scale(synthFactor),
-	}
-}
-
-// The cross-task resource-sharing factors (eta) are calibrated so the
-// measured 3-in-1 utilization increases reproduce Fig. 7 (left): the
-// increase equals (1.5*eta - 1) since a Big slot has twice a Little
-// slot's capacity.
-//
-//	IC : LUT +42.2%  FF +48.0%   ->  eta 0.948 / 0.987
-//	AN : LUT +36.4%  FF +41.4%   ->  eta 0.909 / 0.943
-//	3DR: LUT  +9.9%  FF +17.7%   ->  eta 0.733 / 0.785
-//	OF : LUT  +9.6%  FF +14.1%   ->  eta 0.731 / 0.761
-
-// ThreeDR is the 3D Rendering application (3 tasks).
-var ThreeDR = &appmodel.AppSpec{
-	Name: "3DR",
-	Tasks: []appmodel.TaskSpec{
-		task("projection", 67, 0.62, 0.50, 110, 16),
-		task("rasterization", 56, 0.55, 0.46, 70, 22),
-		task("fragment", 42, 0.50, 0.41, 54, 18),
-	},
-	EtaLUT:     0.733,
-	EtaFF:      0.785,
-	MonoFactor: 0.80,
-	ItemBytes:  96 << 10,
-}
-
-// LeNet is the LeNet CNN (6 tasks). Its partitioning targets nearly
-// full Little slots, so no task triple fits a Big slot: LeNet never
-// bundles — which is why it is absent from Fig. 7.
-var LeNet = &appmodel.AppSpec{
-	Name: "LeNet",
-	Tasks: []appmodel.TaskSpec{
-		task("conv1", 50, 0.78, 0.62, 160, 24),
-		task("pool1", 25, 0.70, 0.55, 20, 12),
-		task("conv2", 59, 0.80, 0.64, 180, 28),
-		task("pool2", 22, 0.68, 0.54, 20, 12),
-		task("fc1", 42, 0.78, 0.62, 140, 30),
-		task("fc2", 17, 0.66, 0.52, 60, 16),
-	},
-	EtaLUT:     0.95,
-	EtaFF:      0.95,
-	MonoFactor: 0.80,
-	ItemBytes:  8 << 10,
-}
-
-// IC is the Image Compression application (6 tasks). Its first bundle
-// (DCT+Quantize+BDQ) is the Fig. 7 (right) example: Little-slot LUT
-// utilizations 0.57/0.38/0.28 (average 0.41) versus ~0.6 bundled.
-var IC = &appmodel.AppSpec{
-	Name: "IC",
-	Tasks: []appmodel.TaskSpec{
-		task("DCT", 56, 0.57, 0.47, 96, 18),
-		task("Quantize", 31, 0.38, 0.31, 48, 8),
-		task("BDQ", 25, 0.28, 0.24, 24, 6),
-		task("ZigZag", 22, 0.33, 0.28, 8, 10),
-		task("RLE", 36, 0.41, 0.35, 6, 12),
-		task("Huffman", 45, 0.52, 0.44, 4, 20),
-	},
-	EtaLUT:     0.948,
-	EtaFF:      0.987,
-	MonoFactor: 0.80,
-	ItemBytes:  64 << 10,
-}
-
-// AN is the AlexNet CNN (6 tasks).
-var AN = &appmodel.AppSpec{
-	Name: "AN",
-	Tasks: []appmodel.TaskSpec{
-		task("conv1", 78, 0.66, 0.52, 220, 30),
-		task("conv2", 62, 0.58, 0.47, 180, 26),
-		task("conv3", 50, 0.52, 0.42, 160, 22),
-		task("conv4", 45, 0.49, 0.40, 150, 20),
-		task("conv5", 45, 0.47, 0.38, 140, 20),
-		task("fc", 56, 0.55, 0.45, 120, 34),
-	},
-	EtaLUT:     0.909,
-	EtaFF:      0.943,
-	MonoFactor: 0.80,
-	ItemBytes:  16 << 10,
-}
-
-// OF is the Optical Flow application (9 tasks).
-var OF = &appmodel.AppSpec{
-	Name: "OF",
-	Tasks: []appmodel.TaskSpec{
-		task("gradXY", 31, 0.46, 0.38, 60, 12),
-		task("gradZ", 28, 0.40, 0.33, 48, 10),
-		task("gradWeight", 36, 0.44, 0.36, 56, 12),
-		task("outerProduct", 42, 0.52, 0.43, 88, 16),
-		task("tensorY", 36, 0.48, 0.40, 72, 14),
-		task("tensorX", 31, 0.46, 0.38, 68, 14),
-		task("flowCalc", 42, 0.55, 0.46, 96, 18),
-		task("smooth", 36, 0.42, 0.35, 40, 12),
-		task("output", 48, 0.38, 0.31, 24, 20),
-	},
-	EtaLUT:     0.731,
-	EtaFF:      0.761,
-	MonoFactor: 0.80,
-	ItemBytes:  128 << 10,
-}
+// The paper's five benchmark applications (see appmodel for the
+// calibration notes).
+var (
+	// ThreeDR is the 3D Rendering application (3 tasks).
+	ThreeDR = appmodel.ThreeDR
+	// LeNet is the LeNet CNN (6 tasks); it never bundles.
+	LeNet = appmodel.LeNet
+	// IC is the Image Compression application (6 tasks).
+	IC = appmodel.IC
+	// AN is the AlexNet CNN (6 tasks).
+	AN = appmodel.AN
+	// OF is the Optical Flow application (9 tasks).
+	OF = appmodel.OF
+)
 
 // Suite returns the benchmark applications in the paper's order.
-func Suite() []*appmodel.AppSpec {
-	return []*appmodel.AppSpec{ThreeDR, LeNet, IC, AN, OF}
-}
+func Suite() []*appmodel.AppSpec { return appmodel.Suite() }
 
 // SpecByName returns the named spec from the suite, or nil.
-func SpecByName(name string) *appmodel.AppSpec {
-	for _, s := range Suite() {
-		if s.Name == name {
-			return s
-		}
-	}
-	return nil
-}
+func SpecByName(name string) *appmodel.AppSpec { return appmodel.SpecByName(name) }

@@ -85,14 +85,52 @@ func NewRunner(opts ...Option) *Runner {
 func Run(s Scenario) (*Result, error) { return NewRunner().Run(s) }
 
 // Run executes one scenario to completion.
-func (r *Runner) Run(s Scenario) (*Result, error) { return r.run(s, false) }
+func (r *Runner) Run(s Scenario) (*Result, error) { return r.run(s, false, nil) }
 
-func (r *Runner) run(s Scenario, parallel bool) (*Result, error) {
+// sequenceCache shares generated workload sequences between the runs
+// of one RunMany/Sweep call: scenarios agreeing on every
+// generation-relevant field (workloadKey) reuse one immutable
+// Sequence. Instantiate builds fresh App state per run, so sharing the
+// arrival list across concurrent kernels is safe.
+type sequenceCache struct {
+	mu sync.Mutex
+	m  map[workloadKey]*workload.Sequence
+}
+
+func newSequenceCache() *sequenceCache {
+	return &sequenceCache{m: make(map[workloadKey]*workload.Sequence)}
+}
+
+// sequence resolves a defaulted scenario's workload through the cache;
+// a nil cache or a non-generated workload falls through to the
+// scenario's own resolution.
+func (c *sequenceCache) sequence(s Scenario) (*workload.Sequence, error) {
+	if c == nil {
+		return s.sequence()
+	}
+	key, ok := s.workloadKey()
+	if !ok {
+		return s.sequence()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq, hit := c.m[key]; hit {
+		return seq, nil
+	}
+	seq, err := s.sequence()
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = seq
+	return seq, nil
+}
+
+func (r *Runner) run(s Scenario, parallel bool, cache *sequenceCache) (*Result, error) {
 	s = s.withDefaults()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	seq, err := s.sequence()
+	seq, err := cache.sequence(s)
 	if err != nil {
 		return nil, err
 	}

@@ -210,6 +210,35 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
+// workloadKey identifies scenarios whose generated sequences are
+// identical: workload generation is a pure function of these fields.
+// The paper's sweep grid varies the policy axis most — six policies
+// share each (condition, seed) sequence, so a sweep generates each
+// sequence once instead of six times.
+type workloadKey struct {
+	condition string
+	seed      uint64
+	apps      int
+	lo, hi    sim.Duration
+	poisson   bool
+}
+
+// workloadKey returns the cache key for a defaulted scenario, or
+// ok=false when the workload is inline or file-based (not generated).
+func (s Scenario) workloadKey() (workloadKey, bool) {
+	if s.Workload != nil || s.WorkloadFile != "" {
+		return workloadKey{}, false
+	}
+	return workloadKey{
+		condition: s.Condition,
+		seed:      s.Seed,
+		apps:      s.Apps,
+		lo:        s.IntervalLo,
+		hi:        s.IntervalHi,
+		poisson:   s.Poisson,
+	}, true
+}
+
 // sequence resolves the scenario's workload: inline sequence, file, or
 // condition-driven generation.
 func (s Scenario) sequence() (*workload.Sequence, error) {

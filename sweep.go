@@ -32,13 +32,17 @@ func (r *Runner) RunMany(scenarios []Scenario, workers int) ([]*Result, error) {
 	results := make([]*Result, len(scenarios))
 	errs := make([]error, len(scenarios))
 	jobs := make(chan int)
+	// Scenarios sharing (condition, seed, ...) reuse one generated
+	// sequence: the paper's 6-policy grid instantiates each workload
+	// once instead of six times.
+	cache := newSequenceCache()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := r.run(scenarios[i], true)
+				res, err := r.run(scenarios[i], true, cache)
 				if err != nil {
 					errs[i] = fmt.Errorf("versaslot: scenario %d (%s): %w", i, scenarios[i].Name, err)
 					continue

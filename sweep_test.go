@@ -114,3 +114,27 @@ func TestRunManyPartialErrors(t *testing.T) {
 		t.Error("failing scenario produced a result")
 	}
 }
+
+// TestRunManySharedWorkloadIdentical: the sequence cache must be
+// invisible in results — a RunMany over scenarios sharing (condition,
+// seed) matches the same scenarios executed one by one through Run
+// (which takes the uncached path) byte for byte.
+func TestRunManySharedWorkloadIdentical(t *testing.T) {
+	grid := versaslot.Sweep{
+		Base:     versaslot.Scenario{Apps: 6, Condition: "stress", Seed: 7},
+		Policies: []string{"fcfs", "rr", "nimblock", "versaslot-bl"},
+	}.Scenarios()
+	cached, err := versaslot.RunMany(grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range grid {
+		solo, err := versaslot.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !bytes.Equal(resultJSON(t, cached[i]), resultJSON(t, solo)) {
+			t.Errorf("%s: cached-sequence result differs from solo run", s.Name)
+		}
+	}
+}
