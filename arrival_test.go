@@ -1,0 +1,187 @@
+package versaslot_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"versaslot"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// TestScenarioArrivalRoundTrip: a scenario with an arrival block
+// survives Save/Load unchanged, including nested phases.
+func TestScenarioArrivalRoundTrip(t *testing.T) {
+	sc := versaslot.Scenario{
+		Name:      "round-trip",
+		Policy:    "versaslot-bl",
+		Condition: "stress",
+		Apps:      12,
+		Seed:      4,
+		Arrival: &workload.ArrivalSpec{
+			Process: "phased",
+			Phases: []workload.ArrivalPhase{
+				{ArrivalSpec: workload.ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: 2 * sim.Second}, Duration: 10 * sim.Second},
+				{ArrivalSpec: workload.ArrivalSpec{Process: "mmpp",
+					BurstMean: 50 * sim.Millisecond, CalmMean: sim.Second,
+					BurstDwell: sim.Second, CalmDwell: 4 * sim.Second}},
+			},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := versaslot.SaveScenario(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := versaslot.LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sc) {
+		t.Errorf("round-trip changed the scenario:\n got %+v\nwant %+v", got, sc)
+	}
+}
+
+// TestScenarioArrivalValidation: conflicts with the legacy workload
+// knobs and bad specs are rejected; a bare process name with a
+// condition validates.
+func TestScenarioArrivalValidation(t *testing.T) {
+	base := versaslot.Scenario{Policy: "versaslot-bl", Condition: "standard", Apps: 8, Seed: 1}
+
+	ok := base
+	ok.Arrival = &workload.ArrivalSpec{Process: "diurnal"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("bare diurnal arrival rejected: %v", err)
+	}
+
+	bad := base
+	bad.Arrival = &workload.ArrivalSpec{Process: "no-such"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown arrival process validated")
+	}
+
+	conflict := base
+	conflict.Arrival = &workload.ArrivalSpec{Process: "poisson"}
+	conflict.Poisson = true
+	if err := conflict.Validate(); err == nil {
+		t.Error("arrival block plus legacy Poisson flag validated")
+	}
+
+	conflict = base
+	conflict.Arrival = &workload.ArrivalSpec{Process: "poisson"}
+	conflict.IntervalLo, conflict.IntervalHi = sim.Second, sim.Second
+	if err := conflict.Validate(); err == nil {
+		t.Error("arrival block plus interval override validated")
+	}
+
+	conflict = base
+	conflict.Arrival = &workload.ArrivalSpec{Process: "poisson"}
+	conflict.WorkloadFile = "x.json"
+	if err := conflict.Validate(); err == nil {
+		t.Error("arrival block plus workload file validated")
+	}
+}
+
+// TestSequenceCacheArrivalKey: the RunMany sequence cache must key on
+// the arrival spec — scenarios agreeing on (condition, seed, apps)
+// but differing in arrival process get different workloads, and each
+// cached result is byte-identical to its solo (uncached) run.
+func TestSequenceCacheArrivalKey(t *testing.T) {
+	base := versaslot.Scenario{Policy: "versaslot-bl", Condition: "stress", Apps: 8, Seed: 7}
+	mmpp, poisson, classic := base, base, base
+	mmpp.Name, mmpp.Arrival = "mmpp", &workload.ArrivalSpec{Process: "mmpp"}
+	poisson.Name, poisson.Arrival = "poisson", &workload.ArrivalSpec{Process: "poisson"}
+	classic.Name = "classic"
+	grid := []versaslot.Scenario{mmpp, poisson, classic, mmpp, poisson, classic}
+
+	cached, err := versaslot.RunMany(grid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range grid {
+		solo, err := versaslot.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !bytes.Equal(resultJSON(t, cached[i]), resultJSON(t, solo)) {
+			t.Errorf("%s: cached result differs from solo run (cache key collision?)", sc.Name)
+		}
+	}
+	if bytes.Equal(resultJSON(t, cached[0]), resultJSON(t, cached[1])) {
+		t.Error("mmpp and poisson runs identical: arrival spec not in the cache key")
+	}
+	if bytes.Equal(resultJSON(t, cached[0]), resultJSON(t, cached[2])) {
+		t.Error("mmpp and classic runs identical: arrival spec not in the cache key")
+	}
+}
+
+// TestLoadScenarioResolvesTracePath: a relative trace path inside a
+// scenario file resolves against the scenario's directory, so the
+// catalog runs from any working directory.
+func TestLoadScenarioResolvesTracePath(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "traces"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var times []sim.Duration
+	for i := 0; i < 10; i++ {
+		times = append(times, sim.Duration(i)*sim.Second)
+	}
+	tf, err := os.Create(filepath.Join(dir, "traces", "t.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteArrivalTrace(tf, times); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	sc := versaslot.Scenario{
+		Policy: "versaslot-bl", Condition: "standard", Apps: 10, Seed: 1,
+		Arrival: &workload.ArrivalSpec{Process: "trace", File: "traces/t.jsonl"},
+	}
+	path := filepath.Join(dir, "sc.json")
+	if err := versaslot.SaveScenario(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := versaslot.LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := versaslot.Run(loaded); err != nil {
+		t.Errorf("trace scenario loaded from %s did not run: %v", dir, err)
+	}
+
+	// The same resolution must reach a trace nested inside a phased
+	// schedule.
+	sc.Arrival = &workload.ArrivalSpec{Process: "phased", Phases: []workload.ArrivalPhase{
+		{ArrivalSpec: workload.ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: sim.Second}, Duration: 2 * sim.Second},
+		{ArrivalSpec: workload.ArrivalSpec{Process: "trace", File: "traces/t.jsonl"}},
+	}}
+	if err := versaslot.SaveScenario(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = versaslot.LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := versaslot.Run(loaded); err != nil {
+		t.Errorf("phased-nested trace scenario did not run: %v", err)
+	}
+
+	// A loaded scenario dumped elsewhere must still run: load-time
+	// resolution produces absolute paths, so the artifact does not
+	// re-anchor against its new directory.
+	dumped := filepath.Join(t.TempDir(), "dumped.json")
+	if err := versaslot.SaveScenario(dumped, loaded); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := versaslot.LoadScenario(dumped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := versaslot.Run(reloaded); err != nil {
+		t.Errorf("dumped artifact of a loaded trace scenario did not run: %v", err)
+	}
+}

@@ -1,17 +1,21 @@
 // Command versaslot runs one scheduling scenario: a topology, a
-// policy, a congestion condition (or a workload file), and a seed,
-// printing the run summary the paper's metrics are built from. Any
-// run is reproducible from a JSON scenario artifact.
+// policy, a congestion condition (or a workload file), an arrival
+// process, and a seed, printing the run summary the paper's metrics
+// are built from. Any run is reproducible from a JSON scenario
+// artifact, and the suite subcommand runs a whole catalog of them.
 //
 // Usage:
 //
 //	versaslot [-scenario file.json] [-topology single|cluster|farm]
 //	          [-policy versaslot-bl] [-condition standard] [-apps 20]
-//	          [-seed 1] [-workload file.json] [-pairs 2]
+//	          [-seed 1] [-workload file.json] [-arrival mmpp]
+//	          [-arrival-json '{"process":"mmpp",...}'] [-pairs 2]
 //	          [-dispatcher least-loaded] [-rebalance-every 2s]
 //	          [-rebalance-gap 2] [-dump-scenario file.json] [-v]
+//	versaslot suite [-dir scenarios] [-out report.md] [-apps-cap N]
 //	versaslot -policy list
 //	versaslot -dispatcher list
+//	versaslot -arrival list
 package main
 
 import (
@@ -22,9 +26,14 @@ import (
 	"versaslot"
 	"versaslot/internal/report"
 	"versaslot/internal/sim"
+	"versaslot/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "suite" {
+		runSuite(os.Args[2:])
+		return
+	}
 	scenarioFile := flag.String("scenario", "", "JSON scenario file (overrides all other flags)")
 	topology := flag.String("topology", "single", "system shape: single|cluster|farm")
 	policy := flag.String("policy", "versaslot-bl", "registered policy name, or 'list' to print the registry")
@@ -32,6 +41,8 @@ func main() {
 	apps := flag.Int("apps", 20, "applications in the generated sequence")
 	seed := flag.Uint64("seed", 1, "workload and simulation seed")
 	file := flag.String("workload", "", "JSON workload file (overrides -condition/-apps)")
+	arrival := flag.String("arrival", "", "registered arrival process (rates default from -condition), or 'list' to print the registry")
+	arrivalJSON := flag.String("arrival-json", "", "inline arrival-spec JSON (overrides -arrival)")
 	pairs := flag.Int("pairs", 2, "switching pairs (farm topology)")
 	dispatcher := flag.String("dispatcher", "", "farm arrival dispatcher (default least-loaded), or 'list' to print the registry")
 	rebalanceEvery := flag.Duration("rebalance-every", 0, "farm rebalancer cadence in virtual time (0 disables)")
@@ -54,6 +65,13 @@ func main() {
 		}
 		return
 	}
+	if *arrival == "list" {
+		fmt.Println("registered arrival processes:")
+		for _, name := range versaslot.ArrivalProcesses() {
+			fmt.Printf("  %-14s %s\n", name, versaslot.ArrivalProcessTitle(name))
+		}
+		return
+	}
 
 	var sc versaslot.Scenario
 	if *scenarioFile != "" {
@@ -71,6 +89,7 @@ func main() {
 			Apps:           *apps,
 			Seed:           *seed,
 			WorkloadFile:   *file,
+			Arrival:        parseArrivalFlags(*arrival, *arrivalJSON),
 			Pairs:          *pairs,
 			Dispatcher:     *dispatcher,
 			RebalanceEvery: *rebalanceEvery,
@@ -137,6 +156,11 @@ func main() {
 		pt.Render(os.Stdout)
 	}
 
+	if sc.Arrival != nil {
+		fmt.Printf("arrival process: %s (%s)\n", sc.Arrival.Process,
+			versaslot.ArrivalProcessTitle(sc.Arrival.Process))
+	}
+
 	if *verbose {
 		bt := report.NewTable("Per-application-type breakdown",
 			"Spec", "Count", "Mean RT (s)", "Max RT (s)")
@@ -152,4 +176,23 @@ func main() {
 		}
 		vt.Render(os.Stdout)
 	}
+}
+
+// parseArrivalFlags builds the scenario's arrival block from the
+// -arrival/-arrival-json flags: nil when neither is set (the classic
+// generator), a bare named spec for -arrival (rates default from the
+// condition), or the full inline spec for -arrival-json.
+func parseArrivalFlags(name, inline string) *workload.ArrivalSpec {
+	if inline != "" {
+		spec, err := workload.ParseArrivalSpec(inline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot: -arrival-json:", err)
+			os.Exit(2)
+		}
+		return &spec
+	}
+	if name != "" {
+		return &workload.ArrivalSpec{Process: name}
+	}
+	return nil
 }

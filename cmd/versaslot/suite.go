@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"versaslot"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// runSuite executes every scenario JSON in a catalog directory on a
+// worker pool and emits one markdown report table. Catalog order is
+// the sorted file-name order and every run is seeded, so the report
+// is byte-identical across invocations — CI runs it twice and diffs.
+func runSuite(args []string) {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	dir := fs.String("dir", "scenarios", "catalog directory of scenario JSON files")
+	out := fs.String("out", "", "write the markdown report here (default stdout)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	appsCap := fs.Int("apps-cap", 0, "cap every scenario's app count (CI smoke; 0 = run as written)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: versaslot suite [-dir scenarios] [-out report.md] [-workers N] [-apps-cap N]
+
+Runs the whole scenario catalog deterministically and emits a markdown
+report table (mean RT, P50/P99, utilization, migrations per scenario).`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "*.json"))
+	if err != nil {
+		fatalf("suite: %v", err)
+	}
+	if len(paths) == 0 {
+		fatalf("suite: no scenario files in %s", *dir)
+	}
+	sort.Strings(paths)
+
+	scenarios := make([]versaslot.Scenario, 0, len(paths))
+	for _, p := range paths {
+		sc, err := versaslot.LoadScenario(p)
+		if err != nil {
+			fatalf("suite: %s: %v", p, err)
+		}
+		if sc.Name == "" {
+			sc.Name = strings.TrimSuffix(filepath.Base(p), ".json")
+		}
+		if *appsCap > 0 {
+			if err := capApps(&sc, *appsCap); err != nil {
+				fatalf("suite: %s: %v", p, err)
+			}
+		}
+		scenarios = append(scenarios, sc)
+	}
+
+	results, err := versaslot.RunMany(scenarios, *workers)
+	if err != nil {
+		fatalf("suite: %v", err)
+	}
+
+	// Render in memory, then write with errors checked: a failed -out
+	// write must not exit 0 with a truncated report (CI diffs it).
+	var buf bytes.Buffer
+	writeSuiteReport(&buf, *dir, scenarios, results)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fatalf("suite: %v", err)
+		}
+		return
+	}
+	if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+		fatalf("suite: %v", err)
+	}
+}
+
+// capApps bounds a scenario's application count for CI smoke runs.
+// Generated workloads cap through Apps; an inline or file workload
+// (where Apps is ignored) is truncated to its first cap arrivals and
+// inlined, so the cap is honest on every resolution path.
+func capApps(sc *versaslot.Scenario, limit int) error {
+	if sc.WorkloadFile != "" {
+		f, err := os.Open(sc.WorkloadFile)
+		if err != nil {
+			return err
+		}
+		seq, err := workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		sc.Workload, sc.WorkloadFile = seq, ""
+	}
+	if sc.Workload != nil {
+		if len(sc.Workload.Arrivals) > limit {
+			trimmed := *sc.Workload
+			trimmed.Arrivals = trimmed.Arrivals[:limit]
+			sc.Workload = &trimmed
+		}
+		return nil
+	}
+	if sc.Apps == 0 || sc.Apps > limit {
+		sc.Apps = limit
+	}
+	return nil
+}
+
+// writeSuiteReport renders the catalog results as a markdown table.
+func writeSuiteReport(w io.Writer, dir string, scenarios []versaslot.Scenario, results []*versaslot.Result) {
+	fmt.Fprintf(w, "# VersaSlot scenario suite\n\n")
+	fmt.Fprintf(w, "%d scenarios from `%s/`.\n\n", len(results), filepath.ToSlash(filepath.Clean(dir)))
+	fmt.Fprintln(w, "| Scenario | Topology | Arrival | Apps | Mean RT (s) | P50 (s) | P99 (s) | LUT util | Switches | Migrated |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|---:|---:|---:|---:|")
+	for i, res := range results {
+		s := res.Summary
+		migrated := res.MigratedApps + res.CrossMigratedApps
+		fmt.Fprintf(w, "| %s | %s | %s | %d | %.3f | %.3f | %.3f | %.1f%% | %d | %d |\n",
+			res.Scenario, res.Topology, arrivalLabel(scenarios[i]), s.Apps,
+			sim.Time(s.MeanRT).Seconds(), sim.Time(s.P50).Seconds(), sim.Time(s.P99).Seconds(),
+			s.UtilLUT*100, res.Switches, migrated)
+	}
+}
+
+// arrivalLabel names the scenario's arrival axis for the report: the
+// registered process, or the classic generator's regime label.
+func arrivalLabel(sc versaslot.Scenario) string {
+	if sc.Arrival != nil {
+		return sc.Arrival.Process
+	}
+	if sc.Poisson {
+		return "poisson (legacy)"
+	}
+	return "uniform"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "versaslot: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	vsworkload gen  [-condition standard] [-apps 20] [-seed 1] [-o file.json]
+//	vsworkload gen  [-condition standard] [-apps 20] [-seed 1]
+//	                [-arrival poisson] [-arrival-json '{...}'] [-o file.json]
 //	vsworkload show file.json
 package main
 
@@ -33,7 +34,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  vsworkload gen  [-condition standard] [-apps 20] [-seed 1] [-o file.json]
+  vsworkload gen  [-condition standard] [-apps 20] [-seed 1]
+                  [-arrival poisson] [-arrival-json '{...}'] [-o file.json]
   vsworkload show file.json`)
 	os.Exit(2)
 }
@@ -43,6 +45,8 @@ func gen(args []string) {
 	condition := fs.String("condition", "standard", "loose|standard|stress|real-time")
 	apps := fs.Int("apps", 20, "applications in the sequence")
 	seed := fs.Uint64("seed", 1, "generator seed")
+	arrival := fs.String("arrival", "", "registered arrival process (rates default from -condition)")
+	arrivalJSON := fs.String("arrival-json", "", "inline arrival-spec JSON (overrides -arrival)")
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
 
@@ -53,7 +57,28 @@ func gen(args []string) {
 	}
 	p := workload.DefaultGenParams(cond)
 	p.Apps = *apps
-	seq := workload.Generate(p, *seed)
+	var spec *workload.ArrivalSpec
+	switch {
+	case *arrivalJSON != "":
+		s, err := workload.ParseArrivalSpec(*arrivalJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsworkload: -arrival-json:", err)
+			os.Exit(2)
+		}
+		spec = &s
+	case *arrival != "":
+		spec = &workload.ArrivalSpec{Process: *arrival}
+	}
+	var seq *workload.Sequence
+	if spec != nil {
+		seq, err = workload.GenerateArrival(p, spec.WithCondition(cond), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsworkload:", err)
+			os.Exit(2)
+		}
+	} else {
+		seq = workload.Generate(p, *seed)
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -1,0 +1,53 @@
+// Package versaslot is the public facade of the VersaSlot
+// reproduction: one declarative Scenario description, one Runner, one
+// unified Result, across every topology the paper evaluates — a single
+// board ("single"), the two-board Schmitt-trigger switching cluster
+// ("cluster"), and the multi-pair board farm ("farm").
+//
+// A minimal run:
+//
+//	res, err := versaslot.Run(versaslot.Scenario{
+//		Policy:    "versaslot-bl",
+//		Condition: "standard",
+//		Apps:      20,
+//		Seed:      42,
+//	})
+//
+// Scenarios round-trip through JSON, so any run is reproducible from a
+// config artifact:
+//
+//	sc, err := versaslot.LoadScenario("scenario.json")
+//	res, err := versaslot.Run(sc)
+//
+// # Extension points
+//
+// Three registries extend the facade without touching any enum, all
+// backed by internal/registry (case-insensitive names and aliases,
+// duplicate rejection, registration-order listing):
+//
+//   - scheduling policies — sched.Register, selected by Scenario.Policy
+//     (see Policies)
+//   - farm dispatchers — cluster.RegisterDispatcher, selected by
+//     Scenario.Dispatcher (see Dispatchers)
+//   - arrival processes — workload.RegisterArrival, selected by the
+//     Scenario.Arrival block (see ArrivalProcesses)
+//
+// # Workloads and arrival processes
+//
+// A scenario's workload is resolved in precedence order: an inline
+// Workload sequence, a WorkloadFile, or generation from the congestion
+// Condition. Generation follows the paper's classic uniform/Poisson
+// draws unless the Arrival block names a registered arrival process
+// (mmpp bursts, diurnal rate, phased schedules, closed-loop clients,
+// trace replay, ...) — then the arrival instants come from that
+// process while the application/batch stream stays a function of the
+// seed alone.
+//
+// # Determinism
+//
+// Every run is a single-goroutine discrete-event simulation: the same
+// Scenario and seed produce byte-identical Results, RunMany/Sweep on a
+// worker pool match sequential execution exactly, and the shared
+// sequence cache keys on every generation-relevant field (including
+// the serialized arrival spec), so caching is invisible in results.
+package versaslot

@@ -1,0 +1,13 @@
+// Package appmodel defines applications as the schedulers see them: a
+// named pipeline of tasks, instantiated at a point in time with a
+// batch size, and executed stage by stage inside reconfigurable
+// slots. It is the dependency floor of the model layers — workload
+// generation and the bitstream repository both consume these specs
+// without depending on each other.
+//
+// Terminology follows the paper: an application is partitioned
+// offline into tasks sized for Little slots; a task is the basic
+// execution unit of a slot; a batch is how many items (frames,
+// images) flow through the whole pipeline; a 3-in-1 bundle is three
+// consecutive tasks fused into a single Big-slot circuit.
+package appmodel

@@ -1,0 +1,18 @@
+// Package bitstream models the offline bitstream-preparation flow the
+// paper drives with a Vivado TCL script: application partitioning into
+// per-slot tasks, synthesis resource estimates, implementation
+// results, partial-bitstream generation for every (task, slot-kind)
+// pair, and the SD-card store the PR server loads from.
+//
+// No real bitstreams exist in this reproduction; what the scheduler
+// observes — sizes (hence PCAP load times) and resource footprints
+// (hence utilization) — is modelled at the fidelity the paper reports.
+//
+// # The frozen suite repository
+//
+// SuiteRepo builds the benchmark suite's Repository once per process
+// and freezes it; every board of every concurrently running system
+// shares it read-only. Freeze makes mutation a programming error —
+// Put on a frozen repository panics — which is what makes the
+// unsynchronized sharing across parallel sweep runs safe.
+package bitstream

@@ -1,0 +1,7 @@
+// Package bundle implements the 3-in-1 task bundling of the
+// Big.Little architecture (Section III-B): grouping three consecutive
+// tasks of an application into one Big-slot circuit, choosing between
+// the serial and parallel internal organizations (Fig. 3), and
+// reporting the resource-utilization effects the paper evaluates in
+// Fig. 7.
+package bundle

@@ -1,8 +1,3 @@
-// Package cluster orchestrates multiple FPGA boards: it routes arriving
-// applications to the active board, evaluates D_switch on the paper's
-// cadence, drives the Schmitt-trigger switching loop, pre-warms the
-// spare board inside the buffer zone, and performs live migration over
-// the Aurora interlink (Section III-D, Figs. 4 and 8).
 package cluster
 
 import (

@@ -1,0 +1,20 @@
+// Package cluster orchestrates multiple FPGA boards at two scales.
+//
+// A Cluster is the paper's switching pair (Section III-D, Figs. 4 and
+// 8): it routes arriving applications to the active board, evaluates
+// D_switch on the paper's cadence, drives the Schmitt-trigger
+// switching loop, pre-warms the spare board inside the buffer zone,
+// and performs live migration over the Aurora interlink.
+//
+// A Farm is K switching pairs behind a pluggable arrival dispatcher
+// (least-loaded, round-robin, power-of-two, bitstream-affinity, or a
+// third-party RegisterDispatcher registration). Per-pair load is
+// maintained incrementally from engine lifecycle hooks, so dispatch
+// is O(pairs) per arrival; an optional rebalancer generalizes the
+// pair-internal live migration to pair-to-pair transfers over a
+// rack-level link.
+//
+// All boards of a farm run in one simulation kernel, so farm runs
+// keep the kernel's determinism guarantee: same configuration and
+// seed, byte-identical results.
+package cluster

@@ -1,15 +1,3 @@
-// Package core is the public entry point of the VersaSlot library: it
-// wires a board, a scheduling policy, and a workload into a runnable
-// system, and provides the experiment presets behind every figure of
-// the paper.
-//
-// A minimal run:
-//
-//	seq := workload.Generate(workload.DefaultGenParams(workload.Standard), 42)
-//	res, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 42}, seq)
-//
-// Res carries the per-app response times, tail latencies, utilization
-// and PR-contention statistics the paper evaluates.
 package core
 
 import (

@@ -1,0 +1,16 @@
+// Package core wires one board, a scheduling policy, and a workload
+// into a runnable System — the single-board entry point underneath
+// the versaslot facade's "single" topology and the building block the
+// experiment presets are made of.
+//
+// A minimal run:
+//
+//	seq := workload.Generate(workload.DefaultGenParams(workload.Standard), 42)
+//	res, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 42}, seq)
+//
+// Res carries the per-app response times, tail latencies, utilization
+// and PR-contention statistics the paper evaluates. Policies resolve
+// through the sched registry (NewRegisteredSystem), and custom
+// Big/Little slot mixes beyond the paper's two floorplans are
+// supported (NewCustomSystem).
+package core

@@ -1,0 +1,7 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section IV). Each Fig* function runs the same
+// workloads the paper describes through the public versaslot
+// Scenario/Runner API, returns structured results, and carries the
+// paper's reported numbers alongside for comparison in EXPERIMENTS.md
+// and the benchmark harness.
+package experiments

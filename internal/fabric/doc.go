@@ -1,0 +1,9 @@
+// Package fabric models the programmable-logic side of an FPGA board:
+// resource vectors, reconfigurable slots (Big and Little), the static
+// region, and board/cluster topology.
+//
+// The model follows the paper's platform: a Xilinx UltraScale+ ZCU216
+// whose fabric is divided into a static region plus either 8 Little
+// slots (Only.Little) or 2 Big + 4 Little slots (Big.Little), with a
+// Big slot holding exactly twice the resources of a Little slot.
+package fabric

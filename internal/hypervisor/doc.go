@@ -1,0 +1,12 @@
+// Package hypervisor models the bare-metal control plane running on
+// the PS-side ARM cores: the scheduler core, the (optional) PR-server
+// core, and the OCM mailbox between them.
+//
+// The paper's key architectural point lives here: prior systems run
+// scheduling, task launching, and partial reconfiguration on ONE
+// core, so every PCAP load (which suspends the issuing CPU) blocks
+// launches — the "task execution blocking problem". VersaSlot
+// dedicates a second core to a PR server and posts asynchronous
+// requests through on-chip memory, so the scheduler core never stalls
+// on configuration I/O.
+package hypervisor

@@ -1,0 +1,10 @@
+// Package interlink models the board-to-board transport of the
+// cross-board switching module: Aurora 64B66B framing over the zSFP+
+// GT transceivers, driven by DMA ("to transfer tasks, application
+// information, and data directly via DMA to another FPGA unit").
+//
+// What scheduling observes is latency: per-transfer setup (descriptor
+// programming, channel bring-up) plus bytes over the effective
+// bandwidth. Aurora on a single GT lane sustains ~10 Gb/s; 64B66B
+// framing keeps efficiency near 97%.
+package interlink

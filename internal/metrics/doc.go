@@ -1,0 +1,10 @@
+// Package metrics collects and summarizes the quantities the paper
+// evaluates: per-application response times (averages and P50/P95/P99
+// tail latencies, Figs. 5-6), LUT/FF utilization time-integrals
+// (Fig. 7 and the headline +35%/+29% claim), PR-contention counters
+// feeding the D_switch metric, and migration accounting (Fig. 8).
+//
+// Summarize reuses a scratch buffer per Collector, so warm summaries
+// allocate nothing; multi-board runs pool per-board samples through
+// the same helpers to keep merged output deterministic.
+package metrics

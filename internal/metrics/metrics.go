@@ -1,8 +1,3 @@
-// Package metrics collects and summarizes the quantities the paper
-// evaluates: per-application response times (averages and P95/P99 tail
-// latencies, Figs. 5-6), LUT/FF utilization time-integrals (Fig. 7 and
-// the headline +35%/+29% claim), PR-contention counters feeding the
-// D_switch metric, and migration accounting (Fig. 8).
 package metrics
 
 import (

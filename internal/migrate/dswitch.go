@@ -1,8 +1,3 @@
-// Package migrate implements the cluster-level machinery of Section
-// III-D: the performance-degradation metric D_switch (Eq. 1), the
-// Schmitt-trigger switching loop with its buffer zone and pre-warming
-// (Fig. 4), and the live migration engine that moves ready applications
-// between boards over the interlink.
 package migrate
 
 import (

@@ -1,18 +1,3 @@
-// Package pcap models the Processor Configuration Access Port of the
-// Zynq UltraScale+ PS: the single serial channel through which every
-// partial (and full) bitstream reaches the fabric. Two properties drive
-// the paper's whole problem statement and are preserved exactly:
-//
-//  1. The PCAP loads one bitstream at a time; concurrent PR requests
-//     serialize (PR contention).
-//  2. A load suspends the CPU core that issued it until the bitstream
-//     is fully transferred (task execution blocking on single-core
-//     schedulers).
-//
-// The device itself does not own an event queue; the hypervisor core
-// executing the load provides the serialization (a core can only run
-// one job). Device tracks occupancy, bytes, and contention statistics
-// that feed the D_switch metric.
 package pcap
 
 import (

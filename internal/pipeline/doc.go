@@ -1,0 +1,12 @@
+// Package pipeline computes execution-plan quality for task
+// pipelines: the makespan of a k-stage pipeline executed on s slots
+// with slot reuse, and the ILP-equivalent optimal slot count O_Ai the
+// paper's allocation algorithm consumes (derived "through integer
+// linear programming as in [14], [15]").
+//
+// Slot counts are tiny (<= 8), so instead of an ILP solver we
+// evaluate the exact makespan for every candidate count and minimize
+// the resource-time product s*makespan(s) — the standard efficiency
+// objective those papers encode. The resulting counts are "usually
+// lower than the task count", matching the paper's observation.
+package pipeline

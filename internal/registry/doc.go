@@ -1,0 +1,12 @@
+// Package registry provides the generic string-keyed, alias-aware
+// lookup table that backs the project's pluggable-component
+// registries: scheduling policies (internal/sched), farm dispatchers
+// (internal/cluster), and arrival processes (internal/workload). One
+// implementation keeps the registration semantics identical
+// everywhere — case-insensitive keys, first-registration-wins
+// duplicate rejection, and stable registration-order listing for
+// presentation.
+//
+// Registration is atomic (a duplicate name or alias binds nothing)
+// and all methods are safe for concurrent use.
+package registry

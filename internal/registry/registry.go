@@ -1,10 +1,3 @@
-// Package registry provides the generic string-keyed, alias-aware
-// lookup table that backs the project's pluggable-component
-// registries: scheduling policies (internal/sched) and farm
-// dispatchers (internal/cluster). One implementation keeps the
-// registration semantics identical everywhere — case-insensitive
-// keys, first-registration-wins duplicate rejection, and stable
-// canonical ordering for presentation.
 package registry
 
 import (

@@ -1,5 +1,3 @@
-// Package report renders experiment results as aligned ASCII tables
-// and CSV, the two formats the benchmark harness emits.
 package report
 
 import (

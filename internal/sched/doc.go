@@ -1,0 +1,12 @@
+// Package sched contains the execution engine shared by every policy
+// (slots, PCAP, CPU cores, launches, metrics) and the six scheduling
+// policies the paper evaluates: the exclusive temporal-multiplexing
+// Baseline, FCFS, RR (Coyote-style), Nimblock, VersaSlot Only.Little
+// and VersaSlot Big.Little (Algorithms 1 and 2).
+//
+// Policies are pluggable: each Registration names a policy, declares
+// the board floorplan and control-plane model it runs on, and
+// supplies a fresh-instance factory. Third-party schedulers register
+// with Kind = KindExternal and are selected by name through the
+// versaslot facade, exactly like the built-ins.
+package sched

@@ -1,8 +1,3 @@
-// Package sched contains the execution engine shared by every policy
-// (slots, PCAP, CPU cores, launches, metrics) and the six scheduling
-// policies the paper evaluates: the exclusive temporal-multiplexing
-// Baseline, FCFS, RR (Coyote-style), Nimblock, VersaSlot Only.Little
-// and VersaSlot Big.Little (Algorithms 1 and 2).
 package sched
 
 import "versaslot/internal/sim"

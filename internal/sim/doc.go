@@ -1,0 +1,25 @@
+// Package sim provides the deterministic discrete-event simulation
+// kernel, virtual clock, random source, and server primitive that
+// every VersaSlot hardware model (PCAP, CPU cores, slots, links) is
+// built on.
+//
+// # Determinism
+//
+// A simulation is single-goroutine: every state change happens inside
+// an event callback, so a run is bit-for-bit reproducible for a given
+// seed and input. Events fire in the strict total order (time,
+// priority, sequence); sequence numbers are unique per kernel, so the
+// pop order is independent of the event queue's internal arrangement.
+// The RNG is a pinned xoshiro256** implementation — sequences do not
+// drift across Go releases.
+//
+// # EventID generations
+//
+// Schedule returns a generation-counted EventID handle rather than a
+// pointer. The kernel stores events in an arena whose slots are
+// recycled through a free list; the generation counter makes a stale
+// handle (one whose event already fired or was canceled) harmless —
+// Cancel and EventTime on it are no-ops, never a hit on whatever
+// event now occupies the recycled slot. Steady-state Schedule/Step
+// performs zero heap allocations.
+package sim

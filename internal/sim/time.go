@@ -1,9 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// All VersaSlot hardware models (PCAP, CPU cores, slots, links) are built
-// on this kernel. A simulation is single-goroutine: every state change
-// happens inside an event callback, so a run is bit-for-bit reproducible
-// for a given seed and input.
 package sim
 
 import (

@@ -1,0 +1,5 @@
+// Package trace provides structured event recording for simulations:
+// typed events (PR, execution, lifecycle) with a bounded in-memory
+// recorder, and renderers that turn a recording into a per-slot
+// timeline — the textual equivalent of the paper's Fig. 2 schematics.
+package trace

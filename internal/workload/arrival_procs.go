@@ -1,0 +1,481 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"versaslot/internal/sim"
+)
+
+func init() {
+	MustRegisterArrival(ArrivalReg{
+		Name: "uniform", Aliases: []string{"fixed"},
+		Title: "Uniform intervals (the paper's Section IV regimes)",
+		Build: buildUniform,
+	})
+	MustRegisterArrival(ArrivalReg{
+		Name: "poisson", Aliases: []string{"exp", "exponential"},
+		Title: "Poisson process (exponential inter-arrivals)",
+		Build: buildPoisson,
+	})
+	MustRegisterArrival(ArrivalReg{
+		Name: "mmpp", Aliases: []string{"burst"},
+		Title: "2-state Markov-modulated Poisson bursts",
+		Build: buildMMPP,
+	})
+	MustRegisterArrival(ArrivalReg{
+		Name: "diurnal", Aliases: []string{"sinusoidal"},
+		Title: "Sinusoidal rate over a configurable period",
+		Build: buildDiurnal,
+	})
+	MustRegisterArrival(ArrivalReg{
+		Name: "phased", Aliases: []string{"schedule"},
+		Title: "Piecewise schedule of regimes",
+		Build: buildPhased,
+	})
+	MustRegisterArrival(ArrivalReg{
+		Name: "closed-loop", Aliases: []string{"closed", "think-time"},
+		Title: "N concurrent clients with think time",
+		Build: buildClosedLoop,
+	})
+	MustRegisterArrival(ArrivalReg{
+		Name: "trace", Aliases: []string{"replay"},
+		Title: "Replay arrival offsets from a JSONL/CSV file",
+		Build: buildTrace,
+	})
+}
+
+// uniformProc draws inter-arrival gaps uniformly from [lo, hi]; the
+// first arrival is at offset 0, matching the classic generator.
+type uniformProc struct{ lo, hi sim.Duration }
+
+func buildUniform(s ArrivalSpec) (ArrivalProcess, error) {
+	if !(s.Lo > 0 && s.Hi >= s.Lo) {
+		return nil, fmt.Errorf("workload: uniform arrival needs 0 < lo <= hi (got [%v, %v])", s.Lo, s.Hi)
+	}
+	return uniformProc{s.Lo, s.Hi}, nil
+}
+
+func (u uniformProc) Times(rng *sim.RNG, n int) ([]sim.Duration, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]sim.Duration, n)
+	var at sim.Duration
+	for i := 0; i < n; i++ {
+		out[i] = at
+		at += rng.DurationRange(u.lo, u.hi)
+	}
+	return out, nil
+}
+
+// poissonProc draws exponential gaps with the given mean.
+type poissonProc struct{ mean sim.Duration }
+
+func buildPoisson(s ArrivalSpec) (ArrivalProcess, error) {
+	if s.Mean <= 0 {
+		return nil, fmt.Errorf("workload: poisson arrival needs mean > 0 (got %v)", s.Mean)
+	}
+	return poissonProc{s.Mean}, nil
+}
+
+func (p poissonProc) Times(rng *sim.RNG, n int) ([]sim.Duration, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]sim.Duration, n)
+	var at sim.Duration
+	for i := 0; i < n; i++ {
+		out[i] = at
+		at += rng.Exp(p.mean)
+	}
+	return out, nil
+}
+
+// mmppProc is a 2-state Markov-modulated Poisson process: arrivals
+// are Poisson at the current state's rate, and the state (burst or
+// calm) flips after an exponential dwell. The walk starts calm, so
+// the first burst onset is itself random. Both the per-arrival draws
+// and the flips are memoryless, which makes the generation loop exact:
+// when a candidate gap crosses the next flip, time advances to the
+// flip and the residual is redrawn at the new rate.
+type mmppProc struct {
+	burstMean, calmMean   sim.Duration
+	burstDwell, calmDwell sim.Duration
+}
+
+func buildMMPP(s ArrivalSpec) (ArrivalProcess, error) {
+	if s.BurstMean <= 0 || s.CalmMean <= 0 {
+		return nil, fmt.Errorf("workload: mmpp arrival needs burst_mean > 0 and calm_mean > 0 (got %v, %v)",
+			s.BurstMean, s.CalmMean)
+	}
+	if s.BurstMean >= s.CalmMean {
+		return nil, fmt.Errorf("workload: mmpp burst_mean %v must be shorter than calm_mean %v (bursts arrive faster)",
+			s.BurstMean, s.CalmMean)
+	}
+	if s.BurstDwell <= 0 || s.CalmDwell <= 0 {
+		return nil, fmt.Errorf("workload: mmpp arrival needs burst_dwell > 0 and calm_dwell > 0 (got %v, %v)",
+			s.BurstDwell, s.CalmDwell)
+	}
+	return mmppProc{s.BurstMean, s.CalmMean, s.BurstDwell, s.CalmDwell}, nil
+}
+
+func (m mmppProc) Times(rng *sim.RNG, n int) ([]sim.Duration, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]sim.Duration, 0, n)
+	var at sim.Duration
+	burst := false
+	flipAt := rng.Exp(m.calmDwell)
+	mean := func() sim.Duration {
+		if burst {
+			return m.burstMean
+		}
+		return m.calmMean
+	}
+	dwell := func() sim.Duration {
+		if burst {
+			return m.burstDwell
+		}
+		return m.calmDwell
+	}
+	for len(out) < n {
+		next := at + rng.Exp(mean())
+		for next >= flipAt {
+			at = flipAt
+			burst = !burst
+			flipAt = at + rng.Exp(dwell())
+			next = at + rng.Exp(mean())
+		}
+		at = next
+		out = append(out, at)
+	}
+	// The classic generators anchor the first arrival at offset 0;
+	// shift so every process shares that convention.
+	first := out[0]
+	for i := range out {
+		out[i] -= first
+	}
+	return out, nil
+}
+
+// diurnalProc is a non-homogeneous Poisson process whose rate follows
+// a sinusoid: rate(t) = (1/mean) * (1 + amplitude*sin(2*pi*t/period)).
+// Generation uses Lewis-Shedler thinning against the peak rate, which
+// is exact and deterministic for a fixed rng.
+type diurnalProc struct {
+	mean      sim.Duration
+	amplitude float64
+	period    sim.Duration
+}
+
+func buildDiurnal(s ArrivalSpec) (ArrivalProcess, error) {
+	if s.Mean <= 0 {
+		return nil, fmt.Errorf("workload: diurnal arrival needs mean > 0 (got %v)", s.Mean)
+	}
+	if s.Amplitude <= 0 || s.Amplitude >= 1 {
+		return nil, fmt.Errorf("workload: diurnal amplitude must be in (0, 1) (got %v; a flat rate is the poisson process)", s.Amplitude)
+	}
+	if s.Period <= 0 {
+		return nil, fmt.Errorf("workload: diurnal arrival needs period > 0 (got %v)", s.Period)
+	}
+	return diurnalProc{s.Mean, s.Amplitude, s.Period}, nil
+}
+
+func (d diurnalProc) Times(rng *sim.RNG, n int) ([]sim.Duration, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]sim.Duration, 0, n)
+	peakRate := (1 + d.amplitude) / float64(d.mean)
+	peakGap := sim.Duration(1 / peakRate)
+	var at sim.Duration
+	for len(out) < n {
+		at += rng.Exp(peakGap)
+		rate := (1 + d.amplitude*math.Sin(2*math.Pi*float64(at)/float64(d.period))) / float64(d.mean)
+		if rng.Float64() < rate/peakRate {
+			out = append(out, at)
+		}
+	}
+	first := out[0]
+	for i := range out {
+		out[i] -= first
+	}
+	return out, nil
+}
+
+// phasedProc runs a schedule of sub-processes, each over a half-open
+// [start, start+duration) window. Every phase restarts its process at
+// the phase start (so a phase's first arrival lands exactly on the
+// boundary); sub-arrivals at or past the window end are discarded. A
+// final phase with duration 0 is unbounded; if the schedule's bounded
+// phases end before n arrivals are produced, the last phase continues
+// past its boundary so the sequence always reaches n.
+type phasedProc struct {
+	procs     []ArrivalProcess
+	durations []sim.Duration
+}
+
+func buildPhased(s ArrivalSpec) (ArrivalProcess, error) {
+	if len(s.Phases) == 0 {
+		return nil, fmt.Errorf("workload: phased arrival needs at least one phase")
+	}
+	p := phasedProc{}
+	for i, ph := range s.Phases {
+		if ph.Duration < 0 {
+			return nil, fmt.Errorf("workload: phase %d has negative duration %v", i, ph.Duration)
+		}
+		if ph.Duration == 0 && i != len(s.Phases)-1 {
+			return nil, fmt.Errorf("workload: phase %d has no duration; only the final phase may be unbounded", i)
+		}
+		if reg, ok := LookupArrival(ph.Process); ok && reg.Name == "phased" {
+			return nil, fmt.Errorf("workload: phase %d: phases cannot nest phased schedules", i)
+		}
+		sub, err := ph.ArrivalSpec.Build()
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %w", i, err)
+		}
+		if tp, ok := sub.(traceProc); ok && ph.Duration > 0 {
+			// A bounded phase is clipped to its window, so a finite
+			// trace shorter than the whole sequence is fine here; only
+			// an unbounded (final) trace must cover the full count.
+			tp.allowShort = true
+			sub = tp
+		}
+		p.procs = append(p.procs, sub)
+		p.durations = append(p.durations, ph.Duration)
+	}
+	return p, nil
+}
+
+func (p phasedProc) Times(rng *sim.RNG, n int) ([]sim.Duration, error) {
+	out := make([]sim.Duration, 0, n)
+	var start sim.Duration
+	for i, sub := range p.procs {
+		remaining := n - len(out)
+		if remaining <= 0 {
+			break
+		}
+		times, err := sub.Times(rng, remaining)
+		if err != nil {
+			return nil, err
+		}
+		end := start + p.durations[i]
+		last := i == len(p.procs)-1
+		for _, t := range times {
+			at := start + t
+			if !last && p.durations[i] > 0 && at >= end {
+				break
+			}
+			out = append(out, at)
+		}
+		if p.durations[i] == 0 {
+			break
+		}
+		start = end
+	}
+	// The final phase keeps every sub-arrival (the !last guard above),
+	// so a well-behaved sub-process always fills the count; a
+	// third-party process returning fewer offsets than asked is a
+	// contract violation, not something to paper over.
+	if len(out) < n {
+		return nil, fmt.Errorf("workload: phased arrival produced %d offsets, want %d (final phase's process under-delivered)", len(out), n)
+	}
+	return out, nil
+}
+
+// closedLoopProc models N concurrent clients: each client submits an
+// application, thinks for a uniform [thinkLo, thinkHi] spell, and
+// submits again. Service feedback is not modelled at generation time
+// (the simulator prices queueing downstream); what the process
+// captures is the closed population — the aggregate rate scales with
+// the client count and arrivals never cluster tighter than the think
+// floor allows. Client streams draw from forked, per-client RNGs and
+// merge with a (time, client, turn) tie-break, so the merged stream
+// is deterministic.
+type closedLoopProc struct {
+	clients          int
+	thinkLo, thinkHi sim.Duration
+}
+
+func buildClosedLoop(s ArrivalSpec) (ArrivalProcess, error) {
+	if s.Clients <= 0 {
+		return nil, fmt.Errorf("workload: closed-loop arrival needs clients > 0 (got %d)", s.Clients)
+	}
+	if !(s.ThinkLo > 0 && s.ThinkHi >= s.ThinkLo) {
+		return nil, fmt.Errorf("workload: closed-loop arrival needs 0 < think_lo <= think_hi (got [%v, %v])",
+			s.ThinkLo, s.ThinkHi)
+	}
+	return closedLoopProc{s.Clients, s.ThinkLo, s.ThinkHi}, nil
+}
+
+func (c closedLoopProc) Times(rng *sim.RNG, n int) ([]sim.Duration, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	type arrival struct {
+		at           sim.Duration
+		client, turn int
+	}
+	all := make([]arrival, 0, c.clients*n)
+	for client := 0; client < c.clients; client++ {
+		crng := rng.Fork()
+		// The first submission is staggered by an initial think draw,
+		// so clients do not arrive in lockstep at t=0.
+		at := crng.DurationRange(c.thinkLo, c.thinkHi)
+		for turn := 0; turn < n; turn++ {
+			all = append(all, arrival{at, client, turn})
+			at += crng.DurationRange(c.thinkLo, c.thinkHi)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].client != all[j].client {
+			return all[i].client < all[j].client
+		}
+		return all[i].turn < all[j].turn
+	})
+	out := make([]sim.Duration, n)
+	first := all[0].at
+	for i := 0; i < n; i++ {
+		out[i] = all[i].at - first
+	}
+	return out, nil
+}
+
+// traceProc replays arrival offsets from a file. The file is read at
+// generation time (not at Build), so a scenario referencing a trace
+// validates without the file present. Offsets are sorted ascending
+// and shifted so the first arrival is at 0. A trace shorter than the
+// requested sequence is an error rather than a silent wrap — except
+// inside a bounded phased window (allowShort), where the window, not
+// the count, limits how much of the trace is used.
+type traceProc struct {
+	path       string
+	allowShort bool
+}
+
+func buildTrace(s ArrivalSpec) (ArrivalProcess, error) {
+	if s.File == "" {
+		return nil, fmt.Errorf("workload: trace arrival needs a file")
+	}
+	return traceProc{path: s.File}, nil
+}
+
+func (t traceProc) Times(_ *sim.RNG, n int) ([]sim.Duration, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	f, err := os.Open(t.path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace arrival: %w", err)
+	}
+	defer f.Close()
+	times, err := ReadArrivalTrace(f, filepath.Ext(t.path))
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace %s: %w", t.path, err)
+	}
+	if len(times) < n {
+		if !t.allowShort {
+			return nil, fmt.Errorf("workload: trace %s has %d arrivals, sequence needs %d", t.path, len(times), n)
+		}
+		n = len(times)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := make([]sim.Duration, n)
+	first := times[0]
+	for i := 0; i < n; i++ {
+		out[i] = times[i] - first
+	}
+	return out, nil
+}
+
+// traceLine is one JSONL trace record; only the offset is read.
+type traceLine struct {
+	At sim.Duration `json:"at"`
+}
+
+// ReadArrivalTrace parses arrival offsets from r. ext selects the
+// format: ".csv" reads the first column of each record (an optional
+// header row before the first data record is skipped), anything else
+// is treated as JSONL where a line is either a bare integer
+// nanosecond offset or an object with an "at" field. Blank lines and
+// "#" comments are ignored in both formats.
+func ReadArrivalTrace(r io.Reader, ext string) ([]sim.Duration, error) {
+	var out []sim.Duration
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	headerAllowed := true
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var field string
+		if strings.EqualFold(ext, ".csv") {
+			field = strings.TrimSpace(strings.SplitN(line, ",", 2)[0])
+			if _, err := strconv.ParseInt(field, 10, 64); err != nil && headerAllowed {
+				headerAllowed = false
+				continue // header row
+			}
+			headerAllowed = false
+		} else if strings.HasPrefix(line, "{") {
+			var tl traceLine
+			dec := json.NewDecoder(strings.NewReader(line))
+			// Strict decoding: a misspelled key would otherwise parse
+			// as offset 0 and silently re-time the whole workload.
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&tl); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if tl.At < 0 {
+				return nil, fmt.Errorf("line %d: negative offset %d", lineNo, int64(tl.At))
+			}
+			out = append(out, tl.At)
+			continue
+		} else {
+			field = line
+		}
+		ns, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if ns < 0 {
+			return nil, fmt.Errorf("line %d: negative offset %d", lineNo, ns)
+		}
+		out = append(out, sim.Duration(ns))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	return out, nil
+}
+
+// WriteArrivalTrace writes offsets in the JSONL form ReadArrivalTrace
+// accepts ({"at": ns} per line), the round-trip counterpart used by
+// trace tooling and tests.
+func WriteArrivalTrace(w io.Writer, times []sim.Duration) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range times {
+		if _, err := fmt.Fprintf(bw, "{\"at\": %d}\n", int64(t)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,525 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"versaslot/internal/sim"
+)
+
+// testSpecs returns one valid spec per built-in process (trace gets a
+// real file under dir).
+func testSpecs(t *testing.T) map[string]ArrivalSpec {
+	t.Helper()
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var times []sim.Duration
+	for i := 0; i < 200; i++ {
+		times = append(times, sim.Duration(i)*137*sim.Millisecond)
+	}
+	writeTraceFile(t, tracePath, times)
+	return map[string]ArrivalSpec{
+		"uniform": {Process: "uniform", Lo: 100 * sim.Millisecond, Hi: 300 * sim.Millisecond},
+		"poisson": {Process: "poisson", Mean: 200 * sim.Millisecond},
+		"mmpp": {Process: "mmpp",
+			BurstMean: 20 * sim.Millisecond, CalmMean: 500 * sim.Millisecond,
+			BurstDwell: 200 * sim.Millisecond, CalmDwell: 2 * sim.Second},
+		"diurnal": {Process: "diurnal",
+			Mean: 200 * sim.Millisecond, Amplitude: 0.8, Period: 10 * sim.Second},
+		"phased": {Process: "phased", Phases: []ArrivalPhase{
+			{ArrivalSpec: ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: sim.Second}, Duration: 5 * sim.Second},
+			{ArrivalSpec: ArrivalSpec{Process: "poisson", Mean: 100 * sim.Millisecond}},
+		}},
+		"closed-loop": {Process: "closed-loop",
+			Clients: 5, ThinkLo: 500 * sim.Millisecond, ThinkHi: 1500 * sim.Millisecond},
+		"trace": {Process: "trace", File: tracePath},
+	}
+}
+
+func writeTraceFile(t *testing.T, path string, times []sim.Duration) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteArrivalTrace(f, times); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArrivalDeterminism: same seed => byte-identical sequence, for
+// every built-in process; different seeds diverge (except trace,
+// which ignores the rng by design).
+func TestArrivalDeterminism(t *testing.T) {
+	for name, spec := range testSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			p := DefaultGenParams(Standard)
+			p.Apps = 50
+			gen := func(seed uint64) []byte {
+				seq, err := GenerateArrival(p, spec, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := seq.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			if !bytes.Equal(gen(42), gen(42)) {
+				t.Error("same seed produced different sequences")
+			}
+			if name != "trace" && bytes.Equal(gen(42), gen(43)) {
+				t.Error("different seeds produced identical sequences")
+			}
+		})
+	}
+}
+
+// TestArrivalMonotoneNonNegative: every process emits exactly n
+// non-decreasing, non-negative offsets starting at 0.
+func TestArrivalMonotoneNonNegative(t *testing.T) {
+	for name, spec := range testSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			proc, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 150
+			times, err := proc.Times(sim.NewRNG(7), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(times) != n {
+				t.Fatalf("got %d offsets, want %d", len(times), n)
+			}
+			if times[0] != 0 {
+				t.Errorf("first arrival at %v, want 0", times[0])
+			}
+			for i := 1; i < n; i++ {
+				if times[i] < times[i-1] {
+					t.Fatalf("offsets decrease at %d: %v -> %v", i, times[i-1], times[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMMPPBurstStatistics: an MMPP with widely separated state rates
+// must be visibly burstier than Poisson — its gap distribution has a
+// squared coefficient of variation well above 1 — while the overall
+// mean gap stays between the two state means.
+func TestMMPPBurstStatistics(t *testing.T) {
+	spec := ArrivalSpec{Process: "mmpp",
+		BurstMean: 20 * sim.Millisecond, CalmMean: sim.Second,
+		BurstDwell: 400 * sim.Millisecond, CalmDwell: 4 * sim.Second}
+	proc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	times, err := proc.Times(sim.NewRNG(1), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for i := 1; i < n; i++ {
+		g := float64(times[i] - times[i-1])
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / float64(n-1)
+	variance := sumSq/float64(n-1) - mean*mean
+	cv2 := variance / (mean * mean)
+	if mean <= float64(20*sim.Millisecond) || mean >= float64(sim.Second) {
+		t.Errorf("mean gap %.1f ms outside (burst, calm) state means", mean/1e6)
+	}
+	// A Poisson process has CV^2 = 1; this MMPP mixes 50x-separated
+	// rates, so even loose bounds sit far above that.
+	if cv2 < 1.5 {
+		t.Errorf("squared CV %.2f, want > 1.5 (bursty)", cv2)
+	}
+	// The burst state must actually be visited: a healthy share of
+	// gaps should be burst-scale (well under the calm mean).
+	short := 0
+	for i := 1; i < n; i++ {
+		if times[i]-times[i-1] < 100*sim.Millisecond {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(n-1); frac < 0.2 {
+		t.Errorf("only %.1f%% of gaps are burst-scale, want >= 20%%", frac*100)
+	}
+}
+
+// TestPhasedBoundaries: phases cover half-open windows, each phase
+// restarts with an arrival exactly at its start, and no bounded
+// phase's arrival crosses its end.
+func TestPhasedBoundaries(t *testing.T) {
+	// Fixed 1 s gaps for 5.5 s, then fixed 100 ms gaps: analytically
+	// the arrivals are 0,1s,...,5s then 5.5s, 5.6s, ...
+	spec := ArrivalSpec{Process: "phased", Phases: []ArrivalPhase{
+		{ArrivalSpec: ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: sim.Second}, Duration: 5500 * sim.Millisecond},
+		{ArrivalSpec: ArrivalSpec{Process: "uniform", Lo: 100 * sim.Millisecond, Hi: 100 * sim.Millisecond}},
+	}}
+	proc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := proc.Times(sim.NewRNG(3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Duration{
+		0, sim.Second, 2 * sim.Second, 3 * sim.Second, 4 * sim.Second, 5 * sim.Second,
+		5500 * sim.Millisecond, 5600 * sim.Millisecond, 5700 * sim.Millisecond, 5800 * sim.Millisecond,
+	}
+	if !reflect.DeepEqual(times, want) {
+		t.Errorf("phased schedule:\n got %v\nwant %v", times, want)
+	}
+
+	// An arrival landing exactly on the boundary belongs to the next
+	// phase: with 1 s gaps and a 3 s window, t=3s is excluded from
+	// phase 1 and re-anchored as phase 2's start.
+	spec.Phases[0].Duration = 3 * sim.Second
+	proc, err = spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err = proc.Times(sim.NewRNG(3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []sim.Duration{
+		0, sim.Second, 2 * sim.Second,
+		3 * sim.Second, 3100 * sim.Millisecond,
+	}
+	if !reflect.DeepEqual(times, want) {
+		t.Errorf("boundary arrival:\n got %v\nwant %v", times, want)
+	}
+}
+
+// TestPhasedExhaustedSchedule: when every phase is bounded and too
+// short for the requested count, the final phase continues past its
+// window so the sequence still reaches n.
+func TestPhasedExhaustedSchedule(t *testing.T) {
+	spec := ArrivalSpec{Process: "phased", Phases: []ArrivalPhase{
+		{ArrivalSpec: ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: sim.Second}, Duration: 2 * sim.Second},
+		{ArrivalSpec: ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: sim.Second}, Duration: 2 * sim.Second},
+	}}
+	proc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := proc.Times(sim.NewRNG(3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 8 {
+		t.Fatalf("got %d offsets, want 8", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("offsets not increasing at %d: %v", i, times)
+		}
+	}
+}
+
+// TestPhasedValidation rejects malformed schedules.
+func TestPhasedValidation(t *testing.T) {
+	cases := []ArrivalSpec{
+		{Process: "phased"}, // no phases
+		{Process: "phased", Phases: []ArrivalPhase{ // unbounded non-final phase
+			{ArrivalSpec: ArrivalSpec{Process: "poisson", Mean: sim.Second}},
+			{ArrivalSpec: ArrivalSpec{Process: "poisson", Mean: sim.Second}, Duration: sim.Second},
+		}},
+		{Process: "phased", Phases: []ArrivalPhase{ // nested phased
+			{ArrivalSpec: ArrivalSpec{Process: "phased"}, Duration: sim.Second},
+		}},
+		{Process: "phased", Phases: []ArrivalPhase{ // nested via alias/case
+			{ArrivalSpec: ArrivalSpec{Process: "Schedule"}, Duration: sim.Second},
+		}},
+		{Process: "phased", Phases: []ArrivalPhase{ // invalid sub-spec
+			{ArrivalSpec: ArrivalSpec{Process: "uniform"}, Duration: sim.Second},
+		}},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid phased spec validated", i)
+		}
+	}
+}
+
+// TestPhasedBoundedTracePhase: a finite trace inside a bounded phase
+// contributes only what fits its window — it must not demand the full
+// sequence count the way a standalone (or final-phase) trace does.
+func TestPhasedBoundedTracePhase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "warmup.jsonl")
+	writeTraceFile(t, path, []sim.Duration{0, sim.Second, 2 * sim.Second})
+	spec := ArrivalSpec{Process: "phased", Phases: []ArrivalPhase{
+		{ArrivalSpec: ArrivalSpec{Process: "trace", File: path}, Duration: 10 * sim.Second},
+		{ArrivalSpec: ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: sim.Second}},
+	}}
+	proc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := proc.Times(sim.NewRNG(1), 6)
+	if err != nil {
+		t.Fatalf("3-arrival trace in a bounded phase of a 6-app sequence: %v", err)
+	}
+	want := []sim.Duration{
+		0, sim.Second, 2 * sim.Second, // the trace, clipped by supply
+		10 * sim.Second, 11 * sim.Second, 12 * sim.Second, // next phase from its boundary
+	}
+	if !reflect.DeepEqual(times, want) {
+		t.Errorf("got %v\nwant %v", times, want)
+	}
+
+	// Unbounded final-phase traces still demand the full count.
+	short := ArrivalSpec{Process: "phased", Phases: []ArrivalPhase{
+		{ArrivalSpec: ArrivalSpec{Process: "uniform", Lo: sim.Second, Hi: sim.Second}, Duration: 2 * sim.Second},
+		{ArrivalSpec: ArrivalSpec{Process: "trace", File: path}},
+	}}
+	proc, err = short.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Times(sim.NewRNG(1), 20); err == nil {
+		t.Error("short trace as the unbounded final phase did not error")
+	}
+}
+
+// TestClosedLoopThinkFloor: with N clients and a think floor, no
+// window of N+1 consecutive arrivals can be shorter than the floor
+// (each client needs at least think_lo between its own submissions).
+func TestClosedLoopThinkFloor(t *testing.T) {
+	const clients = 4
+	lo := 500 * sim.Millisecond
+	spec := ArrivalSpec{Process: "closed-loop", Clients: clients, ThinkLo: lo, ThinkHi: 2 * lo}
+	proc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := proc.Times(sim.NewRNG(11), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := clients; i < len(times); i++ {
+		if gap := times[i] - times[i-clients]; gap < lo {
+			t.Fatalf("arrivals %d..%d span %v < think floor %v: more than %d in-flight clients",
+				i-clients, i, gap, lo, clients)
+		}
+	}
+}
+
+// TestTraceRoundTrip: write offsets with WriteArrivalTrace, replay
+// them through the trace process, and get the same offsets back
+// (shifted to start at 0); CSV and bare-number JSONL forms parse to
+// the same stream.
+func TestTraceRoundTrip(t *testing.T) {
+	times := []sim.Duration{0, 10 * sim.Millisecond, 250 * sim.Millisecond, sim.Second, 7 * sim.Second}
+	dir := t.TempDir()
+
+	jsonl := filepath.Join(dir, "t.jsonl")
+	writeTraceFile(t, jsonl, times)
+	proc, err := ArrivalSpec{Process: "trace", File: jsonl}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := proc.Times(sim.NewRNG(1), len(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, times) {
+		t.Errorf("jsonl round-trip:\n got %v\nwant %v", got, times)
+	}
+
+	csv := filepath.Join(dir, "t.csv")
+	var buf bytes.Buffer
+	buf.WriteString("at_ns,comment\n")
+	for _, at := range times {
+		fmt.Fprintf(&buf, "%d,x\n", int64(at))
+	}
+	if err := os.WriteFile(csv, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	proc, err = ArrivalSpec{Process: "trace", File: csv}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = proc.Times(sim.NewRNG(1), len(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, times) {
+		t.Errorf("csv round-trip:\n got %v\nwant %v", got, times)
+	}
+}
+
+// TestTraceHeaderAndNegatives: a CSV header is tolerated after
+// comments and blank lines, and a negative JSONL offset fails loudly
+// like its CSV/bare counterparts.
+func TestTraceHeaderAndNegatives(t *testing.T) {
+	got, err := ReadArrivalTrace(bytes.NewBufferString("# generated\n\nat_ns,comment\n100,x\n200,y\n"), ".csv")
+	if err != nil {
+		t.Fatalf("commented CSV header: %v", err)
+	}
+	if want := []sim.Duration{100, 200}; !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Only one header row: a second non-numeric record is an error.
+	if _, err := ReadArrivalTrace(bytes.NewBufferString("at_ns\noops\n100\n"), ".csv"); err == nil {
+		t.Error("second non-numeric CSV record accepted")
+	}
+	if _, err := ReadArrivalTrace(bytes.NewBufferString(`{"at": -5}`+"\n"), ".jsonl"); err == nil {
+		t.Error("negative JSONL offset accepted")
+	}
+}
+
+// TestTraceErrors: a short trace errors instead of wrapping; a
+// missing file errors at generation, not Build.
+func TestTraceErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.jsonl")
+	writeTraceFile(t, path, []sim.Duration{0, sim.Second})
+	proc, err := ArrivalSpec{Process: "trace", File: path}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Times(sim.NewRNG(1), 3); err == nil {
+		t.Error("short trace did not error")
+	}
+
+	proc, err = ArrivalSpec{Process: "trace", File: filepath.Join(t.TempDir(), "missing.jsonl")}.Build()
+	if err != nil {
+		t.Fatalf("Build must not open the file: %v", err)
+	}
+	if _, err := proc.Times(sim.NewRNG(1), 1); err == nil {
+		t.Error("missing trace file did not error at generation")
+	}
+}
+
+// TestDiurnalRateModulation: the sinusoidal process keeps its overall
+// mean near the configured mean while concentrating arrivals in the
+// high-rate half of the period.
+func TestDiurnalRateModulation(t *testing.T) {
+	mean := 100 * sim.Millisecond
+	period := 20 * sim.Second
+	spec := ArrivalSpec{Process: "diurnal", Mean: mean, Amplitude: 0.9, Period: period}
+	proc, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	times, err := proc.Times(sim.NewRNG(5), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgGap := float64(times[n-1]) / float64(n-1)
+	if avgGap < 0.5*float64(mean) || avgGap > 2*float64(mean) {
+		t.Errorf("average gap %.1f ms, want within 2x of mean %v", avgGap/1e6, mean)
+	}
+	// sin > 0 on the first half of each period: that half must hold
+	// well over half the arrivals.
+	high := 0
+	for _, at := range times {
+		if phase := math.Mod(float64(at), float64(period)); phase < float64(period)/2 {
+			high++
+		}
+	}
+	if frac := float64(high) / float64(n); frac < 0.6 {
+		t.Errorf("high-rate half-period holds %.1f%% of arrivals, want >= 60%%", frac*100)
+	}
+}
+
+// TestArrivalRegistry: unknown names and duplicate registrations are
+// rejected; aliases resolve to the canonical registration.
+func TestArrivalRegistry(t *testing.T) {
+	if _, ok := LookupArrival("no-such-process"); ok {
+		t.Error("unknown process resolved")
+	}
+	if err := (ArrivalSpec{Process: "no-such-process"}).Validate(); err == nil {
+		t.Error("spec naming an unknown process validated")
+	}
+	if err := RegisterArrival(ArrivalReg{Name: "mmpp", Build: buildMMPP}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := RegisterArrival(ArrivalReg{Name: "x-unique", Build: nil}); err == nil {
+		t.Error("nil Build accepted")
+	}
+	for alias, canonical := range map[string]string{
+		"burst": "mmpp", "exp": "poisson", "replay": "trace", "closed": "closed-loop",
+	} {
+		reg, ok := LookupArrival(alias)
+		if !ok || reg.Name != canonical {
+			t.Errorf("alias %q: got %v, want %s", alias, reg, canonical)
+		}
+	}
+}
+
+// TestWithConditionDefaults: a bare named spec inherits the regime's
+// rates, and explicit values are never overwritten.
+func TestWithConditionDefaults(t *testing.T) {
+	s := ArrivalSpec{Process: "mmpp"}.WithCondition(Stress)
+	lo, hi := Stress.Interval()
+	mean := (lo + hi) / 2
+	if s.BurstMean != mean/4 || s.CalmMean != 2*mean {
+		t.Errorf("mmpp state means %v/%v, want %v/%v", s.BurstMean, s.CalmMean, mean/4, 2*mean)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("condition-filled mmpp spec invalid: %v", err)
+	}
+
+	explicit := ArrivalSpec{Process: "poisson", Mean: 42 * sim.Millisecond}.WithCondition(Loose)
+	if explicit.Mean != 42*sim.Millisecond {
+		t.Errorf("explicit mean overwritten: %v", explicit.Mean)
+	}
+
+	// Every built-in except trace must validate from a bare name plus
+	// condition defaults.
+	for _, name := range ArrivalNames() {
+		if name == "trace" || name == "phased" {
+			continue // need a file / a schedule
+		}
+		if err := (ArrivalSpec{Process: name}).WithCondition(Standard).Validate(); err != nil {
+			t.Errorf("%s: condition defaults insufficient: %v", name, err)
+		}
+	}
+}
+
+// TestGenerateArrivalIndependentAxes: two processes over the same
+// seed schedule the same applications (spec/batch stream) at
+// different instants — only the arrival axis varies.
+func TestGenerateArrivalIndependentAxes(t *testing.T) {
+	p := DefaultGenParams(Standard)
+	p.Apps = 30
+	specs := testSpecs(t)
+	a, err := GenerateArrival(p, specs["poisson"], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateArrival(p, specs["mmpp"], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAt := true
+	for i := range a.Arrivals {
+		if a.Arrivals[i].Spec != b.Arrivals[i].Spec || a.Arrivals[i].Batch != b.Arrivals[i].Batch {
+			t.Fatalf("arrival %d: app stream differs across processes (%s/%d vs %s/%d)",
+				i, a.Arrivals[i].Spec, a.Arrivals[i].Batch, b.Arrivals[i].Spec, b.Arrivals[i].Batch)
+		}
+		if a.Arrivals[i].At != b.Arrivals[i].At {
+			sameAt = false
+		}
+	}
+	if sameAt {
+		t.Error("poisson and mmpp produced identical arrival instants")
+	}
+}

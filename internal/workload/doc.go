@@ -1,0 +1,31 @@
+// Package workload provides the paper's benchmark applications, the
+// random workload generator used throughout the evaluation (Section
+// IV: 10 sequences x 20 apps, batch sizes 5-30, four arrival
+// regimes), and the pluggable arrival-process engine that generalizes
+// those four regimes to arbitrary arrival dynamics.
+//
+// # Arrival processes
+//
+// An ArrivalProcess turns an RNG into a non-decreasing stream of
+// arrival offsets. Processes register by name (RegisterArrival) in a
+// registry shared with the policy and dispatcher registries; the
+// built-ins are uniform, poisson, mmpp (2-state Markov-modulated
+// bursts), diurnal (sinusoidal rate), phased (piecewise schedule),
+// closed-loop (N clients with think time), and trace (JSONL/CSV
+// replay). An ArrivalSpec is the JSON form of a process selection and
+// round-trips through a Scenario's "arrival" block.
+//
+// # Determinism
+//
+// Generation is a pure function of (params, spec, seed): the same
+// inputs yield a byte-identical Sequence. GenerateArrival draws the
+// arrival instants and the application/batch picks from independent
+// forks of the seed's RNG, so changing only the arrival process never
+// changes which applications arrive — just when. The classic Generate
+// path is kept bit-compatible with the paper's original sequences.
+//
+// The application specs themselves are defined in the model layer
+// (appmodel), where both workload generation and the shared bitstream
+// repository can reach them without depending on each other; this
+// package re-exports them under their historical workload names.
+package workload

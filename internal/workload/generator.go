@@ -172,6 +172,48 @@ func Generate(p GenParams, seed uint64) *Sequence {
 	return seq
 }
 
+// GenerateArrival builds a sequence whose arrival instants come from
+// the spec's registered arrival process. The arrival stream and the
+// spec/batch picks draw from independent forks of the seed's RNG, so
+// two processes over the same seed schedule the same applications at
+// different times — only the arrival axis varies. The classic
+// Generate path (uniform/Poisson interleaved draws) is untouched for
+// byte-compatibility with the paper's sequences.
+func GenerateArrival(p GenParams, spec ArrivalSpec, seed uint64) (*Sequence, error) {
+	if p.Apps < 0 {
+		return nil, fmt.Errorf("workload: negative app count %d", p.Apps)
+	}
+	proc, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(seed)
+	arrivalRNG := rng.Fork()
+	times, err := proc.Times(arrivalRNG, p.Apps)
+	if err != nil {
+		return nil, err
+	}
+	if len(times) < p.Apps {
+		return nil, fmt.Errorf("workload: arrival process %q produced %d offsets, want %d", spec.Process, len(times), p.Apps)
+	}
+	reg, _ := LookupArrival(spec.Process)
+	seq := &Sequence{
+		Name:      fmt.Sprintf("%s-%s-seed%d", reg.Name, p.Condtion, seed),
+		Condition: p.Condtion.String(),
+		Seed:      seed,
+	}
+	for i := 0; i < p.Apps; i++ {
+		appSpec := p.Specs[rng.Intn(len(p.Specs))]
+		batch := rng.IntRange(p.BatchLo, p.BatchHi)
+		seq.Arrivals = append(seq.Arrivals, Arrival{
+			Spec:  appSpec.Name,
+			Batch: batch,
+			At:    p.FirstAt + times[i],
+		})
+	}
+	return seq, nil
+}
+
 // GenerateSet builds the paper's 10-sequence workload set for a
 // condition: sequence i uses seed base+i.
 func GenerateSet(c Condition, baseSeed uint64, n int) []*Sequence {

@@ -1,11 +1,3 @@
-// Package workload provides the paper's benchmark applications and the
-// random workload generator used throughout the evaluation (Section IV:
-// 10 sequences x 20 apps, batch sizes 5-30, four arrival regimes).
-//
-// The application specs themselves are defined in the model layer
-// (appmodel), where both workload generation and the shared bitstream
-// repository can reach them without depending on each other; this file
-// re-exports them under their historical workload names.
 package workload
 
 import (

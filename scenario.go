@@ -1,26 +1,3 @@
-// Package versaslot is the public facade of the VersaSlot
-// reproduction: one declarative Scenario description, one Runner, one
-// unified Result, across every topology the paper evaluates — a single
-// board ("single"), the two-board Schmitt-trigger switching cluster
-// ("cluster"), and the multi-pair board farm ("farm").
-//
-// A minimal run:
-//
-//	res, err := versaslot.Run(versaslot.Scenario{
-//		Policy:    "versaslot-bl",
-//		Condition: "standard",
-//		Apps:      20,
-//		Seed:      42,
-//	})
-//
-// Scenarios round-trip through JSON, so any run is reproducible from a
-// config artifact:
-//
-//	sc, err := versaslot.LoadScenario("scenario.json")
-//	res, err := versaslot.Run(sc)
-//
-// Policies are resolved by registry name (see Policies()); third-party
-// schedulers plug in via sched.Register without touching any enum.
 package versaslot
 
 import (
@@ -28,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"versaslot/internal/cluster"
 	"versaslot/internal/sched"
@@ -72,6 +50,14 @@ type Scenario struct {
 	// Seed seeds both workload generation and the simulation kernel
 	// (default 1).
 	Seed uint64 `json:"seed,omitempty"`
+	// Arrival selects a registered arrival process (uniform, poisson,
+	// mmpp, diurnal, phased, closed-loop, trace, or a third-party
+	// registration) with its parameters; zero-valued rate parameters
+	// are filled from Condition, so {"process": "mmpp"} inherits the
+	// regime. Nil keeps the paper's classic uniform/Poisson generator.
+	// Mutually exclusive with the legacy Poisson flag and the
+	// IntervalLo/IntervalHi overrides.
+	Arrival *workload.ArrivalSpec `json:"arrival,omitempty"`
 	// Workload inlines an explicit arrival sequence, overriding
 	// Condition/Apps generation.
 	Workload *workload.Sequence `json:"workload,omitempty"`
@@ -188,6 +174,21 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("versaslot: invalid interval override [%v, %v] (need 0 < lo <= hi)",
 			s.IntervalLo, s.IntervalHi)
 	}
+	if s.Arrival != nil {
+		if s.Workload != nil || s.WorkloadFile != "" {
+			return fmt.Errorf("versaslot: arrival process conflicts with an explicit workload (pick one)")
+		}
+		if s.Poisson || s.IntervalLo != 0 || s.IntervalHi != 0 {
+			return fmt.Errorf("versaslot: arrival process conflicts with the legacy poisson/interval overrides (put the rates in the arrival block)")
+		}
+		cond, err := workload.ParseCondition(s.Condition)
+		if err != nil {
+			return fmt.Errorf("versaslot: %w", err)
+		}
+		if err := s.Arrival.WithCondition(cond).Validate(); err != nil {
+			return fmt.Errorf("versaslot: %w", err)
+		}
+	}
 	if s.Pairs < 0 {
 		return fmt.Errorf("versaslot: negative pair count %d", s.Pairs)
 	}
@@ -221,6 +222,10 @@ type workloadKey struct {
 	apps      int
 	lo, hi    sim.Duration
 	poisson   bool
+	// arrival is the canonical serialized arrival spec (empty for the
+	// classic generator): scenarios that differ only in their arrival
+	// process must never share a cached sequence.
+	arrival string
 }
 
 // workloadKey returns the cache key for a defaulted scenario, or
@@ -229,14 +234,18 @@ func (s Scenario) workloadKey() (workloadKey, bool) {
 	if s.Workload != nil || s.WorkloadFile != "" {
 		return workloadKey{}, false
 	}
-	return workloadKey{
+	key := workloadKey{
 		condition: s.Condition,
 		seed:      s.Seed,
 		apps:      s.Apps,
 		lo:        s.IntervalLo,
 		hi:        s.IntervalHi,
 		poisson:   s.Poisson,
-	}, true
+	}
+	if s.Arrival != nil {
+		key.arrival = s.Arrival.Key()
+	}
+	return key, true
 }
 
 // sequence resolves the scenario's workload: inline sequence, file, or
@@ -259,6 +268,13 @@ func (s Scenario) sequence() (*workload.Sequence, error) {
 	}
 	p := workload.DefaultGenParams(cond)
 	p.Apps = s.Apps
+	if s.Arrival != nil {
+		seq, err := workload.GenerateArrival(p, s.Arrival.WithCondition(cond), s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("versaslot: %w", err)
+		}
+		return seq, nil
+	}
 	if s.IntervalLo > 0 && s.IntervalHi >= s.IntervalLo {
 		p.IntervalLo, p.IntervalHi = s.IntervalLo, s.IntervalHi
 	}
@@ -322,14 +338,41 @@ func ReadScenario(r io.Reader) (Scenario, error) {
 	return s, nil
 }
 
-// LoadScenario reads and validates a scenario JSON file.
+// LoadScenario reads and validates a scenario JSON file. Relative
+// WorkloadFile and arrival-trace paths inside the scenario are
+// resolved against the scenario file's directory — to absolute paths,
+// so a catalog entry can name its trace as "traces/ramp.jsonl", run
+// from any working directory, and still round-trip through
+// SaveScenario into an artifact that runs from anywhere on this
+// machine.
 func LoadScenario(path string) (Scenario, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Scenario{}, fmt.Errorf("versaslot: %w", err)
 	}
 	defer f.Close()
-	return ReadScenario(f)
+	s, err := ReadScenario(f)
+	if err != nil {
+		return Scenario{}, err
+	}
+	dir := filepath.Dir(path)
+	resolve := func(p string) string {
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, p)
+		}
+		if abs, err := filepath.Abs(p); err == nil {
+			return abs
+		}
+		return p
+	}
+	if s.WorkloadFile != "" {
+		s.WorkloadFile = resolve(s.WorkloadFile)
+	}
+	if s.Arrival != nil {
+		spec := s.Arrival.ResolvePaths(resolve)
+		s.Arrival = &spec
+	}
+	return s, nil
 }
 
 // SaveScenario writes the scenario to a JSON file.
@@ -360,6 +403,20 @@ func PolicyTitle(name string) string {
 // Conditions lists the congestion-condition names in the paper's
 // order.
 func Conditions() []string { return workload.ConditionKeys() }
+
+// ArrivalProcesses lists registered arrival-process names (built-ins
+// first, then third-party registrations via
+// workload.RegisterArrival).
+func ArrivalProcesses() []string { return workload.ArrivalNames() }
+
+// ArrivalProcessTitle returns the display title of a registered
+// arrival-process name.
+func ArrivalProcessTitle(name string) string {
+	if r, ok := workload.LookupArrival(name); ok {
+		return r.Title
+	}
+	return name
+}
 
 // Dispatchers lists registered farm-dispatcher names (built-ins
 // first, then third-party registrations via
