@@ -106,8 +106,8 @@ func BenchmarkAblationDualCore(b *testing.B) {
 	p := workload.DefaultGenParams(workload.Stress)
 	seq := workload.Generate(p, 77)
 	for i := 0; i < b.N; i++ {
-		single := runCustom(b, seq, fabric.OnlyLittle, hypervisor.SingleCore, sched.KindNimblock)
-		dual := runCustom(b, seq, fabric.OnlyLittle, hypervisor.DualCore, sched.KindNimblock)
+		single := runCustom(b, seq, fabric.ZCU216OnlyLittle, hypervisor.SingleCore, sched.KindNimblock)
+		dual := runCustom(b, seq, fabric.ZCU216OnlyLittle, hypervisor.DualCore, sched.KindNimblock)
 		b.ReportMetric(single.Seconds(), "singleCore_meanRT_s")
 		b.ReportMetric(dual.Seconds(), "dualCore_meanRT_s")
 		b.ReportMetric(single.Seconds()/dual.Seconds(), "speedup_x")
@@ -140,7 +140,7 @@ func BenchmarkAblationBitstreamCache(b *testing.B) {
 	p := workload.DefaultGenParams(workload.Stress)
 	seq := workload.Generate(p, 79)
 	for i := 0; i < b.N; i++ {
-		cached := runCustom(b, seq, fabric.OnlyLittle, hypervisor.SingleCore, sched.KindNimblock)
+		cached := runCustom(b, seq, fabric.ZCU216OnlyLittle, hypervisor.SingleCore, sched.KindNimblock)
 		uncached := runCustomNoCache(b, seq)
 		b.ReportMetric(cached.Seconds(), "cached_meanRT_s")
 		b.ReportMetric(uncached.Seconds(), "uncached_meanRT_s")
@@ -158,7 +158,7 @@ func BenchmarkAblationRedistribution(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		without := runCustom(b, seq, fabric.OnlyLittle, hypervisor.DualCore, sched.KindNimblock)
+		without := runCustom(b, seq, fabric.ZCU216OnlyLittle, hypervisor.DualCore, sched.KindNimblock)
 		b.ReportMetric(sim.Time(with.Summary.MeanRT).Seconds(), "with_meanRT_s")
 		b.ReportMetric(without.Seconds(), "without_meanRT_s")
 	}
@@ -257,6 +257,44 @@ func BenchmarkFarmDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFarmDispatchHetero prices capacity-aware dispatch on a
+// mixed-platform farm: pairs cycle ZCU216 Big.Little / U250 quad /
+// PYNQ dual, so every arrival filters pairs through the per-spec
+// eligibility cache before the dispatcher ranks them. Gated by
+// cmd/benchgate against BENCH_4.json.
+func BenchmarkFarmDispatchHetero(b *testing.B) {
+	for _, pairs := range []int{8, 32} {
+		p := workload.DefaultGenParams(workload.Stress)
+		p.Apps = pairs * 3
+		seq := workload.Generate(p, 4242)
+		platforms := make([]cluster.PairPlatforms, pairs)
+		for i := range platforms {
+			switch i % 3 {
+			case 1:
+				platforms[i] = cluster.PairPlatforms{Base: fabric.U250Quad, Boost: fabric.U250Quad}
+			case 2:
+				platforms[i] = cluster.PairPlatforms{Base: fabric.PYNQDual, Boost: fabric.PYNQDual}
+			}
+		}
+		b.Run(fmt.Sprintf("least-loaded/pairs=%d", pairs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.DefaultFarmConfig(pairs)
+				cfg.PairPlatforms = platforms
+				cfg.RebalanceEvery = 2 * sim.Second
+				f := cluster.MustNewFarm(cfg)
+				if err := f.Inject(seq); err != nil {
+					b.Fatal(err)
+				}
+				sum := f.Run()
+				if sum.Apps != p.Apps {
+					b.Fatalf("finished %d of %d apps", sum.Apps, p.Apps)
+				}
+				b.ReportMetric(float64(sum.CrossSwitches), "crossMigrations")
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks --------------------------------------
 
 func BenchmarkKernelEvents(b *testing.B) {
@@ -315,10 +353,10 @@ func BenchmarkEndToEndStress(b *testing.B) {
 
 // --- helpers ----------------------------------------------------------
 
-func runCustom(b *testing.B, seq *workload.Sequence, board fabric.BoardConfig, model hypervisor.CoreModel, kind sched.Kind) sim.Time {
+func runCustom(b *testing.B, seq *workload.Sequence, platform string, model hypervisor.CoreModel, kind sched.Kind) sim.Time {
 	b.Helper()
 	k := sim.NewKernel(1)
-	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, board), model, bitstream.SuiteRepo())
+	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, fabric.MustPlatform(platform)), model, bitstream.SuiteRepo())
 	e.SetPolicy(sched.New(kind))
 	apps, err := seq.Instantiate(0)
 	if err != nil {
@@ -337,7 +375,7 @@ func runCustom(b *testing.B, seq *workload.Sequence, board fabric.BoardConfig, m
 func runCustomNoCache(b *testing.B, seq *workload.Sequence) sim.Time {
 	b.Helper()
 	k := sim.NewKernel(1)
-	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, fabric.OnlyLittle), hypervisor.SingleCore, bitstream.SuiteRepo())
+	e := sched.NewEngine(k, sched.DefaultParams(), fabric.NewBoard(0, fabric.MustPlatform(fabric.ZCU216OnlyLittle)), hypervisor.SingleCore, bitstream.SuiteRepo())
 	e.SetPolicy(sched.New(sched.KindNimblock))
 	e.DisableBitstreamCache()
 	apps, err := seq.Instantiate(0)

@@ -7,13 +7,16 @@
 // Usage:
 //
 //	versaslot [-scenario file.json] [-topology single|cluster|farm]
-//	          [-policy versaslot-bl] [-condition standard] [-apps 20]
+//	          [-policy versaslot-bl] [-platform u250-quad]
+//	          [-condition standard] [-apps 20]
 //	          [-seed 1] [-workload file.json] [-arrival mmpp]
 //	          [-arrival-json '{"process":"mmpp",...}'] [-pairs 2]
+//	          [-pair-platforms base:boost,base:boost,...]
 //	          [-dispatcher least-loaded] [-rebalance-every 2s]
 //	          [-rebalance-gap 2] [-dump-scenario file.json] [-v]
 //	versaslot suite [-dir scenarios] [-out report.md] [-apps-cap N]
 //	versaslot -policy list
+//	versaslot -platform list
 //	versaslot -dispatcher list
 //	versaslot -arrival list
 package main
@@ -22,8 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"versaslot"
+	"versaslot/internal/cluster"
+	"versaslot/internal/fabric"
 	"versaslot/internal/report"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -43,6 +49,8 @@ func main() {
 	file := flag.String("workload", "", "JSON workload file (overrides -condition/-apps)")
 	arrival := flag.String("arrival", "", "registered arrival process (rates default from -condition), or 'list' to print the registry")
 	arrivalJSON := flag.String("arrival-json", "", "inline arrival-spec JSON (overrides -arrival)")
+	platform := flag.String("platform", "", "registered board platform (single topology; default: the policy's), or 'list' to print the registry")
+	pairPlatforms := flag.String("pair-platforms", "", "per-pair platform assignments base:boost[,base:boost...] (cluster/farm topology)")
 	pairs := flag.Int("pairs", 2, "switching pairs (farm topology)")
 	dispatcher := flag.String("dispatcher", "", "farm arrival dispatcher (default least-loaded), or 'list' to print the registry")
 	rebalanceEvery := flag.Duration("rebalance-every", 0, "farm rebalancer cadence in virtual time (0 disables)")
@@ -72,6 +80,22 @@ func main() {
 		}
 		return
 	}
+	if *platform == "list" {
+		fmt.Println("registered platforms:")
+		for _, name := range versaslot.Platforms() {
+			p, _ := fabric.LookupPlatform(name)
+			var classes []string
+			for i, c := range p.Classes {
+				classes = append(classes, fmt.Sprintf("%dx %s (%d LUT)", p.Counts[i], c.Name, c.Cap.LUT))
+			}
+			kind := ""
+			if p.Virtual {
+				kind = " [virtual]"
+			}
+			fmt.Printf("  %-20s %-12s %s%s\n", name, p.Title, strings.Join(classes, " + "), kind)
+		}
+		return
+	}
 
 	var sc versaslot.Scenario
 	if *scenarioFile != "" {
@@ -91,9 +115,25 @@ func main() {
 			WorkloadFile:   *file,
 			Arrival:        parseArrivalFlags(*arrival, *arrivalJSON),
 			Pairs:          *pairs,
+			PairPlatforms:  parsePairPlatforms(*pairPlatforms),
 			Dispatcher:     *dispatcher,
 			RebalanceEvery: *rebalanceEvery,
 			RebalanceGap:   *rebalanceGap,
+		}
+		if *platform != "" {
+			sc.Platform = &fabric.PlatformSpec{Ref: *platform}
+			policySet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "policy" {
+					policySet = true
+				}
+			})
+			if sc.Topology == versaslot.TopologySingle && !policySet {
+				// -policy was left at its versaslot-bl default; let the
+				// platform shape pick the matching policy. An explicit
+				// -policy stands (and fails validation if incompatible).
+				sc.Policy = ""
+			}
 		}
 		if err := sc.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "versaslot:", err)
@@ -126,6 +166,8 @@ func main() {
 	t.AddRow("max", sim.Time(s.MaxRT).Seconds())
 	t.AddRow("LUT utilization", s.UtilLUT)
 	t.AddRow("FF utilization", s.UtilFF)
+	t.AddRow("DSP utilization", s.UtilDSP)
+	t.AddRow("BRAM utilization", s.UtilBRAM)
 	t.AddRow("PR loads", s.PRLoads)
 	t.AddRow("PR blocked", s.PRBlocked)
 	t.AddRow("PR wait total", s.PRWait.String())
@@ -176,6 +218,27 @@ func main() {
 		}
 		vt.Render(os.Stdout)
 	}
+}
+
+// parsePairPlatforms parses "base:boost,base:boost,..." (either side
+// may be empty to keep the default) into per-pair assignments.
+func parsePairPlatforms(s string) []cluster.PairPlatforms {
+	if s == "" {
+		return nil
+	}
+	var out []cluster.PairPlatforms
+	for _, entry := range strings.Split(s, ",") {
+		base, boost, found := strings.Cut(entry, ":")
+		if !found {
+			// A bare name assigns the same platform to both boards.
+			boost = base
+		}
+		out = append(out, cluster.PairPlatforms{
+			Base:  strings.TrimSpace(base),
+			Boost: strings.TrimSpace(boost),
+		})
+	}
+	return out
 }
 
 // parseArrivalFlags builds the scenario's arrival block from the

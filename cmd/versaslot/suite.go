@@ -115,16 +115,42 @@ func capApps(sc *versaslot.Scenario, limit int) error {
 func writeSuiteReport(w io.Writer, dir string, scenarios []versaslot.Scenario, results []*versaslot.Result) {
 	fmt.Fprintf(w, "# VersaSlot scenario suite\n\n")
 	fmt.Fprintf(w, "%d scenarios from `%s/`.\n\n", len(results), filepath.ToSlash(filepath.Clean(dir)))
-	fmt.Fprintln(w, "| Scenario | Topology | Arrival | Apps | Mean RT (s) | P50 (s) | P99 (s) | LUT util | Switches | Migrated |")
-	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|---:|---:|---:|---:|")
+	fmt.Fprintln(w, "| Scenario | Topology | Platforms | Arrival | Apps | Mean RT (s) | P50 (s) | P99 (s) | LUT util | DSP util | Switches | Migrated |")
+	fmt.Fprintln(w, "|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|")
 	for i, res := range results {
 		s := res.Summary
 		migrated := res.MigratedApps + res.CrossMigratedApps
-		fmt.Fprintf(w, "| %s | %s | %s | %d | %.3f | %.3f | %.3f | %.1f%% | %d | %d |\n",
-			res.Scenario, res.Topology, arrivalLabel(scenarios[i]), s.Apps,
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %d | %.3f | %.3f | %.3f | %.1f%% | %.1f%% | %d | %d |\n",
+			res.Scenario, res.Topology, platformLabel(res), arrivalLabel(scenarios[i]), s.Apps,
 			sim.Time(s.MeanRT).Seconds(), sim.Time(s.P50).Seconds(), sim.Time(s.P99).Seconds(),
-			s.UtilLUT*100, res.Switches, migrated)
+			s.UtilLUT*100, s.UtilDSP*100, res.Switches, migrated)
 	}
+}
+
+// platformLabel condenses a result's platform assignment: the single
+// board's platform, or the distinct boost-board platforms of a
+// cluster/farm (the boost board is the pair's distinguishing half;
+// repeated assignments collapse to one entry).
+func platformLabel(res *versaslot.Result) string {
+	if res.Platform != "" {
+		return res.Platform
+	}
+	var parts []string
+	seen := map[string]bool{}
+	for _, pp := range res.PairPlatforms {
+		label := pp.Boost
+		if pp.Base != pp.Boost {
+			label = pp.Base + "/" + pp.Boost
+		}
+		if !seen[label] {
+			seen[label] = true
+			parts = append(parts, label)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // arrivalLabel names the scenario's arrival axis for the report: the

@@ -46,7 +46,7 @@ func TestAppLifecycle(t *testing.T) {
 	if a.State != StatePending {
 		t.Fatal("new app not pending")
 	}
-	TaskStages(a, 1.0, func(i int) string { return "bits" })
+	TaskStages(a, "Little", 1.0, func(i int) string { return "bits" })
 	if a.Done() {
 		t.Fatal("fresh app done")
 	}
@@ -80,7 +80,7 @@ func TestResponseTimePanicsUnfinished(t *testing.T) {
 
 func TestTaskStages(t *testing.T) {
 	a := NewApp(1, testSpec(10, 20, 30), 4, 0)
-	stages := TaskStages(a, 1.0, func(i int) string { return "b" })
+	stages := TaskStages(a, "Little", 1.0, func(i int) string { return "b" })
 	if len(stages) != 3 {
 		t.Fatal("stage count")
 	}
@@ -88,8 +88,8 @@ func TestTaskStages(t *testing.T) {
 		if st.Index != i || st.FirstTask != i || st.TaskCount != 1 {
 			t.Fatalf("stage %d identity wrong", i)
 		}
-		if st.Kind != fabric.Little || st.Mode != NoBundle {
-			t.Fatalf("stage %d kind/mode wrong", i)
+		if st.Class != "Little" || st.Mode != NoBundle {
+			t.Fatalf("stage %d class/mode wrong", i)
 		}
 		want := a.Spec.Tasks[i].Time
 		if st.ItemTime(0) != want || st.ItemTime(3) != want {
@@ -100,7 +100,7 @@ func TestTaskStages(t *testing.T) {
 
 func TestTaskStagesTimeScale(t *testing.T) {
 	a := NewApp(1, testSpec(100), 1, 0)
-	stages := TaskStages(a, 0.8, func(i int) string { return "b" })
+	stages := TaskStages(a, "Little", 0.8, func(i int) string { return "b" })
 	if stages[0].ItemTime(0) != 80*sim.Millisecond {
 		t.Fatalf("mono scaling: %v", stages[0].ItemTime(0))
 	}
@@ -108,7 +108,7 @@ func TestTaskStagesTimeScale(t *testing.T) {
 
 func TestBundleStagesParallelTiming(t *testing.T) {
 	a := NewApp(1, testSpec(10, 30, 20), 8, 0)
-	stages := BundleStages(a, 3, []BundleMode{BundleParallel},
+	stages := BundleStages(a, "Big", 3, []BundleMode{BundleParallel},
 		func(b int, m BundleMode) string { return "bundle" })
 	if len(stages) != 1 {
 		t.Fatal("bundle count")
@@ -130,7 +130,7 @@ func TestBundleStagesParallelTiming(t *testing.T) {
 
 func TestBundleStagesSerialTiming(t *testing.T) {
 	a := NewApp(1, testSpec(10, 30, 20), 5, 0)
-	stages := BundleStages(a, 3, []BundleMode{BundleSerial},
+	stages := BundleStages(a, "Big", 3, []BundleMode{BundleSerial},
 		func(b int, m BundleMode) string { return "bundle" })
 	st := stages[0]
 	want := sim.Duration(float64(60*sim.Millisecond) * BundleSerialFactor)
@@ -146,12 +146,12 @@ func TestBundleStagesValidation(t *testing.T) {
 			t.Error("indivisible bundle did not panic")
 		}
 	}()
-	BundleStages(a, 3, []BundleMode{BundleParallel}, func(int, BundleMode) string { return "" })
+	BundleStages(a, "Big", 3, []BundleMode{BundleParallel}, func(int, BundleMode) string { return "" })
 }
 
 func TestNextItemReadyDependencies(t *testing.T) {
 	a := NewApp(1, testSpec(10, 20), 3, 0)
-	TaskStages(a, 1.0, func(int) string { return "b" })
+	TaskStages(a, "Little", 1.0, func(int) string { return "b" })
 	s0, s1 := a.Stages[0], a.Stages[1]
 	if !s0.NextItemReady() {
 		t.Fatal("first stage should be ready")
@@ -181,11 +181,11 @@ func TestNextItemReadyDependencies(t *testing.T) {
 
 func TestStageImplRes(t *testing.T) {
 	a := NewApp(1, testSpec(10, 20, 30), 3, 0)
-	TaskStages(a, 1.0, func(int) string { return "b" })
+	TaskStages(a, "Little", 1.0, func(int) string { return "b" })
 	if a.Stages[1].ImplRes() != a.Spec.Tasks[1].Impl {
 		t.Fatal("task stage resources")
 	}
-	BundleStages(a, 3, []BundleMode{BundleParallel}, func(int, BundleMode) string { return "b" })
+	BundleStages(a, "Big", 3, []BundleMode{BundleParallel}, func(int, BundleMode) string { return "b" })
 	res := a.Stages[0].ImplRes()
 	rawLUT := 10000 + 20000 + 30000
 	want := int(float64(rawLUT)*0.9 + 0.5)
@@ -196,8 +196,8 @@ func TestStageImplRes(t *testing.T) {
 
 func TestResetStagesPreservesProgress(t *testing.T) {
 	a := NewApp(1, testSpec(10, 20), 4, 0)
-	TaskStages(a, 1.0, func(int) string { return "b" })
-	slot := &fabric.Slot{ID: 0, Kind: fabric.Little}
+	TaskStages(a, "Little", 1.0, func(int) string { return "b" })
+	slot := &fabric.Slot{ID: 0, Class: fabric.LittleClass}
 	a.Stages[0].Slot = slot
 	a.Stages[0].Done = 2
 	a.Stages[0].InFlight = true
@@ -233,7 +233,7 @@ func TestBundleTimingMatchesPaperFormula(t *testing.T) {
 
 func TestEvict(t *testing.T) {
 	a := NewApp(1, testSpec(10), 2, 0)
-	TaskStages(a, 1.0, func(int) string { return "b" })
+	TaskStages(a, "Little", 1.0, func(int) string { return "b" })
 	st := a.Stages[0]
 	st.Slot = &fabric.Slot{}
 	st.Loading = true

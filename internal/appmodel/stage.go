@@ -45,8 +45,9 @@ type Stage struct {
 	// FirstTask and TaskCount identify the member tasks
 	// (Spec.Tasks[FirstTask : FirstTask+TaskCount]).
 	FirstTask, TaskCount int
-	// Kind is the slot kind the stage's bitstream targets.
-	Kind fabric.SlotKind
+	// Class is the slot-class name the stage's bitstream targets
+	// ("Little", "Big", "Large", ...).
+	Class string
 	// Mode is the bundle execution mode (NoBundle for task stages).
 	Mode BundleMode
 	// BitstreamName keys the repository entry to load.
@@ -144,10 +145,11 @@ func (s *Stage) ImplRes() fabric.ResVec {
 	return sum
 }
 
-// TaskStages builds the per-task (Little slot) execution plan and
-// installs it on the app. timeScale scales item times (1.0 for slot
-// execution; the exclusive baseline passes Spec.MonoFactor).
-func TaskStages(a *App, timeScale float64, bitName func(task int) string) []*Stage {
+// TaskStages builds the per-task (base slot class) execution plan and
+// installs it on the app. class names the slot class every stage
+// targets; timeScale scales item times (1.0 for slot execution; the
+// exclusive baseline passes Spec.MonoFactor).
+func TaskStages(a *App, class string, timeScale float64, bitName func(task int) string) []*Stage {
 	stages := make([]*Stage, len(a.Spec.Tasks))
 	for i, t := range a.Spec.Tasks {
 		d := sim.Duration(float64(t.Time) * timeScale)
@@ -156,7 +158,7 @@ func TaskStages(a *App, timeScale float64, bitName func(task int) string) []*Sta
 			Index:         i,
 			FirstTask:     i,
 			TaskCount:     1,
-			Kind:          fabric.Little,
+			Class:         class,
 			Mode:          NoBundle,
 			BitstreamName: bitName(i),
 			timeFirst:     d,
@@ -178,11 +180,12 @@ const (
 	BundleSerialFactor   = 0.80
 )
 
-// BundleStages builds the 3-in-1 (Big slot) execution plan: tasks are
-// grouped in consecutive triples; modes selects serial or parallel per
-// bundle. The task count must be divisible by the bundle size (the
-// paper's benchmark apps all are).
-func BundleStages(a *App, size int, modes []BundleMode, bitName func(bundle int, m BundleMode) string) []*Stage {
+// BundleStages builds the 3-in-1 (big-class slot) execution plan:
+// tasks are grouped in consecutive triples; modes selects serial or
+// parallel per bundle; class names the slot class the bundles target.
+// The task count must be divisible by the bundle size (the paper's
+// benchmark apps all are).
+func BundleStages(a *App, class string, size int, modes []BundleMode, bitName func(bundle int, m BundleMode) string) []*Stage {
 	k := len(a.Spec.Tasks)
 	if size <= 0 || k%size != 0 {
 		panic(fmt.Sprintf("appmodel: %d tasks not divisible by bundle size %d", k, size))
@@ -198,7 +201,7 @@ func BundleStages(a *App, size int, modes []BundleMode, bitName func(bundle int,
 			Index:         b,
 			FirstTask:     b * size,
 			TaskCount:     size,
-			Kind:          fabric.Big,
+			Class:         class,
 			Mode:          modes[b],
 			BitstreamName: bitName(b, modes[b]),
 		}

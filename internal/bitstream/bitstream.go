@@ -38,8 +38,8 @@ type Bitstream struct {
 	// Name identifies the bitstream (e.g. "IC/DCT@Little", "IC/bundle0@Big").
 	Name string
 	Kind Kind
-	// Slot is the target slot kind for Partial bitstreams.
-	Slot fabric.SlotKind
+	// Slot is the target slot-class name for Partial bitstreams.
+	Slot string
 	// Bytes is the file size; PCAP load time is Bytes/bandwidth.
 	Bytes int64
 	// Impl is the post-implementation resource usage of the circuit.
@@ -77,6 +77,16 @@ func DefaultSizeModel() SizeModel {
 func (m SizeModel) PartialBytes(capacity fabric.ResVec) int64 {
 	share := float64(capacity.LUT) / float64(m.Total.LUT)
 	return int64(float64(m.FullBytes) * share * m.PartialOverhead)
+}
+
+// ClassBytes returns the partial-bitstream size for a slot class: its
+// explicit Bytes reconfiguration-cost parameter when set, otherwise the
+// size-model estimate from its capacity.
+func (m SizeModel) ClassBytes(c fabric.SlotClass) int64 {
+	if c.Bytes > 0 {
+		return c.Bytes
+	}
+	return m.PartialBytes(c.Cap)
 }
 
 // LoadTime returns how long the PCAP needs to stream b at the given

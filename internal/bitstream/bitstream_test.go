@@ -81,16 +81,16 @@ func TestRepositoryMustGetPanics(t *testing.T) {
 }
 
 func TestNameBuilders(t *testing.T) {
-	if TaskName("IC", "DCT", fabric.Little) != "IC/DCT@Little" {
+	if TaskName("IC", "DCT", "Little") != "IC/DCT@Little" {
 		t.Fatal("TaskName format")
 	}
-	if BundleName("IC", 0, "par") != "IC/bundle0-par@Big" {
+	if BundleName("IC", 0, "par", "Big") != "IC/bundle0-par@Big" {
 		t.Fatal("BundleName format")
 	}
 	if FullName("IC") != "IC/full" {
 		t.Fatal("FullName format")
 	}
-	if StaticName(fabric.BigLittle) != "static/Big.Little" {
+	if StaticName(fabric.ZCU216BigLittle) != "static/zcu216-big-little" {
 		t.Fatal("StaticName format")
 	}
 }

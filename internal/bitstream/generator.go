@@ -8,29 +8,42 @@ import (
 )
 
 // Generator models the paper's automated Vivado TCL flow: for every
-// application it emits one partial bitstream per (task, slot kind), the
+// application it emits one partial bitstream per (task, slot class), the
 // serial and parallel 3-in-1 bundle bitstreams for every feasible task
-// triple, a monolithic full-fabric bitstream (for the exclusive
-// baseline), and static-region bitstreams for both board configurations.
+// triple on every class large enough to hold them, a monolithic
+// full-fabric bitstream (for the exclusive baseline), and static-region
+// bitstreams for every platform.
 type Generator struct {
 	Size SizeModel
 	// BundleSize is the tasks-per-bundle count (the paper fixes 3).
 	BundleSize int
+	// Classes is the slot-class set partials are generated for; nil
+	// means every class of every registered platform.
+	Classes []fabric.SlotClass
 }
 
-// NewGenerator returns a generator with the default size model.
+// NewGenerator returns a generator with the default size model covering
+// the registered platforms' classes.
 func NewGenerator() *Generator {
 	return &Generator{Size: DefaultSizeModel(), BundleSize: 3}
 }
 
-// GenerateAll populates repo for every spec plus the static bitstreams.
+func (g *Generator) classes() []fabric.SlotClass {
+	if g.Classes != nil {
+		return g.Classes
+	}
+	return fabric.RegisteredClasses()
+}
+
+// GenerateAll populates repo for every spec plus the per-platform
+// static bitstreams.
 func (g *Generator) GenerateAll(repo *Repository, specs []*appmodel.AppSpec) {
 	for _, s := range specs {
 		g.GenerateApp(repo, s)
 	}
-	for _, cfg := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle, fabric.Monolithic} {
+	for _, p := range fabric.Platforms() {
 		repo.Put(&Bitstream{
-			Name:  StaticName(cfg),
+			Name:  StaticName(p.Name),
 			Kind:  Static,
 			Bytes: g.Size.FullBytes,
 		})
@@ -39,39 +52,45 @@ func (g *Generator) GenerateAll(repo *Repository, specs []*appmodel.AppSpec) {
 
 // GenerateApp emits every bitstream for one application.
 func (g *Generator) GenerateApp(repo *Repository, spec *appmodel.AppSpec) {
-	// Per-task partials, one per slot kind. A task occupies the same
-	// circuit either way; the Big-slot variant just configures the
-	// larger region (and so costs a longer PCAP load).
-	for i, t := range spec.Tasks {
-		for _, kind := range []fabric.SlotKind{fabric.Little, fabric.Big} {
+	classes := g.classes()
+	// Per-task partials, one per slot class the task fits. A task
+	// occupies the same circuit either way; a larger-class variant just
+	// configures the larger region (and so costs a longer PCAP load).
+	for _, t := range spec.Tasks {
+		for _, class := range classes {
+			if !t.Impl.FitsIn(class.Cap) {
+				continue // the circuit does not fit this region
+			}
 			repo.Put(&Bitstream{
-				Name:  TaskName(spec.Name, t.Name, kind),
+				Name:  TaskName(spec.Name, t.Name, class.Name),
 				Kind:  Partial,
-				Slot:  kind,
-				Bytes: g.Size.PartialBytes(kind.Capacity()),
+				Slot:  class.Name,
+				Bytes: g.Size.ClassBytes(class),
 				Impl:  t.Impl,
 				Synth: t.Synth,
 			})
-			_ = i
 		}
 	}
-	// Bundle bitstreams for each feasible consecutive triple.
+	// Bundle bitstreams for each feasible consecutive triple, per class
+	// large enough to hold the consolidated implementation.
 	if len(spec.Tasks)%g.BundleSize == 0 {
 		n := len(spec.Tasks) / g.BundleSize
 		for b := 0; b < n; b++ {
 			impl, synth := g.BundleRes(spec, b)
-			if !impl.FitsIn(fabric.BigSlotCap) {
-				continue // over-subscribed triple: no bundle bitstream
-			}
-			for _, mode := range []string{"par", "ser"} {
-				repo.Put(&Bitstream{
-					Name:  BundleName(spec.Name, b, mode),
-					Kind:  Partial,
-					Slot:  fabric.Big,
-					Bytes: g.Size.PartialBytes(fabric.BigSlotCap),
-					Impl:  impl,
-					Synth: synth,
-				})
+			for _, class := range classes {
+				if !impl.FitsIn(class.Cap) {
+					continue // over-subscribed triple: no bundle bitstream
+				}
+				for _, mode := range []string{"par", "ser"} {
+					repo.Put(&Bitstream{
+						Name:  BundleName(spec.Name, b, mode, class.Name),
+						Kind:  Partial,
+						Slot:  class.Name,
+						Bytes: g.Size.ClassBytes(class),
+						Impl:  impl,
+						Synth: synth,
+					})
+				}
 			}
 		}
 	}

@@ -30,19 +30,19 @@ func TestGenerateAppEmitsAllBitstreams(t *testing.T) {
 	repo := NewRepository()
 	NewGenerator().GenerateApp(repo, spec)
 
-	// One partial per (task, kind).
+	// One partial per (task, class) the task fits.
 	for _, task := range spec.Tasks {
-		for _, kind := range []fabric.SlotKind{fabric.Little, fabric.Big} {
-			if _, err := repo.Get(TaskName("X", task.Name, kind)); err != nil {
-				t.Errorf("missing %s", TaskName("X", task.Name, kind))
+		for _, class := range []string{"Little", "Big"} {
+			if _, err := repo.Get(TaskName("X", task.Name, class)); err != nil {
+				t.Errorf("missing %s", TaskName("X", task.Name, class))
 			}
 		}
 	}
-	// Two bundles, each with par and ser variants.
+	// Two bundles, each with par and ser variants, on the Big class.
 	for b := 0; b < 2; b++ {
 		for _, mode := range []string{"par", "ser"} {
-			if _, err := repo.Get(BundleName("X", b, mode)); err != nil {
-				t.Errorf("missing %s", BundleName("X", b, mode))
+			if _, err := repo.Get(BundleName("X", b, mode, "Big")); err != nil {
+				t.Errorf("missing %s", BundleName("X", b, mode, "Big"))
 			}
 		}
 	}
@@ -58,11 +58,11 @@ func TestGenerateSkipsOversubscribedBundles(t *testing.T) {
 	spec := genTestSpec("Fat", []float64{0.8, 0.8, 0.8}, 1.0)
 	repo := NewRepository()
 	NewGenerator().GenerateApp(repo, spec)
-	if _, err := repo.Get(BundleName("Fat", 0, "par")); err == nil {
+	if _, err := repo.Get(BundleName("Fat", 0, "par", "Big")); err == nil {
 		t.Fatal("oversubscribed bundle generated")
 	}
 	// Task partials still exist.
-	if _, err := repo.Get(TaskName("Fat", "a", fabric.Little)); err != nil {
+	if _, err := repo.Get(TaskName("Fat", "a", "Little")); err != nil {
 		t.Fatal("task partial missing")
 	}
 }
@@ -70,9 +70,9 @@ func TestGenerateSkipsOversubscribedBundles(t *testing.T) {
 func TestGenerateAllEmitsStatics(t *testing.T) {
 	repo := NewRepository()
 	NewGenerator().GenerateAll(repo, []*appmodel.AppSpec{genTestSpec("Y", []float64{0.3, 0.3, 0.3}, 0.9)})
-	for _, cfg := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle, fabric.Monolithic} {
-		if _, err := repo.Get(StaticName(cfg)); err != nil {
-			t.Errorf("missing static bitstream for %v", cfg)
+	for _, p := range fabric.Platforms() {
+		if _, err := repo.Get(StaticName(p.Name)); err != nil {
+			t.Errorf("missing static bitstream for %v", p.Name)
 		}
 	}
 }
@@ -105,8 +105,8 @@ func TestBigPartialLargerThanLittle(t *testing.T) {
 	spec := genTestSpec("V", []float64{0.3, 0.3, 0.3}, 0.9)
 	repo := NewRepository()
 	NewGenerator().GenerateApp(repo, spec)
-	little := repo.MustGet(TaskName("V", "a", fabric.Little))
-	big := repo.MustGet(TaskName("V", "a", fabric.Big))
+	little := repo.MustGet(TaskName("V", "a", "Little"))
+	big := repo.MustGet(TaskName("V", "a", "Big"))
 	if big.Bytes <= little.Bytes {
 		t.Fatal("Big-slot partial not larger than Little's")
 	}

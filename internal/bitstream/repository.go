@@ -3,8 +3,6 @@ package bitstream
 import (
 	"fmt"
 	"sort"
-
-	"versaslot/internal/fabric"
 )
 
 // Repository is the SD-card store of pre-generated bitstreams: for every
@@ -73,15 +71,16 @@ func (r *Repository) Names() []string {
 	return names
 }
 
-// TaskName builds the repository key for a task's partial bitstream.
-func TaskName(app, task string, kind fabric.SlotKind) string {
-	return fmt.Sprintf("%s/%s@%s", app, task, kind)
+// TaskName builds the repository key for a task's partial bitstream
+// targeting the named slot class.
+func TaskName(app, task, class string) string {
+	return fmt.Sprintf("%s/%s@%s", app, task, class)
 }
 
-// BundleName builds the repository key for a 3-in-1 bundle bitstream.
-// Mode is "par" or "ser".
-func BundleName(app string, bundleIdx int, mode string) string {
-	return fmt.Sprintf("%s/bundle%d-%s@Big", app, bundleIdx, mode)
+// BundleName builds the repository key for a 3-in-1 bundle bitstream
+// targeting the named slot class. Mode is "par" or "ser".
+func BundleName(app string, bundleIdx int, mode, class string) string {
+	return fmt.Sprintf("%s/bundle%d-%s@%s", app, bundleIdx, mode, class)
 }
 
 // FullName builds the repository key for an app's monolithic full-fabric
@@ -90,7 +89,7 @@ func FullName(app string) string {
 	return fmt.Sprintf("%s/full", app)
 }
 
-// StaticName builds the repository key for a board config's static region.
-func StaticName(config fabric.BoardConfig) string {
-	return fmt.Sprintf("static/%s", config)
+// StaticName builds the repository key for a platform's static region.
+func StaticName(platform string) string {
+	return fmt.Sprintf("static/%s", platform)
 }

@@ -1,35 +1,106 @@
 package bitstream
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"versaslot/internal/appmodel"
+	"versaslot/internal/fabric"
 )
 
 // suiteOnce guards the one-time generation of the shared suite
 // repository. The bitstream set for the paper's application suite is a
-// pure function of the default size model, so every board in the
-// process can share a single immutable copy — a 128-pair farm
-// previously rebuilt 256 identical repositories.
+// pure function of the default size model and the platform registry, so
+// every board in the process can share a single immutable copy — a
+// 128-pair farm previously rebuilt 256 identical repositories.
 var (
-	suiteOnce sync.Once
-	suiteRepo *Repository
+	suiteOnce    sync.Once
+	suiteRepo    *Repository
+	suiteClasses map[string]bool // class names the suite repo covers
 )
 
 // SuiteRepo returns the process-wide immutable repository holding every
 // bitstream of the paper's application suite (per-task partials for
-// both slot kinds, 3-in-1 bundles, full-fabric exclusives, and static
+// every registered slot class the task fits, bundle bitstreams per
+// class large enough, full-fabric exclusives, and per-platform static
 // regions), generated once with the default generator and frozen before
 // publication. Safe for concurrent use; callers must treat it as
 // read-only — Put on it panics.
 //
-// Systems with a non-default size model or spec set still build their
-// own repository via NewGenerator/GenerateAll.
+// Platforms registered after the first SuiteRepo call are not covered;
+// register platforms at init time (the registry path) or build a
+// dedicated repository via RepoFor/NewGenerator.
 func SuiteRepo() *Repository {
 	suiteOnce.Do(func() {
 		repo := NewRepository()
 		NewGenerator().GenerateAll(repo, appmodel.Suite())
 		suiteRepo = repo.Freeze()
+		suiteClasses = make(map[string]bool)
+		for _, c := range fabric.RegisteredClasses() {
+			suiteClasses[c.Name] = true
+		}
 	})
 	return suiteRepo
+}
+
+// extraRepos caches the dedicated repositories RepoFor builds for
+// platforms the frozen suite repository does not cover, keyed by the
+// exact slot-class set (name, capacity, bytes) — so a K-pair farm on
+// an uncovered platform generates its bitstreams once, not 2K times.
+var (
+	extraMu    sync.Mutex
+	extraRepos = map[string]*Repository{}
+)
+
+// RepoFor returns a repository covering the platform's slot classes:
+// the shared frozen suite repository when it already covers every
+// class, otherwise a dedicated (cached, frozen) repository generated
+// for the suite specs plus this platform's classes (inline custom
+// platforms and platforms registered after the suite froze).
+func RepoFor(p *fabric.Platform) *Repository {
+	repo := SuiteRepo()
+	covered := true
+	for _, c := range p.Classes {
+		if !suiteClasses[c.Name] {
+			covered = false
+			break
+		}
+	}
+	if covered {
+		return repo
+	}
+	// Deduplicate by class name (registry classes first; the registry
+	// and spec resolution both enforce one capacity per name).
+	classes := fabric.RegisteredClasses()
+	have := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		have[c.Name] = true
+	}
+	for _, c := range p.Classes {
+		if !have[c.Name] {
+			have[c.Name] = true
+			classes = append(classes, c)
+		}
+	}
+	keys := make([]string, 0, len(classes))
+	for _, c := range classes {
+		keys = append(keys, fmt.Sprintf("%s=%v/%d", c.Name, c.Cap, c.Bytes))
+	}
+	sort.Strings(keys)
+	key := strings.Join(keys, ";")
+
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	if own, ok := extraRepos[key]; ok {
+		return own
+	}
+	g := NewGenerator()
+	g.Classes = classes
+	own := NewRepository()
+	g.GenerateAll(own, appmodel.Suite())
+	own.Freeze()
+	extraRepos[key] = own
+	return own
 }

@@ -21,10 +21,10 @@ func TestSuiteRepoShared(t *testing.T) {
 		t.Fatal("suite repository is empty")
 	}
 	// The suite must cover what engines resolve at runtime: static
-	// regions for every board configuration.
-	for _, cfg := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle, fabric.Monolithic} {
-		if _, err := a.Get(StaticName(cfg)); err != nil {
-			t.Fatalf("suite repo missing %s: %v", StaticName(cfg), err)
+	// regions for every registered platform.
+	for _, p := range fabric.Platforms() {
+		if _, err := a.Get(StaticName(p.Name)); err != nil {
+			t.Fatalf("suite repo missing %s: %v", StaticName(p.Name), err)
 		}
 	}
 }

@@ -12,22 +12,28 @@ import (
 // its fewer idle task cycles in pipelines than a larger size."
 const Size = 3
 
-// CanBundle reports whether an application can execute in Big slots:
-// its task count must divide by the bundle size and every consecutive
-// triple must fit a Big slot after eta-scaled consolidation. This is
-// the canBundle(Ai) predicate of Algorithm 1.
-func CanBundle(spec *appmodel.AppSpec) bool {
+// CanBundleIn reports whether an application can execute in slots of
+// the given capacity: its task count must divide by the bundle size and
+// every consecutive triple must fit the capacity after eta-scaled
+// consolidation. This is the canBundle(Ai) predicate of Algorithm 1,
+// parameterized by the slot class the bundles would target.
+func CanBundleIn(spec *appmodel.AppSpec, cap fabric.ResVec) bool {
 	if len(spec.Tasks) == 0 || len(spec.Tasks)%Size != 0 {
 		return false
 	}
 	g := bitstream.NewGenerator()
 	for b := 0; b < len(spec.Tasks)/Size; b++ {
 		impl, _ := g.BundleRes(spec, b)
-		if !impl.FitsIn(fabric.BigSlotCap) {
+		if !impl.FitsIn(cap) {
 			return false
 		}
 	}
 	return true
+}
+
+// CanBundle is CanBundleIn against the paper's Big slot capacity.
+func CanBundle(spec *appmodel.AppSpec) bool {
+	return CanBundleIn(spec, fabric.BigSlotCap)
 }
 
 // Count returns the number of bundles of an app (0 if not bundleable).
@@ -36,6 +42,26 @@ func Count(spec *appmodel.AppSpec) int {
 		return 0
 	}
 	return len(spec.Tasks) / Size
+}
+
+// Hostable reports whether an application can execute at all on a
+// platform: either every task fits the platform's base (smallest) slot
+// class, or — on heterogeneous platforms — the app bundles into the
+// largest class. Capacity-aware farm dispatchers route around pairs
+// whose platforms cannot host an arriving application.
+func Hostable(spec *appmodel.AppSpec, p *fabric.Platform) bool {
+	base := p.Smallest().Cap
+	all := true
+	for _, t := range spec.Tasks {
+		if !t.Impl.FitsIn(base) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return true
+	}
+	return p.Heterogeneous() && CanBundleIn(spec, p.Largest().Cap)
 }
 
 // SelectMode picks the internal organization of one bundle for a given
@@ -65,22 +91,24 @@ func Modes(spec *appmodel.AppSpec, batch int) []appmodel.BundleMode {
 	return modes
 }
 
-// Build installs the bundled (Big-slot) execution plan on app.
-func Build(app *appmodel.App) []*appmodel.Stage {
+// Build installs the bundled execution plan on app, targeting the
+// named big-role slot class.
+func Build(app *appmodel.App, class string) []*appmodel.Stage {
 	modes := Modes(app.Spec, app.Batch)
-	return appmodel.BundleStages(app, Size, modes, func(b int, m appmodel.BundleMode) string {
+	return appmodel.BundleStages(app, class, Size, modes, func(b int, m appmodel.BundleMode) string {
 		tag := "par"
 		if m == appmodel.BundleSerial {
 			tag = "ser"
 		}
-		return bitstream.BundleName(app.Spec.Name, b, tag)
+		return bitstream.BundleName(app.Spec.Name, b, tag, class)
 	})
 }
 
-// BuildLittle installs the per-task (Little-slot) execution plan on app.
-func BuildLittle(app *appmodel.App) []*appmodel.Stage {
-	return appmodel.TaskStages(app, 1.0, func(task int) string {
-		return bitstream.TaskName(app.Spec.Name, app.Spec.Tasks[task].Name, fabric.Little)
+// BuildTasks installs the per-task execution plan on app, targeting the
+// named base slot class.
+func BuildTasks(app *appmodel.App, class string) []*appmodel.Stage {
+	return appmodel.TaskStages(app, class, 1.0, func(task int) string {
+		return bitstream.TaskName(app.Spec.Name, app.Spec.Tasks[task].Name, class)
 	})
 }
 

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"versaslot/internal/appmodel"
-	"versaslot/internal/fabric"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
 )
@@ -88,12 +87,12 @@ func TestSelectModeMatchesTotals(t *testing.T) {
 
 func TestBuildInstallsBundleStages(t *testing.T) {
 	a := appmodel.NewApp(1, workload.OF, 12, 0)
-	stages := Build(a)
+	stages := Build(a, "Big")
 	if len(stages) != 3 {
 		t.Fatalf("OF bundle stages %d", len(stages))
 	}
 	for i, st := range stages {
-		if st.Kind != fabric.Big {
+		if st.Class != "Big" {
 			t.Fatalf("bundle stage %d not Big", i)
 		}
 		if st.TaskCount != 3 || st.FirstTask != i*3 {
@@ -107,13 +106,13 @@ func TestBuildInstallsBundleStages(t *testing.T) {
 
 func TestBuildLittleInstallsTaskStages(t *testing.T) {
 	a := appmodel.NewApp(1, workload.LeNet, 5, 0)
-	stages := BuildLittle(a)
+	stages := BuildTasks(a, "Little")
 	if len(stages) != 6 {
 		t.Fatalf("LeNet task stages %d", len(stages))
 	}
 	for _, st := range stages {
-		if st.Kind != fabric.Little || st.Mode != appmodel.NoBundle {
-			t.Fatal("little stage wrong kind/mode")
+		if st.Class != "Little" || st.Mode != appmodel.NoBundle {
+			t.Fatal("little stage wrong class/mode")
 		}
 	}
 }

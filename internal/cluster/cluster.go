@@ -5,6 +5,7 @@ import (
 
 	"versaslot/internal/appmodel"
 	"versaslot/internal/bitstream"
+	"versaslot/internal/bundle"
 	"versaslot/internal/fabric"
 	"versaslot/internal/hypervisor"
 	"versaslot/internal/interlink"
@@ -15,12 +16,22 @@ import (
 	"versaslot/internal/workload"
 )
 
+// pairModes is the fixed mode iteration order that keeps pair
+// bookkeeping and metric merging deterministic.
+var pairModes = []migrate.Mode{migrate.Base, migrate.Boost}
+
 // Config parameterizes a two-board switching cluster.
 type Config struct {
 	Params sched.Params
-	// StartMode is the initially active configuration (paper: the
+	// BasePlatform and BoostPlatform name the pair's two board
+	// platforms in the registry: the base board serves steady load, the
+	// boost board is what the D_switch trigger flips to under sustained
+	// contention. Empty values select the paper's pair
+	// (zcu216-only-little / zcu216-big-little).
+	BasePlatform, BoostPlatform string
+	// StartMode is the initially active configuration (paper: the base
 	// Only.Little board).
-	StartMode fabric.BoardConfig
+	StartMode migrate.Mode
 	// ThresholdUp/ThresholdDown are the Schmitt-trigger levels.
 	ThresholdUp, ThresholdDown float64
 	// WindowUpdates is n: D_switch recomputes every n candidate-queue
@@ -38,7 +49,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Params:        sched.DefaultParams(),
-		StartMode:     fabric.OnlyLittle,
+		StartMode:     migrate.Base,
 		ThresholdUp:   migrate.DefaultThresholdUp,
 		ThresholdDown: migrate.DefaultThresholdDown,
 		WindowUpdates: 4,
@@ -47,25 +58,49 @@ func DefaultConfig() Config {
 	}
 }
 
+// platformFor resolves the configured platform of a mode, defaulting
+// to the paper's pair.
+func (c Config) platformFor(m migrate.Mode) (*fabric.Platform, error) {
+	name := c.BasePlatform
+	fallback := fabric.ZCU216OnlyLittle
+	if m == migrate.Boost {
+		name, fallback = c.BoostPlatform, fabric.ZCU216BigLittle
+	}
+	if name == "" {
+		name = fallback
+	}
+	p, ok := fabric.LookupPlatform(name)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown platform %q (registered: %v)", name, fabric.PlatformNames())
+	}
+	if p.Virtual {
+		return nil, fmt.Errorf("cluster: platform %q is the monolithic baseline template; switching pairs need DPR slots", p.Name)
+	}
+	return p, nil
+}
+
 // TracePoint is one D_switch evaluation (Fig. 8 left).
 type TracePoint struct {
 	At        sim.Time
 	Completed int
 	D         float64
-	Mode      fabric.BoardConfig
+	Mode      migrate.Mode
 	Decision  migrate.Decision
 }
 
-// Cluster is a two-board system: one Only.Little board, one Big.Little
-// board, an Aurora link, and the switch controller.
+// Cluster is a two-board switching pair: a base board, a boost board
+// (by default the paper's Only.Little / Big.Little ZCU216 pair, but
+// any registered DPR platforms), an Aurora link, and the switch
+// controller.
 type Cluster struct {
 	K    *sim.Kernel
 	Cfg  Config
 	Link *interlink.Link
 
-	engines map[fabric.BoardConfig]*sched.Engine
-	active  fabric.BoardConfig
-	trigger *migrate.Trigger
+	engines   [2]*sched.Engine
+	platforms [2]*fabric.Platform
+	active    migrate.Mode
+	trigger   *migrate.Trigger
 
 	updates    int
 	dSmoothed  float64
@@ -77,67 +112,87 @@ type Cluster struct {
 
 	// OnSwitch fires when a cross-board switch is initiated (streaming
 	// observer hook).
-	OnSwitch func(from, to fabric.BoardConfig)
+	OnSwitch func(from, to migrate.Mode)
 }
 
 // New builds the cluster with both boards pre-configured (the paper's
 // point: the static regions are fixed at start-up; switching between
 // them at runtime is what live migration buys).
 func New(cfg Config) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewCluster builds the cluster, returning an error for unknown or
+// unusable platform assignments.
+func NewCluster(cfg Config) (*Cluster, error) {
 	return buildCluster(sim.NewKernel(cfg.Seed), cfg, 0)
 }
 
 // buildCluster wires a switching pair onto an existing kernel; Farm
 // places several pairs on one kernel.
-func buildCluster(k *sim.Kernel, cfg Config, firstBoardID int) *Cluster {
-	// All boards share the process-wide immutable suite repository: a
-	// farm of N pairs no longer rebuilds 2N identical bitstream stores.
-	repo := bitstream.SuiteRepo()
-
+func buildCluster(k *sim.Kernel, cfg Config, firstBoardID int) (*Cluster, error) {
 	c := &Cluster{
 		K:       k,
 		Cfg:     cfg,
 		Link:    interlink.NewDefault(k, fmt.Sprintf("aurora%d", firstBoardID/2)),
-		engines: make(map[fabric.BoardConfig]*sched.Engine),
 		active:  cfg.StartMode,
 		trigger: migrate.NewTrigger(cfg.StartMode, cfg.ThresholdUp, cfg.ThresholdDown),
 	}
 
 	boardID := firstBoardID
-	for _, mode := range []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle} {
-		board := fabric.NewBoard(boardID, mode)
+	for _, mode := range pairModes {
+		platform, err := cfg.platformFor(mode)
+		if err != nil {
+			return nil, err
+		}
+		// Boards share the process-wide immutable suite repository
+		// whenever it covers the platform's slot classes: a farm of N
+		// pairs no longer rebuilds 2N identical bitstream stores.
+		board := fabric.NewBoard(boardID, platform)
 		boardID++
-		e := sched.NewEngine(k, cfg.Params, board, hypervisor.DualCore, repo)
+		e := sched.NewEngine(k, cfg.Params, board, hypervisor.DualCore, bitstream.RepoFor(platform))
 		var p sched.Policy
-		if mode == fabric.OnlyLittle {
-			p = sched.NewVersaSlotOL()
-		} else {
+		if platform.Heterogeneous() {
 			p = sched.NewVersaSlotBL()
+		} else {
+			p = sched.NewVersaSlotOL()
 		}
 		e.SetPolicy(p)
 		e.OnQueueUpdate = c.onQueueUpdate
 		e.OnAppFinished = c.onAppFinished
 		c.engines[mode] = e
+		c.platforms[mode] = platform
 	}
 	// The spare starts frozen: it only executes after a switch.
 	c.spareEngine().SetFrozen(true)
-	return c
+	return c, nil
 }
 
 // ActiveMode returns the currently active configuration.
-func (c *Cluster) ActiveMode() fabric.BoardConfig { return c.active }
+func (c *Cluster) ActiveMode() migrate.Mode { return c.active }
 
-// Engine returns the engine of a configuration.
-func (c *Cluster) Engine(mode fabric.BoardConfig) *sched.Engine { return c.engines[mode] }
+// Engine returns the engine of a mode.
+func (c *Cluster) Engine(mode migrate.Mode) *sched.Engine { return c.engines[mode] }
+
+// Platform returns the platform assigned to a mode.
+func (c *Cluster) Platform(mode migrate.Mode) *fabric.Platform { return c.platforms[mode] }
+
+// CanHost reports whether the pair can execute an application spec on
+// both of its platforms — the capacity test heterogeneous-farm
+// dispatchers apply before routing (the pair may switch at any time,
+// so the app must fit wherever it lands).
+func (c *Cluster) CanHost(spec *appmodel.AppSpec) bool {
+	return bundle.Hostable(spec, c.platforms[migrate.Base]) &&
+		bundle.Hostable(spec, c.platforms[migrate.Boost])
+}
 
 func (c *Cluster) activeEngine() *sched.Engine { return c.engines[c.active] }
 
-func (c *Cluster) spareEngine() *sched.Engine {
-	if c.active == fabric.OnlyLittle {
-		return c.engines[fabric.BigLittle]
-	}
-	return c.engines[fabric.OnlyLittle]
-}
+func (c *Cluster) spareEngine() *sched.Engine { return c.engines[c.active.Other()] }
 
 // Inject schedules the workload sequence: each arrival routes to
 // whichever board is active at its arrival instant.
@@ -145,6 +200,12 @@ func (c *Cluster) Inject(seq *workload.Sequence) error {
 	apps, err := seq.Instantiate(c.totalApps)
 	if err != nil {
 		return err
+	}
+	for _, a := range apps {
+		if !c.CanHost(a.Spec) {
+			return fmt.Errorf("cluster: app %v (%s) fits no slot class of the pair's platforms (%s/%s)",
+				a, a.Spec.Name, c.platforms[migrate.Base].Name, c.platforms[migrate.Boost].Name)
+		}
 	}
 	c.totalApps += len(apps)
 	for _, a := range apps {
@@ -157,7 +218,8 @@ func (c *Cluster) Inject(seq *workload.Sequence) error {
 // Run executes to completion and returns the merged summary.
 func (c *Cluster) Run() Summary {
 	c.K.Run()
-	for _, e := range c.engines {
+	for _, mode := range pairModes {
+		e := c.engines[mode]
 		e.FlushResidency()
 		e.CheckQuiescent()
 	}
@@ -176,8 +238,8 @@ func (c *Cluster) onQueueUpdate() {
 		return
 	}
 	var blocked uint64
-	for _, e := range c.engines {
-		b, _ := e.ResetWindow()
+	for _, mode := range pairModes {
+		b, _ := c.engines[mode].ResetWindow()
 		blocked += b
 	}
 	// N_PR is the stock of PR tasks owned by completed and running
@@ -186,7 +248,8 @@ func (c *Cluster) onQueueUpdate() {
 	// the lower threshold once contention subsides.
 	var prTasks uint64
 	var candidates []*appmodel.App
-	for _, e := range c.engines {
+	for _, mode := range pairModes {
+		e := c.engines[mode]
 		candidates = append(candidates, e.Active...)
 		for _, a := range e.Apps {
 			if a.State == appmodel.StateFinished || a.Started {
@@ -228,13 +291,13 @@ func (c *Cluster) onQueueUpdate() {
 // a subsequent switch pays no storage misses.
 func (c *Cluster) prewarm() {
 	spare := c.spareEngine()
-	target := spare.Board.Config
+	target := c.platforms[c.active.Other()]
 	for _, a := range c.activeEngine().Active {
 		warmNamesFor(spare, target, a)
 	}
 }
 
-func warmNamesFor(e *sched.Engine, target fabric.BoardConfig, a *appmodel.App) {
+func warmNamesFor(e *sched.Engine, target *fabric.Platform, a *appmodel.App) {
 	for _, name := range stageBitstreams(target, a) {
 		if _, err := e.Repo.Get(name); err == nil {
 			e.Cache.Warm(name)
@@ -307,8 +370,8 @@ type Summary struct {
 
 func (c *Cluster) summarize() Summary {
 	var samples []metrics.ResponseSample
-	for _, e := range c.engines {
-		samples = append(samples, e.Col.Responses...)
+	for _, mode := range pairModes {
+		samples = append(samples, c.engines[mode].Col.Responses...)
 	}
 	s := Summary{Apps: len(samples), Switches: len(c.Migrations), Trace: c.Trace}
 	if len(samples) > 0 {

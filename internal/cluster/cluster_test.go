@@ -47,7 +47,7 @@ func TestClusterSwitchesUnderContention(t *testing.T) {
 	cfg := DefaultConfig()
 	for i, p := range sum.Trace {
 		if p.Decision == migrate.Switch {
-			fromOL := p.Mode == fabric.OnlyLittle
+			fromOL := p.Mode == migrate.Base
 			if fromOL && p.D < cfg.ThresholdUp {
 				t.Fatalf("trace %d: OL->BL switch below T1 (D=%v)", i, p.D)
 			}
@@ -104,12 +104,12 @@ func TestClusterBothEnginesQuiesce(t *testing.T) {
 
 func TestClusterStartsOnConfiguredBoard(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.StartMode = fabric.BigLittle
+	cfg.StartMode = migrate.Boost
 	cl := New(cfg)
-	if cl.ActiveMode() != fabric.BigLittle {
+	if cl.ActiveMode() != migrate.Boost {
 		t.Fatal("start mode ignored")
 	}
-	if cl.Engine(fabric.OnlyLittle) == nil || cl.Engine(fabric.BigLittle) == nil {
+	if cl.Engine(migrate.Base) == nil || cl.Engine(migrate.Boost) == nil {
 		t.Fatal("boards missing")
 	}
 }

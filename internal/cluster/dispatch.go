@@ -16,6 +16,13 @@ import (
 // kernel. Implementations must be deterministic: any randomness must
 // come from the farm kernel's RNG, never from global state, so that
 // parallel sweeps reproduce sequential runs byte for byte.
+//
+// Dispatchers must be capacity-aware: on heterogeneous farms,
+// Farm.Eligible(a) returns the pair indices whose platforms can host
+// the application, and Pick must choose among them (an application
+// that fits no slot of a small-board pair has to route elsewhere; the
+// farm panics on an incompatible pick). A nil eligible set means every
+// pair qualifies.
 type Dispatcher interface {
 	// Name identifies the dispatcher in results ("least-loaded").
 	Name() string
@@ -128,11 +135,21 @@ func init() {
 // leastLoadedDispatch picks the pair with the fewest unfinished apps,
 // reading the farm's incrementally-maintained load counters (O(pairs)
 // per arrival instead of the former O(pairs x engines) queue scan).
+// On heterogeneous farms the scan is restricted to eligible pairs.
 type leastLoadedDispatch struct{ f *Farm }
 
 func (d *leastLoadedDispatch) Name() string { return DispatchLeastLoaded }
 func (d *leastLoadedDispatch) Init(f *Farm) { d.f = f }
-func (d *leastLoadedDispatch) Pick(*appmodel.App) int {
+func (d *leastLoadedDispatch) Pick(a *appmodel.App) int {
+	if elig := d.f.Eligible(a); elig != nil {
+		best := elig[0]
+		for _, i := range elig[1:] {
+			if d.f.load[i] < d.f.load[best] {
+				best = i
+			}
+		}
+		return best
+	}
 	best := 0
 	for i, load := range d.f.load {
 		if load < d.f.load[best] {
@@ -142,7 +159,8 @@ func (d *leastLoadedDispatch) Pick(*appmodel.App) int {
 	return best
 }
 
-// roundRobinDispatch cycles arrivals across pairs.
+// roundRobinDispatch cycles arrivals across pairs, skipping pairs that
+// cannot host the arriving application.
 type roundRobinDispatch struct {
 	f    *Farm
 	next int
@@ -150,20 +168,50 @@ type roundRobinDispatch struct {
 
 func (d *roundRobinDispatch) Name() string { return DispatchRoundRobin }
 func (d *roundRobinDispatch) Init(f *Farm) { d.f = f }
-func (d *roundRobinDispatch) Pick(*appmodel.App) int {
+func (d *roundRobinDispatch) Pick(a *appmodel.App) int {
+	n := len(d.f.Pairs)
+	if elig := d.f.Eligible(a); elig != nil {
+		// Advance the cursor past ineligible pairs; the cursor still
+		// rotates over the full pair set so eligible apps keep cycling.
+		for tries := 0; tries < n; tries++ {
+			idx := d.next
+			d.next = (d.next + 1) % n
+			if containsPair(elig, idx) {
+				return idx
+			}
+		}
+		return elig[0]
+	}
 	idx := d.next
-	d.next = (d.next + 1) % len(d.f.Pairs)
+	d.next = (d.next + 1) % n
 	return idx
 }
 
 // powerOfTwoDispatch samples two distinct pairs from the farm kernel's
 // RNG and routes to the less loaded one (ties to the first sample).
-// With one pair it degenerates to that pair.
+// With one pair it degenerates to that pair. On heterogeneous farms
+// the two samples are drawn from the eligible pair set.
 type powerOfTwoDispatch struct{ f *Farm }
 
 func (d *powerOfTwoDispatch) Name() string { return DispatchPowerOfTwo }
 func (d *powerOfTwoDispatch) Init(f *Farm) { d.f = f }
-func (d *powerOfTwoDispatch) Pick(*appmodel.App) int {
+func (d *powerOfTwoDispatch) Pick(a *appmodel.App) int {
+	if elig := d.f.Eligible(a); elig != nil {
+		n := len(elig)
+		if n == 1 {
+			return elig[0]
+		}
+		rng := d.f.K.RNG()
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		if d.f.load[elig[j]] < d.f.load[elig[i]] {
+			return elig[j]
+		}
+		return elig[i]
+	}
 	n := len(d.f.Pairs)
 	if n == 1 {
 		return 0
@@ -183,30 +231,39 @@ func (d *powerOfTwoDispatch) Pick(*appmodel.App) int {
 // affinityDispatch scores each pair by how many of the app's stage
 // bitstreams its active board already caches (pre-warmed by earlier
 // runs of the same spec, so PR pays no SD-card streaming), and picks
-// the warmest pair; load breaks ties, then pair index.
+// the warmest eligible pair; load breaks ties, then pair index.
 type affinityDispatch struct{ f *Farm }
 
 func (d *affinityDispatch) Name() string { return DispatchAffinity }
 func (d *affinityDispatch) Init(f *Farm) { d.f = f }
 func (d *affinityDispatch) Pick(a *appmodel.App) int {
-	// The name list depends only on (board config, app) and there are
-	// two configs, so build each at most once per arrival instead of
-	// once per pair — scoring stays O(pairs) on the dispatch hot path.
-	var names [2][]string
-	namesFor := func(cfg fabric.BoardConfig) []string {
-		idx := 0
-		if cfg == fabric.BigLittle {
-			idx = 1
-		}
-		if names[idx] == nil {
-			names[idx] = stageBitstreams(cfg, a)
-		}
-		return names[idx]
+	// The name list depends only on (platform, app) and farms mix at
+	// most a handful of platforms, so build each list at most once per
+	// arrival instead of once per pair — scoring stays O(pairs) on the
+	// dispatch hot path.
+	type platNames struct {
+		p     *fabric.Platform
+		names []string
 	}
-	best, bestScore := 0, -1
+	var cache []platNames
+	namesFor := func(p *fabric.Platform) []string {
+		for _, c := range cache {
+			if c.p == p {
+				return c.names
+			}
+		}
+		names := stageBitstreams(p, a)
+		cache = append(cache, platNames{p, names})
+		return names
+	}
+	elig := d.f.Eligible(a)
+	best, bestScore := -1, -1
 	for i, p := range d.f.Pairs {
-		score := cacheAffinity(p.activeEngine(), namesFor(p.ActiveMode()))
-		better := score > bestScore ||
+		if elig != nil && !containsPair(elig, i) {
+			continue
+		}
+		score := cacheAffinity(p.activeEngine(), namesFor(p.Platform(p.ActiveMode())))
+		better := best < 0 || score > bestScore ||
 			(score == bestScore && d.f.load[i] < d.f.load[best])
 		if better {
 			best, bestScore = i, score
@@ -228,25 +285,25 @@ func cacheAffinity(e *sched.Engine, names []string) int {
 	return score
 }
 
-// stageBitstreams lists the bitstream names an app needs on a board
-// configuration — the same name set the pre-warm step stages ahead of
-// a switch.
-func stageBitstreams(target fabric.BoardConfig, a *appmodel.App) []string {
+// stageBitstreams lists the bitstream names an app would use on a
+// platform — the same name set the pre-warm step stages ahead of a
+// switch: per-task partials for the base class, plus (on heterogeneous
+// platforms) the bundle partials for the big-role class.
+func stageBitstreams(target *fabric.Platform, a *appmodel.App) []string {
 	var names []string
-	switch target {
-	case fabric.BigLittle:
+	if target.Heterogeneous() {
+		big := target.Largest().Name
 		if n := len(a.Spec.Tasks) / 3; n > 0 {
 			for b := 0; b < n; b++ {
 				for _, mode := range []string{"par", "ser"} {
-					names = append(names, bitstream.BundleName(a.Spec.Name, b, mode))
+					names = append(names, bitstream.BundleName(a.Spec.Name, b, mode, big))
 				}
 			}
 		}
-		fallthrough
-	case fabric.OnlyLittle:
-		for _, t := range a.Spec.Tasks {
-			names = append(names, bitstream.TaskName(a.Spec.Name, t.Name, fabric.Little))
-		}
+	}
+	base := target.Smallest().Name
+	for _, t := range a.Spec.Tasks {
+		names = append(names, bitstream.TaskName(a.Spec.Name, t.Name, base))
 	}
 	return names
 }

@@ -119,7 +119,7 @@ func TestAffinityPrefersWarmPair(t *testing.T) {
 	}
 	a := apps[0]
 	warm := f.Pairs[1].activeEngine()
-	warmNamesFor(warm, warm.Board.Config, a)
+	warmNamesFor(warm, warm.Board.Platform, a)
 	if idx := f.dispatcher.Pick(a); idx != 1 {
 		t.Errorf("affinity picked pair %d, want the pre-warmed pair 1", idx)
 	}

@@ -8,11 +8,16 @@
 //
 // A Farm is K switching pairs behind a pluggable arrival dispatcher
 // (least-loaded, round-robin, power-of-two, bitstream-affinity, or a
-// third-party RegisterDispatcher registration). Per-pair load is
-// maintained incrementally from engine lifecycle hooks, so dispatch
-// is O(pairs) per arrival; an optional rebalancer generalizes the
-// pair-internal live migration to pair-to-pair transfers over a
-// rack-level link.
+// third-party RegisterDispatcher registration). Pairs take per-pair
+// platform assignments (FarmConfig.PairPlatforms), so a farm can mix
+// board types — ZCU216 Big.Little pairs next to U250 quads and
+// PYNQ-class edge boards. Dispatchers are capacity-aware: an
+// application routes only to pairs whose slot classes can hold it,
+// and cross-pair rebalancing validates destination compatibility the
+// same way. Per-pair load is maintained incrementally from engine
+// lifecycle hooks, so dispatch is O(pairs) per arrival; an optional
+// rebalancer generalizes the pair-internal live migration to
+// pair-to-pair transfers over a rack-level link.
 //
 // All boards of a farm run in one simulation kernel, so farm runs
 // keep the kernel's determinism guarantee: same configuration and

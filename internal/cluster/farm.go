@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"versaslot/internal/appmodel"
-	"versaslot/internal/fabric"
 	"versaslot/internal/interlink"
 	"versaslot/internal/metrics"
 	"versaslot/internal/migrate"
@@ -13,9 +12,13 @@ import (
 	"versaslot/internal/workload"
 )
 
-// pairModes is the fixed board-mode iteration order that keeps farm
-// bookkeeping and metric merging deterministic (engines live in a map).
-var pairModes = []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle}
+// PairPlatforms assigns the two board platforms of one switching pair.
+// Empty fields fall back to the farm's pair defaults (and ultimately
+// to the paper's zcu216-only-little / zcu216-big-little pair).
+type PairPlatforms struct {
+	Base  string `json:"base,omitempty"`
+	Boost string `json:"boost,omitempty"`
+}
 
 // FarmConfig parameterizes a farm: the per-pair switching setup, the
 // farm size, the arrival dispatcher, and the cross-pair rebalancer.
@@ -24,6 +27,12 @@ type FarmConfig struct {
 	Pair Config
 	// Pairs is the farm size (number of switching pairs).
 	Pairs int
+	// PairPlatforms assigns platforms per pair: entry i configures pair
+	// i; missing entries (or empty fields) inherit Pair's platforms. A
+	// farm can therefore mix board types — e.g. ZCU216 Big.Little pairs
+	// next to U250 quad-slot pairs — and the dispatcher routes each
+	// application only to pairs whose slot classes can hold it.
+	PairPlatforms []PairPlatforms
 	// Dispatcher is a registered dispatcher name; empty means
 	// least-loaded (the farm's historical default).
 	Dispatcher string
@@ -52,14 +61,32 @@ func (c FarmConfig) gap() int {
 	return c.RebalanceGap
 }
 
+// pairConfig returns the cluster Config of pair i with its platform
+// assignment applied.
+func (c FarmConfig) pairConfig(i int) Config {
+	pc := c.Pair
+	pc.Seed = c.Pair.Seed + uint64(i)
+	if i < len(c.PairPlatforms) {
+		if p := c.PairPlatforms[i].Base; p != "" {
+			pc.BasePlatform = p
+		}
+		if p := c.PairPlatforms[i].Boost; p != "" {
+			pc.BoostPlatform = p
+		}
+	}
+	return pc
+}
+
 // Farm scales the paper's two-board switching unit to a rack: K
-// independent Only.Little/Big.Little pairs behind a pluggable
-// dispatcher. Each pair runs its own D_switch loop; the dispatcher
-// chooses which pair an arriving application joins, and the optional
-// rebalancer live-migrates queued applications between pairs when
-// their loads diverge — generalizing the paper's board-to-board
-// migration ("a single available FPGA can enable cross-board switching
-// for the entire system") to pair-to-pair transfers over a rack link.
+// switching pairs — possibly of different board platforms — behind a
+// pluggable, capacity-aware dispatcher. Each pair runs its own
+// D_switch loop; the dispatcher chooses which pair an arriving
+// application joins (among the pairs whose slot classes can hold it),
+// and the optional rebalancer live-migrates queued applications
+// between compatible pairs when their loads diverge — generalizing the
+// paper's board-to-board migration ("a single available FPGA can
+// enable cross-board switching for the entire system") to
+// pair-to-pair transfers over a rack link.
 type Farm struct {
 	K     *sim.Kernel
 	Pairs []*Cluster
@@ -81,6 +108,18 @@ type Farm struct {
 	crossIn    []int // apps received via rebalancing, per pair
 	crossOut   []int // apps sent away via rebalancing, per pair
 
+	// uniform is true when every pair runs identical platforms — the
+	// homogeneous fast path where per-pair eligibility filtering is
+	// skipped (dispatch stays byte-identical to the pre-platform farm);
+	// hostability is then all-or-nothing per spec and checked at
+	// Inject.
+	uniform bool
+	// hostBySpec caches the uniform farm's all-or-nothing hostability.
+	hostBySpec map[*appmodel.AppSpec]bool
+	// eligibleBySpec caches, per application spec, the pair indices
+	// whose platforms can host it (nil on the uniform fast path).
+	eligibleBySpec map[*appmodel.AppSpec][]int
+
 	rebalanceArmed bool        // the periodic tick has been scheduled
 	rebalancing    bool        // a cross-pair transfer is in flight
 	nextTick       sim.EventID // handle of the pending rebalance tick
@@ -89,7 +128,7 @@ type Farm struct {
 // NewFarm builds a farm from its configuration. It panics if the
 // configuration asks for no pairs (a structural impossibility, like
 // the two-board cluster without boards) and returns an error for an
-// unknown dispatcher name.
+// unknown dispatcher or platform name.
 func NewFarm(cfg FarmConfig) (*Farm, error) {
 	if cfg.Pairs <= 0 {
 		panic("cluster: farm needs at least one pair")
@@ -113,9 +152,10 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 	}
 	f.Rack = interlink.NewDefault(f.K, "rack")
 	for i := 0; i < cfg.Pairs; i++ {
-		c := cfg.Pair
-		c.Seed = cfg.Pair.Seed + uint64(i)
-		pair := buildCluster(f.K, c, i*2)
+		pair, err := buildCluster(f.K, cfg.pairConfig(i), i*2)
+		if err != nil {
+			return nil, err
+		}
 		f.Pairs = append(f.Pairs, pair)
 		// Maintain the per-pair load counter incrementally: arrivals
 		// increment it at dispatch; completions on either board of the
@@ -133,6 +173,19 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 				f.finished++
 			}
 		}
+	}
+	f.uniform = true
+	for _, p := range f.Pairs[1:] {
+		if p.Platform(migrate.Base) != f.Pairs[0].Platform(migrate.Base) ||
+			p.Platform(migrate.Boost) != f.Pairs[0].Platform(migrate.Boost) {
+			f.uniform = false
+			break
+		}
+	}
+	if f.uniform {
+		f.hostBySpec = make(map[*appmodel.AppSpec]bool)
+	} else {
+		f.eligibleBySpec = make(map[*appmodel.AppSpec][]int)
 	}
 	d.Init(f)
 	return f, nil
@@ -159,12 +212,51 @@ func (f *Farm) Load() []int {
 	return out
 }
 
+// Eligible returns the pair indices whose platforms can host the
+// application, or nil when every pair can (the homogeneous fast path).
+// Dispatchers must restrict their choice to these pairs: an
+// application that fits no slot of a PYNQ-class pair has to route to a
+// bigger board.
+func (f *Farm) Eligible(a *appmodel.App) []int {
+	if f.uniform {
+		return nil
+	}
+	if elig, ok := f.eligibleBySpec[a.Spec]; ok {
+		return elig
+	}
+	elig := make([]int, 0, len(f.Pairs))
+	for i, p := range f.Pairs {
+		if p.CanHost(a.Spec) {
+			elig = append(elig, i)
+		}
+	}
+	f.eligibleBySpec[a.Spec] = elig
+	return elig
+}
+
 // Inject schedules the workload, dispatching each arrival through the
-// farm's dispatcher at its arrival instant.
+// farm's dispatcher at its arrival instant. It errors up front for
+// applications no pair in the farm can host.
 func (f *Farm) Inject(seq *workload.Sequence) error {
 	apps, err := seq.Instantiate(f.totalApps)
 	if err != nil {
 		return err
+	}
+	for _, a := range apps {
+		hostable := true
+		if f.uniform {
+			h, ok := f.hostBySpec[a.Spec]
+			if !ok {
+				h = f.Pairs[0].CanHost(a.Spec)
+				f.hostBySpec[a.Spec] = h
+			}
+			hostable = h
+		} else {
+			hostable = len(f.Eligible(a)) > 0
+		}
+		if !hostable {
+			return fmt.Errorf("cluster: app %v (%s) fits no slot class on any pair of the farm", a, a.Spec.Name)
+		}
 	}
 	f.totalApps += len(apps)
 	for _, a := range apps {
@@ -175,6 +267,10 @@ func (f *Farm) Inject(seq *workload.Sequence) error {
 				panic(fmt.Sprintf("cluster: dispatcher %q picked pair %d of %d",
 					f.dispatcher.Name(), idx, len(f.Pairs)))
 			}
+			if elig := f.Eligible(a); elig != nil && !containsPair(elig, idx) {
+				panic(fmt.Sprintf("cluster: dispatcher %q routed %s to pair %d, whose platforms cannot host it",
+					f.dispatcher.Name(), a.Spec.Name, idx))
+			}
 			f.routed[idx]++
 			f.load[idx]++
 			f.Pairs[idx].activeEngine().InjectNow(a)
@@ -182,6 +278,15 @@ func (f *Farm) Inject(seq *workload.Sequence) error {
 	}
 	f.armRebalancer()
 	return nil
+}
+
+func containsPair(elig []int, idx int) bool {
+	for _, i := range elig {
+		if i == idx {
+			return true
+		}
+	}
+	return false
 }
 
 // Routed returns how many arrivals each pair received.
@@ -248,7 +353,10 @@ func (f *Farm) rebalanceTick() {
 // pair dst over the rack link: the same extract/transfer/re-inject
 // mechanics as the pair-internal switch, generalized beyond a pair's
 // two boards. Only ready (not yet executing) applications move;
-// executing work stays on its board, exactly as in Section III-D.
+// executing work stays on its board, exactly as in Section III-D. On
+// heterogeneous farms the destination's slot classes are validated per
+// application: apps the destination cannot host are re-queued at the
+// source instead of transferred.
 func (f *Farm) migrateCross(src, dst, max int) {
 	eng := f.Pairs[src].activeEngine()
 	var moved []*appmodel.App
@@ -270,6 +378,50 @@ func (f *Farm) migrateCross(src, dst, max int) {
 			eng.Policy().AcceptMigrated(rest)
 		}
 	}
+	// Destination slot-class compatibility: on heterogeneous farms the
+	// globally least-loaded pair may be unable to host any extracted
+	// app (a small-board pair is often the idlest precisely because
+	// heavy apps route around it), so re-pick the least-loaded pair
+	// that can host at least one candidate, then keep only the apps it
+	// can hold; the rest return to the source queue.
+	if !f.uniform {
+		dst = -1
+		for i := range f.Pairs {
+			if i == src {
+				continue
+			}
+			hostsAny := false
+			for _, a := range moved {
+				if containsPair(f.Eligible(a), i) {
+					hostsAny = true
+					break
+				}
+			}
+			if hostsAny && (dst < 0 || f.load[i] < f.load[dst]) {
+				dst = i
+			}
+		}
+		if dst < 0 {
+			if len(moved) > 0 {
+				eng.Policy().AcceptMigrated(moved)
+			}
+			return
+		}
+		kept := moved[:0]
+		var unfit []*appmodel.App
+		for _, a := range moved {
+			if containsPair(f.Eligible(a), dst) {
+				kept = append(kept, a)
+			} else {
+				unfit = append(unfit, a)
+			}
+		}
+		moved = kept
+		if len(unfit) > 0 {
+			eng.Policy().AcceptMigrated(unfit)
+		}
+	}
+	target := f.Pairs[dst]
 	if len(moved) == 0 {
 		return
 	}
@@ -287,7 +439,6 @@ func (f *Farm) migrateCross(src, dst, max int) {
 	f.load[dst] += n
 	f.crossOut[src] += n
 	f.crossIn[dst] += n
-	target := f.Pairs[dst]
 	f.rebalancing = true
 	migrate.Execute(f.K, f.Rack, moved, func(apps []*appmodel.App) {
 		f.rebalancing = false
@@ -297,7 +448,7 @@ func (f *Farm) migrateCross(src, dst, max int) {
 		// first PR pays no SD-card streaming.
 		next := target.activeEngine()
 		for _, a := range apps {
-			warmNamesFor(next, next.Board.Config, a)
+			warmNamesFor(next, target.Platform(target.ActiveMode()), a)
 			next.InjectMigrated(a)
 		}
 	}, func(m migrate.Migration) {

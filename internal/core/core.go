@@ -24,15 +24,15 @@ type SystemConfig struct {
 	Seed uint64
 }
 
-// PlatformFor returns the board configuration and core model each
-// policy runs on; the declaration lives with the policy's registry
-// entry, mirroring the paper's evaluation setup.
-func PlatformFor(k sched.Kind) (fabric.BoardConfig, hypervisor.CoreModel) {
+// PlatformFor returns the platform and core model each policy runs on
+// by default; the declaration lives with the policy's registry entry,
+// mirroring the paper's evaluation setup.
+func PlatformFor(k sched.Kind) (*fabric.Platform, hypervisor.CoreModel) {
 	r, ok := sched.ByKind(k)
 	if !ok {
 		panic(fmt.Sprintf("core: unknown policy kind %v", k))
 	}
-	return r.Board, r.Core
+	return fabric.MustPlatform(r.Platform), r.Core
 }
 
 // System is one configured board ready to execute workloads.
@@ -49,32 +49,51 @@ func NewSystem(cfg SystemConfig) *System {
 	if !ok {
 		panic(fmt.Sprintf("core: unknown policy kind %v", cfg.Policy))
 	}
-	return newSystemFor(r, cfg.Seed, cfg.Params)
+	sys, err := newSystemFor(r, nil, cfg.Seed, cfg.Params)
+	if err != nil {
+		panic(err)
+	}
+	return sys
 }
 
-// NewRegisteredSystem builds a system for a registry policy name; this
-// is the string-keyed path the versaslot facade and third-party
-// policies use.
+// NewRegisteredSystem builds a system for a registry policy name on
+// the policy's declared platform; this is the string-keyed path the
+// versaslot facade and third-party policies use.
 func NewRegisteredSystem(name string, seed uint64, params *sched.Params) (*System, error) {
+	return NewPlatformSystem(name, nil, seed, params)
+}
+
+// NewPlatformSystem builds a system for a registry policy name on an
+// explicit platform (nil means the policy's declared platform). The
+// platform may be a registry entry or an inline custom platform; the
+// policy must be compatible with it (a DPR policy cannot drive the
+// monolithic baseline template, the Big.Little policy needs a
+// heterogeneous class mix).
+func NewPlatformSystem(name string, platform *fabric.Platform, seed uint64, params *sched.Params) (*System, error) {
 	r, ok := sched.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown policy %q (registered: %v)", name, sched.Names())
 	}
-	return newSystemFor(r, seed, params), nil
+	return newSystemFor(r, platform, seed, params)
 }
 
-func newSystemFor(r *sched.Registration, seed uint64, params *sched.Params) *System {
+func newSystemFor(r *sched.Registration, platform *fabric.Platform, seed uint64, params *sched.Params) (*System, error) {
+	if platform == nil {
+		platform = fabric.MustPlatform(r.Platform)
+	} else if err := sched.CompatiblePlatform(r, platform); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	p := sched.DefaultParams()
 	if params != nil {
 		p = *params
 	}
 	k := sim.NewKernel(seed)
-	board := fabric.NewBoard(0, r.Board)
-	engine := sched.NewEngine(k, p, board, r.Core, bitstream.SuiteRepo())
+	board := fabric.NewBoard(0, platform)
+	engine := sched.NewEngine(k, p, board, r.Core, bitstream.RepoFor(platform))
 	policy := r.Factory()
 	engine.SetPolicy(policy)
 	return &System{Kernel: k, Engine: engine, Policy: policy,
-		cfg: SystemConfig{Policy: r.Kind, Params: params, Seed: seed}}
+		cfg: SystemConfig{Policy: r.Kind, Params: params, Seed: seed}}, nil
 }
 
 // NewCustomSystem builds a VersaSlot system on an arbitrary Big/Little

@@ -11,21 +11,21 @@ import (
 
 func TestPlatformMapping(t *testing.T) {
 	cases := []struct {
-		kind  sched.Kind
-		board fabric.BoardConfig
-		cores hypervisor.CoreModel
+		kind     sched.Kind
+		platform string
+		cores    hypervisor.CoreModel
 	}{
-		{sched.KindBaseline, fabric.Monolithic, hypervisor.SingleCore},
-		{sched.KindFCFS, fabric.OnlyLittle, hypervisor.SingleCore},
-		{sched.KindRR, fabric.OnlyLittle, hypervisor.SingleCore},
-		{sched.KindNimblock, fabric.OnlyLittle, hypervisor.SingleCore},
-		{sched.KindVersaSlotOL, fabric.OnlyLittle, hypervisor.DualCore},
-		{sched.KindVersaSlotBL, fabric.BigLittle, hypervisor.DualCore},
+		{sched.KindBaseline, fabric.ZCU216Monolithic, hypervisor.SingleCore},
+		{sched.KindFCFS, fabric.ZCU216OnlyLittle, hypervisor.SingleCore},
+		{sched.KindRR, fabric.ZCU216OnlyLittle, hypervisor.SingleCore},
+		{sched.KindNimblock, fabric.ZCU216OnlyLittle, hypervisor.SingleCore},
+		{sched.KindVersaSlotOL, fabric.ZCU216OnlyLittle, hypervisor.DualCore},
+		{sched.KindVersaSlotBL, fabric.ZCU216BigLittle, hypervisor.DualCore},
 	}
 	for _, c := range cases {
-		b, m := PlatformFor(c.kind)
-		if b != c.board || m != c.cores {
-			t.Errorf("%v -> (%v,%v), want (%v,%v)", c.kind, b, m, c.board, c.cores)
+		p, m := PlatformFor(c.kind)
+		if p.Name != c.platform || m != c.cores {
+			t.Errorf("%v -> (%v,%v), want (%v,%v)", c.kind, p.Name, m, c.platform, c.cores)
 		}
 	}
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"testing"
 
-	"versaslot/internal/fabric"
 	"versaslot/internal/sched"
 	"versaslot/internal/workload"
 )
@@ -13,7 +12,7 @@ func TestNewCustomSystemPolicySelection(t *testing.T) {
 	if sys.Policy.Name() != sched.KindVersaSlotBL.String() {
 		t.Fatalf("2B+4L runs %q, want Big.Little policy", sys.Policy.Name())
 	}
-	if sys.Engine.Board.Count(fabric.Big) != 2 {
+	if sys.Engine.Board.Count("Big") != 2 {
 		t.Fatal("board shape")
 	}
 	sys2 := NewCustomSystem(0, 8, 1, nil)

@@ -10,7 +10,8 @@
 //
 // Res carries the per-app response times, tail latencies, utilization
 // and PR-contention statistics the paper evaluates. Policies resolve
-// through the sched registry (NewRegisteredSystem), and custom
-// Big/Little slot mixes beyond the paper's two floorplans are
-// supported (NewCustomSystem).
+// through the sched registry (NewRegisteredSystem) and run on their
+// declared platform by default; any registered or inline platform can
+// be substituted (NewPlatformSystem), and the paper's custom
+// Big/Little slot mixes remain supported (NewCustomSystem).
 package core

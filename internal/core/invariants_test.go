@@ -59,8 +59,8 @@ func TestRuntimeInvariants(t *testing.T) {
 								t.Fatalf("slot %d double-booked by %v and %v", st.Slot.ID, prev, st)
 							}
 							owners[st.Slot] = st
-							if st.Slot.Kind != st.Kind {
-								t.Fatalf("%v resident in wrong slot kind", st)
+							if st.Slot.Class.Name != st.Class {
+								t.Fatalf("%v resident in wrong slot class", st)
 							}
 						}
 					}

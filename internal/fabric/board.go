@@ -1,174 +1,100 @@
 package fabric
 
-import "fmt"
-
-// BoardConfig names the static-region floorplan of a board. The static
-// region fixes slot sizes and interfaces and can only be programmed at
-// system start-up; changing it at runtime is what cross-board switching
-// avoids.
-type BoardConfig int
-
-const (
-	// OnlyLittle is the uniform floorplan: 8 Little slots.
-	OnlyLittle BoardConfig = iota
-	// BigLittle is the heterogeneous floorplan: 2 Big + 4 Little slots.
-	BigLittle
-	// Monolithic means no DPR slots: the whole fabric is one region
-	// (the traditional exclusive temporal-multiplexing baseline).
-	Monolithic
-)
-
-func (c BoardConfig) String() string {
-	switch c {
-	case OnlyLittle:
-		return "Only.Little"
-	case BigLittle:
-		return "Big.Little"
-	case Monolithic:
-		return "Monolithic"
-	default:
-		return fmt.Sprintf("BoardConfig(%d)", int(c))
-	}
-}
-
-// MonolithicStageRegions is how many concurrently-resident pipeline
-// stages a Monolithic board models. These are not DPR slots: they stand
-// for the stages of the single resident full-fabric design (the longest
-// benchmark pipeline has 9 tasks).
-const MonolithicStageRegions = 9
-
-// SlotCounts returns the number of Big and Little slots for the config.
-// For Monolithic the "slots" are virtual stage regions (see
-// MonolithicStageRegions), not reconfigurable regions.
-func (c BoardConfig) SlotCounts() (big, little int) {
-	switch c {
-	case OnlyLittle:
-		return 0, 8
-	case BigLittle:
-		return 2, 4
-	case Monolithic:
-		return 0, MonolithicStageRegions
-	default:
-		return 0, 0
-	}
-}
-
-// Board is the PL side of one FPGA: its floorplan and slots.
+// Board is the PL side of one FPGA: its platform template materialized
+// into slots. Slot IDs follow the platform's class declaration order
+// (Counts[0] slots of Classes[0] first, and so on).
 type Board struct {
-	ID     int
-	Config BoardConfig
-	Slots  []*Slot
+	ID       int
+	Platform *Platform
+	Slots    []*Slot
 }
 
-// NewBoard builds a board with the slot set implied by config.
-func NewBoard(id int, config BoardConfig) *Board {
-	b := &Board{ID: id, Config: config}
-	big, little := config.SlotCounts()
+// NewBoard materializes a platform into a board. The platform must be
+// valid (registered platforms are; custom ones validate on build).
+func NewBoard(id int, p *Platform) *Board {
+	b := &Board{ID: id, Platform: p}
 	slotID := 0
-	for i := 0; i < big; i++ {
-		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Big})
-		slotID++
-	}
-	for i := 0; i < little; i++ {
-		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Little})
-		slotID++
+	for i, class := range p.Classes {
+		for n := 0; n < p.Counts[i]; n++ {
+			b.Slots = append(b.Slots, &Slot{ID: slotID, Class: class})
+			slotID++
+		}
 	}
 	return b
 }
 
-// NewCustomBoard builds a board with an arbitrary Big/Little slot mix —
-// the extension the paper notes ("can be extended to any Big/Little
-// configuration"). A Big slot occupies the fabric area of two Little
-// slots; the mix must fit the 8-Little-equivalent reconfigurable area
-// of the ZCU216 floorplan. The Config is reported as BigLittle when any
-// Big slot exists, OnlyLittle otherwise, so policies behave uniformly.
+// NewCustomBoard builds a ZCU216 board with an arbitrary Big/Little
+// slot mix — the extension the paper notes ("can be extended to any
+// Big/Little configuration"). A Big slot occupies the fabric area of
+// two Little slots; the mix must fit the 8-Little-equivalent
+// reconfigurable area of the ZCU216 floorplan.
 func NewCustomBoard(id, big, little int) *Board {
-	if big < 0 || little < 0 {
-		panic("fabric: negative slot count")
-	}
-	if area := 2*big + little; area > 8 {
-		panic(fmt.Sprintf("fabric: %dB+%dL needs %d Little-equivalents; the fabric holds 8", big, little, area))
-	}
-	cfg := OnlyLittle
-	if big > 0 {
-		cfg = BigLittle
-	}
-	b := &Board{ID: id, Config: cfg}
-	slotID := 0
-	for i := 0; i < big; i++ {
-		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Big})
-		slotID++
-	}
-	for i := 0; i < little; i++ {
-		b.Slots = append(b.Slots, &Slot{ID: slotID, Kind: Little})
-		slotID++
-	}
-	return b
+	return NewBoard(id, CustomBigLittle(big, little))
 }
 
-// SlotsOf returns the board's slots of the given kind, in ID order.
-func (b *Board) SlotsOf(kind SlotKind) []*Slot {
+// SlotsOf returns the board's slots of the given class, in ID order.
+func (b *Board) SlotsOf(class string) []*Slot {
 	var out []*Slot
 	for _, s := range b.Slots {
-		if s.Kind == kind {
+		if s.Class.Name == class {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// FreeSlots returns the free slots of the given kind, in ID order.
-func (b *Board) FreeSlots(kind SlotKind) []*Slot {
+// FreeSlots returns the free slots of the given class, in ID order.
+func (b *Board) FreeSlots(class string) []*Slot {
 	var out []*Slot
 	for _, s := range b.Slots {
-		if s.Kind == kind && s.Free() {
+		if s.Class.Name == class && s.Free() {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// CountFree returns the number of free slots of the given kind.
-func (b *Board) CountFree(kind SlotKind) int {
+// CountFree returns the number of free slots of the given class.
+func (b *Board) CountFree(class string) int {
 	n := 0
 	for _, s := range b.Slots {
-		if s.Kind == kind && s.Free() {
+		if s.Class.Name == class && s.Free() {
 			n++
 		}
 	}
 	return n
 }
 
-// EmptySlots returns the slots of the given kind with no resident or
+// EmptySlots returns the slots of the given class with no resident or
 // loading circuit, in ID order. Allocation must draw from these: a
 // Loaded slot is free to *reconfigure* but still belongs to the app
 // whose stage is resident.
-func (b *Board) EmptySlots(kind SlotKind) []*Slot {
+func (b *Board) EmptySlots(class string) []*Slot {
 	var out []*Slot
 	for _, s := range b.Slots {
-		if s.Kind == kind && s.State() == SlotEmpty {
+		if s.Class.Name == class && s.State() == SlotEmpty {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// CountEmpty returns the number of empty slots of the given kind.
-func (b *Board) CountEmpty(kind SlotKind) int {
+// CountEmpty returns the number of empty slots of the given class.
+func (b *Board) CountEmpty(class string) int {
 	n := 0
 	for _, s := range b.Slots {
-		if s.Kind == kind && s.State() == SlotEmpty {
+		if s.Class.Name == class && s.State() == SlotEmpty {
 			n++
 		}
 	}
 	return n
 }
 
-// Count returns the total number of slots of the given kind.
-func (b *Board) Count(kind SlotKind) int {
+// Count returns the total number of slots of the given class.
+func (b *Board) Count(class string) int {
 	n := 0
 	for _, s := range b.Slots {
-		if s.Kind == kind {
+		if s.Class.Name == class {
 			n++
 		}
 	}
@@ -180,7 +106,7 @@ func (b *Board) Count(kind SlotKind) int {
 func (b *Board) SlotCapacityTotal() ResVec {
 	var total ResVec
 	for _, s := range b.Slots {
-		total = total.Add(s.Kind.Capacity())
+		total = total.Add(s.Class.Cap)
 	}
 	return total
 }

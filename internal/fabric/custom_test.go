@@ -4,13 +4,13 @@ import "testing"
 
 func TestNewCustomBoard(t *testing.T) {
 	b := NewCustomBoard(0, 1, 6)
-	if b.Count(Big) != 1 || b.Count(Little) != 6 {
-		t.Fatalf("1B+6L board has %dB+%dL", b.Count(Big), b.Count(Little))
+	if b.Count("Big") != 1 || b.Count("Little") != 6 {
+		t.Fatalf("1B+6L board has %dB+%dL", b.Count("Big"), b.Count("Little"))
 	}
-	if b.Config != BigLittle {
+	if b.Platform.Title != "Big.Little" {
 		t.Fatal("mixed board not reported as Big.Little")
 	}
-	if NewCustomBoard(0, 0, 8).Config != OnlyLittle {
+	if NewCustomBoard(0, 0, 8).Platform.Title != "Only.Little" {
 		t.Fatal("all-little board not reported as Only.Little")
 	}
 	// IDs remain unique and ordered.
@@ -41,7 +41,7 @@ func TestNewCustomBoardRejectsNegative(t *testing.T) {
 
 func TestCustomBoardAreaEquivalence(t *testing.T) {
 	// Every legal mix tiles at most the same fabric area as 8 Little.
-	eight := NewBoard(0, OnlyLittle).SlotCapacityTotal()
+	eight := NewBoard(0, MustPlatform(ZCU216OnlyLittle)).SlotCapacityTotal()
 	for _, mix := range [][2]int{{0, 8}, {1, 6}, {2, 4}, {3, 2}, {4, 0}} {
 		b := NewCustomBoard(0, mix[0], mix[1])
 		if !b.SlotCapacityTotal().FitsIn(eight) {

@@ -53,6 +53,24 @@ func TestResVecScale(t *testing.T) {
 	}
 }
 
+// Negative components round with math.Round semantics (toward the
+// nearest integer, halves away from zero) — the old int(x*f+0.5)
+// truncation rounded negatives toward +infinity (e.g. -3 * 0.5 -> -1).
+func TestResVecScaleNegativeRounding(t *testing.T) {
+	neg := ResVec{LUT: -3, FF: -100, DSP: -10, BRAM: -5}
+	got := neg.Scale(0.5)
+	want := ResVec{LUT: -2, FF: -50, DSP: -5, BRAM: -3}
+	if got != want {
+		t.Fatalf("Scale(0.5) on negatives: got %v, want %v", got, want)
+	}
+	if r := (ResVec{LUT: -1}).Scale(0.4); r.LUT != 0 {
+		t.Fatalf("-1 * 0.4 rounded to %d, want 0", r.LUT)
+	}
+	if r := (ResVec{LUT: -7}).Scale(0.1); r.LUT != -1 {
+		t.Fatalf("-7 * 0.1 rounded to %d, want -1", r.LUT)
+	}
+}
+
 func TestFitsIn(t *testing.T) {
 	cap := LittleSlotCap
 	if !(ResVec{LUT: cap.LUT, FF: cap.FF, DSP: cap.DSP, BRAM: cap.BRAM}).FitsIn(cap) {
@@ -113,7 +131,7 @@ func TestSlotsFitDevice(t *testing.T) {
 }
 
 func TestSlotStateMachine(t *testing.T) {
-	s := &Slot{ID: 0, Kind: Little}
+	s := &Slot{ID: 0, Class: LittleClass}
 	if s.State() != SlotEmpty || !s.Free() {
 		t.Fatal("new slot not empty/free")
 	}
@@ -170,35 +188,36 @@ func TestSlotIllegalTransitions(t *testing.T) {
 	}
 }
 
-func TestBoardConfigs(t *testing.T) {
+func TestBuiltinPlatformBoards(t *testing.T) {
 	cases := []struct {
-		cfg    BoardConfig
-		big    int
-		little int
+		platform string
+		big      int
+		little   int
 	}{
-		{OnlyLittle, 0, 8},
-		{BigLittle, 2, 4},
-		{Monolithic, 0, MonolithicStageRegions},
+		{ZCU216OnlyLittle, 0, 8},
+		{ZCU216BigLittle, 2, 4},
+		{ZCU216Monolithic, 0, MonolithicStageRegions},
+		{ZCU216OnlyBig, 4, 0},
 	}
 	for _, c := range cases {
-		b := NewBoard(0, c.cfg)
-		if got := b.Count(Big); got != c.big {
-			t.Errorf("%v: %d big slots, want %d", c.cfg, got, c.big)
+		b := NewBoard(0, MustPlatform(c.platform))
+		if got := b.Count("Big"); got != c.big {
+			t.Errorf("%v: %d big slots, want %d", c.platform, got, c.big)
 		}
-		if got := b.Count(Little); got != c.little {
-			t.Errorf("%v: %d little slots, want %d", c.cfg, got, c.little)
+		if got := b.Count("Little"); got != c.little {
+			t.Errorf("%v: %d little slots, want %d", c.platform, got, c.little)
 		}
 		// Slot IDs are unique and ordered.
 		for i, s := range b.Slots {
 			if s.ID != i {
-				t.Errorf("%v: slot %d has ID %d", c.cfg, i, s.ID)
+				t.Errorf("%v: slot %d has ID %d", c.platform, i, s.ID)
 			}
 		}
 	}
 }
 
 func TestBoardFreeVsEmpty(t *testing.T) {
-	b := NewBoard(0, OnlyLittle)
+	b := NewBoard(0, MustPlatform(ZCU216OnlyLittle))
 	s := b.Slots[0]
 	if err := s.BeginLoad("x"); err != nil {
 		t.Fatal(err)
@@ -208,22 +227,22 @@ func TestBoardFreeVsEmpty(t *testing.T) {
 	}
 	// Loaded slot: free to reconfigure, but NOT empty (it belongs to
 	// the app whose circuit is resident).
-	if b.CountFree(Little) != 8 {
-		t.Fatalf("CountFree %d, want 8", b.CountFree(Little))
+	if b.CountFree("Little") != 8 {
+		t.Fatalf("CountFree %d, want 8", b.CountFree("Little"))
 	}
-	if b.CountEmpty(Little) != 7 {
-		t.Fatalf("CountEmpty %d, want 7", b.CountEmpty(Little))
+	if b.CountEmpty("Little") != 7 {
+		t.Fatalf("CountEmpty %d, want 7", b.CountEmpty("Little"))
 	}
-	if len(b.EmptySlots(Little)) != 7 {
+	if len(b.EmptySlots("Little")) != 7 {
 		t.Fatal("EmptySlots mismatch")
 	}
-	if len(b.FreeSlots(Little)) != 8 {
+	if len(b.FreeSlots("Little")) != 8 {
 		t.Fatal("FreeSlots mismatch")
 	}
 }
 
 func TestBoardCapacityTotal(t *testing.T) {
-	b := NewBoard(0, BigLittle)
+	b := NewBoard(0, MustPlatform(ZCU216BigLittle))
 	total := b.SlotCapacityTotal()
 	want := BigSlotCap.Scale(2).Add(LittleSlotCap.Scale(4))
 	if total != want {
@@ -232,11 +251,12 @@ func TestBoardCapacityTotal(t *testing.T) {
 }
 
 func TestStringers(t *testing.T) {
-	if Little.String() != "Little" || Big.String() != "Big" {
-		t.Fatal("SlotKind strings")
+	if LittleClass.Name != "Little" || BigClass.Name != "Big" {
+		t.Fatal("slot class names")
 	}
-	if OnlyLittle.String() != "Only.Little" || BigLittle.String() != "Big.Little" {
-		t.Fatal("BoardConfig strings")
+	if MustPlatform(ZCU216OnlyLittle).Title != "Only.Little" ||
+		MustPlatform(ZCU216BigLittle).Title != "Big.Little" {
+		t.Fatal("platform titles")
 	}
 	for _, s := range []SlotState{SlotEmpty, SlotLoading, SlotLoaded, SlotBusy} {
 		if s.String() == "" {

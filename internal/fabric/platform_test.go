@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatformRegistryBuiltins(t *testing.T) {
+	for _, name := range []string{ZCU216BigLittle, ZCU216OnlyLittle, ZCU216OnlyBig, ZCU216Monolithic, U250Quad, PYNQDual} {
+		p, ok := LookupPlatform(name)
+		if !ok {
+			t.Fatalf("built-in platform %q not registered", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("built-in %q invalid: %v", name, err)
+		}
+	}
+	// Aliases resolve case-insensitively.
+	if p, ok := LookupPlatform("Big-Little"); !ok || p.Name != ZCU216BigLittle {
+		t.Fatal("big-little alias broken")
+	}
+}
+
+func TestPlatformRegistryRejectsDuplicates(t *testing.T) {
+	dup := &Platform{
+		Name: ZCU216BigLittle, Title: "imposter",
+		AreaBudget: 8, Classes: []SlotClass{LittleClass}, Counts: []int{1},
+	}
+	if err := RegisterPlatform(dup); err == nil {
+		t.Fatal("duplicate platform name registered")
+	}
+	alias := &Platform{
+		Name:       "fresh-name-for-dup-test",
+		AreaBudget: 8, Classes: []SlotClass{LittleClass}, Counts: []int{1},
+	}
+	if err := RegisterPlatform(alias, "only-little"); err == nil {
+		t.Fatal("duplicate alias registered")
+	}
+	if _, ok := LookupPlatform("fresh-name-for-dup-test"); ok {
+		t.Fatal("failed registration leaked into the registry")
+	}
+}
+
+func TestPlatformRegistryRejectsClassCapacityConflict(t *testing.T) {
+	conflicting := &Platform{
+		Name: "conflict-test-platform", AreaBudget: 8,
+		Classes: []SlotClass{{Name: "Little", Cap: ResVec{LUT: 1, FF: 1}, Area: 1}},
+		Counts:  []int{1},
+	}
+	err := RegisterPlatform(conflicting)
+	if err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("conflicting class capacity accepted: %v", err)
+	}
+}
+
+func TestPlatformValidateAreaInvariant(t *testing.T) {
+	over := &Platform{
+		Name: "over-tiled", AreaBudget: 8,
+		Classes: []SlotClass{BigClass, LittleClass}, Counts: []int{3, 3}, // 9 tiles
+	}
+	if err := over.Validate(); err == nil {
+		t.Fatal("over-tiled platform validated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValidate on over-tiled platform did not panic")
+		}
+	}()
+	over.MustValidate()
+}
+
+func TestPlatformValidateCapacityOrdering(t *testing.T) {
+	misordered := &Platform{
+		Name: "misordered", AreaBudget: 8,
+		Classes: []SlotClass{LittleClass, BigClass}, Counts: []int{2, 2},
+	}
+	if err := misordered.Validate(); err == nil {
+		t.Fatal("ascending class capacities validated (largest must come first)")
+	}
+}
+
+func TestPlatformAccessors(t *testing.T) {
+	p := MustPlatform(ZCU216BigLittle)
+	if p.Largest().Name != "Big" || p.Smallest().Name != "Little" {
+		t.Fatal("Largest/Smallest ranking broken")
+	}
+	if !p.Heterogeneous() {
+		t.Fatal("big-little not heterogeneous")
+	}
+	if p.SlotCount() != 6 {
+		t.Fatalf("slot count %d, want 6", p.SlotCount())
+	}
+	if MustPlatform(ZCU216OnlyLittle).Heterogeneous() {
+		t.Fatal("only-little reported heterogeneous")
+	}
+	if MustPlatform(ZCU216Monolithic).Heterogeneous() {
+		t.Fatal("virtual platform reported heterogeneous")
+	}
+	if c, ok := p.ClassByName("Big"); !ok || c.Cap != BigSlotCap {
+		t.Fatal("ClassByName broken")
+	}
+	small := MustPlatform(PYNQDual)
+	if small.FitsAnyClass(ResVec{LUT: BigSlotCap.LUT}) {
+		t.Fatal("oversized circuit fits a PYNQ slot")
+	}
+	if !small.FitsAnyClass(ResVec{LUT: 10_000}) {
+		t.Fatal("small circuit rejected by PYNQ")
+	}
+}
+
+func TestRegisteredClassesDeduplicated(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range RegisteredClasses() {
+		if seen[c.Name] {
+			t.Fatalf("class %q listed twice", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, want := range []string{"Little", "Big", "Large", "Small"} {
+		if !seen[want] {
+			t.Fatalf("class %q missing from RegisteredClasses", want)
+		}
+	}
+}
+
+func TestPlatformSpecResolveRef(t *testing.T) {
+	p, err := (&PlatformSpec{Ref: U250Quad}).Resolve()
+	if err != nil || p.Name != U250Quad {
+		t.Fatalf("ref resolve: %v %v", p, err)
+	}
+	if _, err := (&PlatformSpec{Ref: "no-such-board"}).Resolve(); err == nil {
+		t.Fatal("unknown ref resolved")
+	}
+	if _, err := (&PlatformSpec{Ref: U250Quad, Name: "also-inline"}).Resolve(); err == nil {
+		t.Fatal("ref+inline spec resolved")
+	}
+	if _, err := (&PlatformSpec{}).Resolve(); err == nil {
+		t.Fatal("empty spec resolved")
+	}
+}
+
+func TestPlatformSpecResolveInline(t *testing.T) {
+	spec := &PlatformSpec{
+		Name:       "inline-tri",
+		AreaBudget: 4,
+		Classes: []ClassSpec{
+			{Name: "Big", Count: 1, Cap: BigSlotCap, Area: 2},
+			{Name: "Little", Count: 2, Cap: LittleSlotCap, Area: 1},
+		},
+	}
+	p, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Heterogeneous() || p.SlotCount() != 3 {
+		t.Fatalf("inline platform shape wrong: %+v", p)
+	}
+	// Over-tiled inline platforms fail the area invariant.
+	spec.Classes[1].Count = 3 // 2 + 3 = 5 tiles > 4
+	if _, err := spec.Resolve(); err == nil {
+		t.Fatal("over-tiled inline platform resolved")
+	}
+	// A known class name with a different capacity is rejected: the
+	// shared bitstream repository keys partials by class name.
+	bad := &PlatformSpec{
+		Name: "inline-bad", AreaBudget: 4,
+		Classes: []ClassSpec{{Name: "Little", Count: 1, Cap: ResVec{LUT: 7, FF: 7}, Area: 1}},
+	}
+	if _, err := bad.Resolve(); err == nil {
+		t.Fatal("class capacity conflict resolved")
+	}
+}

@@ -1,6 +1,9 @@
 package fabric
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ResVec is a vector of FPGA resource counts. All slot capacities and
 // task footprints are expressed as ResVecs.
@@ -21,9 +24,12 @@ func (r ResVec) Sub(o ResVec) ResVec {
 	return ResVec{r.LUT - o.LUT, r.FF - o.FF, r.DSP - o.DSP, r.BRAM - o.BRAM}
 }
 
-// Scale returns r scaled by f, rounding to nearest.
+// Scale returns r scaled by f, rounding to nearest (math.Round
+// semantics: halves away from zero, negatives round toward zero
+// magnitude — the old int(x+0.5) truncation rounded negative products
+// toward +infinity).
 func (r ResVec) Scale(f float64) ResVec {
-	round := func(x int) int { return int(float64(x)*f + 0.5) }
+	round := func(x int) int { return int(math.Round(float64(x) * f)) }
 	return ResVec{round(r.LUT), round(r.FF), round(r.DSP), round(r.BRAM)}
 }
 
@@ -53,6 +59,31 @@ func (r ResVec) Utilization(capacity ResVec) (lut, ff float64) {
 		ff = float64(r.FF) / float64(capacity.FF)
 	}
 	return lut, ff
+}
+
+// UtilRatios is the componentwise used/capacity breakdown across all
+// four tracked resources. The paper reports only LUT/FF; heterogeneous
+// platforms make DSP- and BRAM-bound circuits visible, so summaries can
+// optionally carry the full vector.
+type UtilRatios struct {
+	LUT, FF, DSP, BRAM float64
+}
+
+// Ratios returns the componentwise used/capacity ratios for every
+// resource. Zero-capacity components yield zero utilization.
+func (r ResVec) Ratios(capacity ResVec) UtilRatios {
+	ratio := func(u, c int) float64 {
+		if c <= 0 {
+			return 0
+		}
+		return float64(u) / float64(c)
+	}
+	return UtilRatios{
+		LUT:  ratio(r.LUT, capacity.LUT),
+		FF:   ratio(r.FF, capacity.FF),
+		DSP:  ratio(r.DSP, capacity.DSP),
+		BRAM: ratio(r.BRAM, capacity.BRAM),
+	}
 }
 
 // MaxRatio returns the largest used/capacity ratio over all nonzero

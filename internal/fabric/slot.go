@@ -2,35 +2,6 @@ package fabric
 
 import "fmt"
 
-// SlotKind distinguishes the two reconfigurable region sizes.
-type SlotKind int
-
-const (
-	// Little is the standard-resource slot.
-	Little SlotKind = iota
-	// Big is the resource-intensive slot (2x Little capacity).
-	Big
-)
-
-func (k SlotKind) String() string {
-	switch k {
-	case Little:
-		return "Little"
-	case Big:
-		return "Big"
-	default:
-		return fmt.Sprintf("SlotKind(%d)", int(k))
-	}
-}
-
-// Capacity returns the resource capacity of a slot of this kind.
-func (k SlotKind) Capacity() ResVec {
-	if k == Big {
-		return BigSlotCap
-	}
-	return LittleSlotCap
-}
-
 // SlotState is the lifecycle of a reconfigurable slot.
 type SlotState int
 
@@ -63,8 +34,9 @@ func (s SlotState) String() string {
 // Slot is one reconfigurable region on a board. The scheduler owns all
 // transitions; Slot only validates them.
 type Slot struct {
-	ID    int
-	Kind  SlotKind
+	ID int
+	// Class is the slot's size class from the board's platform.
+	Class SlotClass
 	state SlotState
 
 	// Resident identifies the loaded bitstream (opaque to fabric);
@@ -73,6 +45,12 @@ type Slot struct {
 	// Pending identifies the bitstream being loaded during SlotLoading.
 	Pending any
 }
+
+// ClassName returns the slot's class name ("Little").
+func (s *Slot) ClassName() string { return s.Class.Name }
+
+// Capacity returns the slot's resource capacity.
+func (s *Slot) Capacity() ResVec { return s.Class.Cap }
 
 // State returns the current lifecycle state.
 func (s *Slot) State() SlotState { return s.state }

@@ -1,0 +1,87 @@
+package fabric
+
+import "fmt"
+
+// ClassSpec is the JSON form of one slot class in an inline platform
+// definition.
+type ClassSpec struct {
+	// Name keys bitstreams and compatibility checks. A name already
+	// registered by another platform must declare the same capacity.
+	Name string `json:"name"`
+	// Count is how many slots of this class the platform lays out.
+	Count int `json:"count"`
+	// Cap is the region's resource capacity.
+	Cap ResVec `json:"cap"`
+	// Area is the number of fabric tiles the region occupies.
+	Area int `json:"area"`
+	// Bytes optionally overrides the partial-bitstream size estimate
+	// (the class's reconfiguration-cost parameter).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// PlatformSpec is the JSON `platform` block of a scenario: either a
+// registry reference ({"ref": "u250-quad"}) or an inline custom
+// platform (name, area budget, and an ordered class mix). Inline
+// platforms are validated like built-ins — area tiling, capacity
+// ordering, class-name/capacity consistency with the registry.
+type PlatformSpec struct {
+	// Ref names a registered platform; when set, every other field
+	// must be empty.
+	Ref string `json:"ref,omitempty"`
+
+	// Name labels an inline custom platform.
+	Name string `json:"name,omitempty"`
+	// Title is the inline platform's display name.
+	Title string `json:"title,omitempty"`
+	// Device is the whole-fabric resource total (informational).
+	Device ResVec `json:"device,omitzero"`
+	// AreaBudget bounds the class tiling; zero skips the area check.
+	AreaBudget int `json:"area_budget,omitempty"`
+	// Classes is the ordered slot-class mix, largest capacity first.
+	Classes []ClassSpec `json:"classes,omitempty"`
+}
+
+// inline reports whether the spec defines an inline platform (rather
+// than a registry reference).
+func (s *PlatformSpec) inline() bool {
+	return s.Name != "" || s.Title != "" || s.AreaBudget != 0 || len(s.Classes) > 0 || s.Device != (ResVec{})
+}
+
+// Resolve returns the platform the spec denotes: the registry entry
+// for a ref, or a validated inline platform.
+func (s *PlatformSpec) Resolve() (*Platform, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if s.Ref != "" {
+		if s.inline() {
+			return nil, fmt.Errorf("fabric: platform spec: ref %q conflicts with inline fields (pick one)", s.Ref)
+		}
+		p, ok := LookupPlatform(s.Ref)
+		if !ok {
+			return nil, fmt.Errorf("fabric: unknown platform %q (registered: %v)", s.Ref, PlatformNames())
+		}
+		return p, nil
+	}
+	if !s.inline() {
+		return nil, fmt.Errorf("fabric: empty platform spec (want a ref or an inline definition)")
+	}
+	p := &Platform{
+		Name:       s.Name,
+		Title:      s.Title,
+		Device:     s.Device,
+		AreaBudget: s.AreaBudget,
+	}
+	for _, c := range s.Classes {
+		if cap, ok := registeredClassCap(c.Name); ok && cap != c.Cap {
+			return nil, fmt.Errorf("fabric: platform spec %q: class %q capacity %v conflicts with registered capacity %v",
+				s.Name, c.Name, c.Cap, cap)
+		}
+		p.Classes = append(p.Classes, SlotClass{Name: c.Name, Cap: c.Cap, Area: c.Area, Bytes: c.Bytes})
+		p.Counts = append(p.Counts, c.Count)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"versaslot/internal/fabric"
 	"versaslot/internal/sim"
 )
 
@@ -32,14 +33,20 @@ type Collector struct {
 	PRRetries uint64 // loads re-streamed after CRC failure
 
 	// Utilization time-integrals: sum over intervals of
-	// (resource in use) * dt, and the busy-only variant.
-	lutResidentInt float64 // LUT-seconds resident
-	ffResidentInt  float64
-	lutBusyInt     float64 // LUT-seconds actively executing
-	ffBusyInt      float64
-	capLUT         float64 // board slot LUT capacity
-	capFF          float64
-	start, end     sim.Time
+	// (resource in use) * dt, and the busy-only variant. LUT/FF are the
+	// paper's reported pair; DSP/BRAM make DSP- and BRAM-bound circuits
+	// visible on heterogeneous platforms.
+	lutResidentInt  float64 // LUT-seconds resident
+	ffResidentInt   float64
+	dspResidentInt  float64
+	bramResidentInt float64
+	lutBusyInt      float64 // LUT-seconds actively executing
+	ffBusyInt       float64
+	capLUT          float64 // board slot capacities (denominators)
+	capFF           float64
+	capDSP          float64
+	capBRAM         float64
+	start, end      sim.Time
 
 	// Migration accounting.
 	Migrations     uint64
@@ -56,10 +63,13 @@ type Collector struct {
 	scratch []float64
 }
 
-// NewCollector returns an empty collector; capacity is the board's
-// total slot LUT/FF capacity (utilization denominator).
-func NewCollector(capLUT, capFF int) *Collector {
-	return &Collector{capLUT: float64(capLUT), capFF: float64(capFF)}
+// NewCollector returns an empty collector; cap is the board's total
+// slot capacity (utilization denominator).
+func NewCollector(cap fabric.ResVec) *Collector {
+	return &Collector{
+		capLUT: float64(cap.LUT), capFF: float64(cap.FF),
+		capDSP: float64(cap.DSP), capBRAM: float64(cap.BRAM),
+	}
 }
 
 // RecordResponse adds one finished application.
@@ -70,19 +80,20 @@ func (c *Collector) RecordResponse(s ResponseSample) {
 	}
 }
 
-// AccumulateResident adds a resident-circuit interval: res LUT/FF held
-// for dt.
-func (c *Collector) AccumulateResident(lut, ff int, dt sim.Duration) {
+// AccumulateResident adds a resident-circuit interval: res held for dt.
+func (c *Collector) AccumulateResident(res fabric.ResVec, dt sim.Duration) {
 	sec := dt.Seconds()
-	c.lutResidentInt += float64(lut) * sec
-	c.ffResidentInt += float64(ff) * sec
+	c.lutResidentInt += float64(res.LUT) * sec
+	c.ffResidentInt += float64(res.FF) * sec
+	c.dspResidentInt += float64(res.DSP) * sec
+	c.bramResidentInt += float64(res.BRAM) * sec
 }
 
 // AccumulateBusy adds an actively-executing interval.
-func (c *Collector) AccumulateBusy(lut, ff int, dt sim.Duration) {
+func (c *Collector) AccumulateBusy(res fabric.ResVec, dt sim.Duration) {
 	sec := dt.Seconds()
-	c.lutBusyInt += float64(lut) * sec
-	c.ffBusyInt += float64(ff) * sec
+	c.lutBusyInt += float64(res.LUT) * sec
+	c.ffBusyInt += float64(res.FF) * sec
 }
 
 // Utilization returns the time-averaged LUT and FF utilization of the
@@ -93,6 +104,30 @@ func (c *Collector) Utilization() (lut, ff float64) {
 		return 0, 0
 	}
 	return c.lutResidentInt / (c.capLUT * span), c.ffResidentInt / (c.capFF * span)
+}
+
+// UtilizationAll returns the time-averaged utilization across every
+// tracked resource; DSP/BRAM ratios are zero when the platform declares
+// no such capacity.
+func (c *Collector) UtilizationAll() fabric.UtilRatios {
+	span := c.end.Sub(c.start).Seconds()
+	if span <= 0 {
+		return fabric.UtilRatios{}
+	}
+	var u fabric.UtilRatios
+	if c.capLUT > 0 {
+		u.LUT = c.lutResidentInt / (c.capLUT * span)
+	}
+	if c.capFF > 0 {
+		u.FF = c.ffResidentInt / (c.capFF * span)
+	}
+	if c.capDSP > 0 {
+		u.DSP = c.dspResidentInt / (c.capDSP * span)
+	}
+	if c.capBRAM > 0 {
+		u.BRAM = c.bramResidentInt / (c.capBRAM * span)
+	}
+	return u
 }
 
 // BusyUtilization returns the busy-only time-averaged utilization.
@@ -106,13 +141,17 @@ func (c *Collector) BusyUtilization() (lut, ff float64) {
 
 // Summary condenses the run.
 type Summary struct {
-	Apps        int
-	MeanRT      sim.Duration
-	P50, P95    sim.Duration
-	P99, MaxRT  sim.Duration
-	MinRT       sim.Duration
-	UtilLUT     float64
-	UtilFF      float64
+	Apps       int
+	MeanRT     sim.Duration
+	P50, P95   sim.Duration
+	P99, MaxRT sim.Duration
+	MinRT      sim.Duration
+	UtilLUT    float64
+	UtilFF     float64
+	// UtilDSP/UtilBRAM extend the paper's LUT/FF pair; DSP-bound
+	// circuits surface on heterogeneous platforms.
+	UtilDSP     float64
+	UtilBRAM    float64
 	MeanQueue   sim.Duration
 	PRLoads     uint64
 	PRBlocked   uint64
@@ -149,7 +188,9 @@ func (c *Collector) Summarize() Summary {
 	s.P99 = sim.Duration(p99)
 	s.MinRT = sim.Duration(rts[0])
 	s.MaxRT = sim.Duration(rts[len(rts)-1])
-	s.UtilLUT, s.UtilFF = c.Utilization()
+	u := c.UtilizationAll()
+	s.UtilLUT, s.UtilFF = u.LUT, u.FF
+	s.UtilDSP, s.UtilBRAM = u.DSP, u.BRAM
 	return s
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+	"versaslot/internal/fabric"
 
 	"versaslot/internal/sim"
 )
@@ -68,7 +69,7 @@ func TestPercentileOfDoesNotMutate(t *testing.T) {
 }
 
 func TestCollectorSummary(t *testing.T) {
-	c := NewCollector(100_000, 200_000)
+	c := NewCollector(fabric.ResVec{LUT: 100_000, FF: 200_000})
 	for i := 1; i <= 100; i++ {
 		c.RecordResponse(ResponseSample{
 			AppID:    i,
@@ -95,7 +96,7 @@ func TestCollectorSummary(t *testing.T) {
 }
 
 func TestCollectorEmptySummary(t *testing.T) {
-	c := NewCollector(1, 1)
+	c := NewCollector(fabric.ResVec{LUT: 1, FF: 1})
 	s := c.Summarize()
 	if s.Apps != 0 || s.MeanRT != 0 {
 		t.Fatal("empty summary not zero")
@@ -103,10 +104,10 @@ func TestCollectorEmptySummary(t *testing.T) {
 }
 
 func TestUtilizationIntegral(t *testing.T) {
-	c := NewCollector(100, 200)
+	c := NewCollector(fabric.ResVec{LUT: 100, FF: 200})
 	// 50 LUT / 50 FF resident for 2s on a 100-LUT/200-FF board observed
 	// over 4s: LUT = (50*2)/(100*4) = 0.25, FF = (50*2)/(200*4) = 0.125.
-	c.AccumulateResident(50, 50, 2*sim.Second)
+	c.AccumulateResident(fabric.ResVec{LUT: 50, FF: 50}, 2*sim.Second)
 	c.RecordResponse(ResponseSample{Finish: sim.Time(4 * sim.Second)})
 	lut, ff := c.Utilization()
 	if lut != 0.25 {
@@ -118,9 +119,9 @@ func TestUtilizationIntegral(t *testing.T) {
 }
 
 func TestBusyUtilizationSeparate(t *testing.T) {
-	c := NewCollector(100, 200)
-	c.AccumulateResident(50, 100, 4*sim.Second)
-	c.AccumulateBusy(50, 100, 1*sim.Second)
+	c := NewCollector(fabric.ResVec{LUT: 100, FF: 200})
+	c.AccumulateResident(fabric.ResVec{LUT: 50, FF: 100}, 4*sim.Second)
+	c.AccumulateBusy(fabric.ResVec{LUT: 50, FF: 100}, 1*sim.Second)
 	c.RecordResponse(ResponseSample{Finish: sim.Time(4 * sim.Second)})
 	rl, _ := c.Utilization()
 	bl, _ := c.BusyUtilization()
@@ -143,7 +144,7 @@ func TestMeanResponse(t *testing.T) {
 }
 
 func TestBySpec(t *testing.T) {
-	c := NewCollector(1, 1)
+	c := NewCollector(fabric.ResVec{LUT: 1, FF: 1})
 	c.RecordResponse(ResponseSample{Spec: "IC", Response: 10 * sim.Millisecond})
 	c.RecordResponse(ResponseSample{Spec: "IC", Response: 30 * sim.Millisecond})
 	c.RecordResponse(ResponseSample{Spec: "AN", Response: 50 * sim.Millisecond})
@@ -180,7 +181,7 @@ func TestMeanStd(t *testing.T) {
 // into the scratch buffer must not disturb the recorded samples) and,
 // after the first call warms the buffer, allocation-free.
 func TestSummarizeRepeatable(t *testing.T) {
-	c := NewCollector(100, 100)
+	c := NewCollector(fabric.ResVec{LUT: 100, FF: 100})
 	for i := 0; i < 500; i++ {
 		c.RecordResponse(ResponseSample{
 			Spec:     "IC",

@@ -3,7 +3,6 @@ package migrate_test
 import (
 	"fmt"
 
-	"versaslot/internal/fabric"
 	"versaslot/internal/migrate"
 )
 
@@ -11,18 +10,18 @@ import (
 // Big.Little at T1; the system switches back at T2 only after the
 // congestion fully drains — the band in between never chatters.
 func ExampleTrigger() {
-	tr := migrate.NewTrigger(fabric.OnlyLittle,
+	tr := migrate.NewTrigger(migrate.Base,
 		migrate.DefaultThresholdUp, migrate.DefaultThresholdDown)
 	for _, d := range []float64{0.02, 0.06, 0.12, 0.05, 0.02, 0.01} {
 		fmt.Printf("D=%.2f -> %s (mode %s)\n", d, tr.Observe(d), tr.Mode())
 	}
 	// Output:
-	// D=0.02 -> prewarm (mode Only.Little)
-	// D=0.06 -> prewarm (mode Only.Little)
-	// D=0.12 -> switch (mode Big.Little)
-	// D=0.05 -> prewarm (mode Big.Little)
-	// D=0.02 -> prewarm (mode Big.Little)
-	// D=0.01 -> switch (mode Only.Little)
+	// D=0.02 -> prewarm (mode base)
+	// D=0.06 -> prewarm (mode base)
+	// D=0.12 -> switch (mode boost)
+	// D=0.05 -> prewarm (mode boost)
+	// D=0.02 -> prewarm (mode boost)
+	// D=0.01 -> switch (mode base)
 }
 
 // Eq. 1 in isolation.

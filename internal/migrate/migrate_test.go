@@ -5,7 +5,6 @@ import (
 	"testing/quick"
 
 	"versaslot/internal/appmodel"
-	"versaslot/internal/fabric"
 	"versaslot/internal/interlink"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -71,7 +70,7 @@ func TestGatherCandidates(t *testing.T) {
 }
 
 func TestTriggerHysteresis(t *testing.T) {
-	tr := NewTrigger(fabric.OnlyLittle, 0.1, 0.0125)
+	tr := NewTrigger(Base, 0.1, 0.0125)
 	// Below both thresholds: stay.
 	if d := tr.Observe(0.005); d == Switch {
 		t.Fatal("switched below thresholds")
@@ -84,7 +83,7 @@ func TestTriggerHysteresis(t *testing.T) {
 	if d := tr.Observe(0.12); d != Switch {
 		t.Fatal("did not switch at T1")
 	}
-	if tr.Mode() != fabric.BigLittle {
+	if tr.Mode() != Boost {
 		t.Fatal("mode did not flip")
 	}
 	// Still above T2: no switch back (hysteresis).
@@ -95,15 +94,15 @@ func TestTriggerHysteresis(t *testing.T) {
 	if d := tr.Observe(0.01); d != Switch {
 		t.Fatal("did not switch back at T2")
 	}
-	if tr.Mode() != fabric.OnlyLittle {
+	if tr.Mode() != Base {
 		t.Fatal("mode did not flip back")
 	}
 }
 
 func TestTriggerPrewarmDirection(t *testing.T) {
-	tr := NewTrigger(fabric.BigLittle, 0.1, 0.0125)
-	if tr.Target() != fabric.OnlyLittle {
-		t.Fatal("target of Big.Little must be Only.Little")
+	tr := NewTrigger(Boost, 0.1, 0.0125)
+	if tr.Target() != Base {
+		t.Fatal("target of Boost must be Base")
 	}
 	// Falling inside the band: anticipate Only.Little.
 	tr.Observe(0.09)
@@ -116,7 +115,7 @@ func TestTriggerPrewarmDirection(t *testing.T) {
 // Switch decisions without the value crossing the opposite threshold.
 func TestTriggerNoChatter(t *testing.T) {
 	f := func(raw []uint8) bool {
-		tr := NewTrigger(fabric.OnlyLittle, 0.1, 0.0125)
+		tr := NewTrigger(Base, 0.1, 0.0125)
 		lastSwitch := -1
 		for i, v := range raw {
 			d := float64(v) / 255.0
@@ -130,7 +129,7 @@ func TestTriggerNoChatter(t *testing.T) {
 		// Hysteresis invariant: at most one switch per crossing; since
 		// observations alternate regimes only via thresholds, mode and
 		// last observation must be consistent.
-		if tr.Mode() == fabric.BigLittle && tr.Last() <= 0.0125 {
+		if tr.Mode() == Boost && tr.Last() <= 0.0125 {
 			return false
 		}
 		return true
@@ -146,21 +145,21 @@ func TestTriggerValidation(t *testing.T) {
 			t.Error("inverted thresholds did not panic")
 		}
 	}()
-	NewTrigger(fabric.OnlyLittle, 0.01, 0.1)
+	NewTrigger(Base, 0.01, 0.1)
 }
 
-func TestTriggerRejectsMonolithic(t *testing.T) {
+func TestTriggerRejectsUnknownMode(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("monolithic trigger mode did not panic")
+			t.Error("out-of-range trigger mode did not panic")
 		}
 	}()
-	NewTrigger(fabric.Monolithic, 0.1, 0.0125)
+	NewTrigger(Mode(7), 0.1, 0.0125)
 }
 
 func TestBuildPayload(t *testing.T) {
 	a := appmodel.NewApp(0, workload.IC, 10, 0)
-	appmodel.TaskStages(a, 1.0, func(int) string { return "b" })
+	appmodel.TaskStages(a, "Little", 1.0, func(int) string { return "b" })
 	p := BuildPayload([]*appmodel.App{a})
 	want := int64(DescriptorBytes) + 10*workload.IC.ItemBytes
 	if p.Bytes != want {
@@ -179,7 +178,7 @@ func TestExecuteDeliversAndRecords(t *testing.T) {
 	k := sim.NewKernel(1)
 	link := interlink.NewDefault(k, "test")
 	a := appmodel.NewApp(0, workload.ThreeDR, 8, 0)
-	appmodel.TaskStages(a, 1.0, func(int) string { return "b" })
+	appmodel.TaskStages(a, "Little", 1.0, func(int) string { return "b" })
 	a.Stages[0].Done = 3 // progress must survive
 	a.State = appmodel.StateWaiting
 

@@ -1,10 +1,40 @@
 package migrate
 
-import (
-	"fmt"
+import "fmt"
 
-	"versaslot/internal/fabric"
+// Mode indexes the two platforms of a switching pair: Base is the
+// start configuration (the paper's Only.Little board), Boost the
+// configuration the trigger switches to under sustained contention
+// (the Big.Little board). The indices are stable across platform
+// assignments, so traces serialize identically whatever platforms a
+// pair runs.
+type Mode int
+
+const (
+	// Base is the pair's start platform.
+	Base Mode = iota
+	// Boost is the pair's contention platform.
+	Boost
 )
+
+func (m Mode) String() string {
+	switch m {
+	case Base:
+		return "base"
+	case Boost:
+		return "boost"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Other returns the opposite mode.
+func (m Mode) Other() Mode {
+	if m == Base {
+		return Boost
+	}
+	return Base
+}
 
 // Decision is what the switching loop asks for after an update.
 type Decision int
@@ -33,28 +63,28 @@ func (d Decision) String() string {
 }
 
 // Trigger is the Schmitt-trigger switching loop of Fig. 4: rising
-// D_switch past T1 (ThresholdUp) flips Only.Little -> Big.Little;
-// falling past T2 (ThresholdDown) flips back. The [T2, T1] band is the
-// buffer zone that prevents oscillation; entering it pre-warms the
-// anticipated configuration.
+// D_switch past T1 (ThresholdUp) flips Base -> Boost (the paper's
+// Only.Little -> Big.Little); falling past T2 (ThresholdDown) flips
+// back. The [T2, T1] band is the buffer zone that prevents
+// oscillation; entering it pre-warms the anticipated configuration.
 type Trigger struct {
-	// ThresholdUp is T_{Only.Little -> Big.Little} (paper: 0.1).
+	// ThresholdUp is T_{Base -> Boost} (paper: 0.1).
 	ThresholdUp float64
-	// ThresholdDown is T_{Big.Little -> Only.Little} (paper: 0.0125).
+	// ThresholdDown is T_{Boost -> Base} (paper: 0.0125).
 	ThresholdDown float64
 
-	mode fabric.BoardConfig
+	mode Mode
 	last float64
 }
 
 // NewTrigger returns a trigger starting in mode with the paper's
 // thresholds unless overridden.
-func NewTrigger(mode fabric.BoardConfig, up, down float64) *Trigger {
+func NewTrigger(mode Mode, up, down float64) *Trigger {
 	if up <= down {
 		panic("migrate: ThresholdUp must exceed ThresholdDown")
 	}
-	if mode != fabric.OnlyLittle && mode != fabric.BigLittle {
-		panic("migrate: trigger mode must be Only.Little or Big.Little")
+	if mode != Base && mode != Boost {
+		panic("migrate: trigger mode must be Base or Boost")
 	}
 	return &Trigger{ThresholdUp: up, ThresholdDown: down, mode: mode}
 }
@@ -66,19 +96,14 @@ const (
 )
 
 // Mode returns the configuration the trigger currently calls for.
-func (t *Trigger) Mode() fabric.BoardConfig { return t.mode }
+func (t *Trigger) Mode() Mode { return t.mode }
 
 // Last returns the most recent D_switch observation.
 func (t *Trigger) Last() float64 { return t.last }
 
 // Target returns the configuration a Switch (or Prewarm) decision aims
 // at: the opposite of the current mode.
-func (t *Trigger) Target() fabric.BoardConfig {
-	if t.mode == fabric.OnlyLittle {
-		return fabric.BigLittle
-	}
-	return fabric.OnlyLittle
-}
+func (t *Trigger) Target() Mode { return t.mode.Other() }
 
 // Observe feeds one D_switch sample and returns the decision. On
 // Switch, the trigger's mode flips to Target's value.
@@ -86,21 +111,21 @@ func (t *Trigger) Observe(d float64) Decision {
 	prev := t.last
 	t.last = d
 	switch t.mode {
-	case fabric.OnlyLittle:
+	case Base:
 		if d >= t.ThresholdUp {
-			t.mode = fabric.BigLittle
+			t.mode = Boost
 			return Switch
 		}
-		// Buffer zone, rising toward T1: anticipate Big.Little.
+		// Buffer zone, rising toward T1: anticipate the boost platform.
 		if d > t.ThresholdDown && d > prev {
 			return Prewarm
 		}
-	case fabric.BigLittle:
+	case Boost:
 		if d <= t.ThresholdDown {
-			t.mode = fabric.OnlyLittle
+			t.mode = Base
 			return Switch
 		}
-		// Buffer zone, falling toward T2: anticipate Only.Little.
+		// Buffer zone, falling toward T2: anticipate the base platform.
 		if d < t.ThresholdUp && d < prev {
 			return Prewarm
 		}

@@ -21,7 +21,7 @@ func TestExclusiveQuantumGranularity(t *testing.T) {
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
 	params := DefaultParams()
 	params.BaselineQuantum = 3600 * sim.Second
-	e := NewEngine(k, params, fabric.NewBoard(0, fabric.Monolithic), hypervisor.SingleCore, repo)
+	e := NewEngine(k, params, fabric.NewBoard(0, fabric.MustPlatform(fabric.ZCU216Monolithic)), hypervisor.SingleCore, repo)
 	e.SetPolicy(New(KindBaseline))
 	apps := []*appmodel.App{
 		appmodel.NewApp(0, workload.IC, 20, 0),
@@ -45,7 +45,7 @@ func TestBLRebindingMovesWaitingAppToBig(t *testing.T) {
 	k := sim.NewKernel(1)
 	repo := bitstream.NewRepository()
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.BigLittle), hypervisor.DualCore, repo)
+	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.MustPlatform(fabric.ZCU216BigLittle)), hypervisor.DualCore, repo)
 	pol := NewVersaSlotBL()
 	e.SetPolicy(pol)
 
@@ -68,7 +68,7 @@ func TestBLRebindingMovesWaitingAppToBig(t *testing.T) {
 	// Big slots even though the Big slots were taken on its arrival.
 	rebound := false
 	for _, a := range apps[3:] {
-		if len(a.Stages) > 0 && a.Stages[0].Kind == fabric.Big {
+		if len(a.Stages) > 0 && a.Stages[0].Class == "Big" {
 			rebound = true
 		}
 	}
@@ -83,7 +83,7 @@ func TestEnsureProgressSwapsStarvedPipeline(t *testing.T) {
 	k := sim.NewKernel(1)
 	repo := bitstream.NewRepository()
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.OnlyLittle), hypervisor.DualCore, repo)
+	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.MustPlatform(fabric.ZCU216OnlyLittle)), hypervisor.DualCore, repo)
 	e.SetPolicy(&nullPolicy{})
 	a := littleApp(1, workload.ThreeDR, 5)
 	e.Apps = append(e.Apps, a)
@@ -130,7 +130,7 @@ func TestGangNeedClamps(t *testing.T) {
 func TestShrinkVictimSparesEarliestUnfinished(t *testing.T) {
 	a := littleApp(1, workload.IC, 5)
 	slots := []*fabric.Slot{
-		{ID: 0, Kind: fabric.Little}, {ID: 1, Kind: fabric.Little},
+		{ID: 0, Class: fabric.LittleClass}, {ID: 1, Class: fabric.LittleClass},
 	}
 	// Stage 0 (earliest unfinished) and stage 3 both resident and idle.
 	mustResident(t, a.Stages[0], slots[0])
@@ -167,7 +167,7 @@ func TestFCFSTeardownDelaysAdmission(t *testing.T) {
 		bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
 		params := DefaultParams()
 		params.TenantTeardown = teardown
-		e := NewEngine(k, params, fabric.NewBoard(0, fabric.OnlyLittle), hypervisor.SingleCore, repo)
+		e := NewEngine(k, params, fabric.NewBoard(0, fabric.MustPlatform(fabric.ZCU216OnlyLittle)), hypervisor.SingleCore, repo)
 		e.SetPolicy(New(KindFCFS))
 		// Two 9-task apps: each gang needs all 8 slots, so the second
 		// admission must wait for the first tenant's teardown.

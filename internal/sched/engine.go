@@ -92,7 +92,7 @@ func NewEngine(k *sim.Kernel, p Params, board *fabric.Board, model hypervisor.Co
 		PCAP:          pcap.New(p.PCAPBandwidth, p.PCAPOverhead),
 		Repo:          repo,
 		Cache:         bitstream.NewCache(p.CacheEntries),
-		Col:           metrics.NewCollector(capTotal.LUT, capTotal.FF),
+		Col:           metrics.NewCollector(capTotal),
 		slotStage:     make(map[*fabric.Slot]*appmodel.Stage),
 		residentSince: make(map[*fabric.Slot]sim.Time),
 	}
@@ -195,8 +195,8 @@ func (e *Engine) Activate() {
 // mode — which is exactly how PR blocks launches there). async tags
 // the OCM round-trip of the dual-core path.
 func (e *Engine) RequestPR(st *appmodel.Stage, slot *fabric.Slot) {
-	if st.Kind != slot.Kind {
-		panic(fmt.Sprintf("sched: stage %v kind %v into slot kind %v", st, st.Kind, slot.Kind))
+	if st.Class != slot.Class.Name {
+		panic(fmt.Sprintf("sched: stage %v class %q into slot class %q", st, st.Class, slot.Class.Name))
 	}
 	bits := e.Repo.MustGet(st.BitstreamName)
 	e.evictResident(slot)
@@ -340,7 +340,7 @@ func (e *Engine) LaunchItem(st *appmodel.Stage) bool {
 			if err := slot.CompleteExec(); err != nil {
 				panic(err)
 			}
-			e.Col.AccumulateBusy(res.LUT, res.FF, e.K.Now().Sub(start))
+			e.Col.AccumulateBusy(res, e.K.Now().Sub(start))
 			st.InFlight = false
 			st.Done++
 			e.record(trace.Event{Kind: trace.ExecDone, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
@@ -492,8 +492,7 @@ func (e *Engine) closeResident(slot *fabric.Slot) {
 		return
 	}
 	since := e.residentSince[slot]
-	res := st.ImplRes()
-	e.Col.AccumulateResident(res.LUT, res.FF, e.K.Now().Sub(since))
+	e.Col.AccumulateResident(st.ImplRes(), e.K.Now().Sub(since))
 	delete(e.residentSince, slot)
 }
 

@@ -29,12 +29,12 @@ func (n *nullPolicy) AppFinished(*appmodel.App)           {}
 func (n *nullPolicy) ExtractMigratable() []*appmodel.App  { return nil }
 func (n *nullPolicy) AcceptMigrated(apps []*appmodel.App) {}
 
-func newRig(t *testing.T, cfg fabric.BoardConfig, model hypervisor.CoreModel) *testRig {
+func newRig(t *testing.T, platform string, model hypervisor.CoreModel) *testRig {
 	t.Helper()
 	k := sim.NewKernel(1)
 	repo := bitstream.NewRepository()
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	board := fabric.NewBoard(0, cfg)
+	board := fabric.NewBoard(0, fabric.MustPlatform(platform))
 	e := NewEngine(k, DefaultParams(), board, model, repo)
 	e.SetPolicy(&nullPolicy{})
 	return &testRig{k: k, engine: e}
@@ -42,15 +42,15 @@ func newRig(t *testing.T, cfg fabric.BoardConfig, model hypervisor.CoreModel) *t
 
 func littleApp(id int, spec *appmodel.AppSpec, batch int) *appmodel.App {
 	a := appmodel.NewApp(id, spec, batch, 0)
-	appmodel.TaskStages(a, 1.0, func(i int) string {
-		return bitstream.TaskName(spec.Name, spec.Tasks[i].Name, fabric.Little)
+	appmodel.TaskStages(a, "Little", 1.0, func(i int) string {
+		return bitstream.TaskName(spec.Name, spec.Tasks[i].Name, "Little")
 	})
 	a.State = appmodel.StateReady
 	return a
 }
 
 func TestRequestPRLoadsStage(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.IC, 3)
 	r.engine.Apps = append(r.engine.Apps, a)
 	st := a.Stages[0]
@@ -75,9 +75,9 @@ func TestRequestPRLoadsStage(t *testing.T) {
 }
 
 func TestRequestPRKindMismatchPanics(t *testing.T) {
-	r := newRig(t, fabric.BigLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216BigLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.IC, 3)
-	bigSlot := r.engine.Board.SlotsOf(fabric.Big)[0]
+	bigSlot := r.engine.Board.SlotsOf("Big")[0]
 	defer func() {
 		if recover() == nil {
 			t.Error("little stage into big slot did not panic")
@@ -92,7 +92,7 @@ func TestRequestPRKindMismatchPanics(t *testing.T) {
 func TestSingleCorePRBlocksLaunch(t *testing.T) {
 	delays := map[hypervisor.CoreModel]sim.Duration{}
 	for _, model := range []hypervisor.CoreModel{hypervisor.SingleCore, hypervisor.DualCore} {
-		r := newRig(t, fabric.OnlyLittle, model)
+		r := newRig(t, fabric.ZCU216OnlyLittle, model)
 		a := littleApp(1, workload.IC, 2)
 		r.engine.Apps = append(r.engine.Apps, a)
 		st0 := a.Stages[0]
@@ -126,7 +126,7 @@ func TestSingleCorePRBlocksLaunch(t *testing.T) {
 }
 
 func TestLaunchItemGuards(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.IC, 2)
 	st := a.Stages[1] // no input available yet
 	r.engine.PlaceResident(st, r.engine.Board.Slots[0])
@@ -140,7 +140,7 @@ func TestLaunchItemGuards(t *testing.T) {
 }
 
 func TestPumpRunsWholeApp(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.ThreeDR, 4)
 	r.engine.Apps = append(r.engine.Apps, a)
 	r.engine.Active = append(r.engine.Active, a)
@@ -172,7 +172,7 @@ type pumpPolicy struct {
 func (p *pumpPolicy) Schedule() { p.e.Pump(p.app) }
 
 func TestEvictionAccounting(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.IC, 5)
 	st := a.Stages[0]
 	r.engine.PlaceResident(st, r.engine.Board.Slots[0])
@@ -190,7 +190,7 @@ func TestEvictionAccounting(t *testing.T) {
 }
 
 func TestFullReconfigCost(t *testing.T) {
-	r := newRig(t, fabric.Monolithic, hypervisor.SingleCore)
+	r := newRig(t, fabric.ZCU216Monolithic, hypervisor.SingleCore)
 	full := r.engine.Repo.MustGet(bitstream.FullName("IC"))
 	cost := r.engine.FullReconfigCost(full)
 	pcapOnly := r.engine.PCAP.LoadDuration(full)
@@ -200,7 +200,7 @@ func TestFullReconfigCost(t *testing.T) {
 	// With caching disabled the SD stream is added.
 	p2 := DefaultParams()
 	p2.FullBitstreamCached = false
-	r2 := newRig(t, fabric.Monolithic, hypervisor.SingleCore)
+	r2 := newRig(t, fabric.ZCU216Monolithic, hypervisor.SingleCore)
 	r2.engine.Params = p2
 	if r2.engine.FullReconfigCost(full) <= cost {
 		t.Fatal("uncached full reconfig not more expensive")
@@ -208,7 +208,7 @@ func TestFullReconfigCost(t *testing.T) {
 }
 
 func TestWindowCounters(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.IC, 2)
 	// Two PRs back to back: the second sees one pending load.
 	r.engine.RequestPR(a.Stages[0], r.engine.Board.Slots[0])
@@ -229,7 +229,7 @@ func TestWindowCounters(t *testing.T) {
 }
 
 func TestUtilizationIntegrals(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.ThreeDR, 2)
 	r.engine.Apps = append(r.engine.Apps, a)
 	r.engine.Active = append(r.engine.Active, a)
@@ -256,7 +256,7 @@ func TestUtilizationIntegrals(t *testing.T) {
 }
 
 func TestCheckQuiescentPanicsOnDeadlock(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.IC, 2)
 	r.engine.Apps = append(r.engine.Apps, a) // never scheduled
 	defer func() {
@@ -268,7 +268,7 @@ func TestCheckQuiescentPanicsOnDeadlock(t *testing.T) {
 }
 
 func TestFrozenFlag(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	if r.engine.Frozen() {
 		t.Fatal("new engine frozen")
 	}
@@ -279,7 +279,7 @@ func TestFrozenFlag(t *testing.T) {
 }
 
 func TestRemoveActiveRejectsSlotHolders(t *testing.T) {
-	r := newRig(t, fabric.OnlyLittle, hypervisor.DualCore)
+	r := newRig(t, fabric.ZCU216OnlyLittle, hypervisor.DualCore)
 	a := littleApp(1, workload.IC, 2)
 	r.engine.Active = append(r.engine.Active, a)
 	r.engine.PlaceResident(a.Stages[0], r.engine.Board.Slots[0])

@@ -3,7 +3,6 @@ package sched
 import (
 	"versaslot/internal/appmodel"
 	"versaslot/internal/bitstream"
-	"versaslot/internal/fabric"
 	"versaslot/internal/sim"
 )
 
@@ -31,11 +30,11 @@ var _ Policy = (*Exclusive)(nil)
 // Name implements Policy.
 func (x *Exclusive) Name() string { return KindBaseline.String() }
 
-// Init implements Policy. The board must be Monolithic (virtual stage
-// regions, no DPR).
+// Init implements Policy. The board's platform must be virtual
+// (monolithic stage regions, no DPR).
 func (x *Exclusive) Init(e *Engine) {
-	if e.Board.Config != fabric.Monolithic {
-		panic("sched: Exclusive requires a Monolithic board")
+	if !e.Board.Platform.Virtual {
+		panic("sched: Exclusive requires a virtual (monolithic) platform")
 	}
 	x.e = e
 }
@@ -137,8 +136,9 @@ func (x *Exclusive) swapIn(a *appmodel.App) {
 	a.State = appmodel.StateReady
 	if len(a.Stages) == 0 {
 		// The monolithic design runs all tasks with the unpartitioned
-		// implementation's timing advantage.
-		appmodel.TaskStages(a, a.Spec.MonoFactor, func(int) string {
+		// implementation's timing advantage; stages sit in the virtual
+		// stage regions of the platform's base class.
+		appmodel.TaskStages(a, e.Board.Platform.Smallest().Name, a.Spec.MonoFactor, func(int) string {
 			return bitstream.FullName(a.Spec.Name)
 		})
 	}

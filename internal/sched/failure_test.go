@@ -20,15 +20,15 @@ func runWithFailureRate(t *testing.T, rate float64, kind Kind) *Engine {
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
 	params := DefaultParams()
 	params.PRFailureRate = rate
-	cfg := fabric.OnlyLittle
+	cfg := fabric.ZCU216OnlyLittle
 	model := hypervisor.SingleCore
 	if kind == KindVersaSlotBL {
-		cfg, model = fabric.BigLittle, hypervisor.DualCore
+		cfg, model = fabric.ZCU216BigLittle, hypervisor.DualCore
 	}
 	if kind == KindVersaSlotOL {
 		model = hypervisor.DualCore
 	}
-	e := NewEngine(k, params, fabric.NewBoard(0, cfg), model, repo)
+	e := NewEngine(k, params, fabric.NewBoard(0, fabric.MustPlatform(cfg)), model, repo)
 	e.SetPolicy(New(kind))
 	apps := []*appmodel.App{
 		appmodel.NewApp(0, workload.IC, 8, 0),

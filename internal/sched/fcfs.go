@@ -15,7 +15,8 @@ import (
 // backfill, no preemption. Single-core control plane.
 type FCFS struct {
 	e            *Engine
-	queue        []*appmodel.App // waiting, strict arrival order
+	class        fabric.SlotClass // the board's base slot class
+	queue        []*appmodel.App  // waiting, strict arrival order
 	running      []*appmodel.App
 	cleanupUntil sim.Time
 }
@@ -29,12 +30,13 @@ func (f *FCFS) Name() string { return KindFCFS.String() }
 // PR re-streams from storage.
 func (f *FCFS) Init(e *Engine) {
 	f.e = e
+	f.class = e.Board.Platform.Smallest()
 	e.DisableBitstreamCache()
 }
 
 // AppArrived implements Policy.
 func (f *FCFS) AppArrived(a *appmodel.App) {
-	bundle.BuildLittle(a)
+	bundle.BuildTasks(a, f.class.Name)
 	f.queue = append(f.queue, a)
 }
 
@@ -58,7 +60,7 @@ func (f *FCFS) Schedule() {
 	for len(f.queue) > 0 && !e.Frozen() && e.Now() >= f.cleanupUntil {
 		head := f.queue[0]
 		need := gangNeed(head, e.Params.GangMaxSlots)
-		free := e.Board.EmptySlots(fabric.Little)
+		free := e.Board.EmptySlots(f.class.Name)
 		if len(free) < need {
 			break
 		}

@@ -22,7 +22,11 @@ type littleSched struct {
 	kind         Kind
 	redistribute bool
 
-	e           *Engine
+	e *Engine
+	// class is the slot class the scheduler operates on: the board's
+	// base (smallest-capacity) class, so uniform platforms of any size
+	// class — Little, Big, Large, Small — run the same discipline.
+	class       fabric.SlotClass
 	waiting     []*appmodel.App
 	running     []*appmodel.App
 	alloc       map[*appmodel.App]int
@@ -61,6 +65,7 @@ func (l *littleSched) init(kind Kind, redistribute bool, e *Engine) {
 	l.kind = kind
 	l.redistribute = redistribute
 	l.e = e
+	l.class = e.Board.Platform.Smallest()
 	l.alloc = make(map[*appmodel.App]int)
 	l.opt = make(map[*appmodel.App]int)
 	l.maxUse = make(map[*appmodel.App]int)
@@ -71,9 +76,9 @@ func (l *littleSched) Name() string { return l.kind.String() }
 
 // AppArrived implements Policy.
 func (l *littleSched) AppArrived(a *appmodel.App) {
-	bundle.BuildLittle(a)
+	bundle.BuildTasks(a, l.class.Name)
 	plan := l.planFor(a)
-	max := l.e.Board.Count(fabric.Little)
+	max := l.e.Board.Count(l.class.Name)
 	if max > l.e.Params.MaxSlotsPerApp {
 		max = l.e.Params.MaxSlotsPerApp
 	}
@@ -158,7 +163,7 @@ func (l *littleSched) admit() {
 	e := l.e
 	kept := l.waiting[:0]
 	for _, a := range l.waiting {
-		free := e.Board.CountEmpty(fabric.Little) - l.reservedSlack()
+		free := e.Board.CountEmpty(l.class.Name) - l.reservedSlack()
 		if free <= 0 {
 			kept = append(kept, a)
 			continue
@@ -201,7 +206,7 @@ func (l *littleSched) reservedSlack() int {
 func (l *littleSched) topUp() {
 	e := l.e
 	for _, a := range l.running {
-		free := e.Board.CountEmpty(fabric.Little) - l.reservedSlack()
+		free := e.Board.CountEmpty(l.class.Name) - l.reservedSlack()
 		if free <= 0 {
 			return
 		}
@@ -228,7 +233,7 @@ func (l *littleSched) preemptIfStarved() {
 	if len(l.waiting) == 0 {
 		return
 	}
-	if e.Board.CountEmpty(fabric.Little)-l.reservedSlack() > 0 {
+	if e.Board.CountEmpty(l.class.Name)-l.reservedSlack() > 0 {
 		return
 	}
 	now := e.Now()
@@ -270,7 +275,7 @@ func (l *littleSched) place() {
 			if st == nil {
 				break
 			}
-			free := e.Board.EmptySlots(fabric.Little)
+			free := e.Board.EmptySlots(l.class.Name)
 			if len(free) == 0 {
 				break
 			}
@@ -290,7 +295,7 @@ func (l *littleSched) ExtractMigratable() []*appmodel.App {
 func (l *littleSched) AcceptMigrated(apps []*appmodel.App) {
 	for _, a := range apps {
 		// Rebuild plans against this board's parameters.
-		if len(a.Stages) == 0 || a.Stages[0].Kind != fabric.Little {
+		if len(a.Stages) == 0 || a.Stages[0].Class != l.class.Name {
 			appmodel.ResetStages(a)
 		}
 		l.AppArrived(a)
@@ -375,7 +380,7 @@ func ensureProgress(e *Engine, a *appmodel.App) {
 	}
 	slot := victim.Slot
 	e.EvictStage(victim)
-	if slot.Kind == first.Kind {
+	if slot.Class.Name == first.Class {
 		e.RequestPR(first, slot)
 	}
 }

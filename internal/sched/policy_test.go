@@ -18,19 +18,19 @@ func runPolicy(t *testing.T, kind Kind, apps []*appmodel.App) *Engine {
 	k := sim.NewKernel(1)
 	repo := bitstream.NewRepository()
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	var cfg fabric.BoardConfig
+	var cfg string
 	var model hypervisor.CoreModel
 	switch kind {
 	case KindBaseline:
-		cfg, model = fabric.Monolithic, hypervisor.SingleCore
+		cfg, model = fabric.ZCU216Monolithic, hypervisor.SingleCore
 	case KindFCFS, KindRR, KindNimblock:
-		cfg, model = fabric.OnlyLittle, hypervisor.SingleCore
+		cfg, model = fabric.ZCU216OnlyLittle, hypervisor.SingleCore
 	case KindVersaSlotOL:
-		cfg, model = fabric.OnlyLittle, hypervisor.DualCore
+		cfg, model = fabric.ZCU216OnlyLittle, hypervisor.DualCore
 	case KindVersaSlotBL:
-		cfg, model = fabric.BigLittle, hypervisor.DualCore
+		cfg, model = fabric.ZCU216BigLittle, hypervisor.DualCore
 	}
-	board := fabric.NewBoard(0, cfg)
+	board := fabric.NewBoard(0, fabric.MustPlatform(cfg))
 	e := NewEngine(k, DefaultParams(), board, model, repo)
 	e.SetPolicy(New(kind))
 	e.InjectSequence(apps)
@@ -77,7 +77,7 @@ func TestVersaSlotBLExtractMigratableUpTo(t *testing.T) {
 	k := sim.NewKernel(1)
 	repo := bitstream.NewRepository()
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.BigLittle), hypervisor.DualCore, repo)
+	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.MustPlatform(fabric.ZCU216BigLittle)), hypervisor.DualCore, repo)
 	p := NewVersaSlotBL()
 	e.SetPolicy(p)
 	apps := []*appmodel.App{
@@ -114,7 +114,7 @@ func TestEngineForget(t *testing.T) {
 	k := sim.NewKernel(1)
 	repo := bitstream.NewRepository()
 	bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.BigLittle), hypervisor.DualCore, repo)
+	e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.MustPlatform(fabric.ZCU216BigLittle)), hypervisor.DualCore, repo)
 	p := NewVersaSlotBL()
 	e.SetPolicy(p)
 	a := mkApp(0, workload.AN, 3, 0)
@@ -263,7 +263,7 @@ func TestVersaSlotBLBindsBundleableToBig(t *testing.T) {
 		t.Fatalf("AN should run as 2 bundles, got %d stages", len(a.Stages))
 	}
 	for _, st := range a.Stages {
-		if st.Kind != fabric.Big {
+		if st.Class != "Big" {
 			t.Fatal("bundleable app not bound to Big slots")
 		}
 	}
@@ -277,7 +277,7 @@ func TestVersaSlotBLSendsLeNetToLittle(t *testing.T) {
 		t.Fatalf("LeNet should run as 6 task stages, got %d", len(a.Stages))
 	}
 	for _, st := range a.Stages {
-		if st.Kind != fabric.Little {
+		if st.Class != "Little" {
 			t.Fatal("non-bundleable app placed in Big slots")
 		}
 	}
@@ -305,7 +305,7 @@ func TestVersaSlotBLRebinding(t *testing.T) {
 	bigUsed, littleUsed := false, false
 	for _, a := range apps {
 		for _, st := range a.Stages {
-			if st.Kind == fabric.Big {
+			if st.Class == "Big" {
 				bigUsed = true
 			} else {
 				littleUsed = true
@@ -358,19 +358,19 @@ func TestExtractMigratableOnlyUnstarted(t *testing.T) {
 		k := sim.NewKernel(1)
 		repo := bitstream.NewRepository()
 		bitstream.NewGenerator().GenerateAll(repo, workload.Suite())
-		var cfg fabric.BoardConfig
+		var cfg string
 		model := hypervisor.SingleCore
 		switch kind {
 		case KindBaseline:
-			cfg = fabric.Monolithic
+			cfg = fabric.ZCU216Monolithic
 		case KindVersaSlotBL:
-			cfg, model = fabric.BigLittle, hypervisor.DualCore
+			cfg, model = fabric.ZCU216BigLittle, hypervisor.DualCore
 		case KindVersaSlotOL:
-			cfg, model = fabric.OnlyLittle, hypervisor.DualCore
+			cfg, model = fabric.ZCU216OnlyLittle, hypervisor.DualCore
 		default:
-			cfg = fabric.OnlyLittle
+			cfg = fabric.ZCU216OnlyLittle
 		}
-		e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, cfg), model, repo)
+		e := NewEngine(k, DefaultParams(), fabric.NewBoard(0, fabric.MustPlatform(cfg)), model, repo)
 		e.SetPolicy(New(kind))
 		// Saturate, then inject stragglers that cannot start.
 		var apps []*appmodel.App

@@ -20,15 +20,42 @@ type Registration struct {
 	Aliases []string
 	// Title is the display name ("VersaSlot Big.Little").
 	Title string
-	// Board is the static-region floorplan the policy drives.
-	Board fabric.BoardConfig
+	// Platform is the registered platform the policy runs on by
+	// default; scenarios may override it with any platform Supports
+	// accepts.
+	Platform string
 	// Core is the control-plane topology the policy assumes.
 	Core hypervisor.CoreModel
 	// Factory builds a fresh policy instance per run.
 	Factory func() Policy
+	// Supports, when non-nil, vets a platform override beyond the
+	// structural virtual/DPR check (e.g. the Big.Little policy requires
+	// a heterogeneous class mix).
+	Supports func(p *fabric.Platform) error
 	// Kind is the built-in enum value used by the paper-figure tables;
 	// KindExternal for policies registered outside this package.
 	Kind Kind
+}
+
+// CompatiblePlatform reports whether a policy registration can drive a
+// platform: virtual (monolithic) platforms pair only with policies
+// whose declared platform is virtual, DPR platforms only with DPR
+// policies, and any policy-specific Supports check must pass.
+func CompatiblePlatform(r *Registration, p *fabric.Platform) error {
+	declared, ok := fabric.LookupPlatform(r.Platform)
+	if !ok {
+		return fmt.Errorf("sched: policy %q declares unknown platform %q", r.Name, r.Platform)
+	}
+	if declared.Virtual != p.Virtual {
+		if p.Virtual {
+			return fmt.Errorf("sched: policy %q drives DPR slots; platform %q is the monolithic baseline", r.Name, p.Name)
+		}
+		return fmt.Errorf("sched: policy %q multiplexes a monolithic fabric; platform %q has DPR slots", r.Name, p.Name)
+	}
+	if r.Supports != nil {
+		return r.Supports(p)
+	}
+	return nil
 }
 
 // KindExternal marks registrations that are not one of the paper's six
@@ -99,34 +126,40 @@ func NameOf(k Kind) string {
 func init() {
 	MustRegister(Registration{
 		Name: "baseline", Title: KindBaseline.String(), Kind: KindBaseline,
-		Board: fabric.Monolithic, Core: hypervisor.SingleCore,
+		Platform: fabric.ZCU216Monolithic, Core: hypervisor.SingleCore,
 		Factory: func() Policy { return &Exclusive{} },
 	})
 	MustRegister(Registration{
 		Name: "fcfs", Title: KindFCFS.String(), Kind: KindFCFS,
-		Board: fabric.OnlyLittle, Core: hypervisor.SingleCore,
+		Platform: fabric.ZCU216OnlyLittle, Core: hypervisor.SingleCore,
 		Factory: func() Policy { return &FCFS{} },
 	})
 	MustRegister(Registration{
 		Name: "rr", Title: KindRR.String(), Kind: KindRR,
-		Board: fabric.OnlyLittle, Core: hypervisor.SingleCore,
+		Platform: fabric.ZCU216OnlyLittle, Core: hypervisor.SingleCore,
 		Factory: func() Policy { return &RR{} },
 	})
 	MustRegister(Registration{
 		Name: "nimblock", Title: KindNimblock.String(), Kind: KindNimblock,
-		Board: fabric.OnlyLittle, Core: hypervisor.SingleCore,
+		Platform: fabric.ZCU216OnlyLittle, Core: hypervisor.SingleCore,
 		Factory: func() Policy { return &Nimblock{} },
 	})
 	MustRegister(Registration{
 		Name: "versaslot-ol", Aliases: []string{"versaslot-only-little"},
 		Title: KindVersaSlotOL.String(), Kind: KindVersaSlotOL,
-		Board: fabric.OnlyLittle, Core: hypervisor.DualCore,
+		Platform: fabric.ZCU216OnlyLittle, Core: hypervisor.DualCore,
 		Factory: func() Policy { return NewVersaSlotOL() },
 	})
 	MustRegister(Registration{
 		Name: "versaslot-bl", Aliases: []string{"versaslot", "versaslot-big-little"},
 		Title: KindVersaSlotBL.String(), Kind: KindVersaSlotBL,
-		Board: fabric.BigLittle, Core: hypervisor.DualCore,
+		Platform: fabric.ZCU216BigLittle, Core: hypervisor.DualCore,
 		Factory: func() Policy { return NewVersaSlotBL() },
+		Supports: func(p *fabric.Platform) error {
+			if !p.Heterogeneous() {
+				return fmt.Errorf("sched: versaslot-bl needs a heterogeneous slot-class mix; platform %q is uniform", p.Name)
+			}
+			return nil
+		},
 	})
 }

@@ -76,12 +76,12 @@ func TestRegisterValidation(t *testing.T) {
 
 func TestRegisterExternalPolicy(t *testing.T) {
 	err := Register(Registration{
-		Name:    "test-external",
-		Title:   "Test External",
-		Kind:    KindExternal,
-		Board:   fabric.OnlyLittle,
-		Core:    hypervisor.DualCore,
-		Factory: func() Policy { return NewVersaSlotOL() },
+		Name:     "test-external",
+		Title:    "Test External",
+		Kind:     KindExternal,
+		Platform: fabric.ZCU216OnlyLittle,
+		Core:     hypervisor.DualCore,
+		Factory:  func() Policy { return NewVersaSlotOL() },
 	})
 	if err != nil {
 		t.Fatalf("Register external: %v", err)

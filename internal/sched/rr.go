@@ -15,6 +15,7 @@ import (
 // at the price of extra PR churn. Single-core control plane.
 type RR struct {
 	e            *Engine
+	class        fabric.SlotClass // the board's base slot class
 	queue        []*appmodel.App
 	running      []*appmodel.App
 	placedAt     map[*appmodel.App]sim.Time
@@ -30,6 +31,7 @@ func (r *RR) Name() string { return KindRR.String() }
 // Init implements Policy. Like FCFS, RR predates DDR bitstream caching.
 func (r *RR) Init(e *Engine) {
 	r.e = e
+	r.class = e.Board.Platform.Smallest()
 	e.DisableBitstreamCache()
 	r.placedAt = make(map[*appmodel.App]sim.Time)
 	r.draining = make(map[*appmodel.App]bool)
@@ -37,7 +39,7 @@ func (r *RR) Init(e *Engine) {
 
 // AppArrived implements Policy.
 func (r *RR) AppArrived(a *appmodel.App) {
-	bundle.BuildLittle(a)
+	bundle.BuildTasks(a, r.class.Name)
 	r.queue = append(r.queue, a)
 }
 
@@ -98,7 +100,7 @@ func (r *RR) Schedule() {
 		kept := r.queue[:0]
 		for _, a := range r.queue {
 			need := gangNeed(a, e.Params.GangMaxSlots)
-			free := e.Board.EmptySlots(fabric.Little)
+			free := e.Board.EmptySlots(r.class.Name)
 			if len(free) >= need {
 				r.running = append(r.running, a)
 				r.placedAt[a] = now

@@ -13,13 +13,19 @@ import (
 // architecture driven by Algorithm 1 (slot allocation with primary
 // allocation, redistribution, binding and rebinding) and Algorithm 2
 // (dual-core scheduling with online 3-in-1 bundling and asynchronous
-// PR). Pair it with a fabric.BigLittle board and hypervisor.DualCore.
+// PR). It ranks the board's slot classes by capacity: the largest
+// class plays the Big (bundle) role, the smallest the Little (task)
+// role — so any heterogeneous platform works, with "Big"/"Little"
+// meaning capacity rank, not hard-coded names. Pair it with a
+// heterogeneous platform and hypervisor.DualCore.
 type VersaSlotBL struct {
-	e *Engine
+	e      *Engine
+	big    fabric.SlotClass // largest-capacity class (bundle role)
+	little fabric.SlotClass // smallest-capacity class (task role)
 
 	cwait   []*appmodel.App // C_wait: apps awaiting slot allocation
-	sBig    []*appmodel.App // S_Big: apps bound to Big slots
-	sLittle []*appmodel.App // S_Little: apps bound to Little slots
+	sBig    []*appmodel.App // S_Big: apps bound to big-class slots
+	sLittle []*appmodel.App // S_Little: apps bound to little-class slots
 
 	rBig    map[*appmodel.App]int // R^B_Ai
 	rLittle map[*appmodel.App]int // R^L_Ai
@@ -40,10 +46,12 @@ func (v *VersaSlotBL) Name() string { return KindVersaSlotBL.String() }
 
 // Init implements Policy.
 func (v *VersaSlotBL) Init(e *Engine) {
-	if e.Board.Config != fabric.BigLittle {
-		panic("sched: VersaSlotBL requires a Big.Little board")
+	if !e.Board.Platform.Heterogeneous() {
+		panic("sched: VersaSlotBL requires a heterogeneous (multi-class) platform")
 	}
 	v.e = e
+	v.big = e.Board.Platform.Largest()
+	v.little = e.Board.Platform.Smallest()
 	v.rBig = make(map[*appmodel.App]int)
 	v.rLittle = make(map[*appmodel.App]int)
 	v.optB = make(map[*appmodel.App]int)
@@ -55,21 +63,37 @@ func (v *VersaSlotBL) Init(e *Engine) {
 // and join the waiting list.
 func (v *VersaSlotBL) AppArrived(a *appmodel.App) {
 	e := v.e
-	maxL := e.Board.Count(fabric.Little)
-	if maxL > e.Params.MaxSlotsPerApp {
-		maxL = e.Params.MaxSlotsPerApp
+	// Apps whose every task fits the little class get a task-pipeline
+	// plan; bundle-only apps (a task exceeds the little class but the
+	// triples consolidate into the big class) keep optL at zero and
+	// wait for big-class slots — their little-class partials were never
+	// generated.
+	if v.fitsLittle(a.Spec) {
+		maxL := e.Board.Count(v.little.Name)
+		if maxL > e.Params.MaxSlotsPerApp {
+			maxL = e.Params.MaxSlotsPerApp
+		}
+		lp := v.littlePlan(a)
+		v.optL[a] = lp.OptimalSlots(maxL)
+		v.maxUseL[a] = lp.MaxUsefulSlots(maxL)
 	}
-	lp := v.littlePlan(a)
-	v.optL[a] = lp.OptimalSlots(maxL)
-	v.maxUseL[a] = lp.MaxUsefulSlots(maxL)
-	if bundle.CanBundle(a.Spec) {
+	if bundle.CanBundleIn(a.Spec, v.big.Cap) {
 		// Big slots are scarce and already contention-optimal, so the
 		// bundle pipeline is sized for throughput: the smallest count
 		// reaching the best makespan the board allows.
 		bp := v.bigPlan(a)
-		v.optB[a] = bp.MaxUsefulSlots(e.Board.Count(fabric.Big))
+		v.optB[a] = bp.MaxUsefulSlots(e.Board.Count(v.big.Name))
 	}
 	v.cwait = append(v.cwait, a)
+}
+
+func (v *VersaSlotBL) fitsLittle(spec *appmodel.AppSpec) bool {
+	for _, t := range spec.Tasks {
+		if !t.Impl.FitsIn(v.little.Cap) {
+			return false
+		}
+	}
+	return true
 }
 
 func (v *VersaSlotBL) littlePlan(a *appmodel.App) pipeline.Plan {
@@ -78,7 +102,7 @@ func (v *VersaSlotBL) littlePlan(a *appmodel.App) pipeline.Plan {
 		times[i] = t.Time
 	}
 	load := v.e.PCAP.LoadDuration(v.e.Repo.MustGet(
-		bitstream.TaskName(a.Spec.Name, a.Spec.Tasks[0].Name, fabric.Little)))
+		bitstream.TaskName(a.Spec.Name, a.Spec.Tasks[0].Name, v.little.Name)))
 	return pipeline.Plan{StageTimes: times, Batch: a.Batch, LoadTime: load}
 }
 
@@ -92,7 +116,7 @@ func (v *VersaSlotBL) bigPlan(a *appmodel.App) pipeline.Plan {
 		times[b] = rest
 		extra[b] = first - rest
 	}
-	load := v.e.PCAP.LoadDuration(v.e.Repo.MustGet(bitstream.BundleName(a.Spec.Name, 0, "par")))
+	load := v.e.PCAP.LoadDuration(v.e.Repo.MustGet(bitstream.BundleName(a.Spec.Name, 0, "par", v.big.Name)))
 	return pipeline.Plan{StageTimes: times, FirstItemExtra: extra, Batch: a.Batch, LoadTime: load}
 }
 
@@ -134,8 +158,8 @@ func (v *VersaSlotBL) Schedule() {
 // allocate is Algorithm 1.
 func (v *VersaSlotBL) allocate() {
 	e := v.e
-	bAvail := e.Board.CountEmpty(fabric.Big) - v.slack(v.sBig, v.rBig)
-	lAvail := e.Board.CountEmpty(fabric.Little) - v.slack(v.sLittle, v.rLittle)
+	bAvail := e.Board.CountEmpty(v.big.Name) - v.slack(v.sBig, v.rBig)
+	lAvail := e.Board.CountEmpty(v.little.Name) - v.slack(v.sLittle, v.rLittle)
 	if bAvail <= 0 && lAvail <= 0 {
 		return
 	}
@@ -154,7 +178,7 @@ func (v *VersaSlotBL) allocate() {
 			a.State = appmodel.StateWaiting
 			v.cwait = append(v.cwait, a)
 		}
-		lAvail = e.Board.CountEmpty(fabric.Little) - v.slack(v.sLittle, v.rLittle)
+		lAvail = e.Board.CountEmpty(v.little.Name) - v.slack(v.sLittle, v.rLittle)
 	}
 	// Primary allocation: Big first for bundleable apps, then Little.
 	lLeft := lAvail
@@ -206,14 +230,14 @@ func (v *VersaSlotBL) allocate() {
 }
 
 func (v *VersaSlotBL) bindBig(a *appmodel.App, r int) {
-	bundle.Build(a)
+	bundle.Build(a, v.big.Name)
 	v.sBig = append(v.sBig, a)
 	v.rBig[a] = r
 	a.State = appmodel.StateReady
 }
 
 func (v *VersaSlotBL) bindLittle(a *appmodel.App, r int) {
-	bundle.BuildLittle(a)
+	bundle.BuildTasks(a, v.little.Name)
 	v.sLittle = append(v.sLittle, a)
 	v.rLittle[a] = r
 	a.State = appmodel.StateReady
@@ -291,7 +315,7 @@ func (v *VersaSlotBL) preemptLittle() {
 	if len(v.cwait) == 0 {
 		return
 	}
-	if e.Board.CountEmpty(fabric.Little)-v.slack(v.sLittle, v.rLittle) > 0 {
+	if e.Board.CountEmpty(v.little.Name)-v.slack(v.sLittle, v.rLittle) > 0 {
 		return
 	}
 	now := e.Now()
@@ -333,7 +357,7 @@ func (v *VersaSlotBL) place() {
 			if st == nil {
 				break
 			}
-			free := e.Board.EmptySlots(fabric.Big)
+			free := e.Board.EmptySlots(v.big.Name)
 			if len(free) == 0 {
 				break
 			}
@@ -346,7 +370,7 @@ func (v *VersaSlotBL) place() {
 			if st == nil {
 				break
 			}
-			free := e.Board.EmptySlots(fabric.Little)
+			free := e.Board.EmptySlots(v.little.Name)
 			if len(free) == 0 {
 				break
 			}

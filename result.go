@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"versaslot/internal/cluster"
+	"versaslot/internal/fabric"
 	"versaslot/internal/metrics"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
@@ -24,6 +25,11 @@ type Result struct {
 	Policy string `json:"policy"`
 	// PolicyTitle is the display name ("VersaSlot Big.Little").
 	PolicyTitle string `json:"policy_title"`
+	// Platform is the board platform's registry name (single topology).
+	Platform string `json:"platform,omitempty"`
+	// PairPlatforms reports each switching pair's resolved platform
+	// assignment (cluster/farm).
+	PairPlatforms []cluster.PairPlatforms `json:"pair_platforms,omitempty"`
 	// Condition is the workload's congestion label.
 	Condition string `json:"condition"`
 	// Seed is the run's kernel seed.
@@ -124,7 +130,7 @@ func pooledPercentile(samples []metrics.ResponseSample, p float64) sim.Duration 
 // Engines must be passed in a fixed order so output is deterministic.
 func (r *Result) fillFromEngines(engines []*sched.Engine) {
 	var pooled []metrics.ResponseSample
-	var utilLUT, utilFF, weight float64
+	var utilLUT, utilFF, utilDSP, utilBRAM, weight float64
 	for _, e := range engines {
 		s := e.Col.Summarize()
 		r.Summary.PRLoads += s.PRLoads
@@ -135,6 +141,8 @@ func (r *Result) fillFromEngines(engines []*sched.Engine) {
 		r.Summary.Migrations += s.Migrations
 		utilLUT += s.UtilLUT * float64(s.Apps)
 		utilFF += s.UtilFF * float64(s.Apps)
+		utilDSP += s.UtilDSP * float64(s.Apps)
+		utilBRAM += s.UtilBRAM * float64(s.Apps)
 		weight += float64(s.Apps)
 		pooled = append(pooled, e.Col.Responses...)
 		hits, misses := e.Cache.Stats()
@@ -148,6 +156,8 @@ func (r *Result) fillFromEngines(engines []*sched.Engine) {
 	if weight > 0 {
 		r.Summary.UtilLUT = utilLUT / weight
 		r.Summary.UtilFF = utilFF / weight
+		r.Summary.UtilDSP = utilDSP / weight
+		r.Summary.UtilBRAM = utilBRAM / weight
 	}
 	if len(pooled) > 0 {
 		r.Summary.MeanRT = metrics.MeanResponse(pooled)
@@ -172,7 +182,7 @@ func (r *Result) fillFromEngines(engines []*sched.Engine) {
 		r.Summary.MinRT = minRT
 		r.Summary.MaxRT = maxRT
 	}
-	agg := metrics.NewCollector(0, 0)
+	agg := metrics.NewCollector(fabric.ResVec{})
 	agg.Responses = pooled
 	r.BySpec = agg.BySpec()
 }

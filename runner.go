@@ -5,9 +5,11 @@ import (
 	"sync"
 
 	"versaslot/internal/appmodel"
+	"versaslot/internal/bundle"
 	"versaslot/internal/cluster"
 	"versaslot/internal/core"
 	"versaslot/internal/fabric"
+	"versaslot/internal/migrate"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/trace"
@@ -198,8 +200,16 @@ func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*
 			policyName = "versaslot-bl"
 		}
 	} else {
+		var platform *fabric.Platform
+		if s.Platform != nil {
+			var err error
+			platform, err = s.Platform.Resolve()
+			if err != nil {
+				return nil, fmt.Errorf("versaslot: %w", err)
+			}
+		}
 		var err error
-		sys, err = core.NewRegisteredSystem(s.Policy, s.Seed, s.Params)
+		sys, err = core.NewPlatformSystem(s.Policy, platform, s.Seed, s.Params)
 		if err != nil {
 			return nil, err
 		}
@@ -208,6 +218,15 @@ func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*
 	apps, err := seq.Instantiate(0)
 	if err != nil {
 		return nil, err
+	}
+	boardPlatform := sys.Engine.Board.Platform
+	if !boardPlatform.Virtual {
+		for _, a := range apps {
+			if !bundle.Hostable(a.Spec, boardPlatform) {
+				return nil, fmt.Errorf("versaslot: app %v (%s) fits no slot class of platform %q",
+					a, a.Spec.Name, boardPlatform.Name)
+			}
+		}
 	}
 	res, err := sys.Execute(seq.Condition, apps)
 	if err != nil {
@@ -218,6 +237,7 @@ func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*
 		Topology:    TopologySingle,
 		Policy:      canonicalName(policyName),
 		PolicyTitle: PolicyTitle(policyName),
+		Platform:    boardPlatform.Name,
 		Condition:   seq.Condition,
 		Seed:        s.Seed,
 		Summary:     res.Summary,
@@ -235,12 +255,23 @@ func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*
 	return out, nil
 }
 
-// clusterModes is the fixed board-mode iteration order that keeps
+// clusterModes is the fixed pair-mode iteration order that keeps
 // multi-board metric merging deterministic.
-var clusterModes = []fabric.BoardConfig{fabric.OnlyLittle, fabric.BigLittle}
+var clusterModes = []migrate.Mode{migrate.Base, migrate.Boost}
+
+// pairPlatformsOf reports the resolved platform assignment of a pair.
+func pairPlatformsOf(cl *cluster.Cluster) cluster.PairPlatforms {
+	return cluster.PairPlatforms{
+		Base:  cl.Platform(migrate.Base).Name,
+		Boost: cl.Platform(migrate.Boost).Name,
+	}
+}
 
 func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (*Result, error) {
-	cl := cluster.New(s.clusterConfig())
+	cl, err := cluster.NewCluster(s.clusterConfig())
+	if err != nil {
+		return nil, fmt.Errorf("versaslot: %w", err)
+	}
 	for _, mode := range clusterModes {
 		r.attachDiagnostics(s.Name, cl.Engine(mode), parallel)
 	}
@@ -256,6 +287,7 @@ func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (
 		PolicyTitle:    "VersaSlot Switching",
 		Condition:      seq.Condition,
 		Seed:           s.Seed,
+		PairPlatforms:  []cluster.PairPlatforms{pairPlatformsOf(cl)},
 		Switches:       sum.Switches,
 		MeanSwitchTime: sum.MeanSwitchTime,
 		MigratedApps:   sum.MigratedApps,
@@ -275,11 +307,13 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 		return nil, fmt.Errorf("versaslot: %w", err)
 	}
 	var engines []*sched.Engine
+	var pairPlatforms []cluster.PairPlatforms
 	for _, pair := range f.Pairs {
 		for _, mode := range clusterModes {
 			r.attachDiagnostics(s.Name, pair.Engine(mode), parallel)
 			engines = append(engines, pair.Engine(mode))
 		}
+		pairPlatforms = append(pairPlatforms, pairPlatformsOf(pair))
 		r.observeSwitches(s.Name, pair)
 	}
 	if err := f.Inject(seq); err != nil {
@@ -293,6 +327,7 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 		PolicyTitle:       "VersaSlot Switching Farm",
 		Condition:         seq.Condition,
 		Seed:              s.Seed,
+		PairPlatforms:     pairPlatforms,
 		Dispatcher:        f.Dispatcher(),
 		Switches:          sum.Switches,
 		MeanSwitchTime:    sum.MeanSwitchTime,
@@ -312,9 +347,10 @@ func (r *Runner) observeSwitches(scenario string, cl *cluster.Cluster) {
 	if r.observer == nil {
 		return
 	}
-	board := cl.Engine(fabric.OnlyLittle).Board.ID
-	cl.OnSwitch = func(from, to fabric.BoardConfig) {
-		r.emit(Event{Scenario: scenario, At: cl.K.Now(), Kind: "switch", Board: board, From: from.String(), To: to.String()})
+	board := cl.Engine(migrate.Base).Board.ID
+	cl.OnSwitch = func(from, to migrate.Mode) {
+		r.emit(Event{Scenario: scenario, At: cl.K.Now(), Kind: "switch", Board: board,
+			From: cl.Platform(from).Title, To: cl.Platform(to).Title})
 	}
 }
 

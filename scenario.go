@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"versaslot/internal/cluster"
+	"versaslot/internal/fabric"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -73,6 +74,12 @@ type Scenario struct {
 	// Params overrides hardware/control-plane constants; nil means
 	// sched.DefaultParams().
 	Params *sched.Params `json:"params,omitempty"`
+	// Platform selects the single board's platform: a registry
+	// reference ({"ref": "u250-quad"}) or an inline custom platform
+	// (name, area budget, ordered class mix). Nil means the policy's
+	// declared platform. Single topology only; for cluster/farm
+	// platforms use PairPlatforms.
+	Platform *fabric.PlatformSpec `json:"platform,omitempty"`
 	// BigSlots/LittleSlots select a custom single-board slot mix (the
 	// paper's "any Big/Little configuration" extension); both zero
 	// means the policy's declared floorplan.
@@ -80,6 +87,12 @@ type Scenario struct {
 	LittleSlots int `json:"little_slots,omitempty"`
 	// Pairs is the farm size (default 2; farm topology only).
 	Pairs int `json:"pairs,omitempty"`
+	// PairPlatforms assigns registered platforms to switching pairs
+	// (cluster: the single pair; farm: entry i configures pair i,
+	// missing entries keep the paper's Only.Little/Big.Little pair).
+	// A farm can therefore mix board types; dispatch then routes each
+	// application only to pairs whose slot classes can hold it.
+	PairPlatforms []cluster.PairPlatforms `json:"pair_platforms,omitempty"`
 	// Dispatcher selects the farm's arrival dispatcher by registered
 	// name (default "least-loaded"; farm topology only). See
 	// Dispatchers() for the registry.
@@ -110,7 +123,22 @@ func (s Scenario) withDefaults() Scenario {
 		s.Topology = TopologySingle
 	}
 	if s.Policy == "" && s.BigSlots == 0 && s.LittleSlots == 0 {
-		s.Policy = "versaslot-bl"
+		if s.Platform != nil {
+			// The platform shape picks the matching VersaSlot variant
+			// (or the exclusive baseline on a virtual platform).
+			if p, err := s.Platform.Resolve(); err == nil {
+				switch {
+				case p.Virtual:
+					s.Policy = "baseline"
+				case p.Heterogeneous():
+					s.Policy = "versaslot-bl"
+				default:
+					s.Policy = "versaslot-ol"
+				}
+			}
+		} else {
+			s.Policy = "versaslot-bl"
+		}
 	}
 	if s.Condition == "" {
 		s.Condition = "standard"
@@ -145,6 +173,54 @@ func (s Scenario) Validate() error {
 	}
 	if custom && s.Policy != "" {
 		return fmt.Errorf("versaslot: policy %q conflicts with a custom slot mix (the mix implies the VersaSlot policy)", s.Policy)
+	}
+	if s.Platform != nil {
+		if s.Topology != TopologySingle {
+			return fmt.Errorf("versaslot: the platform block is single-topology only (use pair_platforms for cluster/farm)")
+		}
+		if custom {
+			return fmt.Errorf("versaslot: platform block conflicts with the legacy big_slots/little_slots mix (pick one)")
+		}
+		p, err := s.Platform.Resolve()
+		if err != nil {
+			return fmt.Errorf("versaslot: %w", err)
+		}
+		reg, ok := sched.Lookup(s.Policy)
+		if !ok {
+			return fmt.Errorf("versaslot: unknown policy %q (registered: %v)", s.Policy, sched.Names())
+		}
+		if err := sched.CompatiblePlatform(reg, p); err != nil {
+			return fmt.Errorf("versaslot: %w", err)
+		}
+	}
+	if len(s.PairPlatforms) > 0 {
+		switch s.Topology {
+		case TopologyCluster:
+			if len(s.PairPlatforms) > 1 {
+				return fmt.Errorf("versaslot: cluster topology has one pair; got %d pair_platforms entries", len(s.PairPlatforms))
+			}
+		case TopologyFarm:
+			if len(s.PairPlatforms) > s.Pairs {
+				return fmt.Errorf("versaslot: %d pair_platforms entries for %d pairs", len(s.PairPlatforms), s.Pairs)
+			}
+		default:
+			return fmt.Errorf("versaslot: pair_platforms is cluster/farm-topology only (topology %q)", s.Topology)
+		}
+		for i, pp := range s.PairPlatforms {
+			for _, name := range []string{pp.Base, pp.Boost} {
+				if name == "" {
+					continue
+				}
+				p, ok := fabric.LookupPlatform(name)
+				if !ok {
+					return fmt.Errorf("versaslot: pair %d: unknown platform %q (registered: %v)",
+						i, name, fabric.PlatformNames())
+				}
+				if p.Virtual {
+					return fmt.Errorf("versaslot: pair %d: platform %q is the monolithic baseline template; switching pairs need DPR slots", i, name)
+				}
+			}
+		}
 	}
 	if custom {
 		if area := 2*s.BigSlots + s.LittleSlots; area > 8 {
@@ -290,6 +366,10 @@ func (s Scenario) clusterConfig() cluster.Config {
 	if s.Params != nil {
 		cfg.Params = *s.Params
 	}
+	if len(s.PairPlatforms) > 0 {
+		cfg.BasePlatform = s.PairPlatforms[0].Base
+		cfg.BoostPlatform = s.PairPlatforms[0].Boost
+	}
 	if s.ThresholdUp > 0 {
 		cfg.ThresholdUp = s.ThresholdUp
 	}
@@ -307,9 +387,14 @@ func (s Scenario) clusterConfig() cluster.Config {
 
 // farmConfig maps the scenario's farm knobs onto a farm configuration.
 func (s Scenario) farmConfig() cluster.FarmConfig {
+	pair := s.clusterConfig()
+	// Per-pair assignments go through FarmConfig.PairPlatforms; the
+	// shared pair config keeps the defaults.
+	pair.BasePlatform, pair.BoostPlatform = "", ""
 	return cluster.FarmConfig{
-		Pair:           s.clusterConfig(),
+		Pair:           pair,
 		Pairs:          s.Pairs,
+		PairPlatforms:  s.PairPlatforms,
 		Dispatcher:     s.Dispatcher,
 		RebalanceEvery: s.RebalanceEvery,
 		RebalanceGap:   s.RebalanceGap,
@@ -414,6 +499,19 @@ func ArrivalProcesses() []string { return workload.ArrivalNames() }
 func ArrivalProcessTitle(name string) string {
 	if r, ok := workload.LookupArrival(name); ok {
 		return r.Title
+	}
+	return name
+}
+
+// Platforms lists registered platform names (built-ins first, then
+// third-party registrations via fabric.RegisterPlatform).
+func Platforms() []string { return fabric.PlatformNames() }
+
+// PlatformTitle returns the display title of a registered platform
+// name.
+func PlatformTitle(name string) string {
+	if p, ok := fabric.LookupPlatform(name); ok {
+		return p.Title
 	}
 	return name
 }
