@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"testing"
 
+	"versaslot"
 	"versaslot/internal/bitstream"
 	"versaslot/internal/cluster"
 	"versaslot/internal/core"
 	"versaslot/internal/experiments"
 	"versaslot/internal/fabric"
+	"versaslot/internal/fault"
 	"versaslot/internal/hypervisor"
 	"versaslot/internal/pipeline"
 	"versaslot/internal/sched"
@@ -347,6 +349,33 @@ func BenchmarkEndToEndStress(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(core.SystemConfig{Policy: sched.KindVersaSlotBL, Seed: 1}, seq); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChaosFaults prices the fault-injection path end to end: a
+// stress run on a cluster with every built-in injector layered on —
+// fail/recover chains, crash-restart teardowns, PR retries, straggle
+// episodes, checkpointed resume. Paired with BenchmarkEndToEndStress
+// it bounds the chaos subsystem's overhead; benchgate pins both.
+func BenchmarkChaosFaults(b *testing.B) {
+	sc := versaslot.Scenario{
+		Topology: versaslot.TopologyCluster, Condition: "stress", Apps: 20, Seed: 7,
+		Faults: &fault.Spec{Injectors: []fault.InjectorSpec{
+			{Kind: fault.KindSlotFail, MTBF: 25 * sim.Second, MTTR: 2 * sim.Second},
+			{Kind: fault.KindBoardFail, MTBF: 40 * sim.Second, MTTR: 2 * sim.Second},
+			{Kind: fault.KindPRFlaky, Rate: 0.2, MaxRetries: 3, Backoff: sim.Millisecond, BackoffFactor: 2},
+			{Kind: fault.KindStraggler, MTBF: 20 * sim.Second, MTTR: 2 * sim.Second, Factor: 2.0},
+			{Kind: fault.KindCheckpoint, CheckpointBytes: 64, RestoreDelay: sim.Millisecond},
+		}},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := versaslot.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Apps != sc.Apps {
+			b.Fatalf("finished %d of %d apps", res.Summary.Apps, sc.Apps)
 		}
 	}
 }

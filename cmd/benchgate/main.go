@@ -1,16 +1,16 @@
 // Command benchgate is the bench-regression gate: it runs the
-// simulation-substrate micro-benchmarks plus the end-to-end stress and
-// farm-dispatch benchmarks, writes the measured ns/op, B/op and
-// allocs/op to a JSON report, and (given a committed baseline) fails
-// when a benchmark regresses past the tolerance.
+// simulation-substrate micro-benchmarks plus the end-to-end stress,
+// chaos-fault and farm-dispatch benchmarks, writes the measured ns/op,
+// B/op and allocs/op to a JSON report, and (given a committed baseline)
+// fails when a benchmark regresses past the tolerance.
 //
 // Write the committed baseline after an intentional performance change:
 //
-//	go run ./cmd/benchgate -write -out BENCH_4.json
+//	go run ./cmd/benchgate -write -out BENCH_5.json
 //
 // Gate a change against it (what CI runs):
 //
-//	go run ./cmd/benchgate -baseline BENCH_4.json -out /tmp/bench.json
+//	go run ./cmd/benchgate -baseline BENCH_5.json -out /tmp/bench.json
 //
 // Allocation counts are machine-independent and gated tightly (25% +
 // rounding slack — a zero-alloc baseline admits zero allocs). Raw ns/op
@@ -53,20 +53,23 @@ const schema = "versaslot-bench/v1"
 // end-to-end stress get real benchtime for stable numbers; the farm
 // dispatch benches pin the 32-pair least-loaded configuration, once on
 // the homogeneous ZCU216 farm and once on the mixed-platform
-// (ZCU216/U250/PYNQ) farm that exercises capacity-aware dispatch.
+// (ZCU216/U250/PYNQ) farm that exercises capacity-aware dispatch; the
+// chaos bench pins the fault-injection path (fail/recover chains,
+// crash-restart teardown, PR retries) against its fault-free twin.
 var suites = []struct {
 	bench     string
 	benchtime string
 }{
 	{`^(BenchmarkKernelEvents|BenchmarkServerJobs|BenchmarkPipelineMakespan|BenchmarkWorkloadGeneration)$`, "0.5s"},
 	{`^BenchmarkEndToEndStress$`, "2x"},
+	{`^BenchmarkChaosFaults$`, "2x"},
 	{`^BenchmarkFarmDispatch$/^least-loaded$/^pairs=32$`, "2x"},
 	{`^BenchmarkFarmDispatchHetero$/^least-loaded$/^pairs=32$`, "2x"},
 }
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_4.json", "path to write the measured report")
+		out      = flag.String("out", "BENCH_5.json", "path to write the measured report")
 		baseline = flag.String("baseline", "", "committed baseline to gate against (empty: no gate)")
 		write    = flag.Bool("write", false, "only write the report (alias for -baseline '')")
 		nsTol    = flag.Float64("ns-tolerance", 4.0, "fail when ns/op exceeds baseline by this factor")

@@ -13,12 +13,15 @@
 //	          [-arrival-json '{"process":"mmpp",...}'] [-pairs 2]
 //	          [-pair-platforms base:boost,base:boost,...]
 //	          [-dispatcher least-loaded] [-rebalance-every 2s]
-//	          [-rebalance-gap 2] [-dump-scenario file.json] [-v]
+//	          [-rebalance-gap 2] [-fault slot-fail]
+//	          [-fault-json '{"injectors":[...]}']
+//	          [-dump-scenario file.json] [-v]
 //	versaslot suite [-dir scenarios] [-out report.md] [-apps-cap N]
 //	versaslot -policy list
 //	versaslot -platform list
 //	versaslot -dispatcher list
 //	versaslot -arrival list
+//	versaslot -fault list
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"versaslot"
 	"versaslot/internal/cluster"
 	"versaslot/internal/fabric"
+	"versaslot/internal/fault"
 	"versaslot/internal/report"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -55,6 +59,8 @@ func main() {
 	dispatcher := flag.String("dispatcher", "", "farm arrival dispatcher (default least-loaded), or 'list' to print the registry")
 	rebalanceEvery := flag.Duration("rebalance-every", 0, "farm rebalancer cadence in virtual time (0 disables)")
 	rebalanceGap := flag.Int("rebalance-gap", 0, "min unfinished-app gap between pairs that triggers a cross-pair migration (default 2)")
+	faultKind := flag.String("fault", "", "attach one fault injector by kind with default parameters, or 'list' to print the registry")
+	faultJSON := flag.String("fault-json", "", "inline fault-spec JSON (overrides -fault)")
 	dump := flag.String("dump-scenario", "", "also write the effective scenario JSON to this file")
 	verbose := flag.Bool("v", false, "print per-application response times")
 	flag.Parse()
@@ -77,6 +83,13 @@ func main() {
 		fmt.Println("registered arrival processes:")
 		for _, name := range versaslot.ArrivalProcesses() {
 			fmt.Printf("  %-14s %s\n", name, versaslot.ArrivalProcessTitle(name))
+		}
+		return
+	}
+	if *faultKind == "list" {
+		fmt.Println("registered fault injectors:")
+		for _, name := range versaslot.FaultInjectors() {
+			fmt.Printf("  %-14s %s\n", name, versaslot.FaultInjectorTitle(name))
 		}
 		return
 	}
@@ -119,6 +132,7 @@ func main() {
 			Dispatcher:     *dispatcher,
 			RebalanceEvery: *rebalanceEvery,
 			RebalanceGap:   *rebalanceGap,
+			Faults:         parseFaultFlags(*faultKind, *faultJSON),
 		}
 		if *platform != "" {
 			sc.Platform = &fabric.PlatformSpec{Ref: *platform}
@@ -173,6 +187,13 @@ func main() {
 	t.AddRow("PR wait total", s.PRWait.String())
 	t.AddRow("preemptions", s.Preemptions)
 	t.AddRow("cache hit/miss", fmt.Sprintf("%d/%d", res.CacheHits, res.CacheMisses))
+	if sc.Faults != nil && sc.Faults.Enabled() {
+		t.AddRow("availability", s.Availability)
+		t.AddRow("downtime", s.Downtime.String())
+		t.AddRow("fault events", s.FaultEvents)
+		t.AddRow("crash-restarted apps", s.FailedApps)
+		t.AddRow("PR-retried apps", s.RetriedApps)
+	}
 	if res.Topology != versaslot.TopologySingle {
 		t.AddRow("cross-board switches", res.Switches)
 		t.AddRow("mean switch overhead", res.MeanSwitchTime.String())
@@ -239,6 +260,42 @@ func parsePairPlatforms(s string) []cluster.PairPlatforms {
 		})
 	}
 	return out
+}
+
+// faultDefaults gives each built-in injector kind a usable parameter
+// set for the bare -fault flag; anything more specific goes through
+// -fault-json or a scenario file.
+var faultDefaults = map[string]fault.InjectorSpec{
+	fault.KindSlotFail:   {Kind: fault.KindSlotFail, MTBF: 30 * sim.Second, MTTR: 2 * sim.Second},
+	fault.KindBoardFail:  {Kind: fault.KindBoardFail, MTBF: 60 * sim.Second, MTTR: 3 * sim.Second},
+	fault.KindPRFlaky:    {Kind: fault.KindPRFlaky, Rate: 0.2},
+	fault.KindStraggler:  {Kind: fault.KindStraggler, MTBF: 30 * sim.Second, MTTR: 3 * sim.Second, Factor: 2.5},
+	fault.KindCheckpoint: {Kind: fault.KindCheckpoint, CheckpointBytes: 64, RestoreDelay: sim.Millisecond},
+}
+
+// parseFaultFlags builds the scenario's faults block from the
+// -fault/-fault-json flags: nil when neither is set, a single
+// default-parameter injector for -fault, or the full inline spec for
+// -fault-json.
+func parseFaultFlags(kind, inline string) *fault.Spec {
+	if inline != "" {
+		spec, err := fault.ParseSpec(inline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot: -fault-json:", err)
+			os.Exit(2)
+		}
+		return &spec
+	}
+	if kind == "" {
+		return nil
+	}
+	reg, ok := fault.Lookup(kind)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "versaslot: -fault: unknown injector %q (registered: %v)\n", kind, fault.Names())
+		os.Exit(2)
+	}
+	inj := faultDefaults[reg.Name]
+	return &fault.Spec{Injectors: []fault.InjectorSpec{inj}}
 }
 
 // parseArrivalFlags builds the scenario's arrival block from the

@@ -1,0 +1,173 @@
+package versaslot_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"versaslot"
+	"versaslot/internal/fault"
+	"versaslot/internal/sim"
+)
+
+// resultBytes canonicalizes a Result for byte-level comparison.
+func resultBytes(t *testing.T, res *versaslot.Result) string {
+	t.Helper()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(raw)
+}
+
+// TestEmptyFaultsByteIdentical proves the chaos subsystem's core
+// invariant: a scenario with no faults block, an empty faults block, or
+// a faults block carrying only a seed produces byte-identical Results —
+// attaching nothing draws nothing and schedules nothing.
+func TestEmptyFaultsByteIdentical(t *testing.T) {
+	base := versaslot.Scenario{
+		Topology: versaslot.TopologyCluster, Condition: "stress", Apps: 16, Seed: 9,
+	}
+	ref, err := versaslot.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultBytes(t, ref)
+	for name, faults := range map[string]*fault.Spec{
+		"empty-spec": {},
+		"seed-only":  {Seed: 123},
+	} {
+		sc := base
+		sc.Faults = faults
+		res, err := versaslot.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := resultBytes(t, res); got != want {
+			t.Errorf("%s: result diverged from fault-free run", name)
+		}
+	}
+}
+
+// TestChaosDeterministic runs every chaos catalog scenario twice
+// sequentially and once through the RunMany worker pool: all three
+// Results must be byte-identical — fault schedules live on the
+// topology's own kernel and forked streams, so parallel sweeps cannot
+// perturb them.
+func TestChaosDeterministic(t *testing.T) {
+	names := []string{"chaos-slot-storm", "chaos-flaky-pr", "chaos-farm-outage"}
+	scenarios := make([]versaslot.Scenario, len(names))
+	for i, name := range names {
+		sc, err := versaslot.LoadScenario(filepath.Join("scenarios", name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenarios[i] = sc
+	}
+	pooled, err := versaslot.RunMany(scenarios, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scenarios {
+		first, err := versaslot.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		second, err := versaslot.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		a, b, c := resultBytes(t, first), resultBytes(t, second), resultBytes(t, pooled[i])
+		if a != b {
+			t.Errorf("%s: sequential reruns diverge", sc.Name)
+		}
+		if a != c {
+			t.Errorf("%s: RunMany result diverges from sequential", sc.Name)
+		}
+	}
+}
+
+// TestChaosImpact checks the chaos scenarios actually perturb their
+// runs: fail/recover chains cost availability and crash-restart apps,
+// flaky reconfiguration forces retries, and every run still drains.
+func TestChaosImpact(t *testing.T) {
+	storm, err := versaslot.LoadScenario(filepath.Join("scenarios", "chaos-slot-storm.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := versaslot.Run(storm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.Apps != storm.Apps {
+		t.Errorf("slot-storm: finished %d of %d apps", s.Apps, storm.Apps)
+	}
+	if s.Availability <= 0 || s.Availability >= 1 {
+		t.Errorf("slot-storm: availability = %v, want in (0,1)", s.Availability)
+	}
+	if s.Downtime <= 0 {
+		t.Errorf("slot-storm: downtime = %v, want > 0", s.Downtime)
+	}
+	if s.FaultEvents == 0 {
+		t.Error("slot-storm: no fault events recorded")
+	}
+	if s.FailedApps == 0 {
+		t.Error("slot-storm: no crash-restarted apps")
+	}
+
+	flaky, err := versaslot.LoadScenario(filepath.Join("scenarios", "chaos-flaky-pr.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = versaslot.Run(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.RetriedApps == 0 {
+		t.Error("flaky-pr: no applications needed fault-injected PR retries")
+	}
+	if res.Summary.Apps != flaky.Apps {
+		t.Errorf("flaky-pr: finished %d of %d apps", res.Summary.Apps, flaky.Apps)
+	}
+}
+
+// TestChaosAllInjectorsDrain layers every built-in injector on every
+// topology and checks the workload still drains deterministically —
+// the convergence guard for injector interactions (a crash during a
+// board outage, a straggle episode on a failed slot, checkpointed
+// restarts paying migration costs).
+func TestChaosAllInjectorsDrain(t *testing.T) {
+	full := &fault.Spec{Injectors: []fault.InjectorSpec{
+		{Kind: "slot-fail", MTBF: 25 * sim.Second, MTTR: 2 * sim.Second},
+		{Kind: "board-fail", MTBF: 40 * sim.Second, MTTR: 2 * sim.Second},
+		{Kind: "pr-flaky", Rate: 0.2},
+		{Kind: "straggler", MTBF: 20 * sim.Second, MTTR: 2 * sim.Second, Factor: 2.0},
+		{Kind: "checkpoint", CheckpointBytes: 64, RestoreDelay: sim.Millisecond},
+	}}
+	for _, tc := range []versaslot.Scenario{
+		{Topology: versaslot.TopologySingle, Condition: "stress", Apps: 20, Seed: 7, Faults: full},
+		{Topology: versaslot.TopologyCluster, Condition: "stress", Apps: 20, Seed: 7, Faults: full},
+		{Topology: versaslot.TopologyFarm, Pairs: 2, Condition: "stress", Apps: 20, Seed: 7,
+			RebalanceEvery: 2 * sim.Second, RebalanceGap: 2, Faults: full},
+	} {
+		tc := tc
+		t.Run(string(tc.Topology), func(t *testing.T) {
+			t.Parallel()
+			first, err := versaslot.Run(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Summary.Apps != tc.Apps {
+				t.Fatalf("finished %d of %d apps", first.Summary.Apps, tc.Apps)
+			}
+			second, err := versaslot.Run(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resultBytes(t, first) != resultBytes(t, second) {
+				t.Error("rerun diverged")
+			}
+		})
+	}
+}

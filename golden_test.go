@@ -98,6 +98,57 @@ func TestGoldenLegacyScenarios(t *testing.T) {
 	}
 }
 
+// catalogGoldenScenarios are heterogeneous-platform catalog entries
+// whose Results are pinned in full (no field stripping — they postdate
+// the platform refactor): the mixed and edge-cloud farms exercise
+// per-pair platform assignment, u250-quad the four-big single board.
+// Loading through LoadScenario pins the JSON decode path too.
+var catalogGoldenScenarios = []string{
+	"hetero-farm-mixed",
+	"hetero-farm-edge-cloud",
+	"u250-quad-single",
+}
+
+// TestGoldenCatalogScenarios pins heterogeneous catalog scenarios
+// byte-for-byte. Regenerate only after an intentional behavior change:
+// VERSASLOT_UPDATE_GOLDEN=1 go test -run Golden .
+func TestGoldenCatalogScenarios(t *testing.T) {
+	update := os.Getenv("VERSASLOT_UPDATE_GOLDEN") != ""
+	for _, name := range catalogGoldenScenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, err := versaslot.LoadScenario(filepath.Join("scenarios", name+".json"))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			res, err := versaslot.Run(sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			raw, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal result: %v", err)
+			}
+			got := append(raw, '\n')
+			path := filepath.Join("testdata", "golden", "catalog-"+name+".json")
+			if update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with VERSASLOT_UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("result diverged from golden %s\n%s", path, firstDiff(string(want), string(got)))
+			}
+		})
+	}
+}
+
 // firstDiff locates the first byte where two JSON dumps diverge and
 // returns a context window around it.
 func firstDiff(want, got string) string {

@@ -113,6 +113,11 @@ type Cluster struct {
 	// OnSwitch fires when a cross-board switch is initiated (streaming
 	// observer hook).
 	OnSwitch func(from, to migrate.Mode)
+
+	// cost, when set, prices switches with checkpoint/restore
+	// semantics (installed by the fault subsystem's checkpoint
+	// injector); nil keeps the classic payload.
+	cost *migrate.CostModel
 }
 
 // New builds the cluster with both boards pre-configured (the paper's
@@ -169,8 +174,27 @@ func buildCluster(k *sim.Kernel, cfg Config, firstBoardID int) (*Cluster, error)
 	}
 	// The spare starts frozen: it only executes after a switch.
 	c.spareEngine().SetFrozen(true)
+	// Fault hook: an app crash-restarted on a frozen (draining) board
+	// would otherwise queue there forever — no new placements happen
+	// while frozen, and nothing unfreezes a drained board. Re-home it
+	// to the active board with intra-pair migration bookkeeping.
+	for _, mode := range pairModes {
+		eng := c.engines[mode]
+		eng.OnAppCrashed = func(a *appmodel.App) bool {
+			if !eng.Frozen() || c.activeEngine() == eng {
+				return false
+			}
+			eng.RemoveActive(a)
+			c.activeEngine().InjectMigrated(a)
+			return true
+		}
+	}
 	return c, nil
 }
+
+// SetMigrationCost installs a checkpoint/restore cost model on the
+// pair's switches; nil restores the classic payload.
+func (c *Cluster) SetMigrationCost(m *migrate.CostModel) { c.cost = m }
 
 // ActiveMode returns the currently active configuration.
 func (c *Cluster) ActiveMode() migrate.Mode { return c.active }
@@ -229,6 +253,11 @@ func (c *Cluster) Run() Summary {
 func (c *Cluster) onAppFinished(*appmodel.App) {
 	c.finished++
 }
+
+// Quiescent reports whether every injected application has finished.
+// Fault-injector chains gate on it so they stop firing once the
+// workload drains instead of keeping the kernel alive forever.
+func (c *Cluster) Quiescent() bool { return c.finished >= c.totalApps }
 
 // onQueueUpdate implements the paper's cadence: every WindowUpdates
 // changes of the candidate queue, re-evaluate D_switch and act.
@@ -337,7 +366,7 @@ func (c *Cluster) doSwitch() {
 	}
 	c.migrating = true
 	c.prewarm()
-	migrate.Execute(c.K, c.Link, moved, func(apps []*appmodel.App) {
+	migrate.ExecuteModel(c.K, c.Link, moved, c.cost, func(apps []*appmodel.App) {
 		c.migrating = false
 		for _, a := range apps {
 			next.InjectMigrated(a)

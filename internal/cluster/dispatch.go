@@ -17,12 +17,13 @@ import (
 // come from the farm kernel's RNG, never from global state, so that
 // parallel sweeps reproduce sequential runs byte for byte.
 //
-// Dispatchers must be capacity-aware: on heterogeneous farms,
-// Farm.Eligible(a) returns the pair indices whose platforms can host
-// the application, and Pick must choose among them (an application
-// that fits no slot of a small-board pair has to route elsewhere; the
-// farm panics on an incompatible pick). A nil eligible set means every
-// pair qualifies.
+// Dispatchers must be capacity- and availability-aware: on
+// heterogeneous farms, Farm.DispatchEligible(a) returns the pair
+// indices whose platforms can host the application, minus pairs
+// degraded by an open board outage, and Pick must choose among them
+// (an application that fits no slot of a small-board pair has to
+// route elsewhere; the farm panics on a class-incompatible pick). A
+// nil eligible set means every pair qualifies.
 type Dispatcher interface {
 	// Name identifies the dispatcher in results ("least-loaded").
 	Name() string
@@ -141,7 +142,7 @@ type leastLoadedDispatch struct{ f *Farm }
 func (d *leastLoadedDispatch) Name() string { return DispatchLeastLoaded }
 func (d *leastLoadedDispatch) Init(f *Farm) { d.f = f }
 func (d *leastLoadedDispatch) Pick(a *appmodel.App) int {
-	if elig := d.f.Eligible(a); elig != nil {
+	if elig := d.f.DispatchEligible(a); elig != nil {
 		best := elig[0]
 		for _, i := range elig[1:] {
 			if d.f.load[i] < d.f.load[best] {
@@ -170,7 +171,7 @@ func (d *roundRobinDispatch) Name() string { return DispatchRoundRobin }
 func (d *roundRobinDispatch) Init(f *Farm) { d.f = f }
 func (d *roundRobinDispatch) Pick(a *appmodel.App) int {
 	n := len(d.f.Pairs)
-	if elig := d.f.Eligible(a); elig != nil {
+	if elig := d.f.DispatchEligible(a); elig != nil {
 		// Advance the cursor past ineligible pairs; the cursor still
 		// rotates over the full pair set so eligible apps keep cycling.
 		for tries := 0; tries < n; tries++ {
@@ -196,7 +197,7 @@ type powerOfTwoDispatch struct{ f *Farm }
 func (d *powerOfTwoDispatch) Name() string { return DispatchPowerOfTwo }
 func (d *powerOfTwoDispatch) Init(f *Farm) { d.f = f }
 func (d *powerOfTwoDispatch) Pick(a *appmodel.App) int {
-	if elig := d.f.Eligible(a); elig != nil {
+	if elig := d.f.DispatchEligible(a); elig != nil {
 		n := len(elig)
 		if n == 1 {
 			return elig[0]
@@ -256,7 +257,7 @@ func (d *affinityDispatch) Pick(a *appmodel.App) int {
 		cache = append(cache, platNames{p, names})
 		return names
 	}
-	elig := d.f.Eligible(a)
+	elig := d.f.DispatchEligible(a)
 	best, bestScore := -1, -1
 	for i, p := range d.f.Pairs {
 		if elig != nil && !containsPair(elig, i) {

@@ -107,6 +107,10 @@ type Farm struct {
 	load       []int // unfinished apps per pair, maintained incrementally
 	crossIn    []int // apps received via rebalancing, per pair
 	crossOut   []int // apps sent away via rebalancing, per pair
+	requeued   []int // apps the rebalancer extracted but returned, per pair
+	outages    []int // open board outages per pair (>0 = degraded)
+	unhealthy  int   // pairs with outages > 0
+	cost       *migrate.CostModel
 
 	// uniform is true when every pair runs identical platforms — the
 	// homogeneous fast path where per-pair eligibility filtering is
@@ -149,6 +153,8 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		load:       make([]int, cfg.Pairs),
 		crossIn:    make([]int, cfg.Pairs),
 		crossOut:   make([]int, cfg.Pairs),
+		requeued:   make([]int, cfg.Pairs),
+		outages:    make([]int, cfg.Pairs),
 	}
 	f.Rack = interlink.NewDefault(f.K, "rack")
 	for i := 0; i < cfg.Pairs; i++ {
@@ -232,6 +238,78 @@ func (f *Farm) Eligible(a *appmodel.App) []int {
 	}
 	f.eligibleBySpec[a.Spec] = elig
 	return elig
+}
+
+// PairOutage marks one of pair i's boards as failed: the pair is
+// degraded — dispatchers route around it and the rebalancer drains it —
+// until a matching PairRestored. Outages nest (both boards of a pair
+// can be down at once); the board-fail injector drives these. Also used
+// as the availability hint for the checkpoint injector's health model.
+func (f *Farm) PairOutage(i int) {
+	if f.outages[i] == 0 {
+		f.unhealthy++
+	}
+	f.outages[i]++
+}
+
+// PairRestored closes one outage on pair i; the pair rejoins dispatch
+// once every outage is restored. Restoring a healthy pair is a no-op so
+// injector chains cannot drive the count negative.
+func (f *Farm) PairRestored(i int) {
+	if f.outages[i] == 0 {
+		return
+	}
+	f.outages[i]--
+	if f.outages[i] == 0 {
+		f.unhealthy--
+	}
+}
+
+// PairHealthy reports whether pair i currently has no open outage.
+func (f *Farm) PairHealthy(i int) bool { return f.outages[i] == 0 }
+
+// SetMigrationCost installs a checkpoint/restore cost model on every
+// migration in the farm: cross-pair rebalancer transfers and each
+// pair's internal switches.
+func (f *Farm) SetMigrationCost(m *migrate.CostModel) {
+	f.cost = m
+	for _, p := range f.Pairs {
+		p.SetMigrationCost(m)
+	}
+}
+
+// DispatchEligible is the dispatcher's view of Eligible: compatible
+// pairs with open outages are filtered out, so arrivals route around
+// degraded pairs. If every compatible pair is degraded the full
+// compatible set is returned — an arrival must land somewhere, and a
+// degraded pair still queues work for when its board recovers. With no
+// open outages this is exactly Eligible (the fault-free fast path draws
+// nothing and allocates nothing extra).
+func (f *Farm) DispatchEligible(a *appmodel.App) []int {
+	elig := f.Eligible(a)
+	if f.unhealthy == 0 {
+		return elig
+	}
+	var pool []int
+	if elig == nil {
+		pool = make([]int, 0, len(f.Pairs))
+		for i := range f.Pairs {
+			if f.outages[i] == 0 {
+				pool = append(pool, i)
+			}
+		}
+	} else {
+		pool = make([]int, 0, len(elig))
+		for _, i := range elig {
+			if f.outages[i] == 0 {
+				pool = append(pool, i)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return elig
+	}
+	return pool
 }
 
 // Inject schedules the workload, dispatching each arrival through the
@@ -329,14 +407,37 @@ func (f *Farm) rebalanceTick() {
 		// re-evaluates.
 		return
 	}
-	src, dst := 0, 0
+	// Degraded pairs are treated as infinitely hot: a pair with an open
+	// outage is always the preferred drain source and never a
+	// destination. With no open outages the scan reduces to the classic
+	// first-argmax/first-argmin over load, byte-identical to the
+	// fault-free rebalancer.
+	src, dst := -1, -1
 	for i, l := range f.load {
-		if l > f.load[src] {
+		if f.outages[i] > 0 {
+			if src < 0 || f.outages[src] == 0 || l > f.load[src] {
+				src = i
+			}
+			continue
+		}
+		if src < 0 || (f.outages[src] == 0 && l > f.load[src]) {
 			src = i
 		}
-		if l < f.load[dst] {
+		if dst < 0 || l < f.load[dst] {
 			dst = i
 		}
+	}
+	if src < 0 || dst < 0 || src == dst {
+		return
+	}
+	if f.outages[src] > 0 {
+		// Drain the degraded pair regardless of the gap threshold: its
+		// queue has nowhere to run until recovery.
+		if f.load[src] <= 0 {
+			return
+		}
+		f.migrateCross(src, dst, f.load[src])
+		return
 	}
 	gap := f.load[src] - f.load[dst]
 	if gap < f.Cfg.gap() {
@@ -381,13 +482,14 @@ func (f *Farm) migrateCross(src, dst, max int) {
 	// Destination slot-class compatibility: on heterogeneous farms the
 	// globally least-loaded pair may be unable to host any extracted
 	// app (a small-board pair is often the idlest precisely because
-	// heavy apps route around it), so re-pick the least-loaded pair
-	// that can host at least one candidate, then keep only the apps it
-	// can hold; the rest return to the source queue.
+	// heavy apps route around it), so re-pick the least-loaded healthy
+	// pair that can host at least one candidate, then keep only the
+	// apps it can hold; the rest return to the source queue and are
+	// counted as re-queued.
 	if !f.uniform {
 		dst = -1
 		for i := range f.Pairs {
-			if i == src {
+			if i == src || f.outages[i] > 0 {
 				continue
 			}
 			hostsAny := false
@@ -403,6 +505,7 @@ func (f *Farm) migrateCross(src, dst, max int) {
 		}
 		if dst < 0 {
 			if len(moved) > 0 {
+				f.requeued[src] += len(moved)
 				eng.Policy().AcceptMigrated(moved)
 			}
 			return
@@ -418,6 +521,7 @@ func (f *Farm) migrateCross(src, dst, max int) {
 		}
 		moved = kept
 		if len(unfit) > 0 {
+			f.requeued[src] += len(unfit)
 			eng.Policy().AcceptMigrated(unfit)
 		}
 	}
@@ -440,7 +544,7 @@ func (f *Farm) migrateCross(src, dst, max int) {
 	f.crossOut[src] += n
 	f.crossIn[dst] += n
 	f.rebalancing = true
-	migrate.Execute(f.K, f.Rack, moved, func(apps []*appmodel.App) {
+	migrate.ExecuteModel(f.K, f.Rack, moved, f.cost, func(apps []*appmodel.App) {
 		f.rebalancing = false
 		// Resolve the destination board at delivery (the pair may have
 		// switched mid-flight) and stage the migrated apps' bitstreams
@@ -477,6 +581,10 @@ type PairStat struct {
 	// into and out of the pair.
 	MigratedIn  int `json:"migrated_in"`
 	MigratedOut int `json:"migrated_out"`
+	// Requeued counts applications the rebalancer extracted from the
+	// pair but returned to its queue because no compatible (or healthy)
+	// destination existed at that tick.
+	Requeued int `json:"requeued,omitempty"`
 }
 
 // Run executes to completion and merges every pair's results.
@@ -508,6 +616,7 @@ func (f *Farm) Run() Summary {
 			Switches:    len(p.Migrations),
 			MigratedIn:  f.crossIn[i],
 			MigratedOut: f.crossOut[i],
+			Requeued:    f.requeued[i],
 		}
 		if len(pairSamples) > 0 {
 			ps.MeanRT = metrics.MeanResponse(pairSamples)
@@ -549,6 +658,10 @@ func (f *Farm) Run() Summary {
 	}
 	return s
 }
+
+// Quiescent reports whether every injected application has finished
+// (fault-injector chains gate on it; see Cluster.Quiescent).
+func (f *Farm) Quiescent() bool { return f.finished >= f.totalApps }
 
 // UnfinishedCount sums unfinished apps across the farm (diagnostics).
 func (f *Farm) UnfinishedCount() int {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"versaslot/internal/fabric"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
 )
@@ -121,5 +122,42 @@ func TestFarmDisarmRebalancer(t *testing.T) {
 	}
 	if disarmedSum.Apps != p.Apps || armedSum.Apps != p.Apps {
 		t.Fatalf("apps finished: armed=%d disarmed=%d want %d", armedSum.Apps, disarmedSum.Apps, p.Apps)
+	}
+}
+
+// TestRebalancerCountsRequeued is the regression test for the
+// rebalancer silently dropping its re-queue bookkeeping: on a
+// heterogeneous farm whose idle pair cannot host the loaded pair's
+// applications, extraction must return every candidate to the source
+// queue AND count it, surfacing the wasted extractions in PairStat.
+func TestRebalancerCountsRequeued(t *testing.T) {
+	cfg := DefaultFarmConfig(2)
+	cfg.PairPlatforms = []PairPlatforms{
+		{Base: fabric.PYNQDual, Boost: fabric.PYNQDual},
+		{}, // paper default ZCU216 pair
+	}
+	cfg.RebalanceEvery = 500 * sim.Millisecond
+	cfg.RebalanceGap = 2
+	f := MustNewFarm(cfg)
+
+	// Every application exceeds a Small slot, so all arrivals route to
+	// the ZCU216 pair; the rebalancer keeps seeing the idle PYNQ pair
+	// as the least-loaded destination and keeps extracting candidates
+	// it must re-queue.
+	if err := f.Inject(bigOnlySequence(16)); err != nil {
+		t.Fatal(err)
+	}
+	sum := f.Run()
+	if sum.Apps != 16 {
+		t.Fatalf("finished %d of 16", sum.Apps)
+	}
+	if sum.CrossMigratedApps != 0 {
+		t.Fatalf("%d apps migrated to a pair that cannot host them", sum.CrossMigratedApps)
+	}
+	if got := sum.PairStats[1].Requeued; got == 0 {
+		t.Fatal("rebalancer re-queued extractions went uncounted")
+	}
+	if got := sum.PairStats[0].Requeued; got != 0 {
+		t.Fatalf("idle PYNQ pair shows %d re-queued apps", got)
 	}
 }

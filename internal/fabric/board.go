@@ -68,11 +68,12 @@ func (b *Board) CountFree(class string) int {
 // EmptySlots returns the slots of the given class with no resident or
 // loading circuit, in ID order. Allocation must draw from these: a
 // Loaded slot is free to *reconfigure* but still belongs to the app
-// whose stage is resident.
+// whose stage is resident. Failed (fault-injected) slots are never
+// allocatable, whatever their lifecycle state.
 func (b *Board) EmptySlots(class string) []*Slot {
 	var out []*Slot
 	for _, s := range b.Slots {
-		if s.Class.Name == class && s.State() == SlotEmpty {
+		if s.Class.Name == class && s.State() == SlotEmpty && !s.Failed() {
 			out = append(out, s)
 		}
 	}
@@ -83,7 +84,7 @@ func (b *Board) EmptySlots(class string) []*Slot {
 func (b *Board) CountEmpty(class string) int {
 	n := 0
 	for _, s := range b.Slots {
-		if s.Class.Name == class && s.State() == SlotEmpty {
+		if s.Class.Name == class && s.State() == SlotEmpty && !s.Failed() {
 			n++
 		}
 	}

@@ -39,6 +39,11 @@ type Slot struct {
 	Class SlotClass
 	state SlotState
 
+	// failed marks a fault-injected region: the slot keeps its
+	// lifecycle state (an in-flight load still completes its PCAP
+	// transfer) but is unusable until Recover.
+	failed bool
+
 	// Resident identifies the loaded bitstream (opaque to fabric);
 	// nil when empty or loading.
 	Resident any
@@ -56,7 +61,57 @@ func (s *Slot) Capacity() ResVec { return s.Class.Cap }
 func (s *Slot) State() SlotState { return s.state }
 
 // Free reports whether the slot is neither loading nor executing.
-func (s *Slot) Free() bool { return s.state == SlotEmpty || s.state == SlotLoaded }
+// Failed slots are never free: allocation and eviction paths skip
+// them until Recover.
+func (s *Slot) Free() bool {
+	return !s.failed && (s.state == SlotEmpty || s.state == SlotLoaded)
+}
+
+// Failed reports whether the slot is fault-injected out of service.
+func (s *Slot) Failed() bool { return s.failed }
+
+// Fail marks the slot out of service. The caller (the engine) owns
+// the teardown of any occupant: executing/loaded stages are evicted
+// synchronously; an in-flight load keeps the slot in SlotLoading and
+// the PR completion callback finishes the teardown via AbortLoad.
+func (s *Slot) Fail() { s.failed = true }
+
+// Recover returns a failed slot to service. Occupancy teardown has
+// already happened at Fail time (or is pending on an in-flight load's
+// completion), so the region comes back empty and allocatable.
+func (s *Slot) Recover() { s.failed = false }
+
+// AbortLoad cancels an in-flight partial reconfiguration:
+// SlotLoading -> SlotEmpty with nothing resident. Legal regardless of
+// the failed flag — it is exactly how a load into a region that died
+// mid-transfer (or whose app crashed during a retry backoff) is torn
+// down when its PCAP job completes.
+func (s *Slot) AbortLoad() error {
+	if s.state != SlotLoading {
+		return fmt.Errorf("fabric: slot %d not loading (state %v); cannot abort", s.ID, s.state)
+	}
+	s.state = SlotEmpty
+	s.Resident = nil
+	s.Pending = nil
+	return nil
+}
+
+// Scrub force-evicts a dead region's occupant: SlotLoaded/SlotBusy ->
+// SlotEmpty regardless of the failed flag. The engine uses it when
+// tearing down the victim of a slot failure — Clear is gated on
+// Free(), which a failed slot never satisfies, and skipping the
+// teardown would leave a stale resident that the allocator can never
+// reclaim. An in-flight load cannot be scrubbed; it finishes its PCAP
+// transfer and tears down via AbortLoad.
+func (s *Slot) Scrub() error {
+	if s.state == SlotLoading {
+		return fmt.Errorf("fabric: slot %d loading; teardown must wait for AbortLoad", s.ID)
+	}
+	s.state = SlotEmpty
+	s.Resident = nil
+	s.Pending = nil
+	return nil
+}
 
 // BeginLoad transitions the slot into SlotLoading. The previous resident
 // circuit is evicted immediately (the DFX decoupler isolates the region

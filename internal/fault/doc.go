@@ -1,0 +1,57 @@
+// Package fault is the simulator's chaos subsystem: pluggable fault
+// injectors that perturb a running topology — slot and board failures,
+// flaky partial reconfiguration, straggling regions, checkpointed
+// crash recovery — through the same registry pattern as scheduling
+// policies, dispatchers, arrival processes, and platforms.
+//
+// A Spec (the scenario's "faults" block) names a seed and a list of
+// injectors; each injector is built from a validated, JSON-round-
+// trippable InjectorSpec and attached to a Target describing the
+// topology under test. Injectors own *when* faults strike; the
+// reaction mechanics (crash-restart, retry/backoff, re-routing,
+// downtime accounting) live in the layers they strike — sched.Engine's
+// fault surface, the cluster pair's crash re-homing hook, and the
+// farm's pair-health tracking.
+//
+// # Determinism invariants
+//
+// The subsystem preserves the simulator's byte-identical reproducibility
+// guarantees:
+//
+//   - Faults off means bytes unchanged. An empty Spec attaches
+//     nothing, draws nothing, and schedules nothing; every metric,
+//     trace, and golden result is byte-identical to a build without
+//     the subsystem. Fault fields in summaries are omitted unless
+//     fault accounting was enabled.
+//
+//   - The fault axis has its own RNG lineage. Each injector draws from
+//     rng.Stream(seed, "fault/<index>/<kind>") — a label-keyed stream
+//     forked per injector, never from the kernel or workload RNGs — so
+//     enabling, removing, or re-ordering injectors cannot reshuffle
+//     arrivals, service times, or dispatch decisions, and toggling one
+//     injector never shifts another's schedule.
+//
+//   - Per-slot chains are forked, not shared. Timer chains fork one
+//     child stream per slot (in engine, then slot order), so the chain
+//     on slot 3 is independent of how often slot 2 failed.
+//
+//   - Chains gate on quiescence, never on wall progress. A fail/
+//     straggle event re-arms only while injected-but-unfinished
+//     applications remain (Target.Done), so runs terminate; a recovery
+//     event is always scheduled once its failure fired, so no slot
+//     stays dead forever and availability integrals close.
+//
+//   - Same seed, same bytes, any schedule. Injector state is confined
+//     to the topology's kernel; parallel RunMany sweeps with faults
+//     enabled reproduce sequential runs byte for byte.
+//
+// # Convergence
+//
+// A crash restart without checkpointing loses all batch progress, so a
+// fail/recover chain whose MTBF is much shorter than an application's
+// clean runtime can starve the workload forever — the run never
+// terminates, exactly like an unstable queueing system. Chaos
+// scenarios must keep MTBF comfortably above the per-application
+// service time, or enable the checkpoint injector so restarts resume
+// from completed progress.
+package fault

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"versaslot/internal/rng"
+	"versaslot/internal/sim"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := []string{KindSlotFail, KindBoardFail, KindPRFlaky, KindStraggler, KindCheckpoint}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for alias, canonical := range map[string]string{
+		"slot": KindSlotFail, "board": KindBoardFail,
+		"pr": KindPRFlaky, "flaky-pr": KindPRFlaky,
+		"slow": KindStraggler, "ckpt": KindCheckpoint,
+		"SLOT-FAIL": KindSlotFail,
+	} {
+		reg, ok := Lookup(alias)
+		if !ok || reg.Name != canonical {
+			t.Errorf("Lookup(%q) = %v, want %s", alias, reg, canonical)
+		}
+	}
+	if _, ok := Lookup("no-such-injector"); ok {
+		t.Error("Lookup of unknown kind succeeded")
+	}
+	for _, reg := range Registrations() {
+		if reg.Title == "" {
+			t.Errorf("%s: empty title", reg.Name)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Registration{Name: "", Build: func(InjectorSpec) (Injector, error) { return nil, nil }}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register(Registration{Name: "nil-build"}); err == nil {
+		t.Error("nil Build accepted")
+	}
+	if err := Register(Registration{Name: KindSlotFail, Build: func(InjectorSpec) (Injector, error) { return nil, nil }}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []InjectorSpec{
+		{},                                      // no kind
+		{Kind: "unknown"},                       // unregistered
+		{Kind: KindSlotFail},                    // missing MTBF/MTTR
+		{Kind: KindSlotFail, MTBF: sim.Second},  // missing MTTR
+		{Kind: KindBoardFail, MTBF: sim.Second}, // missing MTTR
+		{Kind: KindBoardFail, MTBF: sim.Second, MTTR: sim.Second, Boards: []int{-1}},
+		{Kind: KindPRFlaky},             // rate unset
+		{Kind: KindPRFlaky, Rate: 1.0},  // rate out of range
+		{Kind: KindPRFlaky, Rate: -0.1}, // rate out of range
+		{Kind: KindPRFlaky, Rate: 0.2, MaxRetries: -1},
+		{Kind: KindPRFlaky, Rate: 0.2, Backoff: -1},
+		{Kind: KindPRFlaky, Rate: 0.2, BackoffFactor: 0.5},
+		{Kind: KindStraggler, MTBF: sim.Second, MTTR: sim.Second},              // factor unset
+		{Kind: KindStraggler, MTBF: sim.Second, MTTR: sim.Second, Factor: 0.9}, // factor <= 1
+		{Kind: KindCheckpoint, CheckpointBytes: -1},
+		{Kind: KindCheckpoint, RestoreDelay: -1},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("bad spec %d (%+v) built without error", i, spec)
+		}
+		s := Spec{Injectors: []InjectorSpec{spec}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d passed Spec.Validate", i)
+		}
+	}
+	good := []InjectorSpec{
+		{Kind: KindSlotFail, MTBF: 30 * sim.Second, MTTR: 2 * sim.Second},
+		{Kind: "slot", MTBF: 30 * sim.Second, MTTR: 2 * sim.Second},
+		{Kind: KindBoardFail, MTBF: 60 * sim.Second, MTTR: 3 * sim.Second, Boards: []int{0, 2}},
+		{Kind: KindPRFlaky, Rate: 0.25},
+		{Kind: KindPRFlaky, Rate: 0.25, MaxRetries: 5, Backoff: sim.Millisecond, BackoffFactor: 1.5},
+		{Kind: KindStraggler, MTBF: 20 * sim.Second, MTTR: 2 * sim.Second, Factor: 2.5},
+		{Kind: KindCheckpoint},
+		{Kind: KindCheckpoint, CheckpointBytes: 64, RestoreDelay: sim.Millisecond},
+	}
+	for i, spec := range good {
+		if _, err := spec.Build(); err != nil {
+			t.Errorf("good spec %d: %v", i, err)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := Spec{Seed: 42, Injectors: []InjectorSpec{
+		{Kind: KindSlotFail, MTBF: 25 * sim.Second, MTTR: 2 * sim.Second},
+		{Kind: KindPRFlaky, Rate: 0.25, MaxRetries: 3, Backoff: sim.Millisecond, BackoffFactor: 2},
+		{Kind: KindBoardFail, MTBF: 60 * sim.Second, MTTR: 3 * sim.Second, Boards: []int{1}},
+		{Kind: KindCheckpoint, CheckpointBytes: 64, RestoreDelay: sim.Millisecond},
+	}}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip changed spec:\n  in  %+v\n  out %+v", spec, back)
+	}
+	if _, err := ParseSpec(`{"injectors":[{"kind":"slot-fail","mtbf":1,"mttr":1,"bogus":3}]}`); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseSpec(`not json`); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestInjectorStreamsIndependent checks the stream-keying contract:
+// each injector's stream depends on its index and kind, not on which
+// other injectors exist, so toggling one never re-rolls another.
+func TestInjectorStreamsIndependent(t *testing.T) {
+	const seed = 7
+	a := rng.Stream(seed, "fault/0/slot-fail")
+	b := rng.Stream(seed, "fault/1/slot-fail")
+	c := rng.Stream(seed, "fault/0/board-fail")
+	ref := rng.Stream(seed, "fault/0/slot-fail")
+	av, bv, cv := a.Uint64(), b.Uint64(), c.Uint64()
+	if av == bv || av == cv || bv == cv {
+		t.Errorf("streams collide: %x %x %x", av, bv, cv)
+	}
+	if av != ref.Uint64() {
+		t.Error("same label does not reproduce the same stream")
+	}
+}
+
+func TestAttachEmptySpec(t *testing.T) {
+	// An empty spec must attach nothing — no engines touched, no
+	// events scheduled — even on a nil-kernel target.
+	if err := Attach(&Target{}, Spec{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Attach(&Target{}, Spec{Seed: 99}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A spec with an invalid injector must error out before touching
+	// the kernel.
+	k := sim.NewKernel(1)
+	err := Attach(&Target{K: k}, Spec{Injectors: []InjectorSpec{{Kind: "bogus"}}}, 1)
+	if err == nil {
+		t.Fatal("invalid injector attached")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("failed attach left %d events scheduled", k.Pending())
+	}
+}
+
+func TestTargetDoneQuiescent(t *testing.T) {
+	done := false
+	tgt := &Target{Quiescent: func() bool { return done }}
+	if tgt.Done() {
+		t.Error("Done() true before quiescence")
+	}
+	done = true
+	if !tgt.Done() {
+		t.Error("Done() false after quiescence")
+	}
+	// Without engines or a quiescence probe there is nothing left to
+	// finish.
+	if !(&Target{}).Done() {
+		t.Error("empty target not done")
+	}
+}

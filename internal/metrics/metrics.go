@@ -57,6 +57,21 @@ type Collector struct {
 	// Preemptions counts stage evictions before batch completion.
 	Preemptions uint64
 
+	// Fault-injection accounting. faultsOn latches when the chaos axis
+	// attaches to the board, so fault-free runs keep reporting (and
+	// marshalling) exactly what they always did.
+	faultsOn   bool
+	faultSlots int
+	// FaultEvents counts injected slot/board failures; FailedApps
+	// counts application crash-restarts they caused.
+	FaultEvents uint64
+	FailedApps  uint64
+	// faultRetried tracks which applications hit at least one
+	// fault-injected reconfiguration retry.
+	faultRetried map[int]struct{}
+	// downTotal integrates slot-downtime (summed across slots).
+	downTotal sim.Duration
+
 	// scratch is the reusable percentile buffer: Summarize sorts
 	// response times into it instead of allocating a copy per call
 	// (farm summaries recompute per pair and per board).
@@ -70,6 +85,71 @@ func NewCollector(cap fabric.ResVec) *Collector {
 		capLUT: float64(cap.LUT), capFF: float64(cap.FF),
 		capDSP: float64(cap.DSP), capBRAM: float64(cap.BRAM),
 	}
+}
+
+// EnableFaults switches the collector into fault-accounting mode:
+// slots is the board's slot count (the availability denominator).
+// Summarize reports the fault block only after this is called.
+func (c *Collector) EnableFaults(slots int) {
+	c.faultsOn = true
+	c.faultSlots = slots
+	if c.faultRetried == nil {
+		c.faultRetried = make(map[int]struct{})
+	}
+}
+
+// FaultActive reports whether fault accounting is enabled.
+func (c *Collector) FaultActive() bool { return c.faultsOn }
+
+// RecordFaultEvent counts one injected failure (a slot or board dying).
+func (c *Collector) RecordFaultEvent() { c.FaultEvents++ }
+
+// RecordAppFailure counts one fault-induced application crash-restart.
+func (c *Collector) RecordAppFailure() { c.FailedApps++ }
+
+// RecordFaultRetry notes that appID's reconfiguration hit one
+// fault-injected retry; RetriedApps reports distinct applications.
+func (c *Collector) RecordFaultRetry(appID int) {
+	if c.faultRetried == nil {
+		c.faultRetried = make(map[int]struct{})
+	}
+	c.faultRetried[appID] = struct{}{}
+}
+
+// AccumulateDowntime adds one slot's out-of-service interval.
+func (c *Collector) AccumulateDowntime(dt sim.Duration) { c.downTotal += dt }
+
+// FaultStats exposes the raw fault accounting for multi-board merges:
+// total slot-downtime, the board's slot-seconds denominator, failure
+// and crash counts, distinct retried apps, and whether the fault axis
+// was enabled at all.
+func (c *Collector) FaultStats() (down sim.Duration, slotSpanSec float64, events, failed uint64, retried int, on bool) {
+	if !c.faultsOn {
+		return 0, 0, 0, 0, 0, false
+	}
+	span := c.end.Sub(c.start).Seconds()
+	if span < 0 {
+		span = 0
+	}
+	return c.downTotal, float64(c.faultSlots) * span, c.FaultEvents, c.FailedApps, len(c.faultRetried), true
+}
+
+// availability is 1 minus the downtime fraction of the run's
+// slot-seconds, clamped to [0, 1] (lingering recovery events can push
+// downtime past the last app's finish instant).
+func (c *Collector) availability() float64 {
+	span := c.end.Sub(c.start).Seconds()
+	if span <= 0 || c.faultSlots == 0 {
+		return 1
+	}
+	a := 1 - c.downTotal.Seconds()/(float64(c.faultSlots)*span)
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
 }
 
 // RecordResponse adds one finished application.
@@ -159,6 +239,19 @@ type Summary struct {
 	PRWait      sim.Duration
 	Preemptions uint64
 	Migrations  uint64
+
+	// Fault axis — populated only when fault injection is enabled and
+	// omitted from JSON otherwise, so fault-free results stay
+	// byte-identical to the pre-fault goldens. Availability is the
+	// slot-seconds in service over the run's span; Downtime the summed
+	// out-of-service time; FailedApps counts crash-restarted
+	// applications, RetriedApps the distinct applications whose
+	// reconfigurations needed fault-injected retries.
+	Availability float64      `json:"Availability,omitempty"`
+	Downtime     sim.Duration `json:"Downtime,omitempty"`
+	FaultEvents  uint64       `json:"FaultEvents,omitempty"`
+	FailedApps   uint64       `json:"FailedApps,omitempty"`
+	RetriedApps  int          `json:"RetriedApps,omitempty"`
 }
 
 // Summarize computes the run summary. It reuses the collector's
@@ -168,6 +261,13 @@ func (c *Collector) Summarize() Summary {
 	s := Summary{Apps: len(c.Responses), PRLoads: c.PRLoads, PRBlocked: c.PRBlocked,
 		PRRetries: c.PRRetries, PRWait: c.PRWait,
 		Preemptions: c.Preemptions, Migrations: c.Migrations}
+	if c.faultsOn {
+		s.Availability = c.availability()
+		s.Downtime = c.downTotal
+		s.FaultEvents = c.FaultEvents
+		s.FailedApps = c.FailedApps
+		s.RetriedApps = len(c.faultRetried)
+	}
 	if len(c.Responses) == 0 {
 		return s
 	}

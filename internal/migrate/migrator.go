@@ -46,11 +46,43 @@ type Migration struct {
 	Duration sim.Duration
 }
 
+// CostModel extends a migration's price with checkpoint/restore
+// semantics (the fault subsystem's checkpoint injector installs one):
+// each completed batch item adds BytesPerItem of checkpointed
+// intermediate state to the transfer, and the destination pays
+// RestoreDelay to rehydrate it before the apps re-enter scheduling.
+// A nil model is the classic descriptor+input-buffer payload.
+type CostModel struct {
+	BytesPerItem int64
+	RestoreDelay sim.Duration
+}
+
+// checkpointBytes sums the extra transfer volume for apps' completed
+// per-stage progress.
+func (m *CostModel) checkpointBytes(apps []*appmodel.App) int64 {
+	var bytes int64
+	for _, a := range apps {
+		for _, st := range a.Stages {
+			bytes += int64(st.Done) * m.BytesPerItem
+		}
+	}
+	return bytes
+}
+
 // Execute transfers apps over link and delivers them via deliver. The
 // returned record carries the switching overhead the paper reports
 // (1.13 ms average on their cluster).
 func Execute(k *sim.Kernel, link *interlink.Link, apps []*appmodel.App, deliver func([]*appmodel.App), record func(Migration)) {
+	ExecuteModel(k, link, apps, nil, deliver, record)
+}
+
+// ExecuteModel is Execute with an optional checkpoint/restore cost
+// model applied to the payload and delivery.
+func ExecuteModel(k *sim.Kernel, link *interlink.Link, apps []*appmodel.App, model *CostModel, deliver func([]*appmodel.App), record func(Migration)) {
 	payload := BuildPayload(apps)
+	if model != nil {
+		payload.Bytes += model.checkpointBytes(apps)
+	}
 	start := k.Now()
 	for _, a := range apps {
 		a.State = appmodel.StateMigrating
@@ -58,18 +90,25 @@ func Execute(k *sim.Kernel, link *interlink.Link, apps []*appmodel.App, deliver 
 		appmodel.ResetStages(a)
 	}
 	link.Transfer("live-migration", payload.Bytes, func() {
-		for _, a := range apps {
-			a.State = appmodel.StateWaiting
+		finish := func() {
+			for _, a := range apps {
+				a.State = appmodel.StateWaiting
+			}
+			m := Migration{
+				At:       k.Now(),
+				Apps:     payload.Apps,
+				Bytes:    payload.Bytes,
+				Duration: k.Now().Sub(start),
+			}
+			deliver(apps)
+			if record != nil {
+				record(m)
+			}
 		}
-		m := Migration{
-			At:       k.Now(),
-			Apps:     payload.Apps,
-			Bytes:    payload.Bytes,
-			Duration: k.Now().Sub(start),
+		if model != nil && model.RestoreDelay > 0 {
+			k.Schedule(model.RestoreDelay, finish)
+			return
 		}
-		deliver(apps)
-		if record != nil {
-			record(m)
-		}
+		finish()
 	})
 }

@@ -1,0 +1,11 @@
+// Package rng provides the repo's seed-splitting conventions on top
+// of sim.RNG: Pair for the generator's root+fork split (two
+// interleaved random axes off one seed) and Stream for labeled,
+// order-independent substreams (each fault injector draws from its
+// own label, so toggling one never reshuffles another).
+//
+// Both helpers are pure functions of their inputs and build only on
+// sim.NewRNG/Fork, so every stream is deterministic across platforms
+// and Go releases — the property the golden tests and the twice-run
+// CI suite pin.
+package rng

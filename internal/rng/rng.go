@@ -1,0 +1,41 @@
+package rng
+
+import "versaslot/internal/sim"
+
+// Pair splits one seed into the root/fork stream pair the workload
+// generator has always used: the fork consumes exactly one draw from
+// the freshly-seeded root, so the two streams are independent but the
+// split is a pure function of the seed. Callers that interleave two
+// random axes (arrival instants vs. spec/batch picks) give each axis
+// its own stream so varying one axis never perturbs the other.
+func Pair(seed uint64) (root, fork *sim.RNG) {
+	root = sim.NewRNG(seed)
+	return root, root.Fork()
+}
+
+// fnv64a hashes a label with FNV-1a (64-bit) — stable across Go
+// releases and platforms, like everything else in the sim RNG stack.
+func fnv64a(label string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return h
+}
+
+// Stream derives an independent labeled stream from a seed. Distinct
+// labels over one seed yield unrelated streams, and — unlike a chain
+// of Fork calls — adding or removing one labeled consumer never
+// shifts the draws any other label sees. The fault-injection axis
+// keys every injector's stream this way so one chaos knob can change
+// without re-randomizing the rest.
+func Stream(seed uint64, label string) *sim.RNG {
+	// Golden-ratio mixing keeps nearby seeds apart before NewRNG's
+	// SplitMix expansion; the label hash separates consumers.
+	return sim.NewRNG(seed*0x9e3779b97f4a7c15 ^ fnv64a(label))
+}

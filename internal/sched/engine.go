@@ -42,6 +42,26 @@ type Engine struct {
 	// residentSince tracks when the current resident interval started.
 	residentSince map[*fabric.Slot]sim.Time
 
+	// Fault-injection state (see fault.go). execEvent holds the
+	// completion event of the item executing per slot so a fault can
+	// cancel it; launchTok invalidates launch jobs still queued on the
+	// scheduler core when their slot is torn down; downSince tracks
+	// open downtime intervals; slowFactor holds straggler degradation.
+	execEvent  map[*fabric.Slot]sim.EventID
+	launchTok  map[*fabric.Slot]uint64
+	launchSeq  uint64
+	downSince  map[*fabric.Slot]sim.Time
+	slowFactor map[*fabric.Slot]float64
+	// prFault, when set, injects bounded-retry reconfiguration errors.
+	prFault *prFaultModel
+	// checkpointed makes crash restarts keep per-stage batch progress.
+	checkpointed bool
+
+	// OnAppCrashed, when set, may re-home a crash-restarted app (e.g.
+	// the cluster moves apps crashed on a frozen, draining board to the
+	// active one). Returning true means the hook re-queued the app.
+	OnAppCrashed func(*appmodel.App) bool
+
 	// OnAppArrived fires when an app joins the candidate queue
 	// (streaming-observer hook; migrated apps do not re-fire it).
 	OnAppArrived func(*appmodel.App)
@@ -95,6 +115,9 @@ func NewEngine(k *sim.Kernel, p Params, board *fabric.Board, model hypervisor.Co
 		Col:           metrics.NewCollector(capTotal),
 		slotStage:     make(map[*fabric.Slot]*appmodel.Stage),
 		residentSince: make(map[*fabric.Slot]sim.Time),
+		execEvent:     make(map[*fabric.Slot]sim.EventID),
+		launchTok:     make(map[*fabric.Slot]uint64),
+		downSince:     make(map[*fabric.Slot]sim.Time),
 	}
 }
 
@@ -223,13 +246,16 @@ func (e *Engine) RequestPR(st *appmodel.Stage, slot *fabric.Slot) {
 	e.WindowBlocked += uint64(e.Cores.PR.PendingByClass("pr"))
 	e.Col.PRLoads++
 	e.Col.PRBytes += bits.Bytes
-	e.submitPRJob(st, slot, bits, cost)
+	e.submitPRJob(st, slot, bits, cost, 0)
 }
 
 // submitPRJob queues one PCAP streaming attempt; a CRC failure (per
 // Params.PRFailureRate) re-streams the bitstream, keeping the slot in
 // its loading state — exactly the PR server's retry path on hardware.
-func (e *Engine) submitPRJob(st *appmodel.Stage, slot *fabric.Slot, bits *bitstream.Bitstream, cost sim.Duration) {
+// attempt counts fault-injected retries (see prFaultModel): a
+// fault-model failure backs off and re-submits up to its retry bound,
+// then abandons the placement and crash-restarts the app.
+func (e *Engine) submitPRJob(st *appmodel.Stage, slot *fabric.Slot, bits *bitstream.Bitstream, cost sim.Duration, attempt int) {
 	var waited sim.Duration
 	rate := e.Params.PRFailureRate
 	if rate > 0.95 {
@@ -247,11 +273,42 @@ func (e *Engine) submitPRJob(st *appmodel.Stage, slot *fabric.Slot, bits *bitstr
 			e.Col.PRWait += wait
 		},
 		Done: func() {
+			if slot.Failed() || st.Slot != slot || !st.Loading {
+				// The slot died or the app crashed mid-load: the
+				// transfer's result is discarded and the region torn
+				// down (staying failed if the fault persists).
+				e.abortLoad(slot)
+				return
+			}
+			if f := e.prFault; f != nil && f.rate > 0 && f.rng.Float64() < f.rate {
+				// Injected reconfiguration error (bad flash sector,
+				// PCAP hiccup): bounded retry with backoff.
+				if attempt < f.maxRetries {
+					e.Col.RecordFaultRetry(st.App.ID)
+					e.Col.PRRetries++
+					delay := f.delay(attempt)
+					e.trace("%v PR fault retry %d/%d for %v -> slot %d (backoff %v)",
+						e.K.Now(), attempt+1, f.maxRetries, st, slot.ID, delay)
+					e.K.Schedule(delay, func() {
+						if slot.Failed() || st.Slot != slot || !st.Loading {
+							// Crashed or failed during the backoff.
+							if slot.State() == fabric.SlotLoading {
+								e.abortLoad(slot)
+							}
+							return
+						}
+						e.submitPRJob(st, slot, bits, cost, attempt+1)
+					})
+					return
+				}
+				e.failPRPermanently(st, slot)
+				return
+			}
 			if rate > 0 && e.K.RNG().Float64() < rate {
 				// CRC verification failed: the partial is re-streamed.
 				e.Col.PRRetries++
 				e.trace("%v PR CRC retry %v -> slot %d", e.K.Now(), st, slot.ID)
-				e.submitPRJob(st, slot, bits, cost)
+				e.submitPRJob(st, slot, bits, cost, attempt)
 				return
 			}
 			e.PCAP.RecordLoad(bits, cost, waited)
@@ -328,15 +385,28 @@ func (e *Engine) LaunchItem(st *appmodel.Stage) bool {
 	st.InFlight = true
 	idx := st.Done
 	dur := st.ItemTime(idx)
+	if f, ok := e.slowFactor[slot]; ok && f > 1 {
+		// Straggler injection: the region's service rate is degraded.
+		dur = sim.Duration(float64(dur) * f)
+	}
 	res := st.ImplRes()
+	e.launchSeq++
+	tok := e.launchSeq
+	e.launchTok[slot] = tok
 	e.Cores.Sched.SubmitFunc(fmt.Sprintf("launch %v#%d", st, idx), "launch", e.Params.EffectiveLaunch(), func() {
+		if e.launchTok[slot] != tok {
+			// The slot was fault-torn-down (and possibly re-used) while
+			// this launch waited on the scheduler core.
+			return
+		}
 		start := e.K.Now()
 		if !st.App.Started {
 			st.App.FirstStart = start
 		}
 		e.trace("%v exec %v item %d on slot %d (%v)", start, st, idx, slot.ID, dur)
 		e.record(trace.Event{Kind: trace.ExecStart, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
-		e.K.Schedule(dur, func() {
+		e.execEvent[slot] = e.K.Schedule(dur, func() {
+			delete(e.execEvent, slot)
 			if err := slot.CompleteExec(); err != nil {
 				panic(err)
 			}
@@ -511,6 +581,7 @@ func (e *Engine) FlushResidency() {
 		e.closeResident(slot)
 		e.residentSince[slot] = e.K.Now()
 	}
+	e.flushFaults()
 }
 
 // ResetWindow clears the D_switch counting window and returns the

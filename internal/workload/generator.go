@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"versaslot/internal/appmodel"
+	streams "versaslot/internal/rng"
 	"versaslot/internal/sim"
 )
 
@@ -187,8 +188,7 @@ func GenerateArrival(p GenParams, spec ArrivalSpec, seed uint64) (*Sequence, err
 	if err != nil {
 		return nil, err
 	}
-	rng := sim.NewRNG(seed)
-	arrivalRNG := rng.Fork()
+	rng, arrivalRNG := streams.Pair(seed)
 	times, err := proc.Times(arrivalRNG, p.Apps)
 	if err != nil {
 		return nil, err

@@ -131,6 +131,9 @@ func pooledPercentile(samples []metrics.ResponseSample, p float64) sim.Duration 
 func (r *Result) fillFromEngines(engines []*sched.Engine) {
 	var pooled []metrics.ResponseSample
 	var utilLUT, utilFF, utilDSP, utilBRAM, weight float64
+	var downSum sim.Duration
+	var slotSpan float64
+	faultsOn := false
 	for _, e := range engines {
 		s := e.Col.Summarize()
 		r.Summary.PRLoads += s.PRLoads
@@ -139,6 +142,16 @@ func (r *Result) fillFromEngines(engines []*sched.Engine) {
 		r.Summary.PRWait += s.PRWait
 		r.Summary.Preemptions += s.Preemptions
 		r.Summary.Migrations += s.Migrations
+		if down, span, events, failed, retried, on := e.Col.FaultStats(); on {
+			faultsOn = true
+			downSum += down
+			slotSpan += span
+			r.Summary.FaultEvents += events
+			r.Summary.FailedApps += failed
+			// Per-board distinct counts: an app whose PRs were retried
+			// on two boards (it migrated between them) counts on each.
+			r.Summary.RetriedApps += retried
+		}
 		utilLUT += s.UtilLUT * float64(s.Apps)
 		utilFF += s.UtilFF * float64(s.Apps)
 		utilDSP += s.UtilDSP * float64(s.Apps)
@@ -158,6 +171,17 @@ func (r *Result) fillFromEngines(engines []*sched.Engine) {
 		r.Summary.UtilFF = utilFF / weight
 		r.Summary.UtilDSP = utilDSP / weight
 		r.Summary.UtilBRAM = utilBRAM / weight
+	}
+	if faultsOn {
+		r.Summary.Downtime = downSum
+		r.Summary.Availability = 1
+		if slotSpan > 0 {
+			a := 1 - downSum.Seconds()/slotSpan
+			if a < 0 {
+				a = 0
+			}
+			r.Summary.Availability = a
+		}
 	}
 	if len(pooled) > 0 {
 		r.Summary.MeanRT = metrics.MeanResponse(pooled)

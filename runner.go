@@ -9,6 +9,7 @@ import (
 	"versaslot/internal/cluster"
 	"versaslot/internal/core"
 	"versaslot/internal/fabric"
+	"versaslot/internal/fault"
 	"versaslot/internal/migrate"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
@@ -180,6 +181,19 @@ func (r *Runner) observeEngine(scenario string, e *sched.Engine) {
 	}
 }
 
+// attachFaults wires the scenario's faults block (if any) onto the
+// topology. A nil/empty block attaches nothing, so fault-free runs
+// stay byte-identical.
+func attachFaults(s Scenario, t *fault.Target) error {
+	if s.Faults == nil {
+		return nil
+	}
+	if err := fault.Attach(t, *s.Faults, s.Seed); err != nil {
+		return fmt.Errorf("versaslot: %w", err)
+	}
+	return nil
+}
+
 func (r *Runner) attachDiagnostics(scenario string, e *sched.Engine, parallel bool) {
 	if r.traceFn != nil && !parallel {
 		e.Trace = r.traceFn
@@ -227,6 +241,12 @@ func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*
 					a, a.Spec.Name, boardPlatform.Name)
 			}
 		}
+	}
+	if err := attachFaults(s, &fault.Target{
+		K:       sys.Kernel,
+		Engines: []*sched.Engine{sys.Engine},
+	}); err != nil {
+		return nil, err
 	}
 	res, err := sys.Execute(seq.Condition, apps)
 	if err != nil {
@@ -279,6 +299,18 @@ func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (
 	if err := cl.Inject(seq); err != nil {
 		return nil, err
 	}
+	clEngines := make([]*sched.Engine, 0, len(clusterModes))
+	for _, mode := range clusterModes {
+		clEngines = append(clEngines, cl.Engine(mode))
+	}
+	if err := attachFaults(s, &fault.Target{
+		K:         cl.K,
+		Engines:   clEngines,
+		Pairs:     []*cluster.Cluster{cl},
+		Quiescent: cl.Quiescent,
+	}); err != nil {
+		return nil, err
+	}
 	sum := cl.Run()
 	out := &Result{
 		Scenario:       s.Name,
@@ -293,11 +325,7 @@ func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (
 		MigratedApps:   sum.MigratedApps,
 		SwitchTrace:    sum.Trace,
 	}
-	engines := make([]*sched.Engine, 0, len(clusterModes))
-	for _, mode := range clusterModes {
-		engines = append(engines, cl.Engine(mode))
-	}
-	out.fillFromEngines(engines)
+	out.fillFromEngines(clEngines)
 	return out, nil
 }
 
@@ -317,6 +345,15 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 		r.observeSwitches(s.Name, pair)
 	}
 	if err := f.Inject(seq); err != nil {
+		return nil, err
+	}
+	if err := attachFaults(s, &fault.Target{
+		K:         f.K,
+		Engines:   engines,
+		Pairs:     f.Pairs,
+		Farm:      f,
+		Quiescent: f.Quiescent,
+	}); err != nil {
 		return nil, err
 	}
 	sum := f.Run()

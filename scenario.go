@@ -9,6 +9,7 @@ import (
 
 	"versaslot/internal/cluster"
 	"versaslot/internal/fabric"
+	"versaslot/internal/fault"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -115,6 +116,13 @@ type Scenario struct {
 	WindowUpdates int `json:"window_updates,omitempty"`
 	// Smoothing is the EWMA factor on raw D_switch samples.
 	Smoothing float64 `json:"smoothing,omitempty"`
+	// Faults configures the chaos subsystem: a fault-axis seed plus a
+	// list of registered injectors (slot-fail, board-fail, pr-flaky,
+	// straggler, checkpoint, or third-party registrations). Nil or an
+	// empty injector list disables fault injection entirely and the run
+	// stays byte-identical to a fault-free build. See FaultInjectors()
+	// for the registry.
+	Faults *fault.Spec `json:"faults,omitempty"`
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -283,6 +291,11 @@ func (s Scenario) Validate() error {
 	}
 	if s.RebalanceGap < 0 {
 		return fmt.Errorf("versaslot: negative rebalance gap %d", s.RebalanceGap)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("versaslot: %w", err)
+		}
 	}
 	return nil
 }
@@ -525,6 +538,19 @@ func Dispatchers() []string { return cluster.DispatcherNames() }
 // dispatcher name.
 func DispatcherTitle(name string) string {
 	if r, ok := cluster.LookupDispatcher(name); ok {
+		return r.Title
+	}
+	return name
+}
+
+// FaultInjectors lists registered fault-injector names (built-ins
+// first, then third-party registrations via fault.Register).
+func FaultInjectors() []string { return fault.Names() }
+
+// FaultInjectorTitle returns the display title of a registered
+// fault-injector name.
+func FaultInjectorTitle(name string) string {
+	if r, ok := fault.Lookup(name); ok {
 		return r.Title
 	}
 	return name
