@@ -259,11 +259,46 @@ func BenchmarkFarmDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFarmDispatchSharded prices the sharded single-run executor
+// against its sequential twin: the same least-loaded farm at fleet
+// scale, run once with shards=1 and once sharded across worker
+// goroutines. The two runs produce byte-identical summaries (pinned by
+// TestShardedMatchesSequential); only wall-clock differs. Farm
+// construction and injection run under StopTimer so the measurement
+// isolates the executor the shards parallelize; cmd/benchgate gates
+// the pairs=128 pair with a speedup floor on multi-core hosts.
+func BenchmarkFarmDispatchSharded(b *testing.B) {
+	for _, pairs := range []int{128, 1024} {
+		p := workload.DefaultGenParams(workload.Stress)
+		p.Apps = pairs * 3
+		seq := workload.Generate(p, 4242)
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("pairs=%d/shards=%d", pairs, shards), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cfg := cluster.DefaultFarmConfig(pairs)
+					cfg.RebalanceEvery = 2 * sim.Second
+					cfg.Shards = shards
+					f := cluster.MustNewFarm(cfg)
+					if err := f.Inject(seq); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					sum := f.Run()
+					if sum.Apps != p.Apps {
+						b.Fatalf("finished %d of %d apps", sum.Apps, p.Apps)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFarmDispatchHetero prices capacity-aware dispatch on a
 // mixed-platform farm: pairs cycle ZCU216 Big.Little / U250 quad /
 // PYNQ dual, so every arrival filters pairs through the per-spec
 // eligibility cache before the dispatcher ranks them. Gated by
-// cmd/benchgate against BENCH_4.json.
+// cmd/benchgate against BENCH_6.json.
 func BenchmarkFarmDispatchHetero(b *testing.B) {
 	for _, pairs := range []int{8, 32} {
 		p := workload.DefaultGenParams(workload.Stress)

@@ -6,17 +6,23 @@
 //
 // Write the committed baseline after an intentional performance change:
 //
-//	go run ./cmd/benchgate -write -out BENCH_5.json
+//	go run ./cmd/benchgate -write -out BENCH_6.json
 //
 // Gate a change against it (what CI runs):
 //
-//	go run ./cmd/benchgate -baseline BENCH_5.json -out /tmp/bench.json
+//	go run ./cmd/benchgate -baseline BENCH_6.json -out /tmp/bench.json
 //
 // Allocation counts are machine-independent and gated tightly (25% +
 // rounding slack — a zero-alloc baseline admits zero allocs). Raw ns/op
 // varies across hosts, so its default tolerance is deliberately loose
 // (4x) — the gate catches order-of-magnitude regressions like an
 // accidental return to per-event heap allocation, not 10% jitter.
+//
+// On hosts with at least four CPUs the gate additionally requires the
+// 4-shard farm run at pairs=128 to beat its sequential twin by the
+// -shard-speedup factor — a baseline-free property of the measured run
+// itself, so a change that quietly serializes the sharded executor
+// fails CI even if absolute timings stay within tolerance.
 package main
 
 import (
@@ -51,10 +57,12 @@ const schema = "versaslot-bench/v1"
 
 // suites are the gated benchmark runs: the substrate micro-benches and
 // end-to-end stress get real benchtime for stable numbers; the farm
-// dispatch benches pin the 32-pair least-loaded configuration, once on
-// the homogeneous ZCU216 farm and once on the mixed-platform
-// (ZCU216/U250/PYNQ) farm that exercises capacity-aware dispatch; the
-// chaos bench pins the fault-injection path (fail/recover chains,
+// dispatch benches pin the least-loaded configuration at 32 and 128
+// pairs, once on the homogeneous ZCU216 farm and once on the
+// mixed-platform (ZCU216/U250/PYNQ) farm that exercises capacity-aware
+// dispatch; the sharded benches pin the parallel executor against its
+// sequential twin at fleet scale (128 and 1,024 pairs); the chaos
+// bench pins the fault-injection path (fail/recover chains,
 // crash-restart teardown, PR retries) against its fault-free twin.
 var suites = []struct {
 	bench     string
@@ -63,17 +71,26 @@ var suites = []struct {
 	{`^(BenchmarkKernelEvents|BenchmarkServerJobs|BenchmarkPipelineMakespan|BenchmarkWorkloadGeneration)$`, "0.5s"},
 	{`^BenchmarkEndToEndStress$`, "2x"},
 	{`^BenchmarkChaosFaults$`, "2x"},
-	{`^BenchmarkFarmDispatch$/^least-loaded$/^pairs=32$`, "2x"},
+	{`^BenchmarkFarmDispatch$/^least-loaded$/^pairs=(32|128)$`, "2x"},
 	{`^BenchmarkFarmDispatchHetero$/^least-loaded$/^pairs=32$`, "2x"},
+	{`^BenchmarkFarmDispatchSharded$`, "2x"},
 }
+
+// shardSpeedupPair names the sharded/sequential twin benches whose
+// ratio the multi-core speedup floor applies to.
+const (
+	shardSeqBench = "FarmDispatchSharded/pairs=128/shards=1"
+	shardParBench = "FarmDispatchSharded/pairs=128/shards=4"
+)
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_5.json", "path to write the measured report")
+		out      = flag.String("out", "BENCH_6.json", "path to write the measured report")
 		baseline = flag.String("baseline", "", "committed baseline to gate against (empty: no gate)")
 		write    = flag.Bool("write", false, "only write the report (alias for -baseline '')")
 		nsTol    = flag.Float64("ns-tolerance", 4.0, "fail when ns/op exceeds baseline by this factor")
 		allocTol = flag.Float64("allocs-tolerance", 1.25, "fail when allocs/op exceeds baseline by this factor (plus rounding slack)")
+		speedup  = flag.Float64("shard-speedup", 2.0, "fail when the 4-shard pairs=128 farm run is not this much faster than sequential (skipped below 4 CPUs)")
 		pkg      = flag.String("pkg", ".", "package holding the benchmarks")
 	)
 	flag.Parse()
@@ -98,6 +115,13 @@ func main() {
 	}
 	fmt.Printf("benchgate: wrote %d benchmark results to %s\n", len(results), *out)
 
+	if failures := checkShardSpeedup(report, *speedup); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchgate: %s\n", f)
+		}
+		os.Exit(1)
+	}
+
 	if *write || *baseline == "" {
 		return
 	}
@@ -113,6 +137,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: %d benchmarks within tolerance of %s\n", len(results), *baseline)
+}
+
+// checkShardSpeedup enforces the sharded executor's speedup floor on
+// multi-core hosts: the measured 4-shard pairs=128 farm run must beat
+// its sequential twin by the given factor. Below four CPUs a parallel
+// win is impossible, so the check is skipped with a note. Unlike the
+// baseline gate this is a property of the measured run alone, and it
+// applies in -write mode too: a baseline must never be published with
+// a serialized sharded executor.
+func checkShardSpeedup(r Report, floor float64) []string {
+	if floor <= 0 {
+		return nil
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		fmt.Printf("benchgate: %d CPU(s), skipping the x%.1f sharded speedup floor\n", n, floor)
+		return nil
+	}
+	by := make(map[string]Bench, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		by[b.Name] = b
+	}
+	seq, okSeq := by[shardSeqBench]
+	par, okPar := by[shardParBench]
+	if !okSeq || !okPar {
+		return []string{fmt.Sprintf("speedup check: %s or %s missing from the measured report", shardSeqBench, shardParBench)}
+	}
+	if got := seq.NsPerOp / par.NsPerOp; got < floor {
+		return []string{fmt.Sprintf("SPEEDUP %s: x%.2f over sequential, below the x%.1f floor", shardParBench, got, floor)}
+	}
+	return nil
 }
 
 // runSuite executes one `go test -bench` invocation and parses its

@@ -13,8 +13,9 @@
 //	          [-arrival-json '{"process":"mmpp",...}'] [-pairs 2]
 //	          [-pair-platforms base:boost,base:boost,...]
 //	          [-dispatcher least-loaded] [-rebalance-every 2s]
-//	          [-rebalance-gap 2] [-fault slot-fail]
+//	          [-rebalance-gap 2] [-shards 4] [-fault slot-fail]
 //	          [-fault-json '{"injectors":[...]}']
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //	          [-dump-scenario file.json] [-v]
 //	versaslot suite [-dir scenarios] [-out report.md] [-apps-cap N]
 //	versaslot -policy list
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"versaslot"
@@ -59,9 +62,12 @@ func main() {
 	dispatcher := flag.String("dispatcher", "", "farm arrival dispatcher (default least-loaded), or 'list' to print the registry")
 	rebalanceEvery := flag.Duration("rebalance-every", 0, "farm rebalancer cadence in virtual time (0 disables)")
 	rebalanceGap := flag.Int("rebalance-gap", 0, "min unfinished-app gap between pairs that triggers a cross-pair migration (default 2)")
+	shards := flag.Int("shards", 0, "run a farm's pairs across this many parallel shards (0/1 = sequential)")
 	faultKind := flag.String("fault", "", "attach one fault injector by kind with default parameters, or 'list' to print the registry")
 	faultJSON := flag.String("fault-json", "", "inline fault-spec JSON (overrides -fault)")
 	dump := flag.String("dump-scenario", "", "also write the effective scenario JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	verbose := flag.Bool("v", false, "print per-application response times")
 	flag.Parse()
 
@@ -132,6 +138,7 @@ func main() {
 			Dispatcher:     *dispatcher,
 			RebalanceEvery: *rebalanceEvery,
 			RebalanceGap:   *rebalanceGap,
+			Shards:         *shards,
 			Faults:         parseFaultFlags(*faultKind, *faultJSON),
 		}
 		if *platform != "" {
@@ -162,10 +169,38 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := versaslot.Run(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "versaslot:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot: -memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot: -memprofile:", err)
+			os.Exit(1)
+		}
 	}
 
 	s := res.Summary

@@ -110,6 +110,16 @@ type Cluster struct {
 	Trace      []TracePoint
 	Migrations []migrate.Migration
 
+	// Arrival cursor: Inject walks a sorted sequence with one chained
+	// event instead of a closure per app (see Engine.InjectSequence).
+	arrQ   []*appmodel.App
+	arrPos int
+	arrFn  func()
+
+	// candScratch is onQueueUpdate's reusable D_switch candidate
+	// buffer; the gather is consumed synchronously each evaluation.
+	candScratch []*appmodel.App
+
 	// OnSwitch fires when a cross-board switch is initiated (streaming
 	// observer hook).
 	OnSwitch func(from, to migrate.Mode)
@@ -232,11 +242,41 @@ func (c *Cluster) Inject(seq *workload.Sequence) error {
 		}
 	}
 	c.totalApps += len(apps)
-	for _, a := range apps {
-		a := a
-		c.K.At(a.Arrival, func() { c.activeEngine().InjectNow(a) })
-	}
+	c.scheduleArrivals(apps)
 	return nil
+}
+
+// scheduleArrivals walks a sorted arrival sequence with one chained
+// cursor event (at sim.PriArrival, like the engine's InjectSequence)
+// instead of one closure per app; unsorted sequences — or a second
+// Inject while a cursor is mid-walk — fall back to per-app events.
+func (c *Cluster) scheduleArrivals(apps []*appmodel.App) {
+	sorted := true
+	for i := 1; i < len(apps); i++ {
+		if apps[i].Arrival < apps[i-1].Arrival {
+			sorted = false
+			break
+		}
+	}
+	if !sorted || c.arrPos < len(c.arrQ) {
+		for _, a := range apps {
+			a := a
+			c.K.AtP(a.Arrival, sim.PriArrival, func() { c.activeEngine().InjectNow(a) })
+		}
+		return
+	}
+	c.arrQ, c.arrPos = apps, 0
+	if c.arrFn == nil {
+		c.arrFn = func() {
+			a := c.arrQ[c.arrPos]
+			c.arrPos++
+			if c.arrPos < len(c.arrQ) {
+				c.K.AtP(c.arrQ[c.arrPos].Arrival, sim.PriArrival, c.arrFn)
+			}
+			c.activeEngine().InjectNow(a)
+		}
+	}
+	c.K.AtP(apps[0].Arrival, sim.PriArrival, c.arrFn)
 }
 
 // Run executes to completion and returns the merged summary.
@@ -276,7 +316,7 @@ func (c *Cluster) onQueueUpdate() {
 	// progresses, which is what makes the Fig. 8 trace decay toward
 	// the lower threshold once contention subsides.
 	var prTasks uint64
-	var candidates []*appmodel.App
+	candidates := c.candScratch[:0]
 	for _, mode := range pairModes {
 		e := c.engines[mode]
 		candidates = append(candidates, e.Active...)
@@ -286,6 +326,7 @@ func (c *Cluster) onQueueUpdate() {
 			}
 		}
 	}
+	c.candScratch = candidates
 	nApps, nBatch := migrate.GatherCandidates(candidates)
 	raw := migrate.DSwitch(migrate.DSwitchInputs{
 		BlockedTasks: blocked,

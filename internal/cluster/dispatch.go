@@ -233,37 +233,42 @@ func (d *powerOfTwoDispatch) Pick(a *appmodel.App) int {
 // bitstreams its active board already caches (pre-warmed by earlier
 // runs of the same spec, so PR pays no SD-card streaming), and picks
 // the warmest eligible pair; load breaks ties, then pair index.
-type affinityDispatch struct{ f *Farm }
+type affinityDispatch struct {
+	f *Farm
+	// names memoizes stageBitstreams per (platform, spec): the list
+	// depends on nothing else, farms mix a handful of platforms and
+	// workloads a handful of specs, so after warm-up the dispatch hot
+	// path allocates nothing.
+	names map[affinityKey][]string
+}
+
+type affinityKey struct {
+	p    *fabric.Platform
+	spec *appmodel.AppSpec
+}
 
 func (d *affinityDispatch) Name() string { return DispatchAffinity }
-func (d *affinityDispatch) Init(f *Farm) { d.f = f }
-func (d *affinityDispatch) Pick(a *appmodel.App) int {
-	// The name list depends only on (platform, app) and farms mix at
-	// most a handful of platforms, so build each list at most once per
-	// arrival instead of once per pair — scoring stays O(pairs) on the
-	// dispatch hot path.
-	type platNames struct {
-		p     *fabric.Platform
-		names []string
-	}
-	var cache []platNames
-	namesFor := func(p *fabric.Platform) []string {
-		for _, c := range cache {
-			if c.p == p {
-				return c.names
-			}
-		}
-		names := stageBitstreams(p, a)
-		cache = append(cache, platNames{p, names})
+func (d *affinityDispatch) Init(f *Farm) {
+	d.f = f
+	d.names = make(map[affinityKey][]string)
+}
+func (d *affinityDispatch) namesFor(p *fabric.Platform, a *appmodel.App) []string {
+	key := affinityKey{p, a.Spec}
+	if names, ok := d.names[key]; ok {
 		return names
 	}
+	names := stageBitstreams(p, a)
+	d.names[key] = names
+	return names
+}
+func (d *affinityDispatch) Pick(a *appmodel.App) int {
 	elig := d.f.DispatchEligible(a)
 	best, bestScore := -1, -1
 	for i, p := range d.f.Pairs {
 		if elig != nil && !containsPair(elig, i) {
 			continue
 		}
-		score := cacheAffinity(p.activeEngine(), namesFor(p.Platform(p.ActiveMode())))
+		score := cacheAffinity(p.activeEngine(), d.namesFor(p.Platform(p.ActiveMode()), a))
 		better := best < 0 || score > bestScore ||
 			(score == bestScore && d.f.load[i] < d.f.load[best])
 		if better {

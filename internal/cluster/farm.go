@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"versaslot/internal/appmodel"
 	"versaslot/internal/interlink"
@@ -46,6 +47,15 @@ type FarmConfig struct {
 	// default of 2; a configured gap of 1 is honored but can ping-pong
 	// a single queued app between two otherwise balanced pairs.
 	RebalanceGap int
+	// Shards, when greater than one, runs the farm's pairs on that many
+	// worker goroutines: each pair advances its own event stream, and
+	// the streams synchronize at every farm-control instant (arrival
+	// dispatch, rebalance tick, rack-link completion, fault strike) so
+	// the merged result is byte-identical to the sequential run. Values
+	// above the pair count are clamped. Incompatible with a non-zero
+	// Pair.Params.PRFailureRate, whose CRC re-stream draws would come
+	// from per-pair RNGs instead of the shared kernel stream.
+	Shards int
 }
 
 // DefaultFarmConfig returns an n-pair farm of the paper's switching
@@ -102,7 +112,6 @@ type Farm struct {
 
 	dispatcher Dispatcher
 	totalApps  int
-	finished   int
 	routed     []int // arrivals dispatched per pair
 	load       []int // unfinished apps per pair, maintained incrementally
 	crossIn    []int // apps received via rebalancing, per pair
@@ -111,6 +120,27 @@ type Farm struct {
 	outages    []int // open board outages per pair (>0 = degraded)
 	unhealthy  int   // pairs with outages > 0
 	cost       *migrate.CostModel
+
+	// finishedBy counts completions per pair. Sharded workers write
+	// only their own pairs' elements, so the slice is race-free without
+	// atomics; finishedCount sums it on the coordinator.
+	finishedBy []int
+
+	// pairK holds each pair's private kernel when the farm is sharded
+	// (Shards > 1); nil on the sequential path, where every pair shares
+	// f.K. shards is the clamped worker count.
+	pairK  []*sim.Kernel
+	shards int
+
+	// Arrival cursor: Inject walks a sorted sequence with one chained
+	// event instead of a closure per app (see Engine.InjectSequence).
+	arrQ   []*appmodel.App
+	arrPos int
+	arrFn  func()
+
+	// poolScratch is DispatchEligible's reusable outage-filter buffer:
+	// the result is consumed synchronously by the dispatcher's Pick.
+	poolScratch []int
 
 	// uniform is true when every pair runs identical platforms — the
 	// homogeneous fast path where per-pair eligibility filtering is
@@ -145,20 +175,47 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := cfg.Shards
+	if shards > cfg.Pairs {
+		shards = cfg.Pairs
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 && cfg.Pair.Params.PRFailureRate > 0 {
+		return nil, fmt.Errorf("cluster: sharded farm execution is incompatible with pr_failure_rate > 0 (CRC re-stream draws would leave the shared kernel stream)")
+	}
 	f := &Farm{
 		Cfg:        cfg,
 		K:          sim.NewKernel(cfg.Pair.Seed),
 		dispatcher: d,
+		shards:     shards,
 		routed:     make([]int, cfg.Pairs),
 		load:       make([]int, cfg.Pairs),
+		finishedBy: make([]int, cfg.Pairs),
 		crossIn:    make([]int, cfg.Pairs),
 		crossOut:   make([]int, cfg.Pairs),
 		requeued:   make([]int, cfg.Pairs),
 		outages:    make([]int, cfg.Pairs),
 	}
 	f.Rack = interlink.NewDefault(f.K, "rack")
+	// Farm-control events (rack transfers, rebalance ticks, fault
+	// chains) run at PriFarmControl and arrivals at PriArrival in both
+	// execution modes, so same-instant ordering — control plane first,
+	// then pair-local events — is identical whether the pairs share f.K
+	// or advance their own kernels.
+	f.Rack.SetPriority(sim.PriFarmControl)
 	for i := 0; i < cfg.Pairs; i++ {
-		pair, err := buildCluster(f.K, cfg.pairConfig(i), i*2)
+		pk := f.K
+		if shards > 1 {
+			// Each pair gets a private kernel seeded exactly like the
+			// pair config seeds the sequential build, so pair-local
+			// evolution is deterministic and independent of its
+			// neighbors between synchronization instants.
+			pk = sim.NewKernel(cfg.pairConfig(i).Seed)
+			f.pairK = append(f.pairK, pk)
+		}
+		pair, err := buildCluster(pk, cfg.pairConfig(i), i*2)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +233,7 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 					prev(a)
 				}
 				f.load[i]--
-				f.finished++
+				f.finishedBy[i]++
 			}
 		}
 	}
@@ -210,13 +267,19 @@ func MustNewFarm(cfg FarmConfig) *Farm {
 // Dispatcher returns the canonical name of the farm's dispatcher.
 func (f *Farm) Dispatcher() string { return f.dispatcher.Name() }
 
-// Load returns the current unfinished-app count per pair (the
-// dispatcher's view).
+// Load returns a copy of the current unfinished-app count per pair
+// (the dispatcher's view). Hot paths use LoadView.
 func (f *Farm) Load() []int {
 	out := make([]int, len(f.load))
 	copy(out, f.load)
 	return out
 }
+
+// LoadView returns the farm's internal per-pair load slice without
+// copying. It is only valid until the next dispatched arrival or
+// completion; callers (dispatchers, the rebalancer) must read, not
+// retain or mutate.
+func (f *Farm) LoadView() []int { return f.load }
 
 // Eligible returns the pair indices whose platforms can host the
 // application, or nil when every pair can (the homogeneous fast path).
@@ -290,22 +353,23 @@ func (f *Farm) DispatchEligible(a *appmodel.App) []int {
 	if f.unhealthy == 0 {
 		return elig
 	}
-	var pool []int
+	// The filtered pool lives in a per-farm scratch buffer: Pick
+	// consumes it synchronously, and the next arrival overwrites it.
+	pool := f.poolScratch[:0]
 	if elig == nil {
-		pool = make([]int, 0, len(f.Pairs))
 		for i := range f.Pairs {
 			if f.outages[i] == 0 {
 				pool = append(pool, i)
 			}
 		}
 	} else {
-		pool = make([]int, 0, len(elig))
 		for _, i := range elig {
 			if f.outages[i] == 0 {
 				pool = append(pool, i)
 			}
 		}
 	}
+	f.poolScratch = pool
 	if len(pool) == 0 {
 		return elig
 	}
@@ -337,25 +401,60 @@ func (f *Farm) Inject(seq *workload.Sequence) error {
 		}
 	}
 	f.totalApps += len(apps)
-	for _, a := range apps {
-		a := a
-		f.K.At(a.Arrival, func() {
-			idx := f.dispatcher.Pick(a)
-			if idx < 0 || idx >= len(f.Pairs) {
-				panic(fmt.Sprintf("cluster: dispatcher %q picked pair %d of %d",
-					f.dispatcher.Name(), idx, len(f.Pairs)))
-			}
-			if elig := f.Eligible(a); elig != nil && !containsPair(elig, idx) {
-				panic(fmt.Sprintf("cluster: dispatcher %q routed %s to pair %d, whose platforms cannot host it",
-					f.dispatcher.Name(), a.Spec.Name, idx))
-			}
-			f.routed[idx]++
-			f.load[idx]++
-			f.Pairs[idx].activeEngine().InjectNow(a)
-		})
-	}
+	f.scheduleArrivals(apps)
 	f.armRebalancer()
 	return nil
+}
+
+// scheduleArrivals walks a sorted arrival sequence with one chained
+// cursor event instead of a closure per app; out-of-order sequences
+// (or a second Inject while a cursor is mid-walk) fall back to one
+// event per app. Arrivals carry sim.PriArrival so dispatch decisions
+// fire ahead of every same-instant simulation event.
+func (f *Farm) scheduleArrivals(apps []*appmodel.App) {
+	sorted := true
+	for i := 1; i < len(apps); i++ {
+		if apps[i].Arrival < apps[i-1].Arrival {
+			sorted = false
+			break
+		}
+	}
+	if !sorted || f.arrPos < len(f.arrQ) {
+		for _, a := range apps {
+			a := a
+			f.K.AtP(a.Arrival, sim.PriArrival, func() { f.dispatchOne(a) })
+		}
+		return
+	}
+	f.arrQ, f.arrPos = apps, 0
+	if f.arrFn == nil {
+		f.arrFn = func() {
+			a := f.arrQ[f.arrPos]
+			f.arrPos++
+			if f.arrPos < len(f.arrQ) {
+				f.K.AtP(f.arrQ[f.arrPos].Arrival, sim.PriArrival, f.arrFn)
+			}
+			f.dispatchOne(a)
+		}
+	}
+	f.K.AtP(apps[0].Arrival, sim.PriArrival, f.arrFn)
+}
+
+// dispatchOne routes one arrival through the dispatcher at its arrival
+// instant.
+func (f *Farm) dispatchOne(a *appmodel.App) {
+	idx := f.dispatcher.Pick(a)
+	if idx < 0 || idx >= len(f.Pairs) {
+		panic(fmt.Sprintf("cluster: dispatcher %q picked pair %d of %d",
+			f.dispatcher.Name(), idx, len(f.Pairs)))
+	}
+	if elig := f.Eligible(a); elig != nil && !containsPair(elig, idx) {
+		panic(fmt.Sprintf("cluster: dispatcher %q routed %s to pair %d, whose platforms cannot host it",
+			f.dispatcher.Name(), a.Spec.Name, idx))
+	}
+	f.routed[idx]++
+	f.load[idx]++
+	f.Pairs[idx].activeEngine().InjectNow(a)
 }
 
 func containsPair(elig []int, idx int) bool {
@@ -367,12 +466,16 @@ func containsPair(elig []int, idx int) bool {
 	return false
 }
 
-// Routed returns how many arrivals each pair received.
+// Routed returns a copy of how many arrivals each pair received.
 func (f *Farm) Routed() []int {
 	out := make([]int, len(f.routed))
 	copy(out, f.routed)
 	return out
 }
+
+// RoutedView is Routed without the copy; same read-only, read-now
+// contract as LoadView.
+func (f *Farm) RoutedView() []int { return f.routed }
 
 // armRebalancer schedules the first rebalance tick; the tick
 // re-schedules itself while unfinished applications remain, so the
@@ -383,7 +486,16 @@ func (f *Farm) armRebalancer() {
 		return
 	}
 	f.rebalanceArmed = true
-	f.nextTick = f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
+	f.nextTick = f.K.ScheduleP(f.Cfg.RebalanceEvery, sim.PriFarmControl, f.rebalanceTick)
+}
+
+// finishedCount sums per-pair completions; see finishedBy.
+func (f *Farm) finishedCount() int {
+	n := 0
+	for _, c := range f.finishedBy {
+		n += c
+	}
+	return n
 }
 
 // DisarmRebalancer cancels the pending rebalance tick (via its event
@@ -396,12 +508,12 @@ func (f *Farm) DisarmRebalancer() {
 }
 
 func (f *Farm) rebalanceTick() {
-	if f.finished >= f.totalApps {
+	if f.finishedCount() >= f.totalApps {
 		f.rebalanceArmed = false
 		f.nextTick = sim.NoEvent
 		return
 	}
-	f.nextTick = f.K.Schedule(f.Cfg.RebalanceEvery, f.rebalanceTick)
+	f.nextTick = f.K.ScheduleP(f.Cfg.RebalanceEvery, sim.PriFarmControl, f.rebalanceTick)
 	if f.rebalancing || len(f.Pairs) < 2 {
 		// One transfer at a time on the rack link; the next tick
 		// re-evaluates.
@@ -589,18 +701,25 @@ type PairStat struct {
 
 // Run executes to completion and merges every pair's results.
 func (f *Farm) Run() Summary {
-	f.K.Run()
+	if f.shards > 1 {
+		f.runSharded()
+	} else {
+		f.K.Run()
+	}
 	var samples []metrics.ResponseSample
 	var scratch []float64 // one percentile buffer reused across pairs
 	s := Summary{}
 	for i, p := range f.Pairs {
-		var pairSamples []metrics.ResponseSample
+		// Per-pair samples are a sub-slice of the farm-wide buffer, not
+		// a second copy: engines append directly into samples and the
+		// pair's view is the region grown this iteration.
+		pairStart := len(samples)
 		var utilLUT, utilFF, weight float64
 		for _, mode := range pairModes {
 			e := p.Engine(mode)
 			e.FlushResidency()
 			e.CheckQuiescent()
-			pairSamples = append(pairSamples, e.Col.Responses...)
+			samples = append(samples, e.Col.Responses...)
 			// Utilization() reads the residency integrals directly —
 			// no need for Summarize's full percentile pass here.
 			lut, ff := e.Col.Utilization()
@@ -609,6 +728,7 @@ func (f *Farm) Run() Summary {
 			utilFF += ff * apps
 			weight += apps
 		}
+		pairSamples := samples[pairStart:]
 		ps := PairStat{
 			Pair:        i,
 			Routed:      f.routed[i],
@@ -628,7 +748,6 @@ func (f *Farm) Run() Summary {
 			ps.UtilFF = utilFF / weight
 		}
 		s.PairStats = append(s.PairStats, ps)
-		samples = append(samples, pairSamples...)
 		s.Switches += len(p.Migrations)
 		for _, m := range p.Migrations {
 			s.MigratedApps += m.Apps
@@ -659,9 +778,96 @@ func (f *Farm) Run() Summary {
 	return s
 }
 
+// runSharded executes the farm with one goroutine per shard, each
+// advancing a contiguous block of pair kernels, synchronized at every
+// farm-control instant so the merged run is byte-identical to the
+// sequential one.
+//
+// The coordinator kernel f.K holds exactly the control plane: arrival
+// dispatch (PriArrival), rebalance ticks and rack-link transfers
+// (PriFarmControl), and fault-injector chains. Pair-local events live
+// on the per-pair kernels. The epoch loop peeks the next control
+// instant T, has every worker run its pairs' events strictly before T
+// and bump their clocks to T, then drains every coordinator event at
+// exactly T single-threaded. That reproduces the sequential order: in
+// a shared-kernel run, all simulation events before T execute first,
+// then the control events at T (their priorities sort them ahead of
+// same-instant pair events), then pair events at T — which here run in
+// the next epoch's RunBefore. Control events may inspect and mutate
+// pair state freely: workers are parked, and the channel send /
+// WaitGroup pair establishes happens-before in both directions.
+//
+// Pair events never schedule onto f.K (completions only bump the
+// farm's per-pair counters), so the control queue the loop drains is
+// never extended from a worker. Once it empties, the final phase runs
+// every pair kernel dry in parallel and advances all clocks to the
+// global end time, so residency/availability integrals flush against
+// the same horizon a shared kernel would have had.
+func (f *Farm) runSharded() {
+	nw := f.shards
+	cmds := make([]chan sim.Time, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		cmds[w] = make(chan sim.Time, 1)
+		lo := w * len(f.pairK) / nw
+		hi := (w + 1) * len(f.pairK) / nw
+		go func(cmd chan sim.Time, ks []*sim.Kernel) {
+			for t := range cmd {
+				if t < 0 {
+					// Final-drain sentinel (event times are never
+					// negative): run to completion.
+					for _, k := range ks {
+						k.Run()
+					}
+				} else {
+					for _, k := range ks {
+						k.RunBefore(t)
+						k.AdvanceTo(t)
+					}
+				}
+				wg.Done()
+			}
+		}(cmds[w], f.pairK[lo:hi])
+	}
+	phase := func(t sim.Time) {
+		wg.Add(nw)
+		for _, c := range cmds {
+			c <- t
+		}
+		wg.Wait()
+	}
+	for {
+		t, ok := f.K.NextAt()
+		if !ok {
+			break
+		}
+		phase(t)
+		for {
+			f.K.Step()
+			if next, ok := f.K.NextAt(); !ok || next > t {
+				break
+			}
+		}
+	}
+	phase(-1)
+	for _, c := range cmds {
+		close(c)
+	}
+	endT := f.K.Now()
+	for _, k := range f.pairK {
+		if k.Now() > endT {
+			endT = k.Now()
+		}
+	}
+	f.K.AdvanceTo(endT)
+	for _, k := range f.pairK {
+		k.AdvanceTo(endT)
+	}
+}
+
 // Quiescent reports whether every injected application has finished
 // (fault-injector chains gate on it; see Cluster.Quiescent).
-func (f *Farm) Quiescent() bool { return f.finished >= f.totalApps }
+func (f *Farm) Quiescent() bool { return f.finishedCount() >= f.totalApps }
 
 // UnfinishedCount sums unfinished apps across the farm (diagnostics).
 func (f *Farm) UnfinishedCount() int {

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"versaslot/internal/fabric"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// heteroPlatforms cycles ZCU216 (default) / U250 quad / PYNQ dual over
+// the farm's pairs, matching the mixed-platform benchmark.
+func heteroPlatforms(pairs int) []PairPlatforms {
+	platforms := make([]PairPlatforms, pairs)
+	for i := range platforms {
+		switch i % 3 {
+		case 1:
+			platforms[i] = PairPlatforms{Base: fabric.U250Quad, Boost: fabric.U250Quad}
+		case 2:
+			platforms[i] = PairPlatforms{Base: fabric.PYNQDual, Boost: fabric.PYNQDual}
+		}
+	}
+	return platforms
+}
+
+func runShardFarm(t *testing.T, cfg FarmConfig, apps int, seed uint64) Summary {
+	t.Helper()
+	f := MustNewFarm(cfg)
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = apps
+	if err := f.Inject(workload.Generate(p, seed)); err != nil {
+		t.Fatal(err)
+	}
+	sum := f.Run()
+	if f.UnfinishedCount() != 0 {
+		t.Fatal("unfinished apps remain")
+	}
+	return sum
+}
+
+// TestShardedMatchesSequential is the sharded executor's acceptance
+// bar: for every dispatcher, on uniform and heterogeneous farms, a
+// 4-shard run must produce a Summary deeply equal to the sequential
+// run — same response samples, same rebalancer migrations, same
+// D_switch traces. Run under -race this also exercises the epoch
+// barrier's happens-before edges.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, hetero := range []bool{false, true} {
+		for _, name := range []string{DispatchLeastLoaded, DispatchRoundRobin, DispatchPowerOfTwo, DispatchAffinity} {
+			label := name
+			if hetero {
+				label += "/hetero"
+			}
+			t.Run(label, func(t *testing.T) {
+				cfg := DefaultFarmConfig(6)
+				cfg.Dispatcher = name
+				cfg.RebalanceEvery = 2 * sim.Second
+				if hetero {
+					cfg.PairPlatforms = heteroPlatforms(cfg.Pairs)
+				}
+				seqSum := runShardFarm(t, cfg, 48, 4242)
+				cfg.Shards = 4
+				shSum := runShardFarm(t, cfg, 48, 4242)
+				if !reflect.DeepEqual(seqSum, shSum) {
+					t.Errorf("sharded summary diverged from sequential:\nsequential: apps=%d meanRT=%v p99=%v cross=%d switches=%d\nsharded:    apps=%d meanRT=%v p99=%v cross=%d switches=%d",
+						seqSum.Apps, seqSum.MeanRT, seqSum.P99, seqSum.CrossSwitches, seqSum.Switches,
+						shSum.Apps, shSum.MeanRT, shSum.P99, shSum.CrossSwitches, shSum.Switches)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedShardCounts sweeps shard counts (including clamping past
+// the pair count): every width must reproduce the sequential result.
+func TestShardedShardCounts(t *testing.T) {
+	cfg := DefaultFarmConfig(5)
+	cfg.RebalanceEvery = 2 * sim.Second
+	want := runShardFarm(t, cfg, 30, 99)
+	for _, shards := range []int{2, 3, 5, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c := cfg
+			c.Shards = shards
+			if got := runShardFarm(t, c, 30, 99); !reflect.DeepEqual(want, got) {
+				t.Errorf("shards=%d diverged from sequential (apps %d vs %d, meanRT %v vs %v)",
+					shards, got.Apps, want.Apps, got.MeanRT, want.MeanRT)
+			}
+		})
+	}
+}
+
+// TestShardedRejectsPRFailureRate pins the documented incompatibility:
+// the CRC re-stream path draws from the shared kernel RNG, which
+// per-pair kernels cannot reproduce.
+func TestShardedRejectsPRFailureRate(t *testing.T) {
+	cfg := DefaultFarmConfig(2)
+	cfg.Shards = 2
+	cfg.Pair.Params.PRFailureRate = 0.01
+	if _, err := NewFarm(cfg); err == nil {
+		t.Error("NewFarm accepted shards > 1 with a non-zero PRFailureRate")
+	}
+}
+
+// TestDispatchSteadyStateZeroAlloc pins the tentpole: once eligibility
+// and affinity caches are warm, routing an arrival allocates nothing —
+// on uniform and heterogeneous farms, for every registered dispatcher.
+func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 8
+	apps, err := workload.Generate(p, 7).Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hetero := range []bool{false, true} {
+		for _, name := range DispatcherNames() {
+			label := name
+			if hetero {
+				label += "/hetero"
+			}
+			t.Run(label, func(t *testing.T) {
+				cfg := DefaultFarmConfig(6)
+				cfg.Dispatcher = name
+				if hetero {
+					cfg.PairPlatforms = heteroPlatforms(cfg.Pairs)
+				}
+				f := MustNewFarm(cfg)
+				for _, a := range apps { // warm per-spec caches
+					f.dispatcher.Pick(a)
+				}
+				i := 0
+				allocs := testing.AllocsPerRun(200, func() {
+					f.dispatcher.Pick(apps[i%len(apps)])
+					i++
+				})
+				if allocs != 0 {
+					t.Errorf("steady-state Pick allocates %.1f objects per arrival, want 0", allocs)
+				}
+			})
+		}
+	}
+}
+
+// TestDispatchEligibleOutageZeroAlloc covers the degraded path: with an
+// open outage the availability filter runs per arrival, and its pool
+// must come from the farm's scratch buffer, not a fresh slice.
+func TestDispatchEligibleOutageZeroAlloc(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 4
+	apps, err := workload.Generate(p, 7).Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustNewFarm(DefaultFarmConfig(4))
+	f.PairOutage(2)
+	for _, a := range apps {
+		f.DispatchEligible(a)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		f.DispatchEligible(apps[i%len(apps)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("DispatchEligible allocates %.1f objects per arrival under an outage, want 0", allocs)
+	}
+}

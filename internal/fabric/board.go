@@ -80,6 +80,18 @@ func (b *Board) EmptySlots(class string) []*Slot {
 	return out
 }
 
+// FirstEmpty returns the lowest-ID empty, unfailed slot of the given
+// class, or nil. Placement loops use it instead of EmptySlots to avoid
+// materializing a slice per scheduling pass.
+func (b *Board) FirstEmpty(class string) *Slot {
+	for _, s := range b.Slots {
+		if s.Class.Name == class && s.State() == SlotEmpty && !s.Failed() {
+			return s
+		}
+	}
+	return nil
+}
+
 // CountEmpty returns the number of empty slots of the given class.
 func (b *Board) CountEmpty(class string) int {
 	n := 0

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"versaslot/internal/cluster"
+	"versaslot/internal/migrate"
+	"versaslot/internal/sched"
+	"versaslot/internal/sim"
+	"versaslot/internal/workload"
+)
+
+// chaosSpec exercises every coordinator-driven injector: slot and
+// board fail/recover chains, straggler episodes, flaky reconfiguration
+// (whose draws come from forked streams, so it is shard-safe), and
+// checkpointed restarts with a restore delay on the rack link's tail.
+func chaosSpec() Spec {
+	return Spec{Injectors: []InjectorSpec{
+		{Kind: KindSlotFail, MTBF: 4 * sim.Second, MTTR: 200 * sim.Millisecond},
+		{Kind: KindBoardFail, MTBF: 9 * sim.Second, MTTR: 400 * sim.Millisecond},
+		{Kind: KindStraggler, MTBF: 5 * sim.Second, MTTR: 300 * sim.Millisecond, Factor: 2.5},
+		{Kind: KindPRFlaky, Rate: 0.05, MaxRetries: 3, Backoff: sim.Millisecond, BackoffFactor: 2},
+		{Kind: KindCheckpoint, CheckpointBytes: 512, RestoreDelay: 200 * sim.Microsecond},
+	}}
+}
+
+func runChaosFarm(t *testing.T, shards int) cluster.Summary {
+	t.Helper()
+	cfg := cluster.DefaultFarmConfig(4)
+	cfg.RebalanceEvery = 2 * sim.Second
+	cfg.Shards = shards
+	f := cluster.MustNewFarm(cfg)
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 32
+	if err := f.Inject(workload.Generate(p, 777)); err != nil {
+		t.Fatal(err)
+	}
+	var engines []*sched.Engine
+	for _, pair := range f.Pairs {
+		for _, mode := range []migrate.Mode{migrate.Base, migrate.Boost} {
+			engines = append(engines, pair.Engine(mode))
+		}
+	}
+	tgt := &Target{
+		K:         f.K,
+		Engines:   engines,
+		Pairs:     f.Pairs,
+		Farm:      f,
+		Quiescent: f.Quiescent,
+		Pri:       sim.PriFarmControl,
+	}
+	if err := Attach(tgt, chaosSpec(), 777); err != nil {
+		t.Fatal(err)
+	}
+	sum := f.Run()
+	if sum.Apps != p.Apps {
+		t.Fatalf("finished %d of %d apps under faults", sum.Apps, p.Apps)
+	}
+	return sum
+}
+
+// TestShardedMatchesSequentialUnderFaults extends the sharded
+// executor's byte-identity bar to chaos runs: fault chains live on the
+// coordinator kernel at farm-control priority, so strikes land at the
+// same instants — between the same pair events — in both modes.
+func TestShardedMatchesSequentialUnderFaults(t *testing.T) {
+	seq := runChaosFarm(t, 1)
+	sh := runChaosFarm(t, 4)
+	if !reflect.DeepEqual(seq, sh) {
+		t.Errorf("sharded chaos run diverged from sequential:\nsequential: apps=%d meanRT=%v p99=%v cross=%d switches=%d\nsharded:    apps=%d meanRT=%v p99=%v cross=%d switches=%d",
+			seq.Apps, seq.MeanRT, seq.P99, seq.CrossSwitches, seq.Switches,
+			sh.Apps, sh.MeanRT, sh.P99, sh.CrossSwitches, sh.Switches)
+	}
+}

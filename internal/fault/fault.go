@@ -28,6 +28,13 @@ type Target struct {
 	// arrivals. Nil falls back to summing engine UnfinishedCounts,
 	// which is exact for the single board (apps register at inject).
 	Quiescent func() bool
+
+	// Pri is the event priority of the injector timer chains. The farm
+	// runner sets sim.PriFarmControl so fault strikes sort with the
+	// rest of the control plane (and thus land identically in sharded
+	// and sequential runs); single-board and cluster topologies leave
+	// it zero.
+	Pri int32
 }
 
 // Done reports whether the workload has drained. Injector timer chains

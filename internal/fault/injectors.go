@@ -163,12 +163,12 @@ func (inj *slotFail) chain(t *Target, e *sched.Engine, s *fabric.Slot, r *sim.RN
 			return
 		}
 		e.FailSlot(s)
-		t.K.Schedule(r.Exp(inj.mttr), func() {
+		t.K.ScheduleP(r.Exp(inj.mttr), t.Pri, func() {
 			e.RecoverSlot(s)
-			t.K.Schedule(r.Exp(inj.mtbf), fail)
+			t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, fail)
 		})
 	}
-	t.K.Schedule(r.Exp(inj.mtbf), fail)
+	t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, fail)
 }
 
 // boardFail takes a whole board out: every slot fails at once and
@@ -208,17 +208,17 @@ func (inj *boardFail) chain(t *Target, b board, r *sim.RNG) {
 		if t.Farm != nil && b.pair >= 0 {
 			t.Farm.PairOutage(b.pair)
 		}
-		t.K.Schedule(r.Exp(inj.mttr), func() {
+		t.K.ScheduleP(r.Exp(inj.mttr), t.Pri, func() {
 			for _, s := range b.engine.Board.Slots {
 				b.engine.RecoverSlot(s)
 			}
 			if t.Farm != nil && b.pair >= 0 {
 				t.Farm.PairRestored(b.pair)
 			}
-			t.K.Schedule(r.Exp(inj.mtbf), fail)
+			t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, fail)
 		})
 	}
-	t.K.Schedule(r.Exp(inj.mtbf), fail)
+	t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, fail)
 }
 
 // prFlaky installs the engines' bounded retry+backoff reconfiguration
@@ -260,12 +260,12 @@ func (inj *straggler) chain(t *Target, e *sched.Engine, s *fabric.Slot, r *sim.R
 			return
 		}
 		e.SetSlotSlowdown(s, inj.factor)
-		t.K.Schedule(r.Exp(inj.mttr), func() {
+		t.K.ScheduleP(r.Exp(inj.mttr), t.Pri, func() {
 			e.ClearSlotSlowdown(s)
-			t.K.Schedule(r.Exp(inj.mtbf), slow)
+			t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, slow)
 		})
 	}
-	t.K.Schedule(r.Exp(inj.mtbf), slow)
+	t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, slow)
 }
 
 // checkpoint flips the topology to checkpoint/restore semantics; it

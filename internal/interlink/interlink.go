@@ -12,6 +12,7 @@ type Link struct {
 	Setup sim.Duration
 
 	srv *sim.Server
+	pri int32
 
 	stats Stats
 }
@@ -46,6 +47,18 @@ func New(k *sim.Kernel, name string, bandwidthBytes int64, setup sim.Duration) *
 func NewDefault(k *sim.Kernel, name string) *Link {
 	return New(k, name, DefaultBandwidth, DefaultSetup)
 }
+
+// SetPriority assigns the event priority of the link's completions:
+// transfers landing at the same instant as other events order by it.
+// The farm sets its rack link to sim.PriFarmControl so deliveries
+// sort with the rest of the control plane in sharded runs.
+func (l *Link) SetPriority(p int32) {
+	l.pri = p
+	l.srv.SetPriority(p)
+}
+
+// Priority returns the link's completion priority.
+func (l *Link) Priority() int32 { return l.pri }
 
 // TransferTime returns the service time for a payload.
 func (l *Link) TransferTime(bytes int64) sim.Duration {

@@ -106,7 +106,9 @@ func ExecuteModel(k *sim.Kernel, link *interlink.Link, apps []*appmodel.App, mod
 			}
 		}
 		if model != nil && model.RestoreDelay > 0 {
-			k.Schedule(model.RestoreDelay, finish)
+			// The restore completes at the link's priority: it is the
+			// tail of the transfer, not a board-local event.
+			k.ScheduleP(model.RestoreDelay, link.Priority(), finish)
 			return
 		}
 		finish()

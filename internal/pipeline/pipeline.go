@@ -18,6 +18,32 @@ type Plan struct {
 	LoadTime sim.Duration
 }
 
+// Eval amortizes Makespan's scratch buffers across calls: the slot
+// allocators probe every candidate count for every arriving application,
+// so per-call buffer allocation dominated their cost. The zero value is
+// ready to use; an Eval is not safe for concurrent use.
+type Eval struct {
+	prev, cur, slotFree []sim.Duration
+}
+
+func (ev *Eval) buffers(batch, slots int) (prev, cur, slotFree []sim.Duration) {
+	if cap(ev.prev) < batch {
+		ev.prev = make([]sim.Duration, batch)
+		ev.cur = make([]sim.Duration, batch)
+	}
+	if cap(ev.slotFree) < slots {
+		ev.slotFree = make([]sim.Duration, slots)
+	}
+	prev, cur, slotFree = ev.prev[:batch], ev.cur[:batch], ev.slotFree[:slots]
+	for i := range prev {
+		prev[i], cur[i] = 0, 0
+	}
+	for i := range slotFree {
+		slotFree[i] = 0
+	}
+	return prev, cur, slotFree
+}
+
 // Makespan returns the end-to-end time to push Batch items through the
 // pipeline using exactly slots slots, under the greedy reuse policy the
 // schedulers implement: stage i initially occupies slot i%slots; a slot
@@ -29,6 +55,12 @@ type Plan struct {
 // The returned value excludes PCAP queueing and CPU scheduling costs —
 // it is the contention-free lower bound the allocator optimizes.
 func (p Plan) Makespan(slots int) sim.Duration {
+	var ev Eval
+	return p.MakespanIn(&ev, slots)
+}
+
+// MakespanIn is Makespan drawing its scratch from ev.
+func (p Plan) MakespanIn(ev *Eval, slots int) sim.Duration {
 	k := len(p.StageTimes)
 	if k == 0 || p.Batch <= 0 {
 		return 0
@@ -41,9 +73,7 @@ func (p Plan) Makespan(slots int) sim.Duration {
 	}
 	// finish[i] tracks the completion time of stage i's latest item;
 	// slotFree[j] the time slot j finished its previous stage's batch.
-	prev := make([]sim.Duration, p.Batch) // stage i-1 per-item finish times
-	cur := make([]sim.Duration, p.Batch)
-	slotFree := make([]sim.Duration, slots)
+	prev, cur, slotFree := ev.buffers(p.Batch, slots)
 	for i := 0; i < k; i++ {
 		j := i % slots
 		loaded := slotFree[j] + p.LoadTime
@@ -90,6 +120,12 @@ const kneeTolerance = 1.15
 // rule is what captures "the most efficient slot configuration for
 // pipeline execution".
 func (p Plan) OptimalSlots(maxSlots int) int {
+	var ev Eval
+	return p.OptimalSlotsIn(&ev, maxSlots)
+}
+
+// OptimalSlotsIn is OptimalSlots drawing its scratch from ev.
+func (p Plan) OptimalSlotsIn(ev *Eval, maxSlots int) int {
 	k := len(p.StageTimes)
 	if k == 0 {
 		return 0
@@ -100,10 +136,10 @@ func (p Plan) OptimalSlots(maxSlots int) int {
 	if maxSlots < 1 {
 		maxSlots = 1
 	}
-	best := p.Makespan(maxSlots)
+	best := p.MakespanIn(ev, maxSlots)
 	limit := sim.Duration(float64(best) * kneeTolerance)
 	for s := 1; s < maxSlots; s++ {
-		if p.Makespan(s) <= limit {
+		if p.MakespanIn(ev, s) <= limit {
 			return s
 		}
 	}
@@ -114,6 +150,12 @@ func (p Plan) OptimalSlots(maxSlots int) int {
 // makespan available within maxSlots — the "maximum needed slots" the
 // redistribution step of Algorithm 1 tops applications up to.
 func (p Plan) MaxUsefulSlots(maxSlots int) int {
+	var ev Eval
+	return p.MaxUsefulSlotsIn(&ev, maxSlots)
+}
+
+// MaxUsefulSlotsIn is MaxUsefulSlots drawing its scratch from ev.
+func (p Plan) MaxUsefulSlotsIn(ev *Eval, maxSlots int) int {
 	k := len(p.StageTimes)
 	if k == 0 {
 		return 0
@@ -125,9 +167,9 @@ func (p Plan) MaxUsefulSlots(maxSlots int) int {
 		maxSlots = 1
 	}
 	best := maxSlots
-	bestSpan := p.Makespan(maxSlots)
+	bestSpan := p.MakespanIn(ev, maxSlots)
 	for s := maxSlots - 1; s >= 1; s-- {
-		if p.Makespan(s) <= bestSpan {
+		if p.MakespanIn(ev, s) <= bestSpan {
 			best = s
 		}
 	}

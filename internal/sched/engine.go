@@ -37,21 +37,23 @@ type Engine struct {
 	pendingSched bool
 	frozen       bool
 
-	// slotStage tracks which stage is resident (or loading) per slot.
-	slotStage map[*fabric.Slot]*appmodel.Stage
-	// residentSince tracks when the current resident interval started.
-	residentSince map[*fabric.Slot]sim.Time
+	// Arrival cursor: InjectSequence walks a sorted sequence with one
+	// chained event instead of a closure per app.
+	arrQ   []*appmodel.App
+	arrPos int
+	arrFn  func()
 
-	// Fault-injection state (see fault.go). execEvent holds the
-	// completion event of the item executing per slot so a fault can
-	// cancel it; launchTok invalidates launch jobs still queued on the
-	// scheduler core when their slot is torn down; downSince tracks
-	// open downtime intervals; slowFactor holds straggler degradation.
-	execEvent  map[*fabric.Slot]sim.EventID
-	launchTok  map[*fabric.Slot]uint64
-	launchSeq  uint64
-	downSince  map[*fabric.Slot]sim.Time
-	slowFactor map[*fabric.Slot]float64
+	// slots holds the per-slot hot-path runtime state, indexed by
+	// fabric.Slot.ID. Pre-bound launch/exec/PR closures and plain
+	// struct fields replace the per-launch closures and per-slot maps
+	// of the original engine: at most one launch, one executing item,
+	// and one PCAP load can be in flight per slot at a time, so the
+	// state of each is a slot-indexed record, not an allocation.
+	slots []slotRT
+	// schedPassFn is the one pre-bound scheduler-pass body Activate
+	// submits (coalesced, so one is enough).
+	schedPassFn func()
+
 	// prFault, when set, injects bounded-retry reconfiguration errors.
 	prFault *prFaultModel
 	// checkpointed makes crash restarts keep per-stage batch progress.
@@ -101,24 +103,82 @@ func (e *Engine) trace(format string, args ...any) {
 	}
 }
 
+// slotRT is the per-slot runtime record backing the engine's hot paths.
+// The fabric guarantees at most one launch, one executing item, and one
+// PCAP load in flight per slot (a slot is Busy from BeginExec to
+// CompleteExec and Loading from BeginLoad to CompleteLoad/abort), so
+// each activity's state lives in plain fields written at submission and
+// read by a closure bound once at engine construction.
+type slotRT struct {
+	e    *Engine
+	slot *fabric.Slot
+
+	// Residency-interval tracking for utilization integrals.
+	resStage *appmodel.Stage
+	resSince sim.Time
+
+	// In-flight launch/exec state. armed invalidates a launch still
+	// queued on the scheduler core when a fault tears its slot down: the
+	// FIFO core drains the stale launch before any re-placement of the
+	// slot can queue a new one, so a bool (not a token) suffices.
+	st     *appmodel.Stage
+	idx    int
+	dur    sim.Duration
+	start  sim.Time
+	armed  bool
+	execEv sim.EventID
+
+	// Fault state (see fault.go).
+	down       bool
+	downSince  sim.Time
+	slowFactor float64 // > 1 degrades service (straggler); else nominal
+
+	// PR-attempt state for the pre-bound PCAP callbacks, stable from
+	// submission to completion.
+	prStage   *appmodel.Stage
+	prBits    *bitstream.Bitstream
+	prCost    sim.Duration
+	prAttempt int
+	prWaited  sim.Duration
+
+	launchFn  func()
+	execFn    func()
+	prStartFn func(sim.Duration)
+	prDoneFn  func()
+}
+
+// rt returns the runtime record of a slot. Slot IDs are indices into the
+// board's slot list (see fabric.NewBoard), so this is a direct index.
+func (e *Engine) rt(s *fabric.Slot) *slotRT { return &e.slots[s.ID] }
+
 // NewEngine wires a board's execution machinery together.
 func NewEngine(k *sim.Kernel, p Params, board *fabric.Board, model hypervisor.CoreModel, repo *bitstream.Repository) *Engine {
 	capTotal := board.SlotCapacityTotal()
-	return &Engine{
-		K:             k,
-		Params:        p,
-		Board:         board,
-		Cores:         hypervisor.NewCores(k, model, board.ID),
-		PCAP:          pcap.New(p.PCAPBandwidth, p.PCAPOverhead),
-		Repo:          repo,
-		Cache:         bitstream.NewCache(p.CacheEntries),
-		Col:           metrics.NewCollector(capTotal),
-		slotStage:     make(map[*fabric.Slot]*appmodel.Stage),
-		residentSince: make(map[*fabric.Slot]sim.Time),
-		execEvent:     make(map[*fabric.Slot]sim.EventID),
-		launchTok:     make(map[*fabric.Slot]uint64),
-		downSince:     make(map[*fabric.Slot]sim.Time),
+	e := &Engine{
+		K:      k,
+		Params: p,
+		Board:  board,
+		Cores:  hypervisor.NewCores(k, model, board.ID),
+		PCAP:   pcap.New(p.PCAPBandwidth, p.PCAPOverhead),
+		Repo:   repo,
+		Cache:  bitstream.NewCache(p.CacheEntries),
+		Col:    metrics.NewCollector(capTotal),
 	}
+	e.slots = make([]slotRT, len(board.Slots))
+	for i, s := range board.Slots {
+		rt := &e.slots[i]
+		rt.e = e
+		rt.slot = s
+		rt.launchFn = rt.runLaunch
+		rt.execFn = rt.runExec
+		rt.prStartFn = rt.prStart
+		rt.prDoneFn = rt.prDone
+	}
+	e.schedPassFn = func() {
+		e.pendingSched = false
+		e.policy.Schedule()
+	}
+	return e
 }
 
 // DisableBitstreamCache models control planes without a DDR bitstream
@@ -152,13 +212,44 @@ func (e *Engine) SetFrozen(v bool) {
 }
 
 // InjectSequence schedules arrival events for apps (Arrival fields are
-// absolute virtual times).
+// absolute virtual times). When the sequence is sorted by arrival time —
+// generators emit them that way — a single chained cursor event walks it
+// instead of one pre-allocated closure per app; arrivals carry
+// sim.PriArrival so they keep firing ahead of same-instant simulation
+// events despite their now-late sequence numbers.
 func (e *Engine) InjectSequence(apps []*appmodel.App) {
-	for _, a := range apps {
-		a := a
-		e.Apps = append(e.Apps, a)
-		e.K.At(a.Arrival, func() { e.arrive(a) })
+	if len(apps) == 0 {
+		return
 	}
+	e.Apps = append(e.Apps, apps...)
+	sorted := true
+	for i := 1; i < len(apps); i++ {
+		if apps[i].Arrival < apps[i-1].Arrival {
+			sorted = false
+			break
+		}
+	}
+	if !sorted || e.arrPos < len(e.arrQ) {
+		// Unsorted, or a previous cursor is still walking: fall back to
+		// one event per app.
+		for _, a := range apps {
+			a := a
+			e.K.AtP(a.Arrival, sim.PriArrival, func() { e.arrive(a) })
+		}
+		return
+	}
+	e.arrQ, e.arrPos = apps, 0
+	if e.arrFn == nil {
+		e.arrFn = func() {
+			a := e.arrQ[e.arrPos]
+			e.arrPos++
+			if e.arrPos < len(e.arrQ) {
+				e.K.AtP(e.arrQ[e.arrPos].Arrival, sim.PriArrival, e.arrFn)
+			}
+			e.arrive(a)
+		}
+	}
+	e.K.AtP(apps[0].Arrival, sim.PriArrival, e.arrFn)
 }
 
 // InjectNow delivers an app immediately (used by live migration and by
@@ -187,7 +278,9 @@ func (e *Engine) arrive(a *appmodel.App) {
 	if a.State == appmodel.StatePending {
 		a.State = appmodel.StateWaiting
 	}
-	e.record(trace.Event{Kind: trace.AppArrive, Slot: -1, App: a.String(), Stage: -1, Item: -1})
+	if e.Recorder != nil {
+		e.record(trace.Event{Kind: trace.AppArrive, Slot: -1, App: a.String(), Stage: -1, Item: -1})
+	}
 	e.Active = append(e.Active, a)
 	if e.OnAppArrived != nil {
 		e.OnAppArrived(a)
@@ -207,10 +300,7 @@ func (e *Engine) Activate() {
 		return
 	}
 	e.pendingSched = true
-	e.Cores.Sched.SubmitFunc("sched-pass", "sched", e.Params.EffectiveSchedPass(), func() {
-		e.pendingSched = false
-		e.policy.Schedule()
-	})
+	e.Cores.Sched.SubmitFunc("sched-pass", "sched", e.Params.EffectiveSchedPass(), e.schedPassFn)
 }
 
 // RequestPR starts a partial reconfiguration of st into slot. The load
@@ -228,8 +318,12 @@ func (e *Engine) RequestPR(st *appmodel.Stage, slot *fabric.Slot) {
 	}
 	st.Slot = slot
 	st.Loading = true
-	e.trace("%v PR request %v -> slot %d", e.K.Now(), st, slot.ID)
-	e.record(trace.Event{Kind: trace.PRRequest, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: -1})
+	if e.Trace != nil {
+		e.trace("%v PR request %v -> slot %d", e.K.Now(), st, slot.ID)
+	}
+	if e.Recorder != nil {
+		e.record(trace.Event{Kind: trace.PRRequest, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: -1})
+	}
 	cost := e.PCAP.LoadDuration(bits)
 	if !e.Cache.Lookup(bits.Name) {
 		cost += e.sdTime(bits.Bytes)
@@ -256,76 +350,89 @@ func (e *Engine) RequestPR(st *appmodel.Stage, slot *fabric.Slot) {
 // fault-model failure backs off and re-submits up to its retry bound,
 // then abandons the placement and crash-restarts the app.
 func (e *Engine) submitPRJob(st *appmodel.Stage, slot *fabric.Slot, bits *bitstream.Bitstream, cost sim.Duration, attempt int) {
-	var waited sim.Duration
+	rt := e.rt(slot)
+	rt.prStage, rt.prBits, rt.prCost, rt.prAttempt = st, bits, cost, attempt
+	rt.prWaited = 0
+	e.Cores.PR.SubmitPooled(bits.Name, "pr", cost, rt.prStartFn, rt.prDoneFn)
+}
+
+// prCRCRate is the per-attempt CRC failure probability, clamped so
+// retries stay finite.
+func (e *Engine) prCRCRate() float64 {
 	rate := e.Params.PRFailureRate
 	if rate > 0.95 {
-		rate = 0.95 // keep retries finite
+		rate = 0.95
 	}
-	e.Cores.PR.Submit(&sim.Job{
-		Name:  bits.Name,
-		Class: "pr",
-		Cost:  cost,
-		Start: func(wait sim.Duration) {
-			waited = wait
-			if wait > 0 {
-				e.Col.PRBlocked++
-			}
-			e.Col.PRWait += wait
-		},
-		Done: func() {
-			if slot.Failed() || st.Slot != slot || !st.Loading {
-				// The slot died or the app crashed mid-load: the
-				// transfer's result is discarded and the region torn
-				// down (staying failed if the fault persists).
-				e.abortLoad(slot)
-				return
-			}
-			if f := e.prFault; f != nil && f.rate > 0 && f.rng.Float64() < f.rate {
-				// Injected reconfiguration error (bad flash sector,
-				// PCAP hiccup): bounded retry with backoff.
-				if attempt < f.maxRetries {
-					e.Col.RecordFaultRetry(st.App.ID)
-					e.Col.PRRetries++
-					delay := f.delay(attempt)
-					e.trace("%v PR fault retry %d/%d for %v -> slot %d (backoff %v)",
-						e.K.Now(), attempt+1, f.maxRetries, st, slot.ID, delay)
-					e.K.Schedule(delay, func() {
-						if slot.Failed() || st.Slot != slot || !st.Loading {
-							// Crashed or failed during the backoff.
-							if slot.State() == fabric.SlotLoading {
-								e.abortLoad(slot)
-							}
-							return
-						}
-						e.submitPRJob(st, slot, bits, cost, attempt+1)
-					})
+	return rate
+}
+
+func (rt *slotRT) prStart(wait sim.Duration) {
+	rt.prWaited = wait
+	if wait > 0 {
+		rt.e.Col.PRBlocked++
+	}
+	rt.e.Col.PRWait += wait
+}
+
+func (rt *slotRT) prDone() {
+	e := rt.e
+	st, slot, bits := rt.prStage, rt.slot, rt.prBits
+	cost, attempt, waited := rt.prCost, rt.prAttempt, rt.prWaited
+	if slot.Failed() || st.Slot != slot || !st.Loading {
+		// The slot died or the app crashed mid-load: the transfer's
+		// result is discarded and the region torn down (staying failed
+		// if the fault persists).
+		e.abortLoad(slot)
+		return
+	}
+	if f := e.prFault; f != nil && f.rate > 0 && f.rng.Float64() < f.rate {
+		// Injected reconfiguration error (bad flash sector, PCAP
+		// hiccup): bounded retry with backoff.
+		if attempt < f.maxRetries {
+			e.Col.RecordFaultRetry(st.App.ID)
+			e.Col.PRRetries++
+			delay := f.delay(attempt)
+			e.trace("%v PR fault retry %d/%d for %v -> slot %d (backoff %v)",
+				e.K.Now(), attempt+1, f.maxRetries, st, slot.ID, delay)
+			e.K.Schedule(delay, func() {
+				if slot.Failed() || st.Slot != slot || !st.Loading {
+					// Crashed or failed during the backoff.
+					if slot.State() == fabric.SlotLoading {
+						e.abortLoad(slot)
+					}
 					return
 				}
-				e.failPRPermanently(st, slot)
-				return
-			}
-			if rate > 0 && e.K.RNG().Float64() < rate {
-				// CRC verification failed: the partial is re-streamed.
-				e.Col.PRRetries++
-				e.trace("%v PR CRC retry %v -> slot %d", e.K.Now(), st, slot.ID)
-				e.submitPRJob(st, slot, bits, cost, attempt)
-				return
-			}
-			e.PCAP.RecordLoad(bits, cost, waited)
-			if err := slot.CompleteLoad(); err != nil {
-				panic(err)
-			}
-			st.Loading = false
-			st.LoadedAt = e.K.Now()
-			e.trace("%v PR done %v -> slot %d (wait %v)", e.K.Now(), st, slot.ID, waited)
-			e.record(trace.Event{Kind: trace.PRDone, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: -1, Wait: waited})
-			e.beginResident(slot, st)
-			if e.Cores.Model == hypervisor.DualCore {
-				e.Cores.PostPRStatus()
-			}
-			e.Activate()
-		},
-	})
+				e.submitPRJob(st, slot, bits, cost, attempt+1)
+			})
+			return
+		}
+		e.failPRPermanently(st, slot)
+		return
+	}
+	if rate := e.prCRCRate(); rate > 0 && e.K.RNG().Float64() < rate {
+		// CRC verification failed: the partial is re-streamed.
+		e.Col.PRRetries++
+		e.trace("%v PR CRC retry %v -> slot %d", e.K.Now(), st, slot.ID)
+		e.submitPRJob(st, slot, bits, cost, attempt)
+		return
+	}
+	e.PCAP.RecordLoad(bits, cost, waited)
+	if err := slot.CompleteLoad(); err != nil {
+		panic(err)
+	}
+	st.Loading = false
+	st.LoadedAt = e.K.Now()
+	if e.Trace != nil {
+		e.trace("%v PR done %v -> slot %d (wait %v)", e.K.Now(), st, slot.ID, waited)
+	}
+	if e.Recorder != nil {
+		e.record(trace.Event{Kind: trace.PRDone, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: -1, Wait: waited})
+	}
+	e.beginResident(slot, st)
+	if e.Cores.Model == hypervisor.DualCore {
+		e.Cores.PostPRStatus()
+	}
+	e.Activate()
 }
 
 // PlaceResident makes st resident in slot instantly, bypassing the
@@ -359,7 +466,7 @@ func (e *Engine) EvictStage(st *appmodel.Stage) {
 		e.Col.Preemptions++
 	}
 	e.closeResident(slot)
-	delete(e.slotStage, slot)
+	e.rt(slot).resStage = nil
 	st.Evict()
 	if err := slot.Clear(); err != nil {
 		panic(err)
@@ -383,47 +490,64 @@ func (e *Engine) LaunchItem(st *appmodel.Stage) bool {
 		panic(err)
 	}
 	st.InFlight = true
+	rt := e.rt(slot)
 	idx := st.Done
 	dur := st.ItemTime(idx)
-	if f, ok := e.slowFactor[slot]; ok && f > 1 {
+	if f := rt.slowFactor; f > 1 {
 		// Straggler injection: the region's service rate is degraded.
 		dur = sim.Duration(float64(dur) * f)
 	}
-	res := st.ImplRes()
-	e.launchSeq++
-	tok := e.launchSeq
-	e.launchTok[slot] = tok
-	e.Cores.Sched.SubmitFunc(fmt.Sprintf("launch %v#%d", st, idx), "launch", e.Params.EffectiveLaunch(), func() {
-		if e.launchTok[slot] != tok {
-			// The slot was fault-torn-down (and possibly re-used) while
-			// this launch waited on the scheduler core.
-			return
-		}
-		start := e.K.Now()
-		if !st.App.Started {
-			st.App.FirstStart = start
-		}
-		e.trace("%v exec %v item %d on slot %d (%v)", start, st, idx, slot.ID, dur)
-		e.record(trace.Event{Kind: trace.ExecStart, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
-		e.execEvent[slot] = e.K.Schedule(dur, func() {
-			delete(e.execEvent, slot)
-			if err := slot.CompleteExec(); err != nil {
-				panic(err)
-			}
-			e.Col.AccumulateBusy(res, e.K.Now().Sub(start))
-			st.InFlight = false
-			st.Done++
-			e.record(trace.Event{Kind: trace.ExecDone, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
-			if !st.App.Started {
-				st.App.Started = true
-			}
-			if st.App.State == appmodel.StateReady || st.App.State == appmodel.StateWaiting {
-				st.App.State = appmodel.StateRunning
-			}
-			e.itemDone(st)
-		})
-	})
+	rt.st, rt.idx, rt.dur = st, idx, dur
+	rt.armed = true
+	e.Cores.Sched.SubmitFunc("launch", "launch", e.Params.EffectiveLaunch(), rt.launchFn)
 	return true
+}
+
+// runLaunch is the scheduler-core body of a launch job: the item enters
+// service on the slot's fabric region.
+func (rt *slotRT) runLaunch() {
+	if !rt.armed {
+		// The slot was fault-torn-down (and possibly re-used) while
+		// this launch waited on the scheduler core.
+		return
+	}
+	rt.armed = false
+	e := rt.e
+	st, idx := rt.st, rt.idx
+	rt.start = e.K.Now()
+	if !st.App.Started {
+		st.App.FirstStart = rt.start
+	}
+	if e.Trace != nil {
+		e.trace("%v exec %v item %d on slot %d (%v)", rt.start, st, idx, rt.slot.ID, rt.dur)
+	}
+	if e.Recorder != nil {
+		e.record(trace.Event{Kind: trace.ExecStart, Slot: rt.slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
+	}
+	rt.execEv = e.K.Schedule(rt.dur, rt.execFn)
+}
+
+// runExec fires at item completion.
+func (rt *slotRT) runExec() {
+	e := rt.e
+	st, idx, slot := rt.st, rt.idx, rt.slot
+	rt.execEv = sim.NoEvent
+	if err := slot.CompleteExec(); err != nil {
+		panic(err)
+	}
+	e.Col.AccumulateBusy(st.ImplRes(), e.K.Now().Sub(rt.start))
+	st.InFlight = false
+	st.Done++
+	if e.Recorder != nil {
+		e.record(trace.Event{Kind: trace.ExecDone, Slot: slot.ID, App: st.App.String(), Stage: st.Index, Item: idx})
+	}
+	if !st.App.Started {
+		st.App.Started = true
+	}
+	if st.App.State == appmodel.StateReady || st.App.State == appmodel.StateWaiting {
+		st.App.State = appmodel.StateRunning
+	}
+	e.itemDone(st)
 }
 
 // Pump launches every launchable item of the app. It returns the number
@@ -463,13 +587,17 @@ func (e *Engine) itemDone(st *appmodel.Stage) {
 func (e *Engine) finishApp(a *appmodel.App) {
 	a.State = appmodel.StateFinished
 	a.Finish = e.K.Now()
-	e.trace("%v app %v finished (response %v)", e.K.Now(), a, a.Finish.Sub(a.Arrival))
-	e.record(trace.Event{Kind: trace.AppFinish, Slot: -1, App: a.String(), Stage: -1, Item: -1})
+	if e.Trace != nil {
+		e.trace("%v app %v finished (response %v)", e.K.Now(), a, a.Finish.Sub(a.Arrival))
+	}
+	if e.Recorder != nil {
+		e.record(trace.Event{Kind: trace.AppFinish, Slot: -1, App: a.String(), Stage: -1, Item: -1})
+	}
 	// Release any slots still holding the app's stages.
 	for _, st := range a.Stages {
 		if st.Slot != nil && st.Slot.Free() {
 			e.closeResident(st.Slot)
-			delete(e.slotStage, st.Slot)
+			e.rt(st.Slot).resStage = nil
 			slot := st.Slot
 			st.Evict()
 			if err := slot.Clear(); err != nil {
@@ -552,24 +680,28 @@ func (e *Engine) FullReconfigCost(bits *bitstream.Bitstream) sim.Duration {
 }
 
 func (e *Engine) beginResident(slot *fabric.Slot, st *appmodel.Stage) {
-	e.slotStage[slot] = st
-	e.residentSince[slot] = e.K.Now()
+	rt := e.rt(slot)
+	rt.resStage = st
+	rt.resSince = e.K.Now()
 }
 
+// closeResident accumulates the slot's open residency interval and
+// re-opens it at now; the caller clears resStage when the stage actually
+// leaves the slot.
 func (e *Engine) closeResident(slot *fabric.Slot) {
-	st, ok := e.slotStage[slot]
-	if !ok {
+	rt := e.rt(slot)
+	if rt.resStage == nil {
 		return
 	}
-	since := e.residentSince[slot]
-	e.Col.AccumulateResident(st.ImplRes(), e.K.Now().Sub(since))
-	delete(e.residentSince, slot)
+	e.Col.AccumulateResident(rt.resStage.ImplRes(), e.K.Now().Sub(rt.resSince))
+	rt.resSince = e.K.Now()
 }
 
 func (e *Engine) evictResident(slot *fabric.Slot) {
-	if prev, ok := e.slotStage[slot]; ok {
+	rt := e.rt(slot)
+	if prev := rt.resStage; prev != nil {
 		e.closeResident(slot)
-		delete(e.slotStage, slot)
+		rt.resStage = nil
 		prev.Evict()
 	}
 }
@@ -577,9 +709,10 @@ func (e *Engine) evictResident(slot *fabric.Slot) {
 // FlushResidency closes all open residency intervals (end of run) so
 // utilization integrals are complete.
 func (e *Engine) FlushResidency() {
-	for slot := range e.slotStage {
-		e.closeResident(slot)
-		e.residentSince[slot] = e.K.Now()
+	for i := range e.slots {
+		if e.slots[i].resStage != nil {
+			e.closeResident(e.slots[i].slot)
+		}
 	}
 	e.flushFaults()
 }

@@ -62,17 +62,14 @@ func (e *Engine) SetCheckpointed(v bool) { e.checkpointed = v }
 // items on it take factor times as long (an in-flight item finishes at
 // its original speed — the degradation is observed at launch time).
 func (e *Engine) SetSlotSlowdown(slot *fabric.Slot, factor float64) {
-	if e.slowFactor == nil {
-		e.slowFactor = make(map[*fabric.Slot]float64)
-	}
-	e.slowFactor[slot] = factor
+	e.rt(slot).slowFactor = factor
 	e.Col.RecordFaultEvent()
 	e.trace("%v slot %d straggling (x%.2f)", e.K.Now(), slot.ID, factor)
 }
 
 // ClearSlotSlowdown restores the slot's nominal service rate.
 func (e *Engine) ClearSlotSlowdown(slot *fabric.Slot) {
-	delete(e.slowFactor, slot)
+	e.rt(slot).slowFactor = 0
 	e.trace("%v slot %d service rate restored", e.K.Now(), slot.ID)
 }
 
@@ -104,7 +101,9 @@ func (e *Engine) FailSlot(slot *fabric.Slot) {
 		}
 	}
 	slot.Fail()
-	e.downSince[slot] = e.K.Now()
+	rt := e.rt(slot)
+	rt.down = true
+	rt.downSince = e.K.Now()
 	e.trace("%v slot %d FAILED", e.K.Now(), slot.ID)
 	e.record(trace.Event{Kind: trace.PRRequest, Slot: slot.ID, App: "slot-fail", Stage: -1, Item: -1})
 	if victim != nil && victim.State != appmodel.StateFinished {
@@ -121,9 +120,9 @@ func (e *Engine) RecoverSlot(slot *fabric.Slot) {
 		return
 	}
 	slot.Recover()
-	if since, ok := e.downSince[slot]; ok {
-		e.Col.AccumulateDowntime(e.K.Now().Sub(since))
-		delete(e.downSince, slot)
+	if rt := e.rt(slot); rt.down {
+		e.Col.AccumulateDowntime(e.K.Now().Sub(rt.downSince))
+		rt.down = false
 	}
 	e.trace("%v slot %d recovered", e.K.Now(), slot.ID)
 	e.Activate()
@@ -153,13 +152,14 @@ func (e *Engine) crashApp(a *appmodel.App) {
 			continue
 		}
 		if slot.State() == fabric.SlotBusy {
-			if id, ok := e.execEvent[slot]; ok {
-				e.K.Cancel(id)
-				delete(e.execEvent, slot)
+			rt := e.rt(slot)
+			if rt.execEv != sim.NoEvent {
+				e.K.Cancel(rt.execEv)
+				rt.execEv = sim.NoEvent
 			}
 			// The item's launch may still be queued on the scheduler
-			// core; dropping the token makes its callback a no-op.
-			delete(e.launchTok, slot)
+			// core; disarming makes its callback a no-op.
+			rt.armed = false
 			if err := slot.CompleteExec(); err != nil {
 				panic(err)
 			}
@@ -226,9 +226,10 @@ func (e *Engine) failPRPermanently(st *appmodel.Stage, slot *fabric.Slot) {
 // FlushFaults closes open downtime intervals (end of run) so
 // availability integrals are complete; folded into FlushResidency.
 func (e *Engine) flushFaults() {
-	// Sum-only accumulation: map order does not affect the total.
-	for slot, since := range e.downSince {
-		e.Col.AccumulateDowntime(e.K.Now().Sub(since))
-		e.downSince[slot] = e.K.Now()
+	for i := range e.slots {
+		if rt := &e.slots[i]; rt.down {
+			e.Col.AccumulateDowntime(e.K.Now().Sub(rt.downSince))
+			rt.downSince = e.K.Now()
+		}
 	}
 }

@@ -139,25 +139,33 @@ func gangStarted(a *appmodel.App) bool {
 
 // reuseForUnplaced recycles slots of finished stages into the app's
 // not-yet-placed stages (needed when task count exceeds board slots).
+// The pairing walks both sequences in stage order with a cursor —
+// placing a stage cannot un-finish an earlier one, so no intermediate
+// list is needed.
 func reuseForUnplaced(e *Engine, a *appmodel.App) {
-	var unplaced []*appmodel.Stage
-	for _, st := range a.Stages {
-		if !st.Finished() && st.Slot == nil {
-			unplaced = append(unplaced, st)
-		}
-	}
-	if len(unplaced) == 0 {
+	u := nextUnplacedIdx(a, 0)
+	if u < 0 {
 		return
 	}
 	for _, st := range a.Stages {
-		if len(unplaced) == 0 {
-			break
-		}
 		if st.Finished() && st.Slot != nil && st.Slot.Free() {
 			slot := st.Slot
 			e.EvictStage(st)
-			e.RequestPR(unplaced[0], slot)
-			unplaced = unplaced[1:]
+			e.RequestPR(a.Stages[u], slot)
+			u = nextUnplacedIdx(a, u+1)
+			if u < 0 {
+				return
+			}
 		}
 	}
+}
+
+func nextUnplacedIdx(a *appmodel.App, from int) int {
+	for i := from; i < len(a.Stages); i++ {
+		st := a.Stages[i]
+		if !st.Finished() && st.Slot == nil {
+			return i
+		}
+	}
+	return -1
 }

@@ -33,6 +33,10 @@ type littleSched struct {
 	opt         map[*appmodel.App]int // O_L: ILP-optimal slot count
 	maxUse      map[*appmodel.App]int // top-up ceiling for redistribution
 	lastPreempt sim.Time
+
+	// Per-arrival planning scratch (the plan is consumed synchronously).
+	ev        pipeline.Eval
+	planTimes []sim.Duration
 }
 
 // Nimblock is the state-of-the-art single-core comparator.
@@ -82,13 +86,16 @@ func (l *littleSched) AppArrived(a *appmodel.App) {
 	if max > l.e.Params.MaxSlotsPerApp {
 		max = l.e.Params.MaxSlotsPerApp
 	}
-	l.opt[a] = plan.OptimalSlots(max)
-	l.maxUse[a] = plan.MaxUsefulSlots(max)
+	l.opt[a] = plan.OptimalSlotsIn(&l.ev, max)
+	l.maxUse[a] = plan.MaxUsefulSlotsIn(&l.ev, max)
 	l.waiting = append(l.waiting, a)
 }
 
 func (l *littleSched) planFor(a *appmodel.App) pipeline.Plan {
-	times := make([]sim.Duration, len(a.Stages))
+	if cap(l.planTimes) < len(a.Stages) {
+		l.planTimes = make([]sim.Duration, len(a.Stages))
+	}
+	times := l.planTimes[:len(a.Stages)]
 	for i, st := range a.Stages {
 		times[i] = st.SteadyItemTime()
 	}
@@ -180,7 +187,7 @@ func (l *littleSched) admit() {
 		a.State = appmodel.StateReady
 		l.running = append(l.running, a)
 	}
-	l.waiting = append([]*appmodel.App(nil), kept...)
+	l.waiting = kept
 }
 
 // reservedSlack counts slots already promised to running apps but not
@@ -275,11 +282,11 @@ func (l *littleSched) place() {
 			if st == nil {
 				break
 			}
-			free := e.Board.EmptySlots(l.class.Name)
-			if len(free) == 0 {
+			slot := e.Board.FirstEmpty(l.class.Name)
+			if slot == nil {
 				break
 			}
-			e.RequestPR(st, free[0])
+			e.RequestPR(st, slot)
 		}
 	}
 }

@@ -34,6 +34,13 @@ type VersaSlotBL struct {
 	maxUseL map[*appmodel.App]int // redistribution ceiling
 
 	lastPreempt sim.Time
+
+	// Per-arrival planning scratch (plans are consumed synchronously)
+	// and a rebind-iteration scratch (unbind mutates the bound lists).
+	ev        pipeline.Eval
+	planTimes []sim.Duration
+	planExtra []sim.Duration
+	scratch   []*appmodel.App
 }
 
 var _ Policy = (*VersaSlotBL)(nil)
@@ -74,15 +81,15 @@ func (v *VersaSlotBL) AppArrived(a *appmodel.App) {
 			maxL = e.Params.MaxSlotsPerApp
 		}
 		lp := v.littlePlan(a)
-		v.optL[a] = lp.OptimalSlots(maxL)
-		v.maxUseL[a] = lp.MaxUsefulSlots(maxL)
+		v.optL[a] = lp.OptimalSlotsIn(&v.ev, maxL)
+		v.maxUseL[a] = lp.MaxUsefulSlotsIn(&v.ev, maxL)
 	}
 	if bundle.CanBundleIn(a.Spec, v.big.Cap) {
 		// Big slots are scarce and already contention-optimal, so the
 		// bundle pipeline is sized for throughput: the smallest count
 		// reaching the best makespan the board allows.
 		bp := v.bigPlan(a)
-		v.optB[a] = bp.MaxUsefulSlots(e.Board.Count(v.big.Name))
+		v.optB[a] = bp.MaxUsefulSlotsIn(&v.ev, e.Board.Count(v.big.Name))
 	}
 	v.cwait = append(v.cwait, a)
 }
@@ -97,7 +104,10 @@ func (v *VersaSlotBL) fitsLittle(spec *appmodel.AppSpec) bool {
 }
 
 func (v *VersaSlotBL) littlePlan(a *appmodel.App) pipeline.Plan {
-	times := make([]sim.Duration, len(a.Spec.Tasks))
+	if cap(v.planTimes) < len(a.Spec.Tasks) {
+		v.planTimes = make([]sim.Duration, len(a.Spec.Tasks))
+	}
+	times := v.planTimes[:len(a.Spec.Tasks)]
 	for i, t := range a.Spec.Tasks {
 		times[i] = t.Time
 	}
@@ -109,8 +119,14 @@ func (v *VersaSlotBL) littlePlan(a *appmodel.App) pipeline.Plan {
 func (v *VersaSlotBL) bigPlan(a *appmodel.App) pipeline.Plan {
 	modes := bundle.Modes(a.Spec, a.Batch)
 	n := len(modes)
-	times := make([]sim.Duration, n)
-	extra := make([]sim.Duration, n)
+	if cap(v.planTimes) < n {
+		v.planTimes = make([]sim.Duration, n)
+	}
+	if cap(v.planExtra) < n {
+		v.planExtra = make([]sim.Duration, n)
+	}
+	times := v.planTimes[:n]
+	extra := v.planExtra[:n]
 	for b := 0; b < n; b++ {
 		first, rest := appmodel.BundleTiming(a.Spec, bundle.Size, b, modes[b])
 		times[b] = rest
@@ -166,7 +182,8 @@ func (v *VersaSlotBL) allocate() {
 	// Rebinding: free Big capacity pulls not-yet-started Little-bound
 	// apps back to the waiting list so they can bind to Big slots.
 	if bAvail > 0 {
-		for _, a := range append([]*appmodel.App(nil), v.sLittle...) {
+		v.scratch = append(v.scratch[:0], v.sLittle...)
+		for _, a := range v.scratch {
 			if a.Started || v.optB[a] == 0 {
 				continue
 			}
@@ -206,7 +223,7 @@ func (v *VersaSlotBL) allocate() {
 		}
 		kept = append(kept, a)
 	}
-	v.cwait = append([]*appmodel.App(nil), kept...)
+	v.cwait = kept
 	// Redistribution: leftover Little slots top up bound apps (front of
 	// the runnable queue first) toward their maximum useful counts.
 	for _, a := range v.sLittle {
@@ -357,11 +374,11 @@ func (v *VersaSlotBL) place() {
 			if st == nil {
 				break
 			}
-			free := e.Board.EmptySlots(v.big.Name)
-			if len(free) == 0 {
+			slot := e.Board.FirstEmpty(v.big.Name)
+			if slot == nil {
 				break
 			}
-			e.RequestPR(st, free[0])
+			e.RequestPR(st, slot)
 		}
 	}
 	for _, a := range v.sLittle {
@@ -370,11 +387,11 @@ func (v *VersaSlotBL) place() {
 			if st == nil {
 				break
 			}
-			free := e.Board.EmptySlots(v.little.Name)
-			if len(free) == 0 {
+			slot := e.Board.FirstEmpty(v.little.Name)
+			if slot == nil {
 				break
 			}
-			e.RequestPR(st, free[0])
+			e.RequestPR(st, slot)
 		}
 	}
 }

@@ -14,6 +14,17 @@ type EventID uint64
 // NoEvent is the zero EventID; it never refers to a live event.
 const NoEvent EventID = 0
 
+// Event priority classes. Among events at the same instant, lower
+// priorities run first; within a class, sequence order (FIFO) decides.
+// The classes exist so that equal-instant ordering is identical whether
+// a farm runs on one kernel or sharded across per-pair kernels: workload
+// arrivals fire first, then farm-coordinator control (rebalance ticks,
+// rack-link deliveries, cross-pair fault chains), then board-local work.
+const (
+	PriArrival     int32 = -2
+	PriFarmControl int32 = -1
+)
+
 // Valid reports whether the handle could refer to an event (it may
 // still be stale; ask the kernel's Scheduled for liveness).
 func (id EventID) Valid() bool { return id != 0 }
@@ -97,6 +108,15 @@ func (k *Kernel) SetHorizon(t Time) { k.maxTime = t }
 // programming error and panics: it would violate causality.
 func (k *Kernel) At(t Time, fn func()) EventID {
 	return k.at(t, 0, fn)
+}
+
+// AtP schedules fn at absolute time t with an explicit priority: lower
+// priorities run first among events at the same instant. The farm's
+// sharded executor relies on priority classes (arrivals before farm
+// control before board-local events) so that equal-instant ordering is
+// reproducible across independently advancing kernels.
+func (k *Kernel) AtP(t Time, priority int32, fn func()) EventID {
+	return k.at(t, priority, fn)
 }
 
 // Schedule schedules fn to run d after the current time. Negative d panics.
@@ -249,6 +269,40 @@ func (k *Kernel) RunUntil(t Time) Time {
 	}
 	return k.now
 }
+
+// RunBefore executes every event with a timestamp strictly before t and
+// returns the number executed. Events at exactly t stay queued — the
+// sharded farm executor uses this to advance board-local streams up to
+// (but not through) the next global coordination instant, whose events
+// carry lower priorities and must run first.
+func (k *Kernel) RunBefore(t Time) int {
+	n := 0
+	for {
+		at, ok := k.peek()
+		if !ok || at >= t {
+			return n
+		}
+		k.Step()
+		n++
+	}
+}
+
+// AdvanceTo bumps the clock forward to t without executing anything.
+// It panics if an event earlier than t is still pending (that would
+// skip it, violating causality); events at exactly t may remain queued.
+// A t at or behind the current clock is a no-op.
+func (k *Kernel) AdvanceTo(t Time) {
+	if t <= k.now {
+		return
+	}
+	if at, ok := k.peek(); ok && at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) past pending event at %v", t, at))
+	}
+	k.now = t
+}
+
+// NextAt returns the firing time of the earliest pending event.
+func (k *Kernel) NextAt() (Time, bool) { return k.peek() }
 
 // peek returns the firing time of the next live event, discarding
 // canceled entries off the heap head.

@@ -17,6 +17,12 @@ type Job struct {
 
 	enqueuedAt Time
 	canceled   bool
+	// pooled marks jobs built by SubmitFunc: the server recycles them
+	// once they complete (or are skipped after a Cancel), so steady-state
+	// submission allocates nothing. Pooled handles must not be canceled
+	// after their job completed — the object may already serve a newer
+	// submission.
+	pooled bool
 }
 
 // Cancel marks a queued job so the server skips it. Canceling the job
@@ -43,6 +49,8 @@ type Server struct {
 	queue []*Job
 	head  int // index of the next queued job; queue[:head] is spent
 	stats ServerStats
+	pri   int32  // event priority of completion events (see SetPriority)
+	pool  []*Job // recycled SubmitFunc jobs
 
 	// finishFn is the completion callback scheduled for the job in
 	// service. It is bound once at construction: the server is
@@ -70,6 +78,12 @@ func NewServer(k *Kernel, name string) *Server {
 
 // Name returns the server's identifier.
 func (s *Server) Name() string { return s.name }
+
+// SetPriority sets the kernel priority of the server's completion
+// events: lower priorities run first among events at the same instant.
+// The farm's rack link uses a negative priority so its deliveries order
+// ahead of board-local events in both sequential and sharded execution.
+func (s *Server) SetPriority(p int32) { s.pri = p }
 
 // Busy reports whether the server is currently in service.
 func (s *Server) Busy() bool { return s.busy }
@@ -131,10 +145,40 @@ func (s *Server) Submit(j *Job) {
 }
 
 // SubmitFunc is a convenience wrapper building a Job from its parts.
+// The job object is drawn from the server's recycling pool and returns
+// to it at completion, so steady-state submission allocates nothing;
+// the returned handle is only valid until the job completes.
 func (s *Server) SubmitFunc(name, class string, cost Duration, done func()) *Job {
-	j := &Job{Name: name, Class: class, Cost: cost, Done: done}
+	j := s.getJob()
+	j.Name, j.Class, j.Cost, j.Done = name, class, cost, done
 	s.Submit(j)
 	return j
+}
+
+// SubmitPooled is SubmitFunc with a Start hook, for hot paths that need
+// queueing-wait observation without a per-submission Job allocation.
+func (s *Server) SubmitPooled(name, class string, cost Duration, start func(Duration), done func()) *Job {
+	j := s.getJob()
+	j.Name, j.Class, j.Cost, j.Start, j.Done = name, class, cost, start, done
+	s.Submit(j)
+	return j
+}
+
+func (s *Server) getJob() *Job {
+	if n := len(s.pool); n > 0 {
+		j := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return j
+	}
+	return &Job{pooled: true}
+}
+
+func (s *Server) putJob(j *Job) {
+	if !j.pooled {
+		return
+	}
+	*j = Job{pooled: true}
+	s.pool = append(s.pool, j)
 }
 
 func (s *Server) start(j *Job) {
@@ -149,7 +193,7 @@ func (s *Server) start(j *Job) {
 	if j.Start != nil {
 		j.Start(wait)
 	}
-	s.k.Schedule(j.Cost, s.finishFn)
+	s.k.ScheduleP(j.Cost, s.pri, s.finishFn)
 }
 
 func (s *Server) finish(j *Job) {
@@ -158,8 +202,10 @@ func (s *Server) finish(j *Job) {
 	s.stats.ByClass[j.Class]++
 	s.cur = nil
 	s.busy = false
-	if j.Done != nil {
-		j.Done()
+	done := j.Done
+	s.putJob(j)
+	if done != nil {
+		done()
 	}
 	// The Done callback may have submitted new work already.
 	if !s.busy {
@@ -179,6 +225,7 @@ func (s *Server) dispatchNext() {
 			s.head = 0
 		}
 		if j.canceled {
+			s.putJob(j)
 			continue
 		}
 		s.start(j)

@@ -336,9 +336,13 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 	}
 	var engines []*sched.Engine
 	var pairPlatforms []cluster.PairPlatforms
+	// Sharded runs advance pairs on worker goroutines: the single-writer
+	// trace/recorder sinks are disabled exactly as in parallel sweeps
+	// (observers stay attached — they serialize behind a mutex).
+	diagParallel := parallel || s.Shards > 1
 	for _, pair := range f.Pairs {
 		for _, mode := range clusterModes {
-			r.attachDiagnostics(s.Name, pair.Engine(mode), parallel)
+			r.attachDiagnostics(s.Name, pair.Engine(mode), diagParallel)
 			engines = append(engines, pair.Engine(mode))
 		}
 		pairPlatforms = append(pairPlatforms, pairPlatformsOf(pair))
@@ -353,6 +357,10 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 		Pairs:     f.Pairs,
 		Farm:      f,
 		Quiescent: f.Quiescent,
+		// Fault chains are part of the farm's control plane: at their
+		// priority they land between the same pair events in sharded
+		// and sequential runs.
+		Pri: sim.PriFarmControl,
 	}); err != nil {
 		return nil, err
 	}

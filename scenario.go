@@ -108,6 +108,13 @@ type Scenario struct {
 	// Zero means the default of 2; a gap of 1 is honored but can
 	// ping-pong a single queued app (farm only).
 	RebalanceGap int `json:"rebalance_gap,omitempty"`
+	// Shards, when greater than one, executes the farm on that many
+	// worker goroutines: pairs advance their own event streams,
+	// synchronized at every farm-control instant, with results
+	// byte-identical to the sequential run. Farm topology only; traces
+	// and event recording are disabled like in parallel sweeps.
+	// Incompatible with a non-zero params.pr_failure_rate.
+	Shards int `json:"shards,omitempty"`
 	// ThresholdUp/ThresholdDown override the Schmitt-trigger levels
 	// (cluster/farm; zero means the paper's defaults).
 	ThresholdUp   float64 `json:"threshold_up,omitempty"`
@@ -276,9 +283,15 @@ func (s Scenario) Validate() error {
 	if s.Pairs < 0 {
 		return fmt.Errorf("versaslot: negative pair count %d", s.Pairs)
 	}
-	farmOnly := s.Dispatcher != "" || s.RebalanceEvery != 0 || s.RebalanceGap != 0
+	farmOnly := s.Dispatcher != "" || s.RebalanceEvery != 0 || s.RebalanceGap != 0 || s.Shards != 0
 	if farmOnly && s.Topology != TopologyFarm {
-		return fmt.Errorf("versaslot: dispatcher/rebalance knobs are farm-topology only (topology %q)", s.Topology)
+		return fmt.Errorf("versaslot: dispatcher/rebalance/shards knobs are farm-topology only (topology %q)", s.Topology)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("versaslot: negative shard count %d", s.Shards)
+	}
+	if s.Shards > 1 && s.Params != nil && s.Params.PRFailureRate > 0 {
+		return fmt.Errorf("versaslot: sharded farm execution is incompatible with pr_failure_rate > 0 (CRC re-stream draws would leave the shared kernel stream)")
 	}
 	if s.Dispatcher != "" {
 		if _, ok := cluster.LookupDispatcher(s.Dispatcher); !ok {
@@ -411,6 +424,7 @@ func (s Scenario) farmConfig() cluster.FarmConfig {
 		Dispatcher:     s.Dispatcher,
 		RebalanceEvery: s.RebalanceEvery,
 		RebalanceGap:   s.RebalanceGap,
+		Shards:         s.Shards,
 	}
 }
 
