@@ -22,6 +22,7 @@ import (
 	"versaslot/internal/fabric"
 	"versaslot/internal/fault"
 	"versaslot/internal/hypervisor"
+	"versaslot/internal/metrics"
 	"versaslot/internal/pipeline"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
@@ -412,6 +413,39 @@ func BenchmarkChaosFaults(b *testing.B) {
 		if res.Summary.Apps != sc.Apps {
 			b.Fatalf("finished %d of %d apps", res.Summary.Apps, sc.Apps)
 		}
+	}
+}
+
+// BenchmarkStreamingHorizon prices the bounded-memory metrics pipeline
+// at long horizons: each iteration builds a streaming collector (global
+// sketch + rolling window ring), folds n synthetic response samples
+// through it — cycling the ring through many rollovers — and
+// summarizes. bytes/op is the pipeline's entire per-run allocation, so
+// it must stay flat as n grows 10x (exact mode retains 64+ bytes per
+// sample and would scale linearly); benchgate pins bytes/op and
+// allocs/op tightly at both sizes.
+func BenchmarkStreamingHorizon(b *testing.B) {
+	for _, n := range []int{100000, 1000000} {
+		b.Run(fmt.Sprintf("samples=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := metrics.NewCollector(fabric.ResVec{LUT: 100, FF: 200})
+				c.EnableStreaming(metrics.StreamConfig{Window: 10 * sim.Second, MaxWindows: 64})
+				r := sim.NewRNG(42)
+				for j := 0; j < n; j++ {
+					rt := sim.Duration(1e6 + r.Float64()*8e8)
+					fin := sim.Time(j) * sim.Time(50*sim.Millisecond)
+					c.RecordResponse(metrics.ResponseSample{
+						AppID: j, Spec: "AN", Batch: 4,
+						Arrival: fin - sim.Time(rt), Finish: fin,
+						Response: rt, QueueDelay: rt / 8,
+					})
+				}
+				if s := c.Summarize(); s.Apps != n {
+					b.Fatalf("summarized %d of %d samples", s.Apps, n)
+				}
+			}
+		})
 	}
 }
 

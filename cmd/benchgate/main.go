@@ -1,22 +1,28 @@
 // Command benchgate is the bench-regression gate: it runs the
 // simulation-substrate micro-benchmarks plus the end-to-end stress,
-// chaos-fault and farm-dispatch benchmarks, writes the measured ns/op,
-// B/op and allocs/op to a JSON report, and (given a committed baseline)
-// fails when a benchmark regresses past the tolerance.
+// chaos-fault, farm-dispatch and streaming-metrics benchmarks, writes
+// the measured ns/op, B/op and allocs/op to a JSON report, and (given
+// a committed baseline) fails when a benchmark regresses past the
+// tolerance.
 //
 // Write the committed baseline after an intentional performance change:
 //
-//	go run ./cmd/benchgate -write -out BENCH_6.json
+//	go run ./cmd/benchgate -write -out BENCH_7.json
 //
 // Gate a change against it (what CI runs):
 //
-//	go run ./cmd/benchgate -baseline BENCH_6.json -out /tmp/bench.json
+//	go run ./cmd/benchgate -baseline BENCH_7.json -out /tmp/bench.json
 //
-// Allocation counts are machine-independent and gated tightly (25% +
-// rounding slack — a zero-alloc baseline admits zero allocs). Raw ns/op
-// varies across hosts, so its default tolerance is deliberately loose
-// (4x) — the gate catches order-of-magnitude regressions like an
-// accidental return to per-event heap allocation, not 10% jitter.
+// Allocation counts and heap bytes are machine-independent and gated
+// tightly (25% and 50% + rounding slack — a zero baseline admits
+// exactly zero). The B/op gate is what pins the streaming metrics
+// pipeline's bounded-memory claim: BenchmarkStreamingHorizon allocates
+// the same few hundred KiB whether it folds 100k or 1M samples, and a
+// return to per-sample retention fails the gate at the million-sample
+// size. Raw ns/op varies across hosts, so its default tolerance is
+// deliberately loose (4x) — the gate catches order-of-magnitude
+// regressions like an accidental return to per-event heap allocation,
+// not 10% jitter.
 //
 // On hosts with at least four CPUs the gate additionally requires the
 // 4-shard farm run at pairs=128 to beat its sequential twin by the
@@ -74,6 +80,7 @@ var suites = []struct {
 	{`^BenchmarkFarmDispatch$/^least-loaded$/^pairs=(32|128)$`, "2x"},
 	{`^BenchmarkFarmDispatchHetero$/^least-loaded$/^pairs=32$`, "2x"},
 	{`^BenchmarkFarmDispatchSharded$`, "2x"},
+	{`^BenchmarkStreamingHorizon$`, "2x"},
 }
 
 // shardSpeedupPair names the sharded/sequential twin benches whose
@@ -85,11 +92,12 @@ const (
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_6.json", "path to write the measured report")
+		out      = flag.String("out", "BENCH_7.json", "path to write the measured report")
 		baseline = flag.String("baseline", "", "committed baseline to gate against (empty: no gate)")
 		write    = flag.Bool("write", false, "only write the report (alias for -baseline '')")
 		nsTol    = flag.Float64("ns-tolerance", 4.0, "fail when ns/op exceeds baseline by this factor")
 		allocTol = flag.Float64("allocs-tolerance", 1.25, "fail when allocs/op exceeds baseline by this factor (plus rounding slack)")
+		bytesTol = flag.Float64("bytes-tolerance", 1.5, "fail when B/op exceeds baseline by this factor (plus rounding slack)")
 		speedup  = flag.Float64("shard-speedup", 2.0, "fail when the 4-shard pairs=128 farm run is not this much faster than sequential (skipped below 4 CPUs)")
 		pkg      = flag.String("pkg", ".", "package holding the benchmarks")
 	)
@@ -130,7 +138,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
 		os.Exit(1)
 	}
-	if failures := gate(base, report, *nsTol, *allocTol); len(failures) > 0 {
+	if failures := gate(base, report, *nsTol, *allocTol, *bytesTol); len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", f)
 		}
@@ -230,7 +238,7 @@ func parseBenchOutput(r *bytes.Buffer) ([]Bench, error) {
 // gate compares measured results against the baseline and returns one
 // message per regression. Benchmarks missing from either side fail the
 // gate: a silently dropped benchmark must not pass.
-func gate(base, got Report, nsTol, allocTol float64) []string {
+func gate(base, got Report, nsTol, allocTol, bytesTol float64) []string {
 	var failures []string
 	baseBy := make(map[string]Bench, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
@@ -254,6 +262,15 @@ func gate(base, got Report, nsTol, allocTol float64) []string {
 		if limit := b.AllocsPerOp*allocTol + 0.5; g.AllocsPerOp > limit {
 			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op exceeds baseline %.1f allocs/op x%.2f tolerance",
 				g.Name, g.AllocsPerOp, b.AllocsPerOp, allocTol))
+		}
+		// Heap bytes are machine-independent like allocation counts, so
+		// they gate tightly too — this is what keeps the streaming
+		// pipeline's O(1)-memory claim honest: a change that silently
+		// reverts to per-sample retention blows the B/op budget at the
+		// million-sample horizon long before ns/op notices.
+		if limit := b.BytesPerOp*bytesTol + 0.5; g.BytesPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f B/op exceeds baseline %.0f B/op x%.2f tolerance",
+				g.Name, g.BytesPerOp, b.BytesPerOp, bytesTol))
 		}
 	}
 	for _, b := range base.Benchmarks {

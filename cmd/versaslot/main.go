@@ -15,6 +15,8 @@
 //	          [-dispatcher least-loaded] [-rebalance-every 2s]
 //	          [-rebalance-gap 2] [-shards 4] [-fault slot-fail]
 //	          [-fault-json '{"injectors":[...]}']
+//	          [-stream] [-window 10s] [-max-windows 64]
+//	          [-timeseries-csv windows.csv]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //	          [-dump-scenario file.json] [-v]
 //	versaslot suite [-dir scenarios] [-out report.md] [-apps-cap N]
@@ -37,6 +39,7 @@ import (
 	"versaslot/internal/cluster"
 	"versaslot/internal/fabric"
 	"versaslot/internal/fault"
+	"versaslot/internal/metrics"
 	"versaslot/internal/report"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -65,6 +68,10 @@ func main() {
 	shards := flag.Int("shards", 0, "run a farm's pairs across this many parallel shards (0/1 = sequential)")
 	faultKind := flag.String("fault", "", "attach one fault injector by kind with default parameters, or 'list' to print the registry")
 	faultJSON := flag.String("fault-json", "", "inline fault-spec JSON (overrides -fault)")
+	stream := flag.Bool("stream", false, "use the bounded-memory streaming metrics pipeline (sketch percentiles + windowed time-series)")
+	window := flag.Duration("window", 0, "streaming time-series window length in virtual time (implies -stream; 0 = 10s default)")
+	maxWindows := flag.Int("max-windows", 0, "streaming time-series ring size before rollover (implies -stream; 0 = 64 default)")
+	timeseriesCSV := flag.String("timeseries-csv", "", "write the streaming time-series as CSV to this file (implies -stream)")
 	dump := flag.String("dump-scenario", "", "also write the effective scenario JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -140,6 +147,7 @@ func main() {
 			RebalanceGap:   *rebalanceGap,
 			Shards:         *shards,
 			Faults:         parseFaultFlags(*faultKind, *faultJSON),
+			Metrics:        parseMetricsFlags(*stream, *window, *maxWindows, *timeseriesCSV != ""),
 		}
 		if *platform != "" {
 			sc.Platform = &fabric.PlatformSpec{Ref: *platform}
@@ -222,6 +230,9 @@ func main() {
 	t.AddRow("PR wait total", s.PRWait.String())
 	t.AddRow("preemptions", s.Preemptions)
 	t.AddRow("cache hit/miss", fmt.Sprintf("%d/%d", res.CacheHits, res.CacheMisses))
+	if res.MetricsMode != "" {
+		t.AddRow("metrics mode", res.MetricsMode)
+	}
 	if sc.Faults != nil && sc.Faults.Enabled() {
 		t.AddRow("availability", s.Availability)
 		t.AddRow("downtime", s.Downtime.String())
@@ -252,6 +263,23 @@ func main() {
 				ps.UtilLUT, ps.Switches, ps.MigratedIn, ps.MigratedOut)
 		}
 		pt.Render(os.Stdout)
+	}
+
+	if len(res.TimeSeries) > 0 {
+		ts := report.NewTable(fmt.Sprintf("Streaming time-series (%d windows retained)", len(res.TimeSeries)),
+			"Window", "Start (s)", "Apps", "Mean RT (s)", "P50 (s)", "P99 (s)", "LUT util", "Migrated", "Faults")
+		for _, w := range res.TimeSeries {
+			ts.AddRow(w.Index, w.Start.Seconds(), w.Apps,
+				sim.Time(w.MeanRT).Seconds(), sim.Time(w.P50).Seconds(), sim.Time(w.P99).Seconds(),
+				w.UtilLUT, w.Migrated, w.FaultEvents)
+		}
+		ts.Render(os.Stdout)
+	}
+	if *timeseriesCSV != "" {
+		if err := writeTimeSeriesCSV(*timeseriesCSV, res.TimeSeries); err != nil {
+			fmt.Fprintln(os.Stderr, "versaslot: -timeseries-csv:", err)
+			os.Exit(1)
+		}
 	}
 
 	if sc.Arrival != nil {
@@ -331,6 +359,32 @@ func parseFaultFlags(kind, inline string) *fault.Spec {
 	}
 	inj := faultDefaults[reg.Name]
 	return &fault.Spec{Injectors: []fault.InjectorSpec{inj}}
+}
+
+// parseMetricsFlags builds the scenario's metrics block: nil (the
+// exact default) unless any streaming flag asked for the bounded-
+// memory pipeline. Zero window/ring values stay zero so the library
+// defaults apply.
+func parseMetricsFlags(stream bool, window sim.Duration, maxWindows int, wantCSV bool) *versaslot.MetricsSpec {
+	if !stream && window == 0 && maxWindows == 0 && !wantCSV {
+		return nil
+	}
+	return &versaslot.MetricsSpec{Mode: "stream", Window: window, MaxWindows: maxWindows}
+}
+
+// writeTimeSeriesCSV dumps the streaming time-series windows as CSV,
+// one row per retained window, times in seconds.
+func writeTimeSeriesCSV(path string, ts []metrics.WindowStat) error {
+	var b strings.Builder
+	b.WriteString("window,start_s,end_s,apps,mean_rt_s,p50_s,p99_s,mean_queue_s,util_lut,util_ff,migrated,fault_events,failed_apps\n")
+	for _, w := range ts {
+		fmt.Fprintf(&b, "%d,%.6f,%.6f,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+			w.Index, w.Start.Seconds(), w.End.Seconds(), w.Apps,
+			sim.Time(w.MeanRT).Seconds(), sim.Time(w.P50).Seconds(), sim.Time(w.P99).Seconds(),
+			sim.Time(w.MeanQueue).Seconds(), w.UtilLUT, w.UtilFF,
+			w.Migrated, w.FaultEvents, w.FailedApps)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // parseArrivalFlags builds the scenario's arrival block from the

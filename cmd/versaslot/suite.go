@@ -115,8 +115,8 @@ func capApps(sc *versaslot.Scenario, limit int) error {
 func writeSuiteReport(w io.Writer, dir string, scenarios []versaslot.Scenario, results []*versaslot.Result) {
 	fmt.Fprintf(w, "# VersaSlot scenario suite\n\n")
 	fmt.Fprintf(w, "%d scenarios from `%s/`.\n\n", len(results), filepath.ToSlash(filepath.Clean(dir)))
-	fmt.Fprintln(w, "| Scenario | Topology | Platforms | Arrival | Apps | Mean RT (s) | P50 (s) | P99 (s) | LUT util | DSP util | Switches | Migrated | Requeued | Avail | Failed |")
-	fmt.Fprintln(w, "|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+	fmt.Fprintln(w, "| Scenario | Topology | Platforms | Arrival | Apps | Mean RT (s) | P50 (s) | P99 (s) | LUT util | DSP util | Switches | Migrated | Requeued | Avail | Failed | Metrics | Windows |")
+	fmt.Fprintln(w, "|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|---:|")
 	for i, res := range results {
 		s := res.Summary
 		migrated := res.MigratedApps + res.CrossMigratedApps
@@ -131,10 +131,17 @@ func writeSuiteReport(w io.Writer, dir string, scenarios []versaslot.Scenario, r
 			avail = fmt.Sprintf("%.4f", s.Availability)
 			failed = fmt.Sprintf("%d", s.FailedApps)
 		}
-		fmt.Fprintf(w, "| %s | %s | %s | %s | %d | %.3f | %.3f | %.3f | %.1f%% | %.1f%% | %d | %d | %d | %s | %s |\n",
+		// Metrics columns stay "-"/exact for the default pipeline so
+		// existing rows are untouched by the streaming additions.
+		mode, windows := "exact", "-"
+		if res.MetricsMode != "" {
+			mode = res.MetricsMode
+			windows = fmt.Sprintf("%d", len(res.TimeSeries))
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %d | %.3f | %.3f | %.3f | %.1f%% | %.1f%% | %d | %d | %d | %s | %s | %s | %s |\n",
 			res.Scenario, res.Topology, platformLabel(res), arrivalLabel(scenarios[i]), s.Apps,
 			sim.Time(s.MeanRT).Seconds(), sim.Time(s.P50).Seconds(), sim.Time(s.P99).Seconds(),
-			s.UtilLUT*100, s.UtilDSP*100, res.Switches, migrated, requeued, avail, failed)
+			s.UtilLUT*100, s.UtilDSP*100, res.Switches, migrated, requeued, avail, failed, mode, windows)
 	}
 }
 

@@ -439,6 +439,9 @@ type Summary struct {
 }
 
 func (c *Cluster) summarize() Summary {
+	if c.Streaming() {
+		return c.summarizeStream()
+	}
 	var samples []metrics.ResponseSample
 	for _, mode := range pairModes {
 		samples = append(samples, c.engines[mode].Col.Responses...)
@@ -451,6 +454,39 @@ func (c *Cluster) summarize() Summary {
 		s.P50 = sim.Duration(p50)
 		s.P95 = sim.Duration(p95)
 		s.P99 = sim.Duration(p99)
+	}
+	var total sim.Duration
+	for _, m := range c.Migrations {
+		total += m.Duration
+		s.MigratedApps += m.Apps
+	}
+	if len(c.Migrations) > 0 {
+		s.MeanSwitchTime = total / sim.Duration(len(c.Migrations))
+	}
+	return s
+}
+
+// Streaming reports whether the pair's collectors run in stream mode
+// (samples folded into sketches on arrival, never retained).
+func (c *Cluster) Streaming() bool {
+	return c.engines[pairModes[0]].Col.Streaming()
+}
+
+// summarizeStream is summarize's stream-mode twin: the pair's
+// response-time distribution comes from merging both boards' sketches
+// — bucket counts add exactly, so the merged percentiles match what a
+// shared collector would have sketched.
+func (c *Cluster) summarizeStream() Summary {
+	g := metrics.NewSketch(metrics.GlobalSketchBits)
+	for _, mode := range pairModes {
+		g.Merge(c.engines[mode].Col.GlobalSketch())
+	}
+	s := Summary{Apps: int(g.Count()), Switches: len(c.Migrations), Trace: c.Trace}
+	if g.Count() > 0 {
+		s.MeanRT = sim.Duration(g.Mean())
+		s.P50 = sim.Duration(g.Quantile(50))
+		s.P95 = sim.Duration(g.Quantile(95))
+		s.P99 = sim.Duration(g.Quantile(99))
 	}
 	var total sim.Duration
 	for _, m := range c.Migrations {

@@ -706,6 +706,9 @@ func (f *Farm) Run() Summary {
 	} else {
 		f.K.Run()
 	}
+	if len(f.Pairs) > 0 && f.Pairs[0].Streaming() {
+		return f.summarizeStream()
+	}
 	var samples []metrics.ResponseSample
 	var scratch []float64 // one percentile buffer reused across pairs
 	s := Summary{}
@@ -778,6 +781,78 @@ func (f *Farm) Run() Summary {
 	return s
 }
 
+// summarizeStream is Run's stream-mode merge: no sample buffer ever
+// exists. Each pair's two board sketches merge into a reusable pair
+// sketch (its mean/P50 feed the PairStat), and pair sketches merge
+// into the fleet sketch for the farm-wide percentiles — the exact
+// associativity of bucket-count addition is what makes this identical
+// whether pairs ran sequentially or sharded.
+func (f *Farm) summarizeStream() Summary {
+	s := Summary{}
+	fleet := metrics.NewSketch(metrics.GlobalSketchBits)
+	pair := metrics.NewSketch(metrics.GlobalSketchBits)
+	for i, p := range f.Pairs {
+		pair.Reset()
+		var utilLUT, utilFF, weight float64
+		for _, mode := range pairModes {
+			e := p.Engine(mode)
+			e.FlushResidency()
+			e.CheckQuiescent()
+			g := e.Col.GlobalSketch()
+			pair.Merge(g)
+			lut, ff := e.Col.Utilization()
+			apps := float64(g.Count())
+			utilLUT += lut * apps
+			utilFF += ff * apps
+			weight += apps
+		}
+		fleet.Merge(pair)
+		ps := PairStat{
+			Pair:        i,
+			Routed:      f.routed[i],
+			Apps:        int(pair.Count()),
+			Switches:    len(p.Migrations),
+			MigratedIn:  f.crossIn[i],
+			MigratedOut: f.crossOut[i],
+			Requeued:    f.requeued[i],
+		}
+		if pair.Count() > 0 {
+			ps.MeanRT = sim.Duration(pair.Mean())
+			ps.P50 = sim.Duration(pair.Quantile(50))
+		}
+		if weight > 0 {
+			ps.UtilLUT = utilLUT / weight
+			ps.UtilFF = utilFF / weight
+		}
+		s.PairStats = append(s.PairStats, ps)
+		s.Switches += len(p.Migrations)
+		for _, m := range p.Migrations {
+			s.MigratedApps += m.Apps
+			s.MeanSwitchTime += m.Duration
+		}
+		s.Trace = append(s.Trace, p.Trace...)
+	}
+	s.Apps = int(fleet.Count())
+	if fleet.Count() > 0 {
+		s.MeanRT = sim.Duration(fleet.Mean())
+		s.P50 = sim.Duration(fleet.Quantile(50))
+		s.P95 = sim.Duration(fleet.Quantile(95))
+		s.P99 = sim.Duration(fleet.Quantile(99))
+	}
+	if s.Switches > 0 {
+		s.MeanSwitchTime /= sim.Duration(s.Switches)
+	}
+	s.CrossSwitches = len(f.CrossMigrations)
+	for _, m := range f.CrossMigrations {
+		s.CrossMigratedApps += m.Apps
+		s.MeanCrossTime += m.Duration
+	}
+	if s.CrossSwitches > 0 {
+		s.MeanCrossTime /= sim.Duration(s.CrossSwitches)
+	}
+	return s
+}
+
 // runSharded executes the farm with one goroutine per shard, each
 // advancing a contiguous block of pair kernels, synchronized at every
 // farm-control instant so the merged run is byte-identical to the
@@ -820,9 +895,12 @@ func (f *Farm) runSharded() {
 						k.Run()
 					}
 				} else {
+					// NextAt is a heap-top peek, so idle kernels cost
+					// two loads; clocks advance on the coordinator.
 					for _, k := range ks {
-						k.RunBefore(t)
-						k.AdvanceTo(t)
+						if next, ok := k.NextAt(); ok && next < t {
+							k.RunBefore(t)
+						}
 					}
 				}
 				wg.Done()
@@ -836,12 +914,47 @@ func (f *Farm) runSharded() {
 		}
 		wg.Wait()
 	}
+	// Most epochs are one dispatched arrival: a single pair kernel has
+	// events before T while the other N-1 idle. Waking every worker for
+	// that epoch costs ~2*shards futex round-trips — at fleet scale the
+	// wake/sleep overhead used to swallow the entire parallel gain
+	// (BENCH_6's flat 1,024-pair scaling). The coordinator therefore
+	// peeks all pair kernels first (cheap heap-top reads, aborting the
+	// scan once the count exceeds the threshold): an epoch with at most
+	// inlineMax event-bearing kernels runs them inline with no barrier
+	// at all, and the persistent workers are only woken for genuinely
+	// parallel epochs (bursts, rebalance fan-out, the final drain).
+	// Per-kernel event order is untouched either way, so the merged run
+	// stays byte-identical to the sequential one.
+	const inlineMax = 2
+	active := make([]*sim.Kernel, 0, inlineMax+1)
 	for {
 		t, ok := f.K.NextAt()
 		if !ok {
 			break
 		}
-		phase(t)
+		active = active[:0]
+		for _, k := range f.pairK {
+			if next, ok := k.NextAt(); ok && next < t {
+				active = append(active, k)
+				if len(active) > inlineMax {
+					break
+				}
+			}
+		}
+		if len(active) > inlineMax {
+			phase(t)
+		} else {
+			for _, k := range active {
+				k.RunBefore(t)
+			}
+		}
+		// Control events at T may stamp any pair's clock (injection,
+		// fault ops), so every kernel reaches T before the drain —
+		// exactly the clock state the worker phase used to leave.
+		for _, k := range f.pairK {
+			k.AdvanceTo(t)
+		}
 		for {
 			f.K.Step()
 			if next, ok := f.K.NextAt(); !ok || next > t {

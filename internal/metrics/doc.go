@@ -7,4 +7,47 @@
 // Summarize reuses a scratch buffer per Collector, so warm summaries
 // allocate nothing; multi-board runs pool per-board samples through
 // the same helpers to keep merged output deterministic.
+//
+// # Metrics modes
+//
+// A Collector runs in one of two modes:
+//
+//   - exact (the default): every ResponseSample is retained in
+//     Responses and percentiles are computed over the sorted samples.
+//     Memory grows linearly with the horizon, output is byte-identical
+//     to every release since the seed — golden files pin it.
+//
+//   - stream (EnableStreaming): no sample is retained. Observations
+//     fold into an HDR-style log-linear Sketch plus a fixed ring of
+//     per-window sketches, so memory is O(1) in the number of
+//     applications and a million-app horizon costs the same few
+//     hundred KiB as a ten-thousand-app one.
+//
+// # Streaming invariants
+//
+// Exactness: Count, Sum (hence MeanRT), Min, Max, MeanQueue, the
+// utilization integrals, and every counter (PR, preemption, migration,
+// fault) are tracked exactly in stream mode — they match the exact
+// pipeline bit for bit.
+//
+// Accuracy: only percentiles are approximate. A value lands in a
+// bucket whose width is at most 2^-bits of its magnitude, so any
+// quantile estimate is within a relative value error of 2^-7 ≈ 0.78%
+// for the run-level sketch (GlobalSketchBits) and 2^-5 ≈ 3.1% for the
+// per-window sketches (WindowSketchBits); rank error at P50/P95/P99
+// is under 1% on realistic distributions (pinned by TestSketchRankError
+// across uniform, exponential, bimodal, and MMPP-bursty inputs).
+//
+// Determinism: bucket counts are integers and merging adds them, so
+// Merge is exactly associative and commutative — per-board and
+// per-shard sketches fold into a fleet sketch in any grouping with
+// byte-identical results. Stream-mode runs are byte-identical
+// sequential vs RunMany vs the sharded farm executor.
+//
+// Rollover: the window ring keeps the newest MaxWindows windows.
+// When the horizon advances past the ring, the oldest slot is reset
+// in place (its sketch storage is recycled, so warm ingest allocates
+// nothing) and samples older than the retained span fold into the
+// run-level sketch only. Windows() returns at most MaxWindows entries
+// regardless of horizon length.
 package metrics

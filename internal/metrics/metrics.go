@@ -76,6 +76,13 @@ type Collector struct {
 	// response times into it instead of allocating a copy per call
 	// (farm summaries recompute per pair and per board).
 	scratch []float64
+
+	// sink, when non-nil, consumes samples instead of the Responses
+	// slice; stream, when non-nil, is the bounded-memory stream sink
+	// installed by EnableStreaming. A nil sink is the historic exact
+	// mode, byte-identical to pre-streaming output.
+	sink   Sink
+	stream *streamState
 }
 
 // NewCollector returns an empty collector; cap is the board's total
@@ -152,12 +159,18 @@ func (c *Collector) availability() float64 {
 	return a
 }
 
-// RecordResponse adds one finished application.
+// RecordResponse adds one finished application: retained in
+// Responses in exact mode (nil sink), folded into the active sink
+// otherwise.
 func (c *Collector) RecordResponse(s ResponseSample) {
-	c.Responses = append(c.Responses, s)
 	if s.Finish > c.end {
 		c.end = s.Finish
 	}
+	if c.sink != nil {
+		c.sink.Observe(s)
+		return
+	}
+	c.Responses = append(c.Responses, s)
 }
 
 // AccumulateResident adds a resident-circuit interval: res held for dt.
@@ -268,6 +281,9 @@ func (c *Collector) Summarize() Summary {
 		s.FailedApps = c.FailedApps
 		s.RetriedApps = len(c.faultRetried)
 	}
+	if c.stream != nil {
+		return c.streamSummary(s)
+	}
 	if len(c.Responses) == 0 {
 		return s
 	}
@@ -325,8 +341,11 @@ type SpecBreakdown struct {
 }
 
 // BySpec groups the collector's responses by application spec, sorted
-// by spec name.
+// by spec name. In stream mode the aggregates were folded on arrival.
 func (c *Collector) BySpec() []SpecBreakdown {
+	if c.stream != nil {
+		return c.streamBySpec()
+	}
 	agg := make(map[string]*SpecBreakdown)
 	for _, r := range c.Responses {
 		b, ok := agg[r.Spec]

@@ -265,6 +265,7 @@ func (e *Engine) InjectNow(a *appmodel.App) {
 // The app keeps its original arrival time, so migration latency counts
 // against its response time.
 func (e *Engine) InjectMigrated(a *appmodel.App) {
+	e.Col.RecordMigrationWindow(e.K.Now(), 1)
 	e.Apps = append(e.Apps, a)
 	e.Active = append(e.Active, a)
 	e.policy.AcceptMigrated([]*appmodel.App{a})
@@ -693,7 +694,7 @@ func (e *Engine) closeResident(slot *fabric.Slot) {
 	if rt.resStage == nil {
 		return
 	}
-	e.Col.AccumulateResident(rt.resStage.ImplRes(), e.K.Now().Sub(rt.resSince))
+	e.Col.AccumulateResidentSpan(rt.resStage.ImplRes(), rt.resSince, e.K.Now())
 	rt.resSince = e.K.Now()
 }
 

@@ -63,7 +63,7 @@ func (e *Engine) SetCheckpointed(v bool) { e.checkpointed = v }
 // its original speed — the degradation is observed at launch time).
 func (e *Engine) SetSlotSlowdown(slot *fabric.Slot, factor float64) {
 	e.rt(slot).slowFactor = factor
-	e.Col.RecordFaultEvent()
+	e.Col.RecordFaultEventAt(e.K.Now())
 	e.trace("%v slot %d straggling (x%.2f)", e.K.Now(), slot.ID, factor)
 }
 
@@ -82,7 +82,7 @@ func (e *Engine) FailSlot(slot *fabric.Slot) {
 	if slot.Failed() {
 		return
 	}
-	e.Col.RecordFaultEvent()
+	e.Col.RecordFaultEventAt(e.K.Now())
 	// The victim is the app whose stage still claims the slot. The
 	// attachment check matters: a crash earlier in the same board
 	// outage may have detached the stage (ResetStages) while leaving it
@@ -136,7 +136,7 @@ func (e *Engine) RecoverSlot(slot *fabric.Slot) {
 // hook lets the cluster layer re-home apps crashed on a frozen
 // (draining) board, which could otherwise never restart them.
 func (e *Engine) crashApp(a *appmodel.App) {
-	e.Col.RecordAppFailure()
+	e.Col.RecordAppFailureAt(e.K.Now())
 	e.trace("%v app %v crash-restart", e.K.Now(), a)
 	e.record(trace.Event{Kind: trace.AppArrive, Slot: -1, App: a.String() + " crash-restart", Stage: -1, Item: -1})
 	for _, st := range a.Stages {

@@ -76,6 +76,15 @@ type Result struct {
 	CrossMigrations   int          `json:"cross_migrations,omitempty"`
 	CrossMigratedApps int          `json:"cross_migrated_apps,omitempty"`
 	MeanCrossTime     sim.Duration `json:"mean_cross_time,omitempty"`
+
+	// MetricsMode records the metrics pipeline the run used: empty for
+	// the exact default, "stream" for the bounded-memory sketch mode.
+	MetricsMode string `json:"metrics_mode,omitempty"`
+	// TimeSeries is the streaming windowed time-series (stream mode
+	// only): per-window mean RT, P50/P99, utilization, and migration/
+	// fault-event counts over the most recent max_windows windows,
+	// merged across every board of the run.
+	TimeSeries []metrics.WindowStat `json:"time_series,omitempty"`
 }
 
 // MeanRT is a convenience accessor for Summary.MeanRT.
@@ -129,6 +138,10 @@ func pooledPercentile(samples []metrics.ResponseSample, p float64) sim.Duration 
 // pooled samples, utilizations weighted by per-board completed apps.
 // Engines must be passed in a fixed order so output is deterministic.
 func (r *Result) fillFromEngines(engines []*sched.Engine) {
+	if len(engines) > 0 && engines[0].Col.Streaming() {
+		r.fillFromStream(engines)
+		return
+	}
 	var pooled []metrics.ResponseSample
 	var utilLUT, utilFF, utilDSP, utilBRAM, weight float64
 	var downSum sim.Duration
@@ -208,5 +221,70 @@ func (r *Result) fillFromEngines(engines []*sched.Engine) {
 	}
 	agg := metrics.NewCollector(fabric.ResVec{})
 	agg.Responses = pooled
+	r.BySpec = agg.BySpec()
+}
+
+// fillFromStream is fillFromEngines' stream-mode twin: no sample ever
+// leaves its engine. Counters and the fault axis merge exactly as in
+// exact mode; the response-time distribution, per-spec aggregates and
+// windowed time-series come from folding every engine's sketches into
+// one aggregate collector (bucket counts add exactly, so the merged
+// percentiles are independent of engine grouping); fleet utilization
+// is the summed resource-time integrals over the summed capacities.
+func (r *Result) fillFromStream(engines []*sched.Engine) {
+	agg := metrics.NewCollector(fabric.ResVec{})
+	var downSum sim.Duration
+	var slotSpan float64
+	faultsOn := false
+	for _, e := range engines {
+		s := e.Col.Summarize()
+		r.Summary.PRLoads += s.PRLoads
+		r.Summary.PRBlocked += s.PRBlocked
+		r.Summary.PRRetries += s.PRRetries
+		r.Summary.PRWait += s.PRWait
+		r.Summary.Preemptions += s.Preemptions
+		r.Summary.Migrations += s.Migrations
+		if down, span, events, failed, retried, on := e.Col.FaultStats(); on {
+			faultsOn = true
+			downSum += down
+			slotSpan += span
+			r.Summary.FaultEvents += events
+			r.Summary.FailedApps += failed
+			r.Summary.RetriedApps += retried
+		}
+		agg.AbsorbStream(e.Col)
+		hits, misses := e.Cache.Stats()
+		r.CacheHits += hits
+		r.CacheMisses += misses
+		r.LaunchWait += e.Cores.Sched.Stats().WaitByName["launch"]
+	}
+	s := agg.Summarize()
+	r.Summary.Apps = s.Apps
+	r.Summary.MeanRT = s.MeanRT
+	r.Summary.P50 = s.P50
+	r.Summary.P95 = s.P95
+	r.Summary.P99 = s.P99
+	r.Summary.MinRT = s.MinRT
+	r.Summary.MaxRT = s.MaxRT
+	r.Summary.MeanQueue = s.MeanQueue
+	r.Summary.UtilLUT = s.UtilLUT
+	r.Summary.UtilFF = s.UtilFF
+	r.Summary.UtilDSP = s.UtilDSP
+	r.Summary.UtilBRAM = s.UtilBRAM
+	if faultsOn {
+		r.Summary.Downtime = downSum
+		r.Summary.Availability = 1
+		if slotSpan > 0 {
+			a := 1 - downSum.Seconds()/slotSpan
+			if a < 0 {
+				a = 0
+			}
+			r.Summary.Availability = a
+		}
+	}
+	if end := agg.EndTime(); end > r.Makespan {
+		r.Makespan = end
+	}
+	r.TimeSeries = agg.Windows()
 	r.BySpec = agg.BySpec()
 }

@@ -228,6 +228,9 @@ func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*
 			return nil, err
 		}
 	}
+	if cfg, on := s.streamConfig(); on {
+		sys.Engine.Col.EnableStreaming(cfg)
+	}
 	r.attachDiagnostics(s.Name, sys.Engine, parallel)
 	apps, err := seq.Instantiate(0)
 	if err != nil {
@@ -272,6 +275,13 @@ func (r *Runner) runSingle(s Scenario, seq *workload.Sequence, parallel bool) (*
 			out.Makespan = sample.Finish
 		}
 	}
+	if sys.Engine.Col.Streaming() {
+		out.MetricsMode = "stream"
+		out.TimeSeries = sys.Engine.Col.Windows()
+		if end := sys.Engine.Col.EndTime(); end > out.Makespan {
+			out.Makespan = end
+		}
+	}
 	return out, nil
 }
 
@@ -291,6 +301,11 @@ func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (
 	cl, err := cluster.NewCluster(s.clusterConfig())
 	if err != nil {
 		return nil, fmt.Errorf("versaslot: %w", err)
+	}
+	if cfg, on := s.streamConfig(); on {
+		for _, mode := range clusterModes {
+			cl.Engine(mode).Col.EnableStreaming(cfg)
+		}
 	}
 	for _, mode := range clusterModes {
 		r.attachDiagnostics(s.Name, cl.Engine(mode), parallel)
@@ -325,6 +340,9 @@ func (r *Runner) runCluster(s Scenario, seq *workload.Sequence, parallel bool) (
 		MigratedApps:   sum.MigratedApps,
 		SwitchTrace:    sum.Trace,
 	}
+	if cl.Streaming() {
+		out.MetricsMode = "stream"
+	}
 	out.fillFromEngines(clEngines)
 	return out, nil
 }
@@ -340,8 +358,12 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 	// trace/recorder sinks are disabled exactly as in parallel sweeps
 	// (observers stay attached — they serialize behind a mutex).
 	diagParallel := parallel || s.Shards > 1
+	streamCfg, streaming := s.streamConfig()
 	for _, pair := range f.Pairs {
 		for _, mode := range clusterModes {
+			if streaming {
+				pair.Engine(mode).Col.EnableStreaming(streamCfg)
+			}
 			r.attachDiagnostics(s.Name, pair.Engine(mode), diagParallel)
 			engines = append(engines, pair.Engine(mode))
 		}
@@ -383,6 +405,9 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 		CrossMigrations:   sum.CrossSwitches,
 		CrossMigratedApps: sum.CrossMigratedApps,
 		MeanCrossTime:     sum.MeanCrossTime,
+	}
+	if streaming {
+		out.MetricsMode = "stream"
 	}
 	out.fillFromEngines(engines)
 	return out, nil

@@ -10,6 +10,7 @@ import (
 	"versaslot/internal/cluster"
 	"versaslot/internal/fabric"
 	"versaslot/internal/fault"
+	"versaslot/internal/metrics"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -130,6 +131,25 @@ type Scenario struct {
 	// stays byte-identical to a fault-free build. See FaultInjectors()
 	// for the registry.
 	Faults *fault.Spec `json:"faults,omitempty"`
+	// Metrics selects the metrics pipeline. Nil (or mode "exact")
+	// retains every per-app sample — the historic default, byte-
+	// identical output. Mode "stream" folds samples into bounded-memory
+	// percentile sketches on arrival and adds a windowed time-series to
+	// the result, so memory stays flat over arbitrarily long horizons.
+	Metrics *MetricsSpec `json:"metrics,omitempty"`
+}
+
+// MetricsSpec configures the streaming metrics mode.
+type MetricsSpec struct {
+	// Mode is "exact" (default) or "stream".
+	Mode string `json:"mode"`
+	// Window is the time-series bucket width in nanoseconds (stream
+	// mode; default 10 simulated seconds).
+	Window sim.Duration `json:"window,omitempty"`
+	// MaxWindows bounds the retained time-series ring (stream mode;
+	// default 64). Older windows roll off; their samples remain in the
+	// run-level sketch.
+	MaxWindows int `json:"max_windows,omitempty"`
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -310,7 +330,39 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("versaslot: %w", err)
 		}
 	}
+	if s.Metrics != nil {
+		switch s.Metrics.Mode {
+		case "", "exact":
+			if s.Metrics.Window != 0 || s.Metrics.MaxWindows != 0 {
+				return fmt.Errorf("versaslot: metrics window/max_windows require mode \"stream\"")
+			}
+		case "stream":
+			if s.Metrics.Window < 0 {
+				return fmt.Errorf("versaslot: negative metrics window %v", s.Metrics.Window)
+			}
+			if s.Metrics.MaxWindows < 0 {
+				return fmt.Errorf("versaslot: negative metrics max_windows %d", s.Metrics.MaxWindows)
+			}
+			if s.Metrics.MaxWindows > 1<<16 {
+				return fmt.Errorf("versaslot: metrics max_windows %d exceeds the %d ring cap", s.Metrics.MaxWindows, 1<<16)
+			}
+		default:
+			return fmt.Errorf("versaslot: unknown metrics mode %q (want exact|stream)", s.Metrics.Mode)
+		}
+	}
 	return nil
+}
+
+// streamConfig returns the stream-sink configuration and whether
+// stream mode is enabled.
+func (s Scenario) streamConfig() (metrics.StreamConfig, bool) {
+	if s.Metrics == nil || s.Metrics.Mode != "stream" {
+		return metrics.StreamConfig{}, false
+	}
+	return metrics.StreamConfig{
+		Window:     s.Metrics.Window,
+		MaxWindows: s.Metrics.MaxWindows,
+	}, true
 }
 
 // workloadKey identifies scenarios whose generated sequences are
