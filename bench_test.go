@@ -23,6 +23,7 @@ import (
 	"versaslot/internal/fault"
 	"versaslot/internal/hypervisor"
 	"versaslot/internal/metrics"
+	"versaslot/internal/orchestrator"
 	"versaslot/internal/pipeline"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
@@ -413,6 +414,39 @@ func BenchmarkChaosFaults(b *testing.B) {
 		if res.Summary.Apps != sc.Apps {
 			b.Fatalf("finished %d of %d apps", res.Summary.Apps, sc.Apps)
 		}
+	}
+}
+
+// BenchmarkAutoscaleChurn prices the fleet control plane under churn:
+// two quota'd tenants submit MMPP bursts through admission while the
+// autoscaler rides the load signal through repeated scale-up / drain
+// cycles on a 1..4-pair farm. Each iteration is one full orchestrated
+// run — admission decisions, pump releases, activation latencies, and
+// drain migrations all on the coordinator kernel. Paired with
+// BenchmarkEndToEndStress it bounds the orchestrator's overhead;
+// benchgate pins it via BENCH_8.json.
+func BenchmarkAutoscaleChurn(b *testing.B) {
+	mmpp := &workload.ArrivalSpec{Process: "mmpp"}
+	sc := versaslot.Scenario{
+		Topology: versaslot.TopologyFarm, Condition: "stress", Pairs: 1, Seed: 31,
+		Tenants: []orchestrator.TenantSpec{
+			{Name: "batch", Apps: 40, Quota: 6, Priority: 5, Arrival: mmpp},
+			{Name: "interactive", Apps: 20, Quota: 4, Priority: 1, SLO: 6 * sim.Second, Arrival: mmpp},
+		},
+		Autoscale: &orchestrator.AutoscaleSpec{
+			Min: 1, Max: 4, Every: 500 * sim.Millisecond, Window: 2,
+			UpLatency: 500 * sim.Millisecond, UpLoad: 4, DownLoad: 1,
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := versaslot.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Autoscale == nil || res.Autoscale.ScaleUps == 0 {
+			b.Fatal("the churn bench did not scale up: the load signal never crossed the up threshold")
+		}
+		b.ReportMetric(float64(res.Autoscale.ScaleUps+res.Autoscale.ScaleDowns), "scaleOps")
 	}
 }
 

@@ -1,17 +1,18 @@
 // Command benchgate is the bench-regression gate: it runs the
 // simulation-substrate micro-benchmarks plus the end-to-end stress,
-// chaos-fault, farm-dispatch and streaming-metrics benchmarks, writes
+// chaos-fault, farm-dispatch, streaming-metrics and autoscale-churn
+// benchmarks, writes
 // the measured ns/op, B/op and allocs/op to a JSON report, and (given
 // a committed baseline) fails when a benchmark regresses past the
 // tolerance.
 //
 // Write the committed baseline after an intentional performance change:
 //
-//	go run ./cmd/benchgate -write -out BENCH_7.json
+//	go run ./cmd/benchgate -write -out BENCH_8.json
 //
 // Gate a change against it (what CI runs):
 //
-//	go run ./cmd/benchgate -baseline BENCH_7.json -out /tmp/bench.json
+//	go run ./cmd/benchgate -baseline BENCH_8.json -out /tmp/bench.json
 //
 // Allocation counts and heap bytes are machine-independent and gated
 // tightly (25% and 50% + rounding slack — a zero baseline admits
@@ -69,7 +70,9 @@ const schema = "versaslot-bench/v1"
 // dispatch; the sharded benches pin the parallel executor against its
 // sequential twin at fleet scale (128 and 1,024 pairs); the chaos
 // bench pins the fault-injection path (fail/recover chains,
-// crash-restart teardown, PR retries) against its fault-free twin.
+// crash-restart teardown, PR retries) against its fault-free twin; the
+// autoscale-churn bench pins the fleet control plane (tenant
+// admission, quota pump, scale-up/drain cycles).
 var suites = []struct {
 	bench     string
 	benchtime string
@@ -81,6 +84,7 @@ var suites = []struct {
 	{`^BenchmarkFarmDispatchHetero$/^least-loaded$/^pairs=32$`, "2x"},
 	{`^BenchmarkFarmDispatchSharded$`, "2x"},
 	{`^BenchmarkStreamingHorizon$`, "2x"},
+	{`^BenchmarkAutoscaleChurn$`, "4x"},
 }
 
 // shardSpeedupPair names the sharded/sequential twin benches whose
@@ -92,7 +96,7 @@ const (
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_7.json", "path to write the measured report")
+		out      = flag.String("out", "BENCH_8.json", "path to write the measured report")
 		baseline = flag.String("baseline", "", "committed baseline to gate against (empty: no gate)")
 		write    = flag.Bool("write", false, "only write the report (alias for -baseline '')")
 		nsTol    = flag.Float64("ns-tolerance", 4.0, "fail when ns/op exceeds baseline by this factor")

@@ -13,7 +13,9 @@
 //	          [-arrival-json '{"process":"mmpp",...}'] [-pairs 2]
 //	          [-pair-platforms base:boost,base:boost,...]
 //	          [-dispatcher least-loaded] [-rebalance-every 2s]
-//	          [-rebalance-gap 2] [-shards 4] [-fault slot-fail]
+//	          [-rebalance-gap 2] [-shards 4]
+//	          [-tenants '[{"name":"batch","quota":4},...]']
+//	          [-autoscale '{"min":1,"max":4}'] [-fault slot-fail]
 //	          [-fault-json '{"injectors":[...]}']
 //	          [-stream] [-window 10s] [-max-windows 64]
 //	          [-timeseries-csv windows.csv]
@@ -28,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +43,7 @@ import (
 	"versaslot/internal/fabric"
 	"versaslot/internal/fault"
 	"versaslot/internal/metrics"
+	"versaslot/internal/orchestrator"
 	"versaslot/internal/report"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -66,6 +70,8 @@ func main() {
 	rebalanceEvery := flag.Duration("rebalance-every", 0, "farm rebalancer cadence in virtual time (0 disables)")
 	rebalanceGap := flag.Int("rebalance-gap", 0, "min unfinished-app gap between pairs that triggers a cross-pair migration (default 2)")
 	shards := flag.Int("shards", 0, "run a farm's pairs across this many parallel shards (0/1 = sequential)")
+	tenantsJSON := flag.String("tenants", "", "inline tenant-spec JSON array (farm topology): per-tenant arrival process, quota, priority, over-quota policy, SLO")
+	autoscaleJSON := flag.String("autoscale", "", "inline autoscale-spec JSON (farm topology): {\"min\":1,\"max\":4,...}; -pairs is the initial online count")
 	faultKind := flag.String("fault", "", "attach one fault injector by kind with default parameters, or 'list' to print the registry")
 	faultJSON := flag.String("fault-json", "", "inline fault-spec JSON (overrides -fault)")
 	stream := flag.Bool("stream", false, "use the bounded-memory streaming metrics pipeline (sketch percentiles + windowed time-series)")
@@ -146,6 +152,8 @@ func main() {
 			RebalanceEvery: *rebalanceEvery,
 			RebalanceGap:   *rebalanceGap,
 			Shards:         *shards,
+			Tenants:        parseTenantsFlag(*tenantsJSON),
+			Autoscale:      parseAutoscaleFlag(*autoscaleJSON),
 			Faults:         parseFaultFlags(*faultKind, *faultJSON),
 			Metrics:        parseMetricsFlags(*stream, *window, *maxWindows, *timeseriesCSV != ""),
 		}
@@ -263,6 +271,30 @@ func main() {
 				ps.UtilLUT, ps.Switches, ps.MigratedIn, ps.MigratedOut)
 		}
 		pt.Render(os.Stdout)
+	}
+
+	if len(res.Tenants) > 0 {
+		tt := report.NewTable("Per-tenant admission and SLO attainment",
+			"Tenant", "Quota", "Submitted", "Admitted", "Rejected", "Throttled", "Finished", "Mean RT (s)", "P99 (s)", "SLO att")
+		for _, st := range res.Tenants {
+			slo := "-"
+			if st.SLO > 0 && st.Finished > 0 {
+				slo = fmt.Sprintf("%.3f", st.SLOAttainment)
+			}
+			tt.AddRow(st.Tenant, st.Quota, st.Submitted, st.Admitted, st.Rejected, st.Throttled,
+				st.Finished, sim.Time(st.MeanRT).Seconds(), sim.Time(st.P99).Seconds(), slo)
+		}
+		tt.Render(os.Stdout)
+	}
+
+	if res.Autoscale != nil {
+		at := report.NewTable("Autoscaler", "Metric", "Value")
+		at.AddRow("scale-ups", res.Autoscale.ScaleUps)
+		at.AddRow("scale-downs", res.Autoscale.ScaleDowns)
+		at.AddRow("drain-migrated apps", res.Autoscale.DrainedApps)
+		at.AddRow("peak online pairs", res.Autoscale.PeakOnline)
+		at.AddRow("final online pairs", res.Autoscale.FinalOnline)
+		at.Render(os.Stdout)
 	}
 
 	if len(res.TimeSeries) > 0 {
@@ -385,6 +417,33 @@ func writeTimeSeriesCSV(path string, ts []metrics.WindowStat) error {
 			w.Migrated, w.FaultEvents, w.FailedApps)
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// parseTenantsFlag decodes the -tenants inline JSON array; validation
+// happens with the rest of the scenario.
+func parseTenantsFlag(inline string) []orchestrator.TenantSpec {
+	if inline == "" {
+		return nil
+	}
+	var tenants []orchestrator.TenantSpec
+	if err := json.Unmarshal([]byte(inline), &tenants); err != nil {
+		fmt.Fprintln(os.Stderr, "versaslot: -tenants:", err)
+		os.Exit(2)
+	}
+	return tenants
+}
+
+// parseAutoscaleFlag decodes the -autoscale inline JSON spec.
+func parseAutoscaleFlag(inline string) *orchestrator.AutoscaleSpec {
+	if inline == "" {
+		return nil
+	}
+	var spec orchestrator.AutoscaleSpec
+	if err := json.Unmarshal([]byte(inline), &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "versaslot: -autoscale:", err)
+		os.Exit(2)
+	}
+	return &spec
 }
 
 // parseArrivalFlags builds the scenario's arrival block from the

@@ -108,6 +108,13 @@ func capApps(sc *versaslot.Scenario, limit int) error {
 	if sc.Apps == 0 || sc.Apps > limit {
 		sc.Apps = limit
 	}
+	// Tenant workloads size through each tenant's own app count (zero
+	// inherits the scenario's, which the cap above already bounds).
+	for i := range sc.Tenants {
+		if sc.Tenants[i].Apps > limit {
+			sc.Tenants[i].Apps = limit
+		}
+	}
 	return nil
 }
 
@@ -115,8 +122,8 @@ func capApps(sc *versaslot.Scenario, limit int) error {
 func writeSuiteReport(w io.Writer, dir string, scenarios []versaslot.Scenario, results []*versaslot.Result) {
 	fmt.Fprintf(w, "# VersaSlot scenario suite\n\n")
 	fmt.Fprintf(w, "%d scenarios from `%s/`.\n\n", len(results), filepath.ToSlash(filepath.Clean(dir)))
-	fmt.Fprintln(w, "| Scenario | Topology | Platforms | Arrival | Apps | Mean RT (s) | P50 (s) | P99 (s) | LUT util | DSP util | Switches | Migrated | Requeued | Avail | Failed | Metrics | Windows |")
-	fmt.Fprintln(w, "|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|---:|")
+	fmt.Fprintln(w, "| Scenario | Topology | Platforms | Arrival | Apps | Mean RT (s) | P50 (s) | P99 (s) | LUT util | DSP util | Switches | Migrated | Requeued | Avail | Failed | Tenants | SLO att | Scale | Metrics | Windows |")
+	fmt.Fprintln(w, "|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|---|---|---:|")
 	for i, res := range results {
 		s := res.Summary
 		migrated := res.MigratedApps + res.CrossMigratedApps
@@ -138,10 +145,29 @@ func writeSuiteReport(w io.Writer, dir string, scenarios []versaslot.Scenario, r
 			mode = res.MetricsMode
 			windows = fmt.Sprintf("%d", len(res.TimeSeries))
 		}
-		fmt.Fprintf(w, "| %s | %s | %s | %s | %d | %.3f | %.3f | %.3f | %.1f%% | %.1f%% | %d | %d | %d | %s | %s | %s | %s |\n",
+		// Orchestrator columns stay "-" for legacy rows. SLO attainment
+		// lists each SLO-bearing tenant in declaration order.
+		tenants, sloAtt, scale := "-", "-", "-"
+		if len(res.Tenants) > 0 {
+			tenants = fmt.Sprintf("%d", len(res.Tenants))
+			var atts []string
+			for _, st := range res.Tenants {
+				if st.SLO > 0 && st.Finished > 0 {
+					atts = append(atts, fmt.Sprintf("%s %.2f", st.Tenant, st.SLOAttainment))
+				}
+			}
+			if len(atts) > 0 {
+				sloAtt = strings.Join(atts, ", ")
+			}
+		}
+		if res.Autoscale != nil {
+			scale = fmt.Sprintf("+%d/-%d", res.Autoscale.ScaleUps, res.Autoscale.ScaleDowns)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %d | %.3f | %.3f | %.3f | %.1f%% | %.1f%% | %d | %d | %d | %s | %s | %s | %s | %s | %s | %s |\n",
 			res.Scenario, res.Topology, platformLabel(res), arrivalLabel(scenarios[i]), s.Apps,
 			sim.Time(s.MeanRT).Seconds(), sim.Time(s.P50).Seconds(), sim.Time(s.P99).Seconds(),
-			s.UtilLUT*100, s.UtilDSP*100, res.Switches, migrated, requeued, avail, failed, mode, windows)
+			s.UtilLUT*100, s.UtilDSP*100, res.Switches, migrated, requeued, avail, failed,
+			tenants, sloAtt, scale, mode, windows)
 	}
 }
 
@@ -174,6 +200,9 @@ func platformLabel(res *versaslot.Result) string {
 // arrivalLabel names the scenario's arrival axis for the report: the
 // registered process, or the classic generator's regime label.
 func arrivalLabel(sc versaslot.Scenario) string {
+	if len(sc.Tenants) > 0 {
+		return "per-tenant"
+	}
 	if sc.Arrival != nil {
 		return sc.Arrival.Process
 	}

@@ -107,6 +107,12 @@ var catalogGoldenScenarios = []string{
 	"hetero-farm-mixed",
 	"hetero-farm-edge-cloud",
 	"u250-quad-single",
+	// Orchestrator catalog entries: multi-tenant admission under quota
+	// pressure, and the autoscaler breathing with a diurnal arrival
+	// process. Their goldens pin the full per-tenant ledger and the
+	// timestamped scale-event log.
+	"tenants-quota-burst",
+	"autoscale-diurnal",
 }
 
 // TestGoldenCatalogScenarios pins heterogeneous catalog scenarios

@@ -33,6 +33,16 @@ type Dispatcher interface {
 	Pick(a *appmodel.App) int
 }
 
+// PoolAware is an optional Dispatcher extension: PoolChanged fires
+// whenever the commissioned pair pool changes mid-run (a standby pair
+// activates, a pair starts or finishes draining). Dispatchers that
+// memoize anything derived from the pair set must drop those memos
+// here — the farm's own eligibility cache is invalidated on the same
+// transitions. Dispatchers without pool-derived state can ignore it.
+type PoolAware interface {
+	PoolChanged(f *Farm)
+}
+
 // DispatcherReg declares one farm dispatcher: canonical config/CLI
 // name, display title, and a factory producing fresh instances (a
 // dispatcher may carry per-run state, e.g. a round-robin cursor).
@@ -252,6 +262,18 @@ func (d *affinityDispatch) Init(f *Farm) {
 	d.f = f
 	d.names = make(map[affinityKey][]string)
 }
+
+// PoolChanged drops the bitstream-name memo when the commissioned
+// pair pool changes: entries are keyed by (platform, spec) and a
+// lifecycle transition can bring a platform into (or out of) play
+// whose cached name lists would otherwise outlive the pool that
+// produced them.
+func (d *affinityDispatch) PoolChanged(*Farm) {
+	for k := range d.names {
+		delete(d.names, k)
+	}
+}
+
 func (d *affinityDispatch) namesFor(p *fabric.Platform, a *appmodel.App) []string {
 	key := affinityKey{p, a.Spec}
 	if names, ok := d.names[key]; ok {

@@ -56,6 +56,44 @@ type FarmConfig struct {
 	// Pair.Params.PRFailureRate, whose CRC re-stream draws would come
 	// from per-pair RNGs instead of the shared kernel stream.
 	Shards int
+	// Standby decommissions the last Standby pairs at construction:
+	// they are built (kernels, engines, platforms) but start in
+	// PairStandby and receive no dispatches until ActivatePair brings
+	// them online — the autoscaler's spare capacity. Must be less than
+	// Pairs (at least one pair starts online).
+	Standby int
+}
+
+// PairState is a pair's position in the commissioning lifecycle. It is
+// orthogonal to the fault axis: an online pair with an open outage is
+// degraded (dispatch routes around it until recovery) while a draining
+// pair is leaving the fleet on purpose (its queue has been migrated
+// away and it only finishes what is already executing).
+type PairState int
+
+const (
+	// PairOnline pairs receive dispatches and rebalancer traffic.
+	PairOnline PairState = iota
+	// PairStandby pairs are built but decommissioned: no dispatches,
+	// no rebalancer traffic, until ActivatePair.
+	PairStandby
+	// PairDraining pairs are scaling down: excluded from new
+	// dispatches, their ready queue migrated to online pairs; they
+	// finish executing work, then FinishDrain returns them to standby.
+	PairDraining
+)
+
+func (s PairState) String() string {
+	switch s {
+	case PairOnline:
+		return "online"
+	case PairStandby:
+		return "standby"
+	case PairDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("PairState(%d)", int(s))
+	}
 }
 
 // DefaultFarmConfig returns an n-pair farm of the paper's switching
@@ -148,11 +186,24 @@ type Farm struct {
 	// hostability is then all-or-nothing per spec and checked at
 	// Inject.
 	uniform bool
-	// hostBySpec caches the uniform farm's all-or-nothing hostability.
+	// hostBySpec caches farm-wide hostability capability per spec:
+	// whether ANY pair — online, standby, or draining — could host it.
+	// Pool-independent, so it never invalidates.
 	hostBySpec map[*appmodel.AppSpec]bool
-	// eligibleBySpec caches, per application spec, the pair indices
-	// whose platforms can host it (nil on the uniform fast path).
+	// eligibleBySpec caches, per application spec, the commissioned
+	// (non-standby) pair indices whose platforms can host it (nil on
+	// the all-online uniform fast path). The cache depends on the pair
+	// pool: every ActivatePair/StartDrain/FinishDrain transition
+	// invalidates it — see invalidatePools.
 	eligibleBySpec map[*appmodel.AppSpec][]int
+
+	// status is each pair's commissioning state; nonOnline counts
+	// pairs not currently PairOnline (standby + draining) and draining
+	// counts PairDraining pairs, so the all-online fast paths stay a
+	// single compare.
+	status    []PairState
+	nonOnline int
+	draining  int
 
 	rebalanceArmed bool        // the periodic tick has been scheduled
 	rebalancing    bool        // a cross-pair transfer is in flight
@@ -185,6 +236,9 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 	if shards > 1 && cfg.Pair.Params.PRFailureRate > 0 {
 		return nil, fmt.Errorf("cluster: sharded farm execution is incompatible with pr_failure_rate > 0 (CRC re-stream draws would leave the shared kernel stream)")
 	}
+	if cfg.Standby < 0 || cfg.Standby >= cfg.Pairs {
+		return nil, fmt.Errorf("cluster: standby count %d out of range (need 0 <= standby < %d pairs)", cfg.Standby, cfg.Pairs)
+	}
 	f := &Farm{
 		Cfg:        cfg,
 		K:          sim.NewKernel(cfg.Pair.Seed),
@@ -197,6 +251,11 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		crossOut:   make([]int, cfg.Pairs),
 		requeued:   make([]int, cfg.Pairs),
 		outages:    make([]int, cfg.Pairs),
+		status:     make([]PairState, cfg.Pairs),
+	}
+	for i := cfg.Pairs - cfg.Standby; i < cfg.Pairs; i++ {
+		f.status[i] = PairStandby
+		f.nonOnline++
 	}
 	f.Rack = interlink.NewDefault(f.K, "rack")
 	// Farm-control events (rack transfers, rebalance ticks, fault
@@ -245,11 +304,10 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 			break
 		}
 	}
-	if f.uniform {
-		f.hostBySpec = make(map[*appmodel.AppSpec]bool)
-	} else {
-		f.eligibleBySpec = make(map[*appmodel.AppSpec][]int)
-	}
+	f.hostBySpec = make(map[*appmodel.AppSpec]bool)
+	// Even uniform farms need the eligibility cache once pairs leave
+	// the online pool (the nil fast path stands for "all pairs").
+	f.eligibleBySpec = make(map[*appmodel.AppSpec][]int)
 	d.Init(f)
 	return f, nil
 }
@@ -281,13 +339,17 @@ func (f *Farm) Load() []int {
 // retain or mutate.
 func (f *Farm) LoadView() []int { return f.load }
 
-// Eligible returns the pair indices whose platforms can host the
-// application, or nil when every pair can (the homogeneous fast path).
-// Dispatchers must restrict their choice to these pairs: an
-// application that fits no slot of a PYNQ-class pair has to route to a
-// bigger board.
+// Eligible returns the commissioned (online or draining) pair indices
+// whose platforms can host the application, or nil when every pair can
+// (the all-online homogeneous fast path). Dispatchers must restrict
+// their choice to these pairs: an application that fits no slot of a
+// PYNQ-class pair has to route to a bigger board, and no application
+// routes to a standby pair. The per-spec result is cached; the cache
+// is invalidated whenever a pair joins or leaves the commissioned pool
+// (invalidatePools), so mid-run scale-up/scale-down is never served a
+// stale pair set.
 func (f *Farm) Eligible(a *appmodel.App) []int {
-	if f.uniform {
+	if f.uniform && f.nonOnline == 0 {
 		return nil
 	}
 	if elig, ok := f.eligibleBySpec[a.Spec]; ok {
@@ -295,12 +357,211 @@ func (f *Farm) Eligible(a *appmodel.App) []int {
 	}
 	elig := make([]int, 0, len(f.Pairs))
 	for i, p := range f.Pairs {
-		if p.CanHost(a.Spec) {
+		if f.status[i] != PairStandby && p.CanHost(a.Spec) {
 			elig = append(elig, i)
 		}
 	}
 	f.eligibleBySpec[a.Spec] = elig
 	return elig
+}
+
+// invalidatePools drops every pool-dependent cache after a pair
+// lifecycle transition: the per-spec eligibility lists (their pair
+// sets just changed) and, via PoolAware, any dispatcher-internal memo.
+// This is the fix for the stale-pool bug the autoscaler exposed: the
+// eligibility cache predates pair add/drain and was computed once per
+// spec for the run's lifetime, so a newly activated pair never
+// received traffic and a draining pair kept receiving it.
+func (f *Farm) invalidatePools() {
+	for k := range f.eligibleBySpec {
+		delete(f.eligibleBySpec, k)
+	}
+	if pa, ok := f.dispatcher.(PoolAware); ok {
+		pa.PoolChanged(f)
+	}
+}
+
+// CanHostAnywhere reports whether any pair of the farm — regardless of
+// commissioning state — could host the application: the capability
+// check admission control and Inject run up front. A standby pair
+// counts: it can be activated later.
+func (f *Farm) CanHostAnywhere(a *appmodel.App) bool {
+	h, ok := f.hostBySpec[a.Spec]
+	if !ok {
+		if f.uniform {
+			h = f.Pairs[0].CanHost(a.Spec)
+		} else {
+			for _, p := range f.Pairs {
+				if p.CanHost(a.Spec) {
+					h = true
+					break
+				}
+			}
+		}
+		f.hostBySpec[a.Spec] = h
+	}
+	return h
+}
+
+// CanDispatch reports whether the application could be dispatched
+// right now: some commissioned pair can host it. False means the
+// capacity exists only on standby pairs (or not at all) — the
+// orchestrator holds such arrivals until scale-up commissions one.
+func (f *Farm) CanDispatch(a *appmodel.App) bool {
+	elig := f.Eligible(a)
+	return elig == nil || len(elig) > 0
+}
+
+// PairStateOf returns pair i's commissioning state.
+func (f *Farm) PairStateOf(i int) PairState { return f.status[i] }
+
+// OnlineCount returns the number of PairOnline pairs.
+func (f *Farm) OnlineCount() int { return len(f.Pairs) - f.nonOnline }
+
+// DrainingCount returns the number of PairDraining pairs.
+func (f *Farm) DrainingCount() int { return f.draining }
+
+// ActivatePair commissions a standby pair: it joins the dispatch pool
+// at the current instant (the scale-up latency has already elapsed —
+// the autoscaler schedules the activation, not the decision, at
+// decision time + up_latency). The eligibility caches are invalidated
+// so the next arrival can route to it.
+func (f *Farm) ActivatePair(i int) error {
+	if i < 0 || i >= len(f.Pairs) {
+		return fmt.Errorf("cluster: activate pair %d of %d", i, len(f.Pairs))
+	}
+	if f.status[i] != PairStandby {
+		return fmt.Errorf("cluster: activate pair %d: state %v, want standby", i, f.status[i])
+	}
+	f.status[i] = PairOnline
+	f.nonOnline--
+	f.invalidatePools()
+	return nil
+}
+
+// StartDrain begins decommissioning an online pair: it leaves the
+// dispatch pool immediately, and its ready (not yet executing) queue
+// live-migrates to the least-loaded online pairs that can host each
+// application, over the rack link — the same extract/transfer/
+// re-inject mechanics as the rebalancer, so no application is ever
+// lost. Apps no online pair can host are re-queued at the source
+// (counted as requeued) and finish there. Executing work always stays,
+// exactly as in Section III-D. Returns the number of apps migrated
+// away. Draining the last online pair is refused.
+func (f *Farm) StartDrain(i int) (int, error) {
+	if i < 0 || i >= len(f.Pairs) {
+		return 0, fmt.Errorf("cluster: drain pair %d of %d", i, len(f.Pairs))
+	}
+	if f.status[i] != PairOnline {
+		return 0, fmt.Errorf("cluster: drain pair %d: state %v, want online", i, f.status[i])
+	}
+	if f.OnlineCount() <= 1 {
+		return 0, fmt.Errorf("cluster: drain pair %d: it is the last online pair", i)
+	}
+	f.status[i] = PairDraining
+	f.nonOnline++
+	f.draining++
+	f.invalidatePools()
+	return f.drainCross(i), nil
+}
+
+// FinishDrain returns a fully drained pair to standby. It is the
+// autoscaler's completion check: legal only once the pair has no
+// unfinished applications left.
+func (f *Farm) FinishDrain(i int) error {
+	if i < 0 || i >= len(f.Pairs) {
+		return fmt.Errorf("cluster: finish drain of pair %d of %d", i, len(f.Pairs))
+	}
+	if f.status[i] != PairDraining {
+		return fmt.Errorf("cluster: finish drain of pair %d: state %v, want draining", i, f.status[i])
+	}
+	if f.load[i] != 0 {
+		return fmt.Errorf("cluster: finish drain of pair %d: %d apps still unfinished", i, f.load[i])
+	}
+	f.status[i] = PairStandby
+	f.draining--
+	f.invalidatePools()
+	return nil
+}
+
+// drainCross moves every ready application off pair src: each app goes
+// to the least-loaded healthy online pair that can host it (ties to
+// the lowest index, loads updated as apps are assigned), grouped into
+// one rack-link transfer per destination. Unhostable apps re-queue at
+// src. Same ledger bookkeeping as migrateCross.
+func (f *Farm) drainCross(src int) int {
+	eng := f.Pairs[src].activeEngine()
+	all := eng.Policy().ExtractMigratable()
+	if len(all) == 0 {
+		return 0
+	}
+	groups := make([][]*appmodel.App, len(f.Pairs))
+	var unfit []*appmodel.App
+	for _, a := range all {
+		dst := -1
+		for j := range f.Pairs {
+			if j == src || f.status[j] != PairOnline || f.outages[j] > 0 {
+				continue
+			}
+			if !f.uniform && !f.Pairs[j].CanHost(a.Spec) {
+				continue
+			}
+			if dst < 0 || f.load[j] < f.load[dst] {
+				dst = j
+			}
+		}
+		if dst < 0 {
+			// Fall back to degraded online pairs before giving up: a
+			// degraded pair still queues work for recovery.
+			for j := range f.Pairs {
+				if j == src || f.status[j] != PairOnline {
+					continue
+				}
+				if !f.uniform && !f.Pairs[j].CanHost(a.Spec) {
+					continue
+				}
+				if dst < 0 || f.load[j] < f.load[dst] {
+					dst = j
+				}
+			}
+		}
+		if dst < 0 {
+			unfit = append(unfit, a)
+			continue
+		}
+		groups[dst] = append(groups[dst], a)
+		f.load[src]--
+		f.load[dst]++
+	}
+	if len(unfit) > 0 {
+		f.requeued[src] += len(unfit)
+		eng.Policy().AcceptMigrated(unfit)
+	}
+	moved := 0
+	for dst, apps := range groups {
+		if len(apps) == 0 {
+			continue
+		}
+		moved += len(apps)
+		for _, a := range apps {
+			for _, mode := range pairModes {
+				f.Pairs[src].Engine(mode).Forget(a)
+			}
+		}
+		f.crossOut[src] += len(apps)
+		f.crossIn[dst] += len(apps)
+		target := f.Pairs[dst]
+		migrate.ExecuteModel(f.K, f.Rack, apps, f.cost, func(apps []*appmodel.App) {
+			next := target.activeEngine()
+			for _, a := range apps {
+				warmNamesFor(next, target.Platform(target.ActiveMode()), a)
+				next.InjectMigrated(a)
+			}
+		}, func(m migrate.Migration) {
+			f.CrossMigrations = append(f.CrossMigrations, m)
+		})
+	}
+	return moved
 }
 
 // PairOutage marks one of pair i's boards as failed: the pair is
@@ -343,14 +604,16 @@ func (f *Farm) SetMigrationCost(m *migrate.CostModel) {
 
 // DispatchEligible is the dispatcher's view of Eligible: compatible
 // pairs with open outages are filtered out, so arrivals route around
-// degraded pairs. If every compatible pair is degraded the full
-// compatible set is returned — an arrival must land somewhere, and a
-// degraded pair still queues work for when its board recovers. With no
-// open outages this is exactly Eligible (the fault-free fast path draws
-// nothing and allocates nothing extra).
+// degraded pairs, and draining pairs are filtered out, so scale-down
+// stops receiving new work the instant it is decided. If every
+// compatible pair is degraded or draining the full compatible set is
+// returned — an arrival must land somewhere, and a degraded pair still
+// queues work for when its board recovers. With no open outages and no
+// draining pair this is exactly Eligible (the fault-free fast path
+// draws nothing and allocates nothing extra).
 func (f *Farm) DispatchEligible(a *appmodel.App) []int {
 	elig := f.Eligible(a)
-	if f.unhealthy == 0 {
+	if f.unhealthy == 0 && f.draining == 0 {
 		return elig
 	}
 	// The filtered pool lives in a per-farm scratch buffer: Pick
@@ -364,7 +627,7 @@ func (f *Farm) DispatchEligible(a *appmodel.App) []int {
 		}
 	} else {
 		for _, i := range elig {
-			if f.outages[i] == 0 {
+			if f.outages[i] == 0 && f.status[i] != PairDraining {
 				pool = append(pool, i)
 			}
 		}
@@ -385,18 +648,7 @@ func (f *Farm) Inject(seq *workload.Sequence) error {
 		return err
 	}
 	for _, a := range apps {
-		hostable := true
-		if f.uniform {
-			h, ok := f.hostBySpec[a.Spec]
-			if !ok {
-				h = f.Pairs[0].CanHost(a.Spec)
-				f.hostBySpec[a.Spec] = h
-			}
-			hostable = h
-		} else {
-			hostable = len(f.Eligible(a)) > 0
-		}
-		if !hostable {
+		if !f.CanHostAnywhere(a) {
 			return fmt.Errorf("cluster: app %v (%s) fits no slot class on any pair of the farm", a, a.Spec.Name)
 		}
 	}
@@ -404,6 +656,18 @@ func (f *Farm) Inject(seq *workload.Sequence) error {
 	f.scheduleArrivals(apps)
 	f.armRebalancer()
 	return nil
+}
+
+// DispatchNow routes one application through the dispatcher at the
+// current kernel instant: the orchestrator's admission-time injection
+// path (arrivals reach the farm only once admitted, so the farm's
+// ledger counts admitted apps, never rejected ones). Callers validate
+// hostability (CanHostAnywhere) and schedulability (CanDispatch)
+// first.
+func (f *Farm) DispatchNow(a *appmodel.App) {
+	f.totalApps++
+	f.dispatchOne(a)
+	f.armRebalancer()
 }
 
 // scheduleArrivals walks a sorted arrival sequence with one chained
@@ -523,9 +787,15 @@ func (f *Farm) rebalanceTick() {
 	// outage is always the preferred drain source and never a
 	// destination. With no open outages the scan reduces to the classic
 	// first-argmax/first-argmin over load, byte-identical to the
-	// fault-free rebalancer.
+	// fault-free rebalancer. Standby and draining pairs are outside the
+	// pool entirely: standby pairs hold no work, and a draining pair's
+	// queue was already migrated by StartDrain — with every pair online
+	// the check never fires.
 	src, dst := -1, -1
 	for i, l := range f.load {
+		if f.status[i] != PairOnline {
+			continue
+		}
 		if f.outages[i] > 0 {
 			if src < 0 || f.outages[src] == 0 || l > f.load[src] {
 				src = i
@@ -601,7 +871,7 @@ func (f *Farm) migrateCross(src, dst, max int) {
 	if !f.uniform {
 		dst = -1
 		for i := range f.Pairs {
-			if i == src || f.outages[i] > 0 {
+			if i == src || f.outages[i] > 0 || f.status[i] != PairOnline {
 				continue
 			}
 			hostsAny := false

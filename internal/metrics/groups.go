@@ -1,0 +1,99 @@
+package metrics
+
+// GroupLanes accumulates response observations in a group × lane
+// matrix of sketches and counters: groups are the reporting axis (the
+// orchestrator's tenants) and lanes are the writer axis (the farm's
+// pairs). The layout is what makes per-tenant breakdowns safe under
+// the sharded farm executor without atomics: a completion on pair p is
+// always recorded in lane p, each lane has exactly one writer (the
+// worker advancing that pair's kernel), and the coordinator only reads
+// lane cells between synchronization phases — the same single-writer
+// discipline as the farm's finishedBy slice.
+//
+// Merging a group's lanes (always in ascending lane order) is exact:
+// sketch bucket counts add associatively, so the merged distribution
+// is byte-identical whether the run was sequential, parallel-swept, or
+// sharded.
+type GroupLanes struct {
+	groups, lanes int
+	bits          uint
+	// sketch is the flattened matrix, allocated lazily: most
+	// (group, lane) cells never see an observation (a tenant's apps
+	// usually land on a few pairs).
+	sketch []*Sketch
+	count  []int
+	ok     []int
+}
+
+// NewGroupLanes builds an empty groups × lanes accumulator whose
+// sketches use 2^bits buckets per octave (see NewSketch).
+func NewGroupLanes(groups, lanes int, bits uint) *GroupLanes {
+	if groups < 0 || lanes <= 0 {
+		panic("metrics: GroupLanes needs groups >= 0 and lanes > 0")
+	}
+	return &GroupLanes{
+		groups: groups,
+		lanes:  lanes,
+		bits:   bits,
+		sketch: make([]*Sketch, groups*lanes),
+		count:  make([]int, groups*lanes),
+		ok:     make([]int, groups*lanes),
+	}
+}
+
+// Groups returns the group-axis size.
+func (g *GroupLanes) Groups() int { return g.groups }
+
+// Observe records one response value v for (group, lane); ok flags
+// whether the observation met its target (the tenant's SLO). Only
+// lane's single writer may call this.
+func (g *GroupLanes) Observe(group, lane int, v int64, ok bool) {
+	idx := group*g.lanes + lane
+	sk := g.sketch[idx]
+	if sk == nil {
+		sk = NewSketch(g.bits)
+		g.sketch[idx] = sk
+	}
+	sk.Add(v)
+	g.count[idx]++
+	if ok {
+		g.ok[idx]++
+	}
+}
+
+// Count sums a group's observations across lanes (coordinator-side
+// read; in a sharded run it is only consistent between phases).
+func (g *GroupLanes) Count(group int) int {
+	n := 0
+	for l := 0; l < g.lanes; l++ {
+		n += g.count[group*g.lanes+l]
+	}
+	return n
+}
+
+// OKCount sums a group's target-met observations across lanes.
+func (g *GroupLanes) OKCount(group int) int {
+	n := 0
+	for l := 0; l < g.lanes; l++ {
+		n += g.ok[group*g.lanes+l]
+	}
+	return n
+}
+
+// MergeGroup folds a group's lane sketches, in ascending lane order,
+// into the reusable sketch `into` (Reset first; allocated when nil)
+// and returns it. Call only after the run has completed (or between
+// coordinator phases).
+func (g *GroupLanes) MergeGroup(group int, into *Sketch) *Sketch {
+	if into == nil {
+		into = NewSketch(g.bits)
+	} else {
+		into.Reset()
+	}
+	for l := 0; l < g.lanes; l++ {
+		if sk := g.sketch[group*g.lanes+l]; sk != nil {
+			into.Merge(sk)
+		}
+	}
+	return into
+}

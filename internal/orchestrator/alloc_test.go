@@ -1,0 +1,67 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"versaslot/internal/cluster"
+	"versaslot/internal/workload"
+)
+
+// TestAdmissionSteadyStateZeroAlloc pins the admission layer's cost on
+// top of the farm's zero-alloc dispatch (TestDispatchSteadyStateZeroAlloc
+// in internal/cluster): once the throttle queue's backing array and the
+// kernel's event storage are warm, an over-quota throttle decision, a
+// reject decision, and an empty pump sweep allocate nothing per
+// arrival. The release order and pump closure are built once in New,
+// so none of these paths touches the heap at steady state.
+func TestAdmissionSteadyStateZeroAlloc(t *testing.T) {
+	p := workload.DefaultGenParams(workload.Stress)
+	p.Apps = 4
+	apps, err := workload.Generate(p, 7).Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cluster.MustNewFarm(cluster.DefaultFarmConfig(2))
+	o, err := New(f, Config{Tenants: []TenantSpec{
+		{Name: "throttled", Quota: 1},
+		{Name: "dropped", Quota: 1, OverQuota: OverQuotaReject},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put both tenants over quota without running the farm: admitted
+	// minus finished is the in-flight count admission compares.
+	o.firstID = []int{0, len(apps)}
+	o.submitted = []int{len(apps), len(apps)}
+	o.admitted = []int{1, 1}
+
+	// Warm the throttle queue's backing array and the kernel's event
+	// pool, then drain the queue back to zero length.
+	for _, a := range apps {
+		o.arrive(arrSlot{app: a, tenant: 0})
+	}
+	o.queues[0] = o.queues[0][:0]
+
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		o.arrive(arrSlot{app: apps[i%len(apps)], tenant: 0})
+		o.queues[0] = o.queues[0][:0] // steady state: pump would drain it
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state throttle decision allocates %.1f objects per arrival, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(200, func() {
+		o.arrive(arrSlot{app: apps[i%len(apps)], tenant: 1})
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state reject decision allocates %.1f objects per arrival, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(200, func() { o.pump() })
+	if allocs != 0 {
+		t.Errorf("empty pump sweep allocates %.1f objects per tick, want 0", allocs)
+	}
+}

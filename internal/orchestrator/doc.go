@@ -1,0 +1,48 @@
+// Package orchestrator is the elastic control plane over a cluster
+// farm: multi-tenant admission control and a deterministic,
+// load-driven autoscaler.
+//
+// # Tenants and admission
+//
+// A TenantSpec declares one tenant's workload (its own arrival
+// process, seeded from the scenario seed plus the tenant name), its
+// quota (maximum in-flight applications), its release priority, and
+// its over-quota policy — reject (drop at the door) or throttle
+// (queue until headroom opens). Admission runs at every submission
+// instant; throttled applications release only at admission pump
+// ticks, in priority order, FIFO within a tenant.
+//
+// # Autoscaling
+//
+// The autoscaler observes windowed per-pair load (through the same
+// bounded-memory sketches as the streaming metrics pipeline) on a
+// fixed cadence and keeps the online pair count inside [Min, Max]
+// with a hysteresis band: sustained load above UpLoad commissions a
+// standby pair after a first-class scale-up latency; sustained load
+// below DownLoad drains the least-loaded pair through the farm's
+// cross-pair migration path and returns it to standby once idle.
+//
+// # Invariants
+//
+//   - Determinism: every orchestrator event runs on the farm's
+//     coordinator kernel — arrivals at sim.PriArrival, admission pump
+//     ticks, autoscale ticks, activations, and drains at
+//     sim.PriFarmControl. None of them run inside pair-local
+//     completion hooks, so an orchestrated run is byte-identical
+//     whether the farm executes sequentially, in a parallel sweep, or
+//     sharded across worker kernels.
+//   - Quota: a tenant's in-flight count (admitted minus finished)
+//     never exceeds its quota at any admission instant; the OnAdmit
+//     hook exposes the count for property tests.
+//   - Ledger: per tenant, submitted == admitted + rejected + queued
+//     at every instant, and admitted == finished + in-flight; a
+//     completed run ends with queued == in-flight == 0.
+//   - No loss on drain: a draining pair's ready queue migrates to
+//     healthy online pairs (or requeues locally when nowhere fits);
+//     drained applications finish and reconcile in the same ledger.
+//   - Single-writer stats: per-(tenant, pair) response sketches and
+//     SLO counters live in a metrics.GroupLanes matrix where each
+//     lane is written only by its pair's worker, mirroring the farm's
+//     finishedBy discipline; merges are associative, so per-tenant
+//     distributions are exact in every execution mode.
+package orchestrator

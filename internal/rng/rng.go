@@ -28,6 +28,15 @@ func fnv64a(label string) uint64 {
 	return h
 }
 
+// Derive maps a (seed, label) pair onto a derived seed — the value
+// Stream feeds NewRNG — for callers that need a plain seed to hand a
+// generator (e.g. per-tenant workload generation, where each tenant's
+// sequence is keyed by the scenario seed plus the tenant name, so
+// adding or renaming one tenant never perturbs another's arrivals).
+func Derive(seed uint64, label string) uint64 {
+	return seed*0x9e3779b97f4a7c15 ^ fnv64a(label)
+}
+
 // Stream derives an independent labeled stream from a seed. Distinct
 // labels over one seed yield unrelated streams, and — unlike a chain
 // of Fork calls — adding or removing one labeled consumer never
@@ -37,5 +46,5 @@ func fnv64a(label string) uint64 {
 func Stream(seed uint64, label string) *sim.RNG {
 	// Golden-ratio mixing keeps nearby seeds apart before NewRNG's
 	// SplitMix expansion; the label hash separates consumers.
-	return sim.NewRNG(seed*0x9e3779b97f4a7c15 ^ fnv64a(label))
+	return sim.NewRNG(Derive(seed, label))
 }

@@ -6,6 +6,7 @@ import (
 	"versaslot/internal/cluster"
 	"versaslot/internal/fabric"
 	"versaslot/internal/metrics"
+	"versaslot/internal/orchestrator"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 )
@@ -76,6 +77,16 @@ type Result struct {
 	CrossMigrations   int          `json:"cross_migrations,omitempty"`
 	CrossMigratedApps int          `json:"cross_migrated_apps,omitempty"`
 	MeanCrossTime     sim.Duration `json:"mean_cross_time,omitempty"`
+
+	// Tenants is the per-tenant admission ledger and response/SLO
+	// breakdown (farm runs with a tenants block). Each entry always
+	// reconciles: submitted == admitted + rejected + queued and
+	// admitted == finished + in_flight.
+	Tenants []orchestrator.TenantStat `json:"tenants,omitempty"`
+	// Autoscale summarizes the autoscaler's activity (farm runs with
+	// an autoscale block): scale-up/drain counts, migrated apps, peak
+	// and final online pair counts, and the timestamped event log.
+	Autoscale *orchestrator.AutoscaleStats `json:"autoscale,omitempty"`
 
 	// MetricsMode records the metrics pipeline the run used: empty for
 	// the exact default, "stream" for the bounded-memory sketch mode.

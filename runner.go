@@ -11,6 +11,7 @@ import (
 	"versaslot/internal/fabric"
 	"versaslot/internal/fault"
 	"versaslot/internal/migrate"
+	"versaslot/internal/orchestrator"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/trace"
@@ -133,9 +134,15 @@ func (r *Runner) run(s Scenario, parallel bool, cache *sequenceCache) (*Result, 
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	seq, err := cache.sequence(s)
-	if err != nil {
-		return nil, err
+	var seq *workload.Sequence
+	if len(s.Tenants) == 0 {
+		// Tenant farms generate one sequence per tenant inside runFarm;
+		// everything else resolves (and possibly shares) one sequence.
+		var err error
+		seq, err = cache.sequence(s)
+		if err != nil {
+			return nil, err
+		}
 	}
 	switch s.Topology {
 	case TopologySingle:
@@ -370,8 +377,34 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 		pairPlatforms = append(pairPlatforms, pairPlatformsOf(pair))
 		r.observeSwitches(s.Name, pair)
 	}
-	if err := f.Inject(seq); err != nil {
-		return nil, err
+	// The orchestrator (multi-tenant admission and/or autoscaling)
+	// chains its per-pair accounting hooks after the diagnostics
+	// hooks, then owns injection for tenant workloads.
+	var orch *orchestrator.Orchestrator
+	if len(s.Tenants) > 0 || s.Autoscale != nil {
+		orch, err = orchestrator.New(f, orchestrator.Config{
+			Tenants:   s.Tenants,
+			Autoscale: s.Autoscale,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("versaslot: %w", err)
+		}
+	}
+	condition := ""
+	if len(s.Tenants) > 0 {
+		seqs, err := s.tenantSequences()
+		if err != nil {
+			return nil, err
+		}
+		if err := orch.InjectTenants(seqs); err != nil {
+			return nil, fmt.Errorf("versaslot: %w", err)
+		}
+		condition = s.Condition
+	} else {
+		if err := f.Inject(seq); err != nil {
+			return nil, err
+		}
+		condition = seq.Condition
 	}
 	if err := attachFaults(s, &fault.Target{
 		K:         f.K,
@@ -386,13 +419,16 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 	}); err != nil {
 		return nil, err
 	}
+	if orch != nil {
+		orch.Start()
+	}
 	sum := f.Run()
 	out := &Result{
 		Scenario:          s.Name,
 		Topology:          TopologyFarm,
 		Policy:            "versaslot-switching",
 		PolicyTitle:       "VersaSlot Switching Farm",
-		Condition:         seq.Condition,
+		Condition:         condition,
 		Seed:              s.Seed,
 		PairPlatforms:     pairPlatforms,
 		Dispatcher:        f.Dispatcher(),
@@ -408,6 +444,10 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 	}
 	if streaming {
 		out.MetricsMode = "stream"
+	}
+	if orch != nil {
+		out.Tenants = orch.TenantStats()
+		out.Autoscale = orch.AutoscaleStats()
 	}
 	out.fillFromEngines(engines)
 	return out, nil

@@ -11,6 +11,8 @@ import (
 	"versaslot/internal/fabric"
 	"versaslot/internal/fault"
 	"versaslot/internal/metrics"
+	"versaslot/internal/orchestrator"
+	"versaslot/internal/rng"
 	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 	"versaslot/internal/workload"
@@ -131,6 +133,22 @@ type Scenario struct {
 	// stays byte-identical to a fault-free build. See FaultInjectors()
 	// for the registry.
 	Faults *fault.Spec `json:"faults,omitempty"`
+	// Tenants declares a multi-tenant workload (farm topology only):
+	// each tenant brings its own arrival process (seeded from the
+	// scenario seed plus the tenant name), quota, release priority,
+	// over-quota policy (throttle or reject), and SLO. Arrivals then
+	// pass through the orchestrator's admission controller instead of
+	// being injected directly, and the result gains a per-tenant
+	// ledger and SLO-attainment breakdown. Mutually exclusive with
+	// Workload/WorkloadFile/Arrival and the legacy poisson/interval
+	// overrides (each tenant carries its own arrival block).
+	Tenants []orchestrator.TenantSpec `json:"tenants,omitempty"`
+	// Autoscale enables the deterministic autoscaler (farm topology
+	// only): the farm is built with Max pairs of which Pairs start
+	// online and Max - Pairs start standby, and windowed load
+	// commissions or drains pairs inside [Min, Max]. Requires
+	// Min <= Pairs <= Max after defaulting.
+	Autoscale *orchestrator.AutoscaleSpec `json:"autoscale,omitempty"`
 	// Metrics selects the metrics pipeline. Nil (or mode "exact")
 	// retains every per-app sample — the historic default, byte-
 	// identical output. Mode "stream" folds samples into bounded-memory
@@ -235,8 +253,15 @@ func (s Scenario) Validate() error {
 				return fmt.Errorf("versaslot: cluster topology has one pair; got %d pair_platforms entries", len(s.PairPlatforms))
 			}
 		case TopologyFarm:
-			if len(s.PairPlatforms) > s.Pairs {
-				return fmt.Errorf("versaslot: %d pair_platforms entries for %d pairs", len(s.PairPlatforms), s.Pairs)
+			// With autoscaling the farm is built out to the autoscale
+			// max (standby pairs included), so platform assignments may
+			// cover the full fleet.
+			built := s.Pairs
+			if s.Autoscale != nil && s.Autoscale.Defaulted().Max > built {
+				built = s.Autoscale.Defaulted().Max
+			}
+			if len(s.PairPlatforms) > built {
+				return fmt.Errorf("versaslot: %d pair_platforms entries for %d pairs", len(s.PairPlatforms), built)
 			}
 		default:
 			return fmt.Errorf("versaslot: pair_platforms is cluster/farm-topology only (topology %q)", s.Topology)
@@ -325,6 +350,50 @@ func (s Scenario) Validate() error {
 	if s.RebalanceGap < 0 {
 		return fmt.Errorf("versaslot: negative rebalance gap %d", s.RebalanceGap)
 	}
+	if (len(s.Tenants) > 0 || s.Autoscale != nil) && s.Topology != TopologyFarm {
+		return fmt.Errorf("versaslot: tenants/autoscale blocks are farm-topology only (topology %q)", s.Topology)
+	}
+	if len(s.Tenants) > 0 {
+		if s.Workload != nil || s.WorkloadFile != "" || s.Arrival != nil {
+			return fmt.Errorf("versaslot: tenants conflict with a scenario-level workload/arrival block (each tenant carries its own)")
+		}
+		if s.Poisson || s.IntervalLo != 0 || s.IntervalHi != 0 {
+			return fmt.Errorf("versaslot: tenants conflict with the legacy poisson/interval overrides (put the rates in the tenant arrival blocks)")
+		}
+		names := make(map[string]bool, len(s.Tenants))
+		for _, t := range s.Tenants {
+			if err := t.Validate(); err != nil {
+				return fmt.Errorf("versaslot: %w", err)
+			}
+			if names[t.Name] {
+				return fmt.Errorf("versaslot: duplicate tenant name %q", t.Name)
+			}
+			names[t.Name] = true
+			condName := s.Condition
+			if t.Condition != "" {
+				condName = t.Condition
+			}
+			cond, err := workload.ParseCondition(condName)
+			if err != nil {
+				return fmt.Errorf("versaslot: tenant %q: %w", t.Name, err)
+			}
+			if t.Arrival != nil {
+				if err := t.Arrival.WithCondition(cond).Validate(); err != nil {
+					return fmt.Errorf("versaslot: tenant %q: %w", t.Name, err)
+				}
+			}
+		}
+	}
+	if s.Autoscale != nil {
+		a := s.Autoscale.Defaulted()
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("versaslot: %w", err)
+		}
+		if s.Pairs > a.Max || s.Pairs < a.Min {
+			return fmt.Errorf("versaslot: %d initial pairs outside the autoscale range [%d, %d] (pairs is the initial online count; the farm is built out to max)",
+				s.Pairs, a.Min, a.Max)
+		}
+	}
 	if s.Faults != nil {
 		if err := s.Faults.Validate(); err != nil {
 			return fmt.Errorf("versaslot: %w", err)
@@ -385,7 +454,7 @@ type workloadKey struct {
 // workloadKey returns the cache key for a defaulted scenario, or
 // ok=false when the workload is inline or file-based (not generated).
 func (s Scenario) workloadKey() (workloadKey, bool) {
-	if s.Workload != nil || s.WorkloadFile != "" {
+	if s.Workload != nil || s.WorkloadFile != "" || len(s.Tenants) > 0 {
 		return workloadKey{}, false
 	}
 	key := workloadKey{
@@ -436,6 +505,43 @@ func (s Scenario) sequence() (*workload.Sequence, error) {
 	return workload.Generate(p, s.Seed), nil
 }
 
+// tenantSequences generates one workload sequence per tenant (same
+// order as Tenants). Each tenant's seed derives from the scenario
+// seed plus the tenant name, so adding, removing, or renaming one
+// tenant never perturbs another's arrivals. Call on a defaulted
+// scenario.
+func (s Scenario) tenantSequences() ([]*workload.Sequence, error) {
+	seqs := make([]*workload.Sequence, len(s.Tenants))
+	for i, t := range s.Tenants {
+		condName := s.Condition
+		if t.Condition != "" {
+			condName = t.Condition
+		}
+		cond, err := workload.ParseCondition(condName)
+		if err != nil {
+			return nil, fmt.Errorf("versaslot: tenant %q: %w", t.Name, err)
+		}
+		p := workload.DefaultGenParams(cond)
+		p.Apps = t.Apps
+		if p.Apps == 0 {
+			p.Apps = s.Apps
+		}
+		seed := rng.Derive(s.Seed, "tenant/"+t.Name)
+		var seq *workload.Sequence
+		if t.Arrival != nil {
+			seq, err = workload.GenerateArrival(p, t.Arrival.WithCondition(cond), seed)
+			if err != nil {
+				return nil, fmt.Errorf("versaslot: tenant %q: %w", t.Name, err)
+			}
+		} else {
+			seq = workload.Generate(p, seed)
+		}
+		seq.Name = t.Name
+		seqs[i] = seq
+	}
+	return seqs, nil
+}
+
 // clusterConfig maps the scenario's cluster knobs onto a cluster
 // configuration.
 func (s Scenario) clusterConfig() cluster.Config {
@@ -469,7 +575,7 @@ func (s Scenario) farmConfig() cluster.FarmConfig {
 	// Per-pair assignments go through FarmConfig.PairPlatforms; the
 	// shared pair config keeps the defaults.
 	pair.BasePlatform, pair.BoostPlatform = "", ""
-	return cluster.FarmConfig{
+	cfg := cluster.FarmConfig{
 		Pair:           pair,
 		Pairs:          s.Pairs,
 		PairPlatforms:  s.PairPlatforms,
@@ -478,6 +584,15 @@ func (s Scenario) farmConfig() cluster.FarmConfig {
 		RebalanceGap:   s.RebalanceGap,
 		Shards:         s.Shards,
 	}
+	if s.Autoscale != nil {
+		// The farm is built out to the autoscale max: Pairs is the
+		// initial online count, the rest start standby and wait for the
+		// autoscaler to commission them.
+		a := s.Autoscale.Defaulted()
+		cfg.Pairs = a.Max
+		cfg.Standby = a.Max - s.Pairs
+	}
+	return cfg
 }
 
 // WriteJSON serializes the scenario as an indented config artifact.
