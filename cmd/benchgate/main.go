@@ -8,11 +8,11 @@
 //
 // Write the committed baseline after an intentional performance change:
 //
-//	go run ./cmd/benchgate -write -out BENCH_8.json
+//	go run ./cmd/benchgate -write -out BENCH_9.json
 //
 // Gate a change against it (what CI runs):
 //
-//	go run ./cmd/benchgate -baseline BENCH_8.json -out /tmp/bench.json
+//	go run ./cmd/benchgate -baseline BENCH_9.json -out /tmp/bench.json
 //
 // Allocation counts and heap bytes are machine-independent and gated
 // tightly (25% and 50% + rounding slack — a zero baseline admits
@@ -25,11 +25,14 @@
 // regressions like an accidental return to per-event heap allocation,
 // not 10% jitter.
 //
-// On hosts with at least four CPUs the gate additionally requires the
-// 4-shard farm run at pairs=128 to beat its sequential twin by the
-// -shard-speedup factor — a baseline-free property of the measured run
-// itself, so a change that quietly serializes the sharded executor
-// fails CI even if absolute timings stay within tolerance.
+// On multi-core hosts the gate additionally requires the sharded farm
+// runs to beat their sequential twins: 4 shards at pairs=128 by the
+// -shard-speedup factor (hosts with at least 4 CPUs), and 8 shards at
+// pairs=1024 by the -shard-speedup-wide factor (hosts with at least
+// 8 CPUs — below that the floors are skipped with a note). These are
+// baseline-free properties of the measured run itself, so a change
+// that quietly serializes the sharded executor fails CI even if
+// absolute timings stay within tolerance.
 package main
 
 import (
@@ -87,23 +90,27 @@ var suites = []struct {
 	{`^BenchmarkAutoscaleChurn$`, "4x"},
 }
 
-// shardSpeedupPair names the sharded/sequential twin benches whose
-// ratio the multi-core speedup floor applies to.
-const (
-	shardSeqBench = "FarmDispatchSharded/pairs=128/shards=1"
-	shardParBench = "FarmDispatchSharded/pairs=128/shards=4"
-)
+// shardFloor is one sharded-speedup floor: the named parallel bench
+// must beat its sequential twin by factor on hosts with at least
+// minCPU CPUs; below that a parallel win is impossible and the check
+// is skipped with a note.
+type shardFloor struct {
+	seq, par string
+	minCPU   int
+	factor   float64
+}
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_8.json", "path to write the measured report")
-		baseline = flag.String("baseline", "", "committed baseline to gate against (empty: no gate)")
-		write    = flag.Bool("write", false, "only write the report (alias for -baseline '')")
-		nsTol    = flag.Float64("ns-tolerance", 4.0, "fail when ns/op exceeds baseline by this factor")
-		allocTol = flag.Float64("allocs-tolerance", 1.25, "fail when allocs/op exceeds baseline by this factor (plus rounding slack)")
-		bytesTol = flag.Float64("bytes-tolerance", 1.5, "fail when B/op exceeds baseline by this factor (plus rounding slack)")
-		speedup  = flag.Float64("shard-speedup", 2.0, "fail when the 4-shard pairs=128 farm run is not this much faster than sequential (skipped below 4 CPUs)")
-		pkg      = flag.String("pkg", ".", "package holding the benchmarks")
+		out         = flag.String("out", "BENCH_9.json", "path to write the measured report")
+		baseline    = flag.String("baseline", "", "committed baseline to gate against (empty: no gate)")
+		write       = flag.Bool("write", false, "only write the report (alias for -baseline '')")
+		nsTol       = flag.Float64("ns-tolerance", 4.0, "fail when ns/op exceeds baseline by this factor")
+		allocTol    = flag.Float64("allocs-tolerance", 1.25, "fail when allocs/op exceeds baseline by this factor (plus rounding slack)")
+		bytesTol    = flag.Float64("bytes-tolerance", 1.5, "fail when B/op exceeds baseline by this factor (plus rounding slack)")
+		speedup     = flag.Float64("shard-speedup", 2.0, "fail when the 4-shard pairs=128 farm run is not this much faster than sequential (skipped below 4 CPUs)")
+		speedupWide = flag.Float64("shard-speedup-wide", 3.0, "fail when the 8-shard pairs=1024 farm run is not this much faster than sequential (skipped below 8 CPUs)")
+		pkg         = flag.String("pkg", ".", "package holding the benchmarks")
 	)
 	flag.Parse()
 
@@ -127,7 +134,11 @@ func main() {
 	}
 	fmt.Printf("benchgate: wrote %d benchmark results to %s\n", len(results), *out)
 
-	if failures := checkShardSpeedup(report, *speedup); len(failures) > 0 {
+	floors := []shardFloor{
+		{seq: "FarmDispatchSharded/pairs=128/shards=1", par: "FarmDispatchSharded/pairs=128/shards=4", minCPU: 4, factor: *speedup},
+		{seq: "FarmDispatchSharded/pairs=1024/shards=1", par: "FarmDispatchSharded/pairs=1024/shards=8", minCPU: 8, factor: *speedupWide},
+	}
+	if failures := checkShardSpeedup(report, floors); len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "benchgate: %s\n", f)
 		}
@@ -151,34 +162,40 @@ func main() {
 	fmt.Printf("benchgate: %d benchmarks within tolerance of %s\n", len(results), *baseline)
 }
 
-// checkShardSpeedup enforces the sharded executor's speedup floor on
-// multi-core hosts: the measured 4-shard pairs=128 farm run must beat
-// its sequential twin by the given factor. Below four CPUs a parallel
-// win is impossible, so the check is skipped with a note. Unlike the
-// baseline gate this is a property of the measured run alone, and it
-// applies in -write mode too: a baseline must never be published with
-// a serialized sharded executor.
-func checkShardSpeedup(r Report, floor float64) []string {
-	if floor <= 0 {
-		return nil
-	}
-	if n := runtime.NumCPU(); n < 4 {
-		fmt.Printf("benchgate: %d CPU(s), skipping the x%.1f sharded speedup floor\n", n, floor)
-		return nil
-	}
+// checkShardSpeedup enforces the sharded executor's speedup floors on
+// multi-core hosts: each measured parallel farm run must beat its
+// sequential twin by the floor's factor. On hosts below a floor's CPU
+// requirement a parallel win is impossible, so that floor is skipped
+// with a note. Unlike the baseline gate this is a property of the
+// measured run alone, and it applies in -write mode too: a baseline
+// must never be published with a serialized sharded executor.
+func checkShardSpeedup(r Report, floors []shardFloor) []string {
 	by := make(map[string]Bench, len(r.Benchmarks))
 	for _, b := range r.Benchmarks {
 		by[b.Name] = b
 	}
-	seq, okSeq := by[shardSeqBench]
-	par, okPar := by[shardParBench]
-	if !okSeq || !okPar {
-		return []string{fmt.Sprintf("speedup check: %s or %s missing from the measured report", shardSeqBench, shardParBench)}
+	var failures []string
+	cpus := runtime.NumCPU()
+	for _, fl := range floors {
+		if fl.factor <= 0 {
+			continue
+		}
+		if cpus < fl.minCPU {
+			fmt.Printf("benchgate: %d CPU(s), skipping the x%.1f speedup floor on %s (needs %d)\n",
+				cpus, fl.factor, fl.par, fl.minCPU)
+			continue
+		}
+		seq, okSeq := by[fl.seq]
+		par, okPar := by[fl.par]
+		if !okSeq || !okPar {
+			failures = append(failures, fmt.Sprintf("speedup check: %s or %s missing from the measured report", fl.seq, fl.par))
+			continue
+		}
+		if got := seq.NsPerOp / par.NsPerOp; got < fl.factor {
+			failures = append(failures, fmt.Sprintf("SPEEDUP %s: x%.2f over sequential, below the x%.1f floor", fl.par, got, fl.factor))
+		}
 	}
-	if got := seq.NsPerOp / par.NsPerOp; got < floor {
-		return []string{fmt.Sprintf("SPEEDUP %s: x%.2f over sequential, below the x%.1f floor", shardParBench, got, floor)}
-	}
-	return nil
+	return failures
 }
 
 // runSuite executes one `go test -bench` invocation and parses its

@@ -20,6 +20,7 @@
 //	          [-stream] [-window 10s] [-max-windows 64]
 //	          [-timeseries-csv windows.csv]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//	          [-blockprofile block.out] [-mutexprofile mutex.out]
 //	          [-dump-scenario file.json] [-v]
 //	versaslot suite [-dir scenarios] [-out report.md] [-apps-cap N]
 //	versaslot -policy list
@@ -69,7 +70,7 @@ func main() {
 	dispatcher := flag.String("dispatcher", "", "farm arrival dispatcher (default least-loaded), or 'list' to print the registry")
 	rebalanceEvery := flag.Duration("rebalance-every", 0, "farm rebalancer cadence in virtual time (0 disables)")
 	rebalanceGap := flag.Int("rebalance-gap", 0, "min unfinished-app gap between pairs that triggers a cross-pair migration (default 2)")
-	shards := flag.Int("shards", 0, "run a farm's pairs across this many parallel shards (0/1 = sequential)")
+	shards := flag.Int("shards", 0, "run a farm's pairs across this many parallel shards (0 = auto from pair count and GOMAXPROCS, 1 = sequential); results are byte-identical at any width")
 	tenantsJSON := flag.String("tenants", "", "inline tenant-spec JSON array (farm topology): per-tenant arrival process, quota, priority, over-quota policy, SLO")
 	autoscaleJSON := flag.String("autoscale", "", "inline autoscale-spec JSON (farm topology): {\"min\":1,\"max\":4,...}; -pairs is the initial online count")
 	faultKind := flag.String("fault", "", "attach one fault injector by kind with default parameters, or 'list' to print the registry")
@@ -81,6 +82,8 @@ func main() {
 	dump := flag.String("dump-scenario", "", "also write the effective scenario JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file (diagnoses sharded-executor stalls)")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 	verbose := flag.Bool("v", false, "print per-application response times")
 	flag.Parse()
 
@@ -198,11 +201,24 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 
 	res, err := versaslot.Run(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "versaslot:", err)
 		os.Exit(1)
+	}
+
+	if *blockprofile != "" {
+		writeRuntimeProfile("block", *blockprofile)
+	}
+	if *mutexprofile != "" {
+		writeRuntimeProfile("mutex", *mutexprofile)
 	}
 
 	if *memprofile != "" {
@@ -333,6 +349,21 @@ func main() {
 			vt.AddRow(r.AppID, r.Spec, r.Batch, r.Arrival.Seconds(), sim.Time(r.Response).Seconds())
 		}
 		vt.Render(os.Stdout)
+	}
+}
+
+// writeRuntimeProfile dumps one named runtime profile ("block",
+// "mutex") collected over the run.
+func writeRuntimeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "versaslot: -%sprofile: %v\n", name, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "versaslot: -%sprofile: %v\n", name, err)
+		os.Exit(1)
 	}
 }
 

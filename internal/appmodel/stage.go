@@ -150,10 +150,14 @@ func (s *Stage) ImplRes() fabric.ResVec {
 // targets; timeScale scales item times (1.0 for slot execution; the
 // exclusive baseline passes Spec.MonoFactor).
 func TaskStages(a *App, class string, timeScale float64, bitName func(task int) string) []*Stage {
+	// One contiguous backing array instead of per-stage allocations:
+	// stage plans are built on every arrival (and rebuilt on rebind),
+	// so this path is hot at farm scale.
+	backing := make([]Stage, len(a.Spec.Tasks))
 	stages := make([]*Stage, len(a.Spec.Tasks))
 	for i, t := range a.Spec.Tasks {
 		d := sim.Duration(float64(t.Time) * timeScale)
-		stages[i] = &Stage{
+		backing[i] = Stage{
 			App:           a,
 			Index:         i,
 			FirstTask:     i,
@@ -164,6 +168,7 @@ func TaskStages(a *App, class string, timeScale float64, bitName func(task int) 
 			timeFirst:     d,
 			timeRest:      d,
 		}
+		stages[i] = &backing[i]
 	}
 	a.Stages = stages
 	return stages
@@ -194,9 +199,12 @@ func BundleStages(a *App, class string, size int, modes []BundleMode, bitName fu
 	if len(modes) != n {
 		panic("appmodel: modes length mismatch")
 	}
+	// Contiguous backing, as in TaskStages.
+	backing := make([]Stage, n)
 	stages := make([]*Stage, n)
 	for b := 0; b < n; b++ {
-		st := &Stage{
+		st := &backing[b]
+		*st = Stage{
 			App:           a,
 			Index:         b,
 			FirstTask:     b * size,

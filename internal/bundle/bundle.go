@@ -1,6 +1,8 @@
 package bundle
 
 import (
+	"sync"
+
 	"versaslot/internal/appmodel"
 	"versaslot/internal/bitstream"
 	"versaslot/internal/fabric"
@@ -81,13 +83,108 @@ func SelectMode(spec *appmodel.AppSpec, b int, batch int) appmodel.BundleMode {
 	return appmodel.BundleParallel
 }
 
+// Execution-plan interning. Stage plans are pure functions of the spec
+// pointer (workload specs are shared package-level values), the target
+// slot class, and — for bundles — the batch size; at farm scale the
+// same handful of (spec, class) pairs recurs for every one of thousands
+// of arrivals, and the fmt.Sprintf bitstream names plus the mode-select
+// timing math dominated the dispatch profile. The caches below compute
+// each plan once and hand out shared read-only slices. A plain map
+// under RWMutex beats sync.Map here: struct keys box into interfaces on
+// every sync.Map lookup, which allocates on the very path this exists
+// to keep allocation-free. Growth is bounded by the (tiny) cross
+// product of distinct specs, classes, and batch sizes.
+type taskPlanKey struct {
+	spec  *appmodel.AppSpec
+	class string
+}
+
+type modesKey struct {
+	spec  *appmodel.AppSpec
+	batch int
+}
+
+type bundlePlanKey struct {
+	spec  *appmodel.AppSpec
+	class string
+	batch int
+}
+
+var planCache = struct {
+	mu      sync.RWMutex
+	tasks   map[taskPlanKey][]string
+	modes   map[modesKey][]appmodel.BundleMode
+	bundles map[bundlePlanKey][]string
+}{
+	tasks:   make(map[taskPlanKey][]string),
+	modes:   make(map[modesKey][]appmodel.BundleMode),
+	bundles: make(map[bundlePlanKey][]string),
+}
+
+// taskNames returns the interned per-task bitstream names of spec in
+// the given class. The slice is shared — callers must not mutate it.
+func taskNames(spec *appmodel.AppSpec, class string) []string {
+	key := taskPlanKey{spec, class}
+	planCache.mu.RLock()
+	names := planCache.tasks[key]
+	planCache.mu.RUnlock()
+	if names != nil {
+		return names
+	}
+	names = make([]string, len(spec.Tasks))
+	for i, t := range spec.Tasks {
+		names[i] = bitstream.TaskName(spec.Name, t.Name, class)
+	}
+	planCache.mu.Lock()
+	planCache.tasks[key] = names
+	planCache.mu.Unlock()
+	return names
+}
+
+// bundleNames returns the interned per-bundle bitstream names of spec
+// in the given class for the given mode selection. modes must be the
+// Modes(spec, batch) result for the batch in the key.
+func bundleNames(spec *appmodel.AppSpec, class string, batch int, modes []appmodel.BundleMode) []string {
+	key := bundlePlanKey{spec, class, batch}
+	planCache.mu.RLock()
+	names := planCache.bundles[key]
+	planCache.mu.RUnlock()
+	if names != nil {
+		return names
+	}
+	names = make([]string, len(modes))
+	for b, m := range modes {
+		tag := "par"
+		if m == appmodel.BundleSerial {
+			tag = "ser"
+		}
+		names[b] = bitstream.BundleName(spec.Name, b, tag, class)
+	}
+	planCache.mu.Lock()
+	planCache.bundles[key] = names
+	planCache.mu.Unlock()
+	return names
+}
+
 // Modes selects the execution mode of every bundle of spec for a batch.
+// The result is interned and shared across calls — treat it as
+// read-only.
 func Modes(spec *appmodel.AppSpec, batch int) []appmodel.BundleMode {
+	key := modesKey{spec, batch}
+	planCache.mu.RLock()
+	modes := planCache.modes[key]
+	planCache.mu.RUnlock()
+	if modes != nil {
+		return modes
+	}
 	n := Count(spec)
-	modes := make([]appmodel.BundleMode, n)
+	modes = make([]appmodel.BundleMode, n)
 	for b := 0; b < n; b++ {
 		modes[b] = SelectMode(spec, b, batch)
 	}
+	planCache.mu.Lock()
+	planCache.modes[key] = modes
+	planCache.mu.Unlock()
 	return modes
 }
 
@@ -95,20 +192,18 @@ func Modes(spec *appmodel.AppSpec, batch int) []appmodel.BundleMode {
 // named big-role slot class.
 func Build(app *appmodel.App, class string) []*appmodel.Stage {
 	modes := Modes(app.Spec, app.Batch)
+	names := bundleNames(app.Spec, class, app.Batch, modes)
 	return appmodel.BundleStages(app, class, Size, modes, func(b int, m appmodel.BundleMode) string {
-		tag := "par"
-		if m == appmodel.BundleSerial {
-			tag = "ser"
-		}
-		return bitstream.BundleName(app.Spec.Name, b, tag, class)
+		return names[b]
 	})
 }
 
 // BuildTasks installs the per-task execution plan on app, targeting the
 // named base slot class.
 func BuildTasks(app *appmodel.App, class string) []*appmodel.Stage {
+	names := taskNames(app.Spec, class)
 	return appmodel.TaskStages(app, class, 1.0, func(task int) string {
-		return bitstream.TaskName(app.Spec.Name, app.Spec.Tasks[task].Name, class)
+		return names[task]
 	})
 }
 

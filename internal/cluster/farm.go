@@ -2,7 +2,7 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 
 	"versaslot/internal/appmodel"
 	"versaslot/internal/interlink"
@@ -48,13 +48,20 @@ type FarmConfig struct {
 	// a single queued app between two otherwise balanced pairs.
 	RebalanceGap int
 	// Shards, when greater than one, runs the farm's pairs on that many
-	// worker goroutines: each pair advances its own event stream, and
-	// the streams synchronize at every farm-control instant (arrival
-	// dispatch, rebalance tick, rack-link completion, fault strike) so
-	// the merged result is byte-identical to the sequential run. Values
-	// above the pair count are clamped. Incompatible with a non-zero
+	// worker goroutines: each pair advances its own event stream under
+	// conservative lookahead synchronization (shards run ahead to the
+	// next farm-control instant — arrival dispatch, rebalance tick,
+	// rack-link completion, fault strike — and only shards that can
+	// interact synchronize) so the merged result is byte-identical to
+	// the sequential run. Zero selects the shard count automatically
+	// from the online-pair count and GOMAXPROCS — sequential when the
+	// farm is too small or the host too narrow for sharding to win,
+	// never slower than sequential by construction. One forces
+	// sequential execution. Values above the pair count are clamped.
+	// An explicit Shards > 1 is incompatible with a non-zero
 	// Pair.Params.PRFailureRate, whose CRC re-stream draws would come
-	// from per-pair RNGs instead of the shared kernel stream.
+	// from per-pair RNGs instead of the shared kernel stream; the
+	// automatic path quietly stays sequential there.
 	Shards int
 	// Standby decommissions the last Standby pairs at construction:
 	// they are built (kernels, engines, platforms) but start in
@@ -100,6 +107,38 @@ func (s PairState) String() string {
 // setup with the default dispatcher and no rebalancing.
 func DefaultFarmConfig(n int) FarmConfig {
 	return FarmConfig{Pair: DefaultConfig(), Pairs: n}
+}
+
+// Automatic shard selection (FarmConfig.Shards == 0). The floors come
+// from the BENCH_8 scaling wall: below ~64 online pairs the whole run
+// is too short for worker wakeups to amortize (at 128 pairs, 8 shards
+// measured *slower* than sequential), and past ~32 pairs per shard the
+// extra workers only add synchronization without adding parallel work
+// (8 shards were no faster than 4 at 1,024 pairs under the barrier
+// loop). The cap keeps wide hosts from splintering the fleet into
+// slivers a single control tick can stall.
+const (
+	autoShardMinPairs      = 64
+	autoShardPairsPerShard = 32
+	autoShardMax           = 8
+)
+
+// autoShards picks the worker count for an auto-sharded farm from the
+// online-pair count and the host's GOMAXPROCS. It returns 1 —
+// sequential, the inline fallback — whenever sharding cannot win by
+// construction: a single-slot scheduler, or too few active pairs.
+func autoShards(onlinePairs, procs int) int {
+	if procs < 2 || onlinePairs < autoShardMinPairs {
+		return 1
+	}
+	s := procs
+	if s > autoShardMax {
+		s = autoShardMax
+	}
+	for s > 1 && onlinePairs/s < autoShardPairsPerShard {
+		s--
+	}
+	return s
 }
 
 func (c FarmConfig) gap() int {
@@ -164,11 +203,14 @@ type Farm struct {
 	// atomics; finishedCount sums it on the coordinator.
 	finishedBy []int
 
-	// pairK holds each pair's private kernel when the farm is sharded
-	// (Shards > 1); nil on the sequential path, where every pair shares
-	// f.K. shards is the clamped worker count.
+	// pairK holds each pair's private kernel when the farm is sharded;
+	// nil on the sequential path, where every pair shares f.K. shards
+	// is the resolved worker count (auto-selected when Cfg.Shards is
+	// zero), and coord is the live lookahead coordinator while a
+	// sharded Run is in progress (TouchPair's hand-off point).
 	pairK  []*sim.Kernel
 	shards int
+	coord  *shardCoord
 
 	// Arrival cursor: Inject walks a sorted sequence with one chained
 	// event instead of a closure per app (see Engine.InjectSequence).
@@ -227,6 +269,12 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		return nil, err
 	}
 	shards := cfg.Shards
+	if shards == 0 {
+		shards = autoShards(cfg.Pairs-cfg.Standby, runtime.GOMAXPROCS(0))
+		if cfg.Pair.Params.PRFailureRate > 0 {
+			shards = 1
+		}
+	}
 	if shards > cfg.Pairs {
 		shards = cfg.Pairs
 	}
@@ -324,6 +372,11 @@ func MustNewFarm(cfg FarmConfig) *Farm {
 
 // Dispatcher returns the canonical name of the farm's dispatcher.
 func (f *Farm) Dispatcher() string { return f.dispatcher.Name() }
+
+// ShardCount returns the resolved worker count the farm executes with:
+// Cfg.Shards clamped to the pair count, or the automatic selection
+// when Cfg.Shards is zero. One means sequential execution.
+func (f *Farm) ShardCount() int { return f.shards }
 
 // Load returns a copy of the current unfinished-app count per pair
 // (the dispatcher's view). Hot paths use LoadView.
@@ -490,6 +543,9 @@ func (f *Farm) FinishDrain(i int) error {
 // one rack-link transfer per destination. Unhostable apps re-queue at
 // src. Same ledger bookkeeping as migrateCross.
 func (f *Farm) drainCross(src int) int {
+	// Extraction, requeue, and Forget all reach into the source pair's
+	// engines at the current control instant.
+	f.TouchPair(src)
 	eng := f.Pairs[src].activeEngine()
 	all := eng.Policy().ExtractMigratable()
 	if len(all) == 0 {
@@ -551,7 +607,9 @@ func (f *Farm) drainCross(src int) int {
 		f.crossOut[src] += len(apps)
 		f.crossIn[dst] += len(apps)
 		target := f.Pairs[dst]
+		dstIdx := dst
 		migrate.ExecuteModel(f.K, f.Rack, apps, f.cost, func(apps []*appmodel.App) {
+			f.TouchPair(dstIdx)
 			next := target.activeEngine()
 			for _, a := range apps {
 				warmNamesFor(next, target.Platform(target.ActiveMode()), a)
@@ -718,6 +776,9 @@ func (f *Farm) dispatchOne(a *appmodel.App) {
 	}
 	f.routed[idx]++
 	f.load[idx]++
+	// Sharded runs advance pair clocks lazily; the pair must reach the
+	// dispatch instant before the injection lands on its kernel.
+	f.TouchPair(idx)
 	f.Pairs[idx].activeEngine().InjectNow(a)
 }
 
@@ -841,6 +902,9 @@ func (f *Farm) rebalanceTick() {
 // application: apps the destination cannot host are re-queued at the
 // source instead of transferred.
 func (f *Farm) migrateCross(src, dst, max int) {
+	// Extraction, requeue, and Forget all reach into the source pair's
+	// engines at the current control instant.
+	f.TouchPair(src)
 	eng := f.Pairs[src].activeEngine()
 	var moved []*appmodel.App
 	if lim, ok := eng.Policy().(sched.MigrationLimiter); ok {
@@ -926,12 +990,14 @@ func (f *Farm) migrateCross(src, dst, max int) {
 	f.crossOut[src] += n
 	f.crossIn[dst] += n
 	f.rebalancing = true
+	dstIdx := dst
 	migrate.ExecuteModel(f.K, f.Rack, moved, f.cost, func(apps []*appmodel.App) {
 		f.rebalancing = false
 		// Resolve the destination board at delivery (the pair may have
 		// switched mid-flight) and stage the migrated apps' bitstreams
 		// in its DDR cache — they travelled with the transfer — so the
 		// first PR pays no SD-card streaming.
+		f.TouchPair(dstIdx)
 		next := target.activeEngine()
 		for _, a := range apps {
 			warmNamesFor(next, target.Platform(target.ActiveMode()), a)
@@ -1121,131 +1187,6 @@ func (f *Farm) summarizeStream() Summary {
 		s.MeanCrossTime /= sim.Duration(s.CrossSwitches)
 	}
 	return s
-}
-
-// runSharded executes the farm with one goroutine per shard, each
-// advancing a contiguous block of pair kernels, synchronized at every
-// farm-control instant so the merged run is byte-identical to the
-// sequential one.
-//
-// The coordinator kernel f.K holds exactly the control plane: arrival
-// dispatch (PriArrival), rebalance ticks and rack-link transfers
-// (PriFarmControl), and fault-injector chains. Pair-local events live
-// on the per-pair kernels. The epoch loop peeks the next control
-// instant T, has every worker run its pairs' events strictly before T
-// and bump their clocks to T, then drains every coordinator event at
-// exactly T single-threaded. That reproduces the sequential order: in
-// a shared-kernel run, all simulation events before T execute first,
-// then the control events at T (their priorities sort them ahead of
-// same-instant pair events), then pair events at T — which here run in
-// the next epoch's RunBefore. Control events may inspect and mutate
-// pair state freely: workers are parked, and the channel send /
-// WaitGroup pair establishes happens-before in both directions.
-//
-// Pair events never schedule onto f.K (completions only bump the
-// farm's per-pair counters), so the control queue the loop drains is
-// never extended from a worker. Once it empties, the final phase runs
-// every pair kernel dry in parallel and advances all clocks to the
-// global end time, so residency/availability integrals flush against
-// the same horizon a shared kernel would have had.
-func (f *Farm) runSharded() {
-	nw := f.shards
-	cmds := make([]chan sim.Time, nw)
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		cmds[w] = make(chan sim.Time, 1)
-		lo := w * len(f.pairK) / nw
-		hi := (w + 1) * len(f.pairK) / nw
-		go func(cmd chan sim.Time, ks []*sim.Kernel) {
-			for t := range cmd {
-				if t < 0 {
-					// Final-drain sentinel (event times are never
-					// negative): run to completion.
-					for _, k := range ks {
-						k.Run()
-					}
-				} else {
-					// NextAt is a heap-top peek, so idle kernels cost
-					// two loads; clocks advance on the coordinator.
-					for _, k := range ks {
-						if next, ok := k.NextAt(); ok && next < t {
-							k.RunBefore(t)
-						}
-					}
-				}
-				wg.Done()
-			}
-		}(cmds[w], f.pairK[lo:hi])
-	}
-	phase := func(t sim.Time) {
-		wg.Add(nw)
-		for _, c := range cmds {
-			c <- t
-		}
-		wg.Wait()
-	}
-	// Most epochs are one dispatched arrival: a single pair kernel has
-	// events before T while the other N-1 idle. Waking every worker for
-	// that epoch costs ~2*shards futex round-trips — at fleet scale the
-	// wake/sleep overhead used to swallow the entire parallel gain
-	// (BENCH_6's flat 1,024-pair scaling). The coordinator therefore
-	// peeks all pair kernels first (cheap heap-top reads, aborting the
-	// scan once the count exceeds the threshold): an epoch with at most
-	// inlineMax event-bearing kernels runs them inline with no barrier
-	// at all, and the persistent workers are only woken for genuinely
-	// parallel epochs (bursts, rebalance fan-out, the final drain).
-	// Per-kernel event order is untouched either way, so the merged run
-	// stays byte-identical to the sequential one.
-	const inlineMax = 2
-	active := make([]*sim.Kernel, 0, inlineMax+1)
-	for {
-		t, ok := f.K.NextAt()
-		if !ok {
-			break
-		}
-		active = active[:0]
-		for _, k := range f.pairK {
-			if next, ok := k.NextAt(); ok && next < t {
-				active = append(active, k)
-				if len(active) > inlineMax {
-					break
-				}
-			}
-		}
-		if len(active) > inlineMax {
-			phase(t)
-		} else {
-			for _, k := range active {
-				k.RunBefore(t)
-			}
-		}
-		// Control events at T may stamp any pair's clock (injection,
-		// fault ops), so every kernel reaches T before the drain —
-		// exactly the clock state the worker phase used to leave.
-		for _, k := range f.pairK {
-			k.AdvanceTo(t)
-		}
-		for {
-			f.K.Step()
-			if next, ok := f.K.NextAt(); !ok || next > t {
-				break
-			}
-		}
-	}
-	phase(-1)
-	for _, c := range cmds {
-		close(c)
-	}
-	endT := f.K.Now()
-	for _, k := range f.pairK {
-		if k.Now() > endT {
-			endT = k.Now()
-		}
-	}
-	f.K.AdvanceTo(endT)
-	for _, k := range f.pairK {
-		k.AdvanceTo(endT)
-	}
 }
 
 // Quiescent reports whether every injected application has finished

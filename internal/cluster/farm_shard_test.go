@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"versaslot/internal/fabric"
@@ -41,11 +42,11 @@ func runShardFarm(t *testing.T, cfg FarmConfig, apps int, seed uint64) Summary {
 }
 
 // TestShardedMatchesSequential is the sharded executor's acceptance
-// bar: for every dispatcher, on uniform and heterogeneous farms, a
-// 4-shard run must produce a Summary deeply equal to the sequential
-// run — same response samples, same rebalancer migrations, same
-// D_switch traces. Run under -race this also exercises the epoch
-// barrier's happens-before edges.
+// bar: for every dispatcher, on uniform and heterogeneous farms, at
+// 4 and 8 shards, a sharded run must produce a Summary deeply equal to
+// the sequential run — same response samples, same rebalancer
+// migrations, same D_switch traces. Run under -race this also
+// exercises the lookahead coordinator's happens-before edges.
 func TestShardedMatchesSequential(t *testing.T) {
 	for _, hetero := range []bool{false, true} {
 		for _, name := range []string{DispatchLeastLoaded, DispatchRoundRobin, DispatchPowerOfTwo, DispatchAffinity} {
@@ -61,12 +62,15 @@ func TestShardedMatchesSequential(t *testing.T) {
 					cfg.PairPlatforms = heteroPlatforms(cfg.Pairs)
 				}
 				seqSum := runShardFarm(t, cfg, 48, 4242)
-				cfg.Shards = 4
-				shSum := runShardFarm(t, cfg, 48, 4242)
-				if !reflect.DeepEqual(seqSum, shSum) {
-					t.Errorf("sharded summary diverged from sequential:\nsequential: apps=%d meanRT=%v p99=%v cross=%d switches=%d\nsharded:    apps=%d meanRT=%v p99=%v cross=%d switches=%d",
-						seqSum.Apps, seqSum.MeanRT, seqSum.P99, seqSum.CrossSwitches, seqSum.Switches,
-						shSum.Apps, shSum.MeanRT, shSum.P99, shSum.CrossSwitches, shSum.Switches)
+				for _, shards := range []int{4, 8} {
+					cfg.Shards = shards
+					shSum := runShardFarm(t, cfg, 48, 4242)
+					if !reflect.DeepEqual(seqSum, shSum) {
+						t.Errorf("%d-shard summary diverged from sequential:\nsequential: apps=%d meanRT=%v p99=%v cross=%d switches=%d\nsharded:    apps=%d meanRT=%v p99=%v cross=%d switches=%d",
+							shards,
+							seqSum.Apps, seqSum.MeanRT, seqSum.P99, seqSum.CrossSwitches, seqSum.Switches,
+							shSum.Apps, shSum.MeanRT, shSum.P99, shSum.CrossSwitches, shSum.Switches)
+					}
 				}
 			})
 		}
@@ -88,6 +92,91 @@ func TestShardedShardCounts(t *testing.T) {
 					shards, got.Apps, want.Apps, got.MeanRT, want.MeanRT)
 			}
 		})
+	}
+}
+
+// TestShardEpochZeroAlloc pins the lookahead coordinator's steady
+// state: with the workers parked and no pair holding events before the
+// next control instant, executing a coordinator instant allocates
+// nothing — the need/inline/touched scratch is preallocated and idle
+// shards cost a single horizon-array read each.
+func TestShardEpochZeroAlloc(t *testing.T) {
+	cfg := DefaultFarmConfig(8)
+	cfg.Shards = 4
+	f := MustNewFarm(cfg)
+	const instants = 400
+	for i := 1; i <= instants; i++ {
+		f.K.AtP(sim.Time(i)*sim.Time(sim.Millisecond), sim.PriFarmControl, func() {})
+	}
+	c := f.newShardCoord()
+	// Warm: let the workers burn their spin budgets and park, and the
+	// kernel freelist reach steady state.
+	for i := 0; i < 100; i++ {
+		if !c.step() {
+			t.Fatal("control queue drained during warmup")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !c.step() {
+			t.Fatal("control queue drained mid-measurement")
+		}
+	})
+	for c.step() {
+	}
+	c.finish()
+	if allocs != 0 {
+		t.Errorf("warm lookahead epoch allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestAutoShards pins the shard auto-selection table, including the
+// clamp that keeps the measured pairs=128/shards=8 regression out of
+// auto mode and the sequential fallback for small farms and single-CPU
+// hosts.
+func TestAutoShards(t *testing.T) {
+	cases := []struct {
+		pairs, procs, want int
+	}{
+		{1024, 8, 8},  // big farm, enough CPUs: full width
+		{1024, 16, 8}, // width capped at autoShardMax
+		{128, 8, 4},   // 128/8 = 16 pairs per shard is too thin: back off
+		{128, 4, 4},   // 128/4 = 32 pairs per shard is exactly enough
+		{64, 8, 2},    // backs off until pairs/shards >= 32
+		{63, 8, 1},    // below the minimum farm size: sequential
+		{1024, 1, 1},  // single CPU: sequential
+		{0, 8, 1},     // degenerate
+	}
+	for _, tc := range cases {
+		if got := autoShards(tc.pairs, tc.procs); got != tc.want {
+			t.Errorf("autoShards(%d pairs, %d procs) = %d, want %d", tc.pairs, tc.procs, got, tc.want)
+		}
+	}
+}
+
+// TestAutoShardResolution covers Shards == 0 end to end: small farms
+// resolve to the sequential executor, large farms to the same width
+// the selection table picks for this host, and a PR failure rate
+// quietly forces sequential instead of erroring (only an explicit
+// shard request conflicts with the shared-RNG re-stream path).
+func TestAutoShardResolution(t *testing.T) {
+	small := MustNewFarm(DefaultFarmConfig(4))
+	if got := small.ShardCount(); got != 1 {
+		t.Errorf("4-pair auto farm resolved to %d shards, want 1", got)
+	}
+
+	big := MustNewFarm(DefaultFarmConfig(128))
+	if want := autoShards(128, runtime.GOMAXPROCS(0)); big.ShardCount() != want {
+		t.Errorf("128-pair auto farm resolved to %d shards, want %d", big.ShardCount(), want)
+	}
+
+	flaky := DefaultFarmConfig(128)
+	flaky.Pair.Params.PRFailureRate = 0.01
+	f, err := NewFarm(flaky)
+	if err != nil {
+		t.Fatalf("auto shards with PRFailureRate should fall back to sequential, got error: %v", err)
+	}
+	if got := f.ShardCount(); got != 1 {
+		t.Errorf("auto farm with PRFailureRate resolved to %d shards, want 1", got)
 	}
 }
 

@@ -49,6 +49,7 @@ func runChaosFarm(t *testing.T, shards int) cluster.Summary {
 		Farm:      f,
 		Quiescent: f.Quiescent,
 		Pri:       sim.PriFarmControl,
+		Touch:     f.TouchPair,
 	}
 	if err := Attach(tgt, chaosSpec(), 777); err != nil {
 		t.Fatal(err)

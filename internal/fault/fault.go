@@ -35,6 +35,24 @@ type Target struct {
 	// and sequential runs); single-board and cluster topologies leave
 	// it zero.
 	Pri int32
+
+	// Touch, when set, stamps a pair's clock to the current control
+	// instant before an injector acts on its engines. Sharded farms
+	// advance pair clocks lazily under conservative lookahead, so every
+	// fault strike and recovery must touch its pair first — a slot
+	// failure scheduled against a stale pair clock would land in the
+	// pair's past. The farm runner sets it to Farm.TouchPair; it is a
+	// no-op on sequential runs and nil for single-board and cluster
+	// topologies, whose engines share the injector kernel.
+	Touch func(pair int)
+}
+
+// touch stamps pair's clock to the current control instant (see
+// Touch); safe to call with no hook installed or no pair (-1).
+func (t *Target) touch(pair int) {
+	if t.Touch != nil && pair >= 0 {
+		t.Touch(pair)
+	}
 }
 
 // Done reports whether the workload has drained. Injector timer chains

@@ -6,7 +6,6 @@ import (
 	"versaslot/internal/fabric"
 	"versaslot/internal/migrate"
 	"versaslot/internal/rng"
-	"versaslot/internal/sched"
 	"versaslot/internal/sim"
 )
 
@@ -147,24 +146,29 @@ type slotFail struct {
 }
 
 func (inj *slotFail) Attach(t *Target, r *sim.RNG) {
-	for _, e := range t.Engines {
-		for _, s := range e.Board.Slots {
+	// boards() iterates engines in attachment order, so the fork
+	// sequence is identical to iterating t.Engines — it additionally
+	// carries each engine's pair index for the sharded-clock touch.
+	for _, b := range t.boards() {
+		for _, s := range b.engine.Board.Slots {
 			// One forked stream per slot: slot 3's chain is independent
 			// of how often slot 2 failed.
-			inj.chain(t, e, s, r.Fork())
+			inj.chain(t, b, s, r.Fork())
 		}
 	}
 }
 
-func (inj *slotFail) chain(t *Target, e *sched.Engine, s *fabric.Slot, r *sim.RNG) {
+func (inj *slotFail) chain(t *Target, b board, s *fabric.Slot, r *sim.RNG) {
 	var fail func()
 	fail = func() {
 		if t.Done() {
 			return
 		}
-		e.FailSlot(s)
+		t.touch(b.pair)
+		b.engine.FailSlot(s)
 		t.K.ScheduleP(r.Exp(inj.mttr), t.Pri, func() {
-			e.RecoverSlot(s)
+			t.touch(b.pair)
+			b.engine.RecoverSlot(s)
 			t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, fail)
 		})
 	}
@@ -202,6 +206,7 @@ func (inj *boardFail) chain(t *Target, b board, r *sim.RNG) {
 		if t.Done() {
 			return
 		}
+		t.touch(b.pair)
 		for _, s := range b.engine.Board.Slots {
 			b.engine.FailSlot(s)
 		}
@@ -209,6 +214,7 @@ func (inj *boardFail) chain(t *Target, b board, r *sim.RNG) {
 			t.Farm.PairOutage(b.pair)
 		}
 		t.K.ScheduleP(r.Exp(inj.mttr), t.Pri, func() {
+			t.touch(b.pair)
 			for _, s := range b.engine.Board.Slots {
 				b.engine.RecoverSlot(s)
 			}
@@ -246,22 +252,25 @@ type straggler struct {
 }
 
 func (inj *straggler) Attach(t *Target, r *sim.RNG) {
-	for _, e := range t.Engines {
-		for _, s := range e.Board.Slots {
-			inj.chain(t, e, s, r.Fork())
+	// boards() preserves the t.Engines fork order; see slotFail.Attach.
+	for _, b := range t.boards() {
+		for _, s := range b.engine.Board.Slots {
+			inj.chain(t, b, s, r.Fork())
 		}
 	}
 }
 
-func (inj *straggler) chain(t *Target, e *sched.Engine, s *fabric.Slot, r *sim.RNG) {
+func (inj *straggler) chain(t *Target, b board, s *fabric.Slot, r *sim.RNG) {
 	var slow func()
 	slow = func() {
 		if t.Done() {
 			return
 		}
-		e.SetSlotSlowdown(s, inj.factor)
+		t.touch(b.pair)
+		b.engine.SetSlotSlowdown(s, inj.factor)
 		t.K.ScheduleP(r.Exp(inj.mttr), t.Pri, func() {
-			e.ClearSlotSlowdown(s)
+			t.touch(b.pair)
+			b.engine.ClearSlotSlowdown(s)
 			t.K.ScheduleP(r.Exp(inj.mtbf), t.Pri, slow)
 		})
 	}

@@ -137,6 +137,10 @@ type autoscaler struct {
 	drainedApps int
 	peak        int
 	events      []ScaleEvent
+
+	// tickID is the pending evaluation tick's handle, exposed through
+	// Orchestrator.TickHorizon as part of the lookahead horizon.
+	tickID sim.EventID
 }
 
 func newAutoscaler(o *Orchestrator, spec AutoscaleSpec) *autoscaler {
@@ -151,7 +155,7 @@ func newAutoscaler(o *Orchestrator, spec AutoscaleSpec) *autoscaler {
 
 // arm schedules the first tick.
 func (as *autoscaler) arm() {
-	as.o.f.K.ScheduleP(as.spec.Every, sim.PriFarmControl, as.tick)
+	as.tickID = as.o.f.K.ScheduleP(as.spec.Every, sim.PriFarmControl, as.tick)
 }
 
 // tick is one observation instant; every spec.Window ticks it becomes

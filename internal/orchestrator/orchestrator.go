@@ -182,6 +182,7 @@ type Orchestrator struct {
 	order     []int
 	pumpFn    func()
 	pumpArmed bool
+	pumpID    sim.EventID
 	as        *autoscaler
 
 	// OnAdmit, when set, observes every admission with the tenant's
@@ -381,7 +382,31 @@ func (o *Orchestrator) armPump() {
 		return
 	}
 	o.pumpArmed = true
-	o.f.K.ScheduleP(o.cfg.AdmitEvery, sim.PriFarmControl, o.pumpFn)
+	o.pumpID = o.f.K.ScheduleP(o.cfg.AdmitEvery, sim.PriFarmControl, o.pumpFn)
+}
+
+// TickHorizon returns the earliest control tick the orchestrator has
+// pending on the coordinator kernel — the admission pump or the
+// autoscaler's next evaluation — and false when neither is armed. The
+// sharded executor's conservative-lookahead bound is the coordinator
+// kernel's next event time; this accessor exposes the orchestrator's
+// share of that horizon, so tests and diagnostics can verify that
+// every orchestrator tick is visible to the coordinator before any
+// shard is allowed to run past it.
+func (o *Orchestrator) TickHorizon() (sim.Time, bool) {
+	horizon, armed := sim.MaxTime, false
+	if t, live := o.f.K.EventTime(o.pumpID); live && o.pumpArmed {
+		horizon, armed = t, true
+	}
+	if o.as != nil {
+		if t, live := o.f.K.EventTime(o.as.tickID); live && t < horizon {
+			horizon, armed = t, true
+		}
+	}
+	if !armed {
+		return 0, false
+	}
+	return horizon, true
 }
 
 // pump re-examines the throttle queues: tenants release in priority

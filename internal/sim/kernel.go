@@ -287,6 +287,27 @@ func (k *Kernel) RunBefore(t Time) int {
 	}
 }
 
+// RunTo executes every event strictly before bound and returns the
+// firing time of the earliest remaining event (MaxTime when the queue
+// is empty). It is the conservative-lookahead primitive of sharded
+// farm execution: a shard granted the bound runs ahead to it in one
+// call, and the returned horizon tells the coordinator the earliest
+// instant the kernel could next act — no further synchronization with
+// this shard is needed until a cross-shard event at or past that
+// horizon arrives.
+func (k *Kernel) RunTo(bound Time) Time {
+	for {
+		at, ok := k.peek()
+		if !ok {
+			return MaxTime
+		}
+		if at >= bound {
+			return at
+		}
+		k.Step()
+	}
+}
+
 // AdvanceTo bumps the clock forward to t without executing anything.
 // It panics if an event earlier than t is still pending (that would
 // skip it, violating causality); events at exactly t may remain queued.

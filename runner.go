@@ -363,8 +363,10 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 	var pairPlatforms []cluster.PairPlatforms
 	// Sharded runs advance pairs on worker goroutines: the single-writer
 	// trace/recorder sinks are disabled exactly as in parallel sweeps
-	// (observers stay attached — they serialize behind a mutex).
-	diagParallel := parallel || s.Shards > 1
+	// (observers stay attached — they serialize behind a mutex). The
+	// farm's resolved count decides, not s.Shards: zero auto-selects
+	// from the fleet size and GOMAXPROCS.
+	diagParallel := parallel || f.ShardCount() > 1
 	streamCfg, streaming := s.streamConfig()
 	for _, pair := range f.Pairs {
 		for _, mode := range clusterModes {
@@ -414,8 +416,10 @@ func (r *Runner) runFarm(s Scenario, seq *workload.Sequence, parallel bool) (*Re
 		Quiescent: f.Quiescent,
 		// Fault chains are part of the farm's control plane: at their
 		// priority they land between the same pair events in sharded
-		// and sequential runs.
-		Pri: sim.PriFarmControl,
+		// and sequential runs, and every strike stamps its pair's
+		// lazily-advanced clock first.
+		Pri:   sim.PriFarmControl,
+		Touch: f.TouchPair,
 	}); err != nil {
 		return nil, err
 	}

@@ -111,12 +111,18 @@ type Scenario struct {
 	// Zero means the default of 2; a gap of 1 is honored but can
 	// ping-pong a single queued app (farm only).
 	RebalanceGap int `json:"rebalance_gap,omitempty"`
-	// Shards, when greater than one, executes the farm on that many
-	// worker goroutines: pairs advance their own event streams,
-	// synchronized at every farm-control instant, with results
-	// byte-identical to the sequential run. Farm topology only; traces
-	// and event recording are disabled like in parallel sweeps.
-	// Incompatible with a non-zero params.pr_failure_rate.
+	// Shards controls the farm's sharded executor. Greater than one
+	// runs the pairs on that many persistent worker goroutines under
+	// conservative lookahead: each pair advances its own event stream up
+	// to the next farm-control instant, workers synchronize only when a
+	// control event can actually reach their pairs, and results are
+	// byte-identical to the sequential run at any width. One forces the
+	// sequential executor. Zero (the default) picks automatically from
+	// the online pair count and GOMAXPROCS — small farms and single-CPU
+	// hosts resolve to sequential. Farm topology only; traces and event
+	// recording are disabled like in parallel sweeps. An explicit count
+	// above one is incompatible with a non-zero params.pr_failure_rate
+	// (auto quietly falls back to sequential instead).
 	Shards int `json:"shards,omitempty"`
 	// ThresholdUp/ThresholdDown override the Schmitt-trigger levels
 	// (cluster/farm; zero means the paper's defaults).
